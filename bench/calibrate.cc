@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Calibration harness (not a paper figure): prints the quantities the
+ * DESIGN.md calibration targets are stated over, so the thermal
+ * defaults can be validated at a glance. Run after any change to the
+ * thermal constants or the trace shape.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+
+using namespace vmt;
+
+int
+main(int argc, char **argv)
+{
+    // Optional overrides: calibrate [conductance] [powerScale]
+    // [airRisePerWatt] [timeConstant]
+    SimConfig config = bench::studyConfig(100);
+    if (argc > 1)
+        config.thermal.pcm.conductance = std::atof(argv[1]);
+    if (argc > 2)
+        config.powerScale = std::atof(argv[2]);
+    if (argc > 3)
+        config.thermal.airRisePerWatt = std::atof(argv[3]);
+    if (argc > 4)
+        config.thermal.timeConstant = std::atof(argv[4]);
+    std::printf("G=%.0f scale=%.2f k=%.3f tau=%.0f\n",
+                config.thermal.pcm.conductance, config.powerScale,
+                config.thermal.airRisePerWatt,
+                config.thermal.timeConstant);
+
+    std::printf("== Baselines (100 servers, 48 h) ==\n");
+    const SimResult rr = bench::runRoundRobin(config);
+    bench::printRunSummary(rr);
+    std::printf("RR peak mean air temp: %.2f C (melt temp %.1f C)\n",
+                rr.meanAirTemp.peak(), config.thermal.pcm.meltTemp);
+    const SimResult cf = bench::runCoolestFirst(config);
+    bench::printRunSummary(cf);
+
+    std::printf("\n== VMT-TA GV sweep ==\n");
+    Table table;
+    table.setHeader({"GV", "peak kW", "reduction %", "max melt %",
+                     "hot peak C"});
+    for (double gv : {18.0, 19.0, 20.0, 21.0, 22.0, 23.0, 24.0, 25.0,
+                      26.0}) {
+        const SimResult ta = bench::runVmtTa(config, gv);
+        table.addRow({Table::cell(gv, 0),
+                      Table::cell(ta.peakCoolingLoad / 1000.0, 1),
+                      Table::cell(peakReductionPercent(rr, ta), 1),
+                      Table::cell(ta.maxMeltFraction * 100.0, 1),
+                      Table::cell(ta.hotGroupTemp.peak(), 2)});
+    }
+    table.print(std::cout);
+
+    std::printf("\n== VMT-WA GV sweep ==\n");
+    Table wa_table;
+    wa_table.setHeader({"GV", "peak kW", "reduction %", "max melt %",
+                        "hot peak C", "hot size min/max"});
+    for (double gv : {18.0, 19.0, 20.0, 21.0, 22.0, 23.0, 24.0, 25.0,
+                      26.0}) {
+        const SimResult wa = bench::runVmtWa(config, gv);
+        wa_table.addRow(
+            {Table::cell(gv, 0),
+             Table::cell(wa.peakCoolingLoad / 1000.0, 1),
+             Table::cell(peakReductionPercent(rr, wa), 1),
+             Table::cell(wa.maxMeltFraction * 100.0, 1),
+             Table::cell(wa.hotGroupTemp.peak(), 2),
+             Table::cell(wa.hotGroupSizeSeries.trough(), 0) + "/" +
+                 Table::cell(wa.hotGroupSizeSeries.peak(), 0)});
+    }
+    wa_table.print(std::cout);
+    return 0;
+}

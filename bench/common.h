@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared setup for the benchmark harnesses: the calibrated study
+ * configuration (Section IV) and small reporting helpers. Every
+ * figure/table bench uses these defaults so results compose like the
+ * paper's.
+ */
+
+#ifndef VMT_BENCH_COMMON_H
+#define VMT_BENCH_COMMON_H
+
+#include <cstddef>
+#include <string>
+
+#include "core/vmt_ta.h"
+#include "core/vmt_wa.h"
+#include "sim/simulation.h"
+#include "util/time_series.h"
+
+namespace vmt::bench {
+
+/** The calibrated study configuration (see DESIGN.md section 5). */
+SimConfig studyConfig(std::size_t num_servers);
+
+/** VMT config with the study's wax and the given GV. */
+VmtConfig studyVmt(double grouping_value);
+
+/** Run a fresh round-robin baseline on the config. */
+SimResult runRoundRobin(const SimConfig &config);
+
+/** Run a fresh coolest-first baseline on the config. */
+SimResult runCoolestFirst(const SimConfig &config);
+
+/** Run VMT-TA at a grouping value. */
+SimResult runVmtTa(const SimConfig &config, double grouping_value);
+
+/** Run VMT-WA at a grouping value (and optional wax threshold). */
+SimResult runVmtWa(const SimConfig &config, double grouping_value,
+                   double wax_threshold = 0.98);
+
+/**
+ * Print a time series as paper-style rows: one row per `stride`
+ * samples, with time in hours and the value scaled by `scale`.
+ */
+void printSeries(const std::string &title, const TimeSeries &series,
+                 std::size_t stride, double scale,
+                 const std::string &unit);
+
+/** Print the standard run footer (peak load, melt fraction, jobs). */
+void printRunSummary(const SimResult &result);
+
+/**
+ * When the environment variable VMT_BENCH_CSV_DIR is set, write the
+ * run's full-resolution series (and heatmaps, when recorded) to
+ * `$VMT_BENCH_CSV_DIR/<name>*.csv` for offline plotting; otherwise a
+ * no-op. Benches call this next to their console tables.
+ */
+void maybeExportCsv(const std::string &name, const SimResult &result);
+
+/**
+ * Render the paper's server-by-time heatmap pair (air temperature at
+ * the wax, 10-50 C; wax melted, 0-100 %) as ASCII art with summary
+ * rows. Requires SimConfig::recordHeatmaps.
+ */
+void printHeatmaps(const SimResult &result);
+
+} // namespace vmt::bench
+
+#endif // VMT_BENCH_COMMON_H

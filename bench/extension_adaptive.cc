@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Extension experiment: closed-loop GV control. The paper leaves GV
+ * selection to operators with day-to-day forecasts (Section V-C);
+ * the adaptive scheduler removes the forecast by running a
+ * thermostat on the hot group (hold the melting plateau; grow on
+ * over-extension, shrink only when cold at peak). Simulates eight
+ * repeating days from deliberately mis-set starting GVs.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "core/adaptive_vmt.h"
+#include "util/table.h"
+
+using namespace vmt;
+
+namespace {
+
+Watts
+dayPeak(const TimeSeries &series, int day)
+{
+    Watts best = 0.0;
+    for (std::size_t i = static_cast<std::size_t>(day) * 1440;
+         i < static_cast<std::size_t>(day + 1) * 1440 &&
+         i < series.size();
+         ++i)
+        best = std::max(best, series.at(i));
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    SimConfig config = bench::studyConfig(100);
+    config.trace.duration = 8 * 24.0;
+    const SimResult rr = bench::runRoundRobin(config);
+
+    Table table("Adaptive GV over eight repeating days "
+                "(100 servers; day-8 peak reduction)");
+    table.setHeader({"Start GV", "Static WA day-8 (%)",
+                     "Adaptive day-8 (%)", "Final GV"});
+    for (double gv0 : {16.0, 19.0, 22.0, 25.0, 28.0}) {
+        const SimResult st = bench::runVmtWa(config, gv0);
+        AdaptiveVmtScheduler ad(bench::studyVmt(gv0),
+                                hotMaskFromPaper());
+        const SimResult a = runSimulation(config, ad);
+        const Watts base = dayPeak(rr.coolingLoad, 7);
+        table.addRow(
+            {Table::cell(gv0, 0),
+             Table::cell(100.0 * (base - dayPeak(st.coolingLoad, 7)) /
+                             base,
+                         1),
+             Table::cell(100.0 * (base - dayPeak(a.coolingLoad, 7)) /
+                             base,
+                         1),
+             Table::cell(ad.currentGv(), 1)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nFrom any starting point the controller walks the "
+                "GV toward the Fig. 18 optimum within a few days "
+                "(bounded to ~2 GV of movement per day), recovering "
+                "most of the reduction an operator would otherwise "
+                "need a daily forecast to capture.\n");
+    return 0;
+}

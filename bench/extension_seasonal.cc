@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Extension experiment: seasonal/ambient sensitivity. The paper
+ * motivates VMT by noting the ideal melting temperature moves "from
+ * season to season, or even from day to day"; a fixed wax cannot
+ * follow it, but the GV can. This sweep varies the cold-aisle
+ * setpoint (a proxy for ambient/economizer conditions) and shows (a)
+ * passive TTS only works in a narrow band, (b) VMT-WA at a *fixed*
+ * GV degrades off-nominal, and (c) re-tuning only the GV recovers
+ * most of the benefit — software adaptation replacing a wax swap.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+
+using namespace vmt;
+
+int
+main()
+{
+    Table table("Reduction vs cold-aisle setpoint "
+                "(VMT-WA, 100 servers)");
+    table.setHeader({"Inlet (C)", "TTS alone (%)", "WA @ GV=22 (%)",
+                     "Best GV", "WA @ best GV (%)"});
+
+    for (double inlet : {18.0, 20.0, 22.0, 24.0, 26.0}) {
+        SimConfig config = bench::studyConfig(100);
+        config.thermal.inletTemp = inlet;
+        const SimResult rr = bench::runRoundRobin(config);
+        const SimResult cf = bench::runCoolestFirst(config);
+        const SimResult fixed = bench::runVmtWa(config, 22.0);
+
+        double best = -1e9, best_gv = 0.0;
+        for (double gv = 14.0; gv <= 30.0; gv += 1.0) {
+            const double red = peakReductionPercent(
+                rr, bench::runVmtWa(config, gv));
+            if (red > best) {
+                best = red;
+                best_gv = gv;
+            }
+        }
+        table.addRow({Table::cell(inlet, 0),
+                      Table::cell(peakReductionPercent(rr, cf), 1),
+                      Table::cell(peakReductionPercent(rr, fixed), 1),
+                      Table::cell(best_gv, 0),
+                      Table::cell(best, 1)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nCooler aisles push the whole cluster below the "
+                "melting point: only a deeper concentration (smaller "
+                "GV) melts anything, and re-tuning the GV recovers "
+                "most of the benefit in software. Warmer aisles "
+                "enter the passive-TTS regime where round robin "
+                "itself melts wax — there concentration only "
+                "exhausts storage early, so the right setting is no "
+                "VMT at all (uniform placement). This is exactly the "
+                "operating-range picture of Fig. 1.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fig. 1: peak exhaust temperature vs. work ratio for six two-workload
+ * mixes, with the operating regions:
+ *
+ *   VMT/TTS   - the uniformly mixed cluster itself exceeds the wax
+ *               melting temperature at the wax, so passive TTS works;
+ *   Needs VMT - the average cannot melt wax but concentrating the
+ *               hotter workload in a hot group can;
+ *   Neither   - even a server running only the hotter workload stays
+ *               below the melting temperature.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+
+using namespace vmt;
+
+namespace {
+
+const char *
+regionFor(const PowerModel &power, const ServerThermalParams &thermal,
+          WorkloadType a, WorkloadType b, double ratio,
+          double peak_util)
+{
+    const double cores = static_cast<double>(power.spec().cores());
+    const Watts mixed =
+        power.spec().idlePower +
+        peak_util * cores *
+            (ratio * power.corePower(a) +
+             (1.0 - ratio) * power.corePower(b));
+    const Celsius melt = thermal.pcm.meltTemp;
+    const Celsius mixed_air =
+        thermal.inletTemp + thermal.airRisePerWatt * mixed;
+    if (mixed_air >= melt)
+        return "VMT/TTS";
+
+    // Can a pure server of either present workload melt wax?
+    auto isolated = [&](WorkloadType w) {
+        return thermal.inletTemp +
+               thermal.airRisePerWatt *
+                   power.singleWorkloadPower(w, peak_util);
+    };
+    const bool a_present = ratio > 0.0;
+    const bool b_present = ratio < 1.0;
+    if ((a_present && isolated(a) >= melt) ||
+        (b_present && isolated(b) >= melt))
+        return "Needs VMT";
+    return "Neither";
+}
+
+} // namespace
+
+int
+main()
+{
+    const SimConfig config = bench::studyConfig(100);
+    const PowerModel power(config.spec, config.powerScale);
+    const double peak_util = 0.95;
+
+    const std::pair<WorkloadType, WorkloadType> mixes[] = {
+        {WorkloadType::DataCaching, WorkloadType::WebSearch},
+        {WorkloadType::VirusScan, WorkloadType::Clustering},
+        {WorkloadType::Clustering, WorkloadType::VideoEncoding},
+        {WorkloadType::VirusScan, WorkloadType::VideoEncoding},
+        {WorkloadType::VirusScan, WorkloadType::WebSearch},
+        {WorkloadType::WebSearch, WorkloadType::Clustering},
+    };
+
+    for (const auto &[a, b] : mixes) {
+        Table table(workloadName(a) + "-" + workloadName(b) +
+                    " Mix (work ratio = % of busy cores running " +
+                    workloadName(a) + ")");
+        table.setHeader(
+            {"Work Ratio (%)", "Exhaust Temp (C)", "Region"});
+        for (int pct = 0; pct <= 100; pct += 10) {
+            const double ratio = pct / 100.0;
+            const double cores =
+                static_cast<double>(power.spec().cores());
+            const Watts mixed =
+                config.spec.idlePower +
+                peak_util * cores *
+                    (ratio * power.corePower(a) +
+                     (1.0 - ratio) * power.corePower(b));
+            const Celsius exhaust =
+                config.thermal.inletTemp +
+                config.thermal.exhaustRisePerWatt * mixed;
+            table.addRow({Table::cell(static_cast<long long>(pct)),
+                          Table::cell(exhaust, 1),
+                          regionFor(power, config.thermal, a, b,
+                                    ratio, peak_util)});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+    std::printf("TTS only works in the VMT/TTS region; VMT extends "
+                "the useful range to VMT/TTS + Needs VMT.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 8: the normalized two-day datacenter load trace, split across
+ * the five workloads (cumulative, scaled to 100 servers' cores).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+#include "workload/diurnal_trace.h"
+
+using namespace vmt;
+
+int
+main()
+{
+    const SimConfig config = bench::studyConfig(100);
+    TraceParams params = config.trace;
+    const DiurnalTrace trace(params);
+
+    Table table("Normalized Two Day Datacenter Load "
+                "(% of cluster cores, cumulative by workload)");
+    table.setHeader({"Hour", "Clustering", "+DataCaching",
+                     "+VideoEncoding", "+VirusScan", "+WebSearch",
+                     "Total %"});
+    for (std::size_t hour = 0; hour <= 47; ++hour) {
+        const std::size_t i = trace.indexAt(
+            static_cast<double>(hour) * kHour);
+        double cumulative = 0.0;
+        std::vector<std::string> row = {
+            Table::cell(static_cast<long long>(hour))};
+        // The figure stacks the workloads; print running sums.
+        const WorkloadType order[] = {
+            WorkloadType::Clustering, WorkloadType::DataCaching,
+            WorkloadType::VideoEncoding, WorkloadType::VirusScan,
+            WorkloadType::WebSearch};
+        for (WorkloadType type : order) {
+            cumulative += trace.workloadUtilization(type, i) * 100.0;
+            row.push_back(Table::cell(cumulative, 1));
+        }
+        row.push_back(Table::cell(trace.utilization(i) * 100.0, 1));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::printf("\nPeak %.0f%% near hours 20 and 46; trough %.0f%% "
+                "near hours 5 and 29. Hot jobs (WebSearch + "
+                "VideoEncoding + Clustering) carry ~60%% of the "
+                "load.\n",
+                trace.peak() * 100.0, trace.trough() * 100.0);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fig. 10: the same heatmaps under coolest-first placement — a much
+ * tighter temperature band than round robin, but still no melting.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace vmt;
+
+int
+main()
+{
+    SimConfig config = bench::studyConfig(100);
+    config.recordHeatmaps = true;
+    const SimResult cf = bench::runCoolestFirst(config);
+    const SimResult rr = [&] {
+        SimConfig c = config;
+        return bench::runRoundRobin(c);
+    }();
+
+    std::printf("Cluster air temperatures and wax melted using "
+                "coolest first scheduling (100 servers, 48 h)\n\n");
+    bench::printHeatmaps(cf);
+    bench::maybeExportCsv("fig10_coolest_first", cf);
+    bench::printRunSummary(cf);
+
+    // Quantify the tighter band at the day-one peak.
+    const std::size_t col = 20 * 60;
+    auto spread = [col](const SimResult &r) {
+        double lo = 1e9, hi = -1e9;
+        for (std::size_t s = 0; s < r.airTempMap->rows(); ++s) {
+            lo = std::min(lo, r.airTempMap->at(s, col));
+            hi = std::max(hi, r.airTempMap->at(s, col));
+        }
+        return hi - lo;
+    };
+    std::printf("Per-server temperature spread at hour 20: coolest "
+                "first %.1f C vs round robin %.1f C — tighter "
+                "distribution, but still no significant melting.\n",
+                spread(cf), spread(rr));
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 12: average hot-group temperature under VMT-TA as the GV is
+ * adjusted, for a cluster of 1,000 servers, against the round-robin
+ * cluster average and the wax melting temperature.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+
+using namespace vmt;
+
+int
+main()
+{
+    const SimConfig config = bench::studyConfig(1000);
+    const SimResult rr = bench::runRoundRobin(config);
+
+    const double gvs[] = {21.0, 22.0, 23.0, 24.0, 25.0, 26.0};
+    std::vector<SimResult> runs;
+    for (double gv : gvs)
+        runs.push_back(bench::runVmtTa(config, gv));
+
+    Table table("Average Hot Group Temperature, VMT-TA, 1000 servers "
+                "(C; wax melts at 35.7 C)");
+    table.setHeader({"Hour", "RR avg", "GV=21", "GV=22", "GV=23",
+                     "GV=24", "GV=25", "GV=26"});
+    for (std::size_t i = 0; i < rr.meanAirTemp.size(); i += 120) {
+        std::vector<std::string> row = {
+            Table::cell(rr.meanAirTemp.timeAt(i) / kHour, 0),
+            Table::cell(rr.meanAirTemp.at(i), 1)};
+        for (const SimResult &run : runs)
+            row.push_back(Table::cell(run.hotGroupTemp.at(i), 1));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::printf("\nPeak temperatures: RR avg %.2f C (almost but not "
+                "quite reaching the melting temperature);\n",
+                rr.meanAirTemp.peak());
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+        std::printf("  GV=%.0f hot group peak %.2f C%s\n", gvs[k],
+                    runs[k].hotGroupTemp.peak(),
+                    runs[k].hotGroupTemp.peak() >= 35.7
+                        ? " (exceeds melting temperature)"
+                        : "");
+    }
+    std::printf("Smaller GV -> fewer servers for the hot jobs -> "
+                "hotter hot group.\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 18: peak cooling load reduction as the GV sweeps 10-30 for
+ * VMT-TA and VMT-WA on 100 servers. Both peak at GV=22; VMT-TA
+ * collapses below the optimum while VMT-WA degrades slowly — the
+ * built-in safety factor that makes WA robust to mis-set GVs.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+
+using namespace vmt;
+
+int
+main()
+{
+    const SimConfig config = bench::studyConfig(100);
+    const SimResult rr = bench::runRoundRobin(config);
+
+    Table table("Peak Cooling Load Reduction vs GV "
+                "(100 servers, %)");
+    table.setHeader({"GV", "VMT-TA", "VMT-WA"});
+    double best_ta = 0.0, best_wa = 0.0, best_ta_gv = 0.0,
+           best_wa_gv = 0.0;
+    for (double gv = 10.0; gv <= 30.0; gv += 2.0) {
+        const double ta = peakReductionPercent(
+            rr, bench::runVmtTa(config, gv));
+        const double wa = peakReductionPercent(
+            rr, bench::runVmtWa(config, gv));
+        if (ta > best_ta) {
+            best_ta = ta;
+            best_ta_gv = gv;
+        }
+        if (wa > best_wa) {
+            best_wa = wa;
+            best_wa_gv = gv;
+        }
+        table.addRow({Table::cell(gv, 0), Table::cell(ta, 1),
+                      Table::cell(wa, 1)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nBest: VMT-TA %.1f%% at GV=%.0f; VMT-WA %.1f%% at "
+                "GV=%.0f (paper: both 12.8%% at GV=22). Below the "
+                "optimum TA collapses while WA holds a useful "
+                "reduction.\n",
+                best_ta, best_ta_gv, best_wa, best_wa_gv);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fig. 19: VMT-TA peak cooling load reduction with normally
+ * distributed inlet temperature variation (sigma = 0, 1, 2 C),
+ * averaged over 5 runs of 100 servers each, GV swept 16-28.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+
+using namespace vmt;
+
+int
+main()
+{
+    Table table("VMT-TA: Peak Cooling Load Reduction with Inlet "
+                "Temperature Variation (avg of 5 x 100 servers, %)");
+    table.setHeader({"GV", "STDEV=0", "STDEV=1", "STDEV=2"});
+
+    for (double gv = 16.0; gv <= 28.0; gv += 2.0) {
+        std::vector<std::string> row = {Table::cell(gv, 0)};
+        for (double stdev : {0.0, 1.0, 2.0}) {
+            double sum = 0.0;
+            for (std::uint64_t run = 0; run < 5; ++run) {
+                SimConfig config = bench::studyConfig(100);
+                config.inletStddev = stdev;
+                config.seed = 7 + run;
+                const SimResult rr = bench::runRoundRobin(config);
+                const SimResult ta = bench::runVmtTa(config, gv);
+                sum += peakReductionPercent(rr, ta);
+            }
+            row.push_back(Table::cell(sum / 5.0, 1));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::printf("\nAt the optimum, zero variation is best; away from "
+                "it a spread of inlet temperatures lets a few servers "
+                "melt anyway (paper Fig. 19).\n");
+    return 0;
+}

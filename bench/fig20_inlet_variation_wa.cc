@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 20: VMT-WA peak cooling load reduction with inlet temperature
+ * variation (sigma = 0, 1, 2 C), averaged over 5 runs of 100 servers,
+ * GV swept 16-28. Even at sigma=2 the peak reduction stays within a
+ * couple of points, and the optimal GV shifts slightly upward
+ * ("better to miss high than miss low").
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+
+using namespace vmt;
+
+int
+main()
+{
+    Table table("VMT-WA: Peak Cooling Load Reduction with Inlet "
+                "Temperature Variation (avg of 5 x 100 servers, %)");
+    table.setHeader({"GV", "STDEV=0", "STDEV=1", "STDEV=2"});
+
+    double best_at_2 = 0.0;
+    double best_gv_at_2 = 0.0;
+    for (double gv = 16.0; gv <= 28.0; gv += 2.0) {
+        std::vector<std::string> row = {Table::cell(gv, 0)};
+        for (double stdev : {0.0, 1.0, 2.0}) {
+            double sum = 0.0;
+            for (std::uint64_t run = 0; run < 5; ++run) {
+                SimConfig config = bench::studyConfig(100);
+                config.inletStddev = stdev;
+                config.seed = 7 + run;
+                const SimResult rr = bench::runRoundRobin(config);
+                const SimResult wa = bench::runVmtWa(config, gv);
+                sum += peakReductionPercent(rr, wa);
+            }
+            const double avg = sum / 5.0;
+            if (stdev == 2.0 && avg > best_at_2) {
+                best_at_2 = avg;
+                best_gv_at_2 = gv;
+            }
+            row.push_back(Table::cell(avg, 1));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::printf("\nWith STDEV=2 (95%% of servers within +/-4 C) the "
+                "best reduction is still %.1f%% at GV=%.0f "
+                "(paper: 10.9%%); VMT-WA remains robust to the "
+                "choice of GV.\n",
+                best_at_2, best_gv_at_2);
+    return 0;
+}

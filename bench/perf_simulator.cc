@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate: PCM
+ * stepping, scheduler placement throughput, and end-to-end simulated
+ * hours per second at both study scales.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "core/vmt_ta.h"
+#include "core/vmt_wa.h"
+#include "sched/round_robin.h"
+#include "sim/simulation.h"
+
+using namespace vmt;
+
+namespace {
+
+void
+BM_PcmStep(benchmark::State &state)
+{
+    Pcm pcm(PcmParams{}, 22.0);
+    double air = 30.0;
+    for (auto _ : state) {
+        air = air < 45.0 ? air + 0.01 : 30.0;
+        benchmark::DoNotOptimize(pcm.step(air, 60.0));
+    }
+}
+BENCHMARK(BM_PcmStep);
+
+void
+BM_ServerThermalStep(benchmark::State &state)
+{
+    ServerThermal thermal{ServerThermalParams{}};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(thermal.step(420.0, 60.0));
+}
+BENCHMARK(BM_ServerThermalStep);
+
+template <typename Sched>
+void
+placementLoop(benchmark::State &state)
+{
+    Cluster cluster(static_cast<std::size_t>(state.range(0)),
+                    ServerSpec{}, ServerThermalParams{},
+                    PowerModel({}, 1.77));
+    Sched sched = [] {
+        if constexpr (std::is_same_v<Sched, RoundRobinScheduler>)
+            return RoundRobinScheduler{};
+        else
+            return Sched(VmtConfig{}, hotMaskFromPaper());
+    }();
+    sched.beginInterval(cluster, 0.0);
+    Job job;
+    job.type = WorkloadType::WebSearch;
+    std::vector<std::pair<std::size_t, WorkloadType>> placed;
+    for (auto _ : state) {
+        const std::size_t id = sched.placeJob(cluster, job);
+        if (id == kNoServer) {
+            // Drain and refresh to keep measuring placements.
+            state.PauseTiming();
+            for (auto &[sid, type] : placed)
+                cluster.removeJob(sid, type);
+            placed.clear();
+            sched.beginInterval(cluster, 0.0);
+            state.ResumeTiming();
+            continue;
+        }
+        cluster.addJob(id, job.type);
+        placed.emplace_back(id, job.type);
+    }
+}
+
+void
+BM_PlaceJobRoundRobin(benchmark::State &state)
+{
+    placementLoop<RoundRobinScheduler>(state);
+}
+BENCHMARK(BM_PlaceJobRoundRobin)->Arg(100)->Arg(1000);
+
+void
+BM_PlaceJobVmtTa(benchmark::State &state)
+{
+    placementLoop<VmtTaScheduler>(state);
+}
+BENCHMARK(BM_PlaceJobVmtTa)->Arg(100)->Arg(1000);
+
+void
+BM_PlaceJobVmtWa(benchmark::State &state)
+{
+    placementLoop<VmtWaScheduler>(state);
+}
+BENCHMARK(BM_PlaceJobVmtWa)->Arg(100)->Arg(1000);
+
+void
+BM_FullSimulation(benchmark::State &state)
+{
+    SimConfig config = bench::studyConfig(
+        static_cast<std::size_t>(state.range(0)));
+    config.trace.duration = 12.0;
+    for (auto _ : state) {
+        VmtWaScheduler sched(bench::studyVmt(22.0),
+                             hotMaskFromPaper());
+        benchmark::DoNotOptimize(runSimulation(config, sched));
+    }
+    state.counters["sim_hours_per_s"] = benchmark::Counter(
+        12.0 * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullSimulation)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table I: the workload suite with per-CPU power and VMT class, plus
+ * the model-driven classification the VMT schedulers actually use
+ * (Section III-A) to show both agree.
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "core/classification.h"
+#include "util/table.h"
+
+using namespace vmt;
+
+int
+main()
+{
+    const SimConfig config = bench::studyConfig(100);
+    const PowerModel power(config.spec, config.powerScale);
+    const ThermalClassifier classifier(power, config.thermal, 0.95);
+
+    Table table("Table I: Workloads considered for the scale-out "
+                "study (power per 8-core Xeon E7-4809 v4)");
+    table.setHeader({"Workload", "CPU Power (W)", "VMT Class (paper)",
+                     "VMT Class (model)", "Isolated air temp (C)"});
+    for (WorkloadType type : kAllWorkloads) {
+        const WorkloadInfo &info = workloadInfo(type);
+        table.addRow(
+            {info.name, Table::cell(info.cpuPower, 1),
+             info.paperClass == ThermalClass::Hot ? "hot" : "cold",
+             classifier.isHot(type) ? "hot" : "cold",
+             Table::cell(classifier.isolatedAirTemp(type), 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nWax melting temperature: "
+              << config.thermal.pcm.meltTemp
+              << " C -> a workload is hot when a server running only "
+                 "that workload reaches it.\n";
+    return 0;
+}

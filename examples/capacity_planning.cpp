@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Capacity planning: a datacenter operator explores what a measured
+ * peak-cooling-load reduction is worth — either as a smaller cooling
+ * plant for a new build, or as extra servers under an existing one.
+ *
+ * Usage: capacity_planning [critical_MW] [reduction_percent]
+ * Without arguments it measures the reduction itself by simulating a
+ * 1,000-server cluster under VMT-WA at GV=22.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "cooling/datacenter.h"
+#include "core/vmt_wa.h"
+#include "sched/round_robin.h"
+#include "sim/simulation.h"
+#include "tco/tco_model.h"
+#include "util/table.h"
+
+using namespace vmt;
+
+int
+main(int argc, char **argv)
+{
+    DatacenterSpec dc;
+    if (argc > 1)
+        dc.criticalPower = std::atof(argv[1]) * 1e6;
+
+    double reduction;
+    if (argc > 2) {
+        reduction = std::atof(argv[2]) / 100.0;
+        std::printf("Using operator-supplied reduction %.1f%%\n",
+                    reduction * 100.0);
+    } else {
+        std::printf("Measuring the reduction: 1,000 PCM-enabled "
+                    "servers, two-day trace, VMT-WA GV=22 vs round "
+                    "robin...\n");
+        SimConfig config;
+        config.numServers = 1000;
+        RoundRobinScheduler rr;
+        const SimResult base = runSimulation(config, rr);
+        VmtWaScheduler wa(VmtConfig{}, hotMaskFromPaper());
+        const SimResult vmt = runSimulation(config, wa);
+        reduction = peakReductionPercent(base, vmt) / 100.0;
+        std::printf("Measured peak cooling load reduction: %.1f%%\n",
+                    reduction * 100.0);
+    }
+
+    const TcoModel tco(dc);
+    const DatacenterCoolingModel cooling(dc);
+
+    std::printf("\nDatacenter: %.1f MW critical power, %zu servers "
+                "in %zu clusters\n",
+                dc.criticalPower / 1e6, dc.totalServers(),
+                dc.numClusters());
+
+    Table table("Planning options");
+    table.setHeader({"Option", "Value"});
+    table.addRow({"Smaller cooling plant (new build)",
+                  Table::cell(cooling.reducedPeakLoad(reduction) / 1e6,
+                              2) + " MW"});
+    table.addRow({"Lifetime cooling savings",
+                  "$" + Table::cell(
+                            tco.savingsFromReduction(reduction) / 1e6,
+                            2) + "M"});
+    table.addRow({"Savings net of wax deployment",
+                  "$" + Table::cell(tco.netSavingsFromReduction(
+                                        reduction) / 1e6, 2) + "M"});
+    table.addRow({"Extra servers (existing plant)",
+                  Table::cell(static_cast<long long>(
+                      tco.extraServers(reduction)))});
+    table.addRow({"Wax cost per server",
+                  "$" + Table::cell(tco.waxCostPerServer(), 2)});
+    table.print(std::cout);
+
+    // Sensitivity: what if the realized reduction is smaller?
+    Table sens("\nSensitivity to the realized reduction");
+    sens.setHeader({"Reduction (%)", "Savings ($M)", "Extra servers"});
+    for (double r : {0.02, 0.04, 0.06, 0.08, 0.10, 0.128}) {
+        sens.addRow({Table::cell(r * 100.0, 1),
+                     Table::cell(tco.savingsFromReduction(r) / 1e6, 2),
+                     Table::cell(static_cast<long long>(
+                         tco.extraServers(r)))});
+    }
+    sens.print(std::cout);
+    return 0;
+}

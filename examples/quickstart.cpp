@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: simulate a 100-server PCM-enabled cluster for two days
+ * under round robin and under VMT-TA, and report the peak cooling
+ * load reduction and what it is worth at datacenter scale.
+ */
+
+#include <cstdio>
+
+#include "cooling/datacenter.h"
+#include "core/vmt_ta.h"
+#include "sched/round_robin.h"
+#include "sim/simulation.h"
+#include "tco/tco_model.h"
+
+using namespace vmt;
+
+int
+main()
+{
+    // 1. Describe the cluster: 100 2U servers, 4 L of commercial
+    //    paraffin each, the paper's calibrated thermal constants.
+    SimConfig config;
+    config.numServers = 100;
+    config.thermal.pcm.conductance = 86.0;
+    config.powerScale = 1.77;
+
+    // 2. Baseline: round-robin placement. The cluster's average
+    //    temperature stays below the wax's 35.7 C melting point, so
+    //    passive TTS stores nothing.
+    RoundRobinScheduler round_robin;
+    const SimResult baseline = runSimulation(config, round_robin);
+    std::printf("Round robin: peak cooling load %.1f kW, "
+                "max wax melted %.1f%%\n",
+                baseline.peakCoolingLoad / 1000.0,
+                baseline.maxMeltFraction * 100.0);
+
+    // 3. VMT-TA: concentrate hot jobs in a hot group sized by
+    //    Eq. 1 (GV / PMT x servers) so that group melts wax.
+    VmtConfig vmt;
+    vmt.groupingValue = 22.0;
+    VmtTaScheduler vmt_ta(vmt, hotMaskFromPaper());
+    const SimResult with_vmt = runSimulation(config, vmt_ta);
+    const double reduction = peakReductionPercent(baseline, with_vmt);
+    std::printf("VMT-TA GV=%.0f: peak cooling load %.1f kW, "
+                "max wax melted %.1f%% -> peak reduction %.1f%%\n",
+                vmt.groupingValue, with_vmt.peakCoolingLoad / 1000.0,
+                with_vmt.maxMeltFraction * 100.0, reduction);
+
+    // 4. What is that worth? Scale to the 25 MW reference datacenter.
+    const DatacenterSpec dc;
+    const TcoModel tco(dc);
+    const double frac = reduction / 100.0;
+    std::printf("At 25 MW: $%.2fM lifetime cooling savings "
+                "(net of wax: $%.2fM), or %zu extra servers under the "
+                "same cooling system.\n",
+                tco.savingsFromReduction(frac) / 1e6,
+                tco.netSavingsFromReduction(frac) / 1e6,
+                tco.extraServers(frac));
+    return 0;
+}

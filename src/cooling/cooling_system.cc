@@ -1,0 +1,27 @@
+#include "cooling/cooling_system.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+CoolingSystem::CoolingSystem(Watts capacity, Celsius nominal_inlet,
+                             KelvinPerWatt overload_rise)
+    : capacity_(capacity), nominalInlet_(nominal_inlet),
+      overloadRise_(overload_rise)
+{
+    if (capacity <= 0.0)
+        fatal("CoolingSystem requires a positive capacity");
+    if (overload_rise < 0.0)
+        fatal("CoolingSystem requires overload_rise >= 0");
+}
+
+Celsius
+CoolingSystem::inletFor(Watts heat_load) const
+{
+    const Watts overload = std::max(0.0, heat_load - capacity_);
+    return nominalInlet_ + overloadRise_ * overload;
+}
+
+} // namespace vmt

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cluster-level cooling plant model for oversubscription studies.
+ *
+ * The paper's headline use case is installing a cooling system sized
+ * *below* the uncontrolled peak ("the datacenter can employ a smaller
+ * cooling system while still meeting the computational demands of
+ * peak load"). When the rejected heat exceeds the plant's capacity
+ * the cold-aisle inlet temperature rises proportionally (the CRAC
+ * cannot hold its setpoint), which is how overheating manifests in a
+ * real room. TTS/VMT avoid the excursion by absorbing the overflow
+ * into wax instead.
+ */
+
+#ifndef VMT_COOLING_COOLING_SYSTEM_H
+#define VMT_COOLING_COOLING_SYSTEM_H
+
+#include "util/units.h"
+
+namespace vmt {
+
+/** A fixed-capacity cooling plant with inlet-temperature feedback. */
+class CoolingSystem
+{
+  public:
+    /**
+     * @param capacity Heat removal capacity at the nominal inlet (W).
+     * @param nominal_inlet Cold-aisle setpoint when under capacity.
+     * @param overload_rise Inlet rise per watt of heat beyond
+     *        capacity (K/W, >= 0).
+     */
+    CoolingSystem(Watts capacity, Celsius nominal_inlet = 22.0,
+                  KelvinPerWatt overload_rise = 1.5e-3);
+
+    /** Inlet temperature the room settles at for a heat load. */
+    Celsius inletFor(Watts heat_load) const;
+
+    /** Plant capacity (W). */
+    Watts capacity() const { return capacity_; }
+
+    /** Setpoint inlet temperature. */
+    Celsius nominalInlet() const { return nominalInlet_; }
+
+    /** True when the load exceeds capacity. */
+    bool overloaded(Watts heat_load) const
+    {
+        return heat_load > capacity_;
+    }
+
+  private:
+    Watts capacity_;
+    Celsius nominalInlet_;
+    KelvinPerWatt overloadRise_;
+};
+
+} // namespace vmt
+
+#endif // VMT_COOLING_COOLING_SYSTEM_H

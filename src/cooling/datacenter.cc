@@ -1,0 +1,56 @@
+#include "cooling/datacenter.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+std::size_t
+DatacenterSpec::totalServers() const
+{
+    return static_cast<std::size_t>(criticalPower / server.peakPower);
+}
+
+std::size_t
+DatacenterSpec::numClusters() const
+{
+    return totalServers() / serversPerCluster;
+}
+
+DatacenterCoolingModel::DatacenterCoolingModel(const DatacenterSpec &spec)
+    : spec_(spec)
+{
+    if (spec.criticalPower <= 0.0)
+        fatal("DatacenterSpec::criticalPower must be positive");
+    if (spec.server.peakPower <= 0.0)
+        fatal("ServerSpec::peakPower must be positive");
+}
+
+Watts
+DatacenterCoolingModel::baselinePeakLoad() const
+{
+    // A fully subscribed cooling system removes the entire critical
+    // power at peak (Section V-E).
+    return spec_.criticalPower;
+}
+
+Watts
+DatacenterCoolingModel::reducedPeakLoad(double reduction) const
+{
+    if (reduction < 0.0 || reduction >= 1.0)
+        fatal("reducedPeakLoad requires reduction in [0, 1)");
+    return baselinePeakLoad() * (1.0 - reduction);
+}
+
+std::size_t
+DatacenterCoolingModel::extraServers(double reduction) const
+{
+    if (reduction < 0.0 || reduction >= 1.0)
+        fatal("extraServers requires reduction in [0, 1)");
+    const double growth = 1.0 / (1.0 - reduction) - 1.0;
+    return static_cast<std::size_t>(
+        std::floor(static_cast<double>(spec_.totalServers()) * growth));
+}
+
+} // namespace vmt

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Datacenter-level scale-out of cluster results (Section IV-A/IV-F):
+ * clusters are homogeneous, so "cluster results from DCsim are then
+ * multiplied linearly to calculate the effects of VMT workload
+ * placement policies on the datacenter level".
+ */
+
+#ifndef VMT_COOLING_DATACENTER_H
+#define VMT_COOLING_DATACENTER_H
+
+#include <cstddef>
+
+#include "server/server_spec.h"
+#include "util/units.h"
+
+namespace vmt {
+
+/** The study's 25 MW reference datacenter. */
+struct DatacenterSpec
+{
+    /** Critical (IT) power. Just shy of the 27.25 MW median for large
+     *  datacenters reported by Ghiasi et al. */
+    Watts criticalPower = 25.0e6;
+    /** Servers per scheduling cluster. */
+    std::size_t serversPerCluster = 1000;
+    /** Server hardware. */
+    ServerSpec server{};
+
+    /** Servers the critical power supports at nameplate peak. */
+    std::size_t totalServers() const;
+
+    /** Number of clusters (rounded down). */
+    std::size_t numClusters() const;
+};
+
+/**
+ * Datacenter-level cooling arithmetic.
+ *
+ * The cooling system is provisioned for the peak thermal load; a
+ * relative peak reduction r from VMT either shrinks the required
+ * system by r or supports 1/(1-r) - 1 more servers under the
+ * original system (Section V-E).
+ */
+class DatacenterCoolingModel
+{
+  public:
+    explicit DatacenterCoolingModel(const DatacenterSpec &spec);
+
+    /** Peak cooling load without VMT (fully subscribed: equal to the
+     *  critical power). */
+    Watts baselinePeakLoad() const;
+
+    /**
+     * Peak cooling load after applying a relative reduction.
+     * @param reduction Fractional peak reduction in [0, 1).
+     */
+    Watts reducedPeakLoad(double reduction) const;
+
+    /**
+     * Additional servers that fit under the original cooling budget
+     * when the per-server peak heat drops by the given reduction.
+     */
+    std::size_t extraServers(double reduction) const;
+
+    /** The spec in use. */
+    const DatacenterSpec &spec() const { return spec_; }
+
+  private:
+    DatacenterSpec spec_;
+};
+
+} // namespace vmt
+
+#endif // VMT_COOLING_DATACENTER_H

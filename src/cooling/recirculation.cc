@@ -1,0 +1,58 @@
+#include "cooling/recirculation.h"
+
+#include "util/logging.h"
+
+namespace vmt {
+
+RecirculationModel::RecirculationModel(std::size_t num_servers,
+                                       const RecirculationParams &params)
+    : numServers_(num_servers), params_(params)
+{
+    if (num_servers == 0)
+        fatal("RecirculationModel requires at least one server");
+    if (params.serversPerRack == 0)
+        fatal("RecirculationParams::serversPerRack must be positive");
+    if (params.risePerRackWatt < 0.0)
+        fatal("RecirculationParams::risePerRackWatt must be >= 0");
+    numRacks_ =
+        (num_servers + params.serversPerRack - 1) /
+        params.serversPerRack;
+}
+
+std::size_t
+RecirculationModel::rackOf(std::size_t server_id) const
+{
+    if (server_id >= numServers_)
+        panic("RecirculationModel::rackOf out of range");
+    if (params_.assignment == RackAssignment::Contiguous)
+        return server_id / params_.serversPerRack;
+    return server_id % numRacks_;
+}
+
+std::vector<Kelvin>
+RecirculationModel::inletOffsets(
+    const std::vector<Watts> &rejected) const
+{
+    if (rejected.size() != numServers_)
+        fatal("RecirculationModel: need one rejected-power entry per "
+              "server");
+
+    std::vector<Watts> rack_sum(numRacks_, 0.0);
+    std::vector<std::size_t> rack_count(numRacks_, 0);
+    for (std::size_t id = 0; id < numServers_; ++id) {
+        const std::size_t rack = rackOf(id);
+        rack_sum[rack] += rejected[id];
+        ++rack_count[rack];
+    }
+
+    std::vector<Kelvin> offsets(numServers_, 0.0);
+    for (std::size_t id = 0; id < numServers_; ++id) {
+        const std::size_t rack = rackOf(id);
+        const double avg =
+            rack_sum[rack] / static_cast<double>(rack_count[rack]);
+        offsets[id] = params_.risePerRackWatt * avg;
+    }
+    return offsets;
+}
+
+} // namespace vmt

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Rack-level exhaust recirculation.
+ *
+ * Real rooms are not perfectly ducted: a fraction of every rack's
+ * exhaust finds its way back to that rack's inlets (Weatherman-style
+ * hot spots, the paper's [47]). The per-server inlet then rises with
+ * the *rack's* average rejected heat, which couples placement to the
+ * room: packing the VMT hot group into few racks creates hot aisles,
+ * while striping it across racks keeps the inlet field flat — the
+ * physical basis for the paper's note that hot-group servers "can be
+ * distributed throughout the datacenter to maintain the same cluster
+ * or DC-level temperature distributions".
+ */
+
+#ifndef VMT_COOLING_RECIRCULATION_H
+#define VMT_COOLING_RECIRCULATION_H
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.h"
+
+namespace vmt {
+
+/** How cluster server ids map onto physical rack slots. */
+enum class RackAssignment
+{
+    /** Ids fill racks in order (0..k-1 in rack 0, ...): a VMT hot
+     *  group occupies whole racks. */
+    Contiguous,
+    /** Ids stripe across racks round-robin: any id-prefix group
+     *  spreads evenly over the room. */
+    Striped,
+};
+
+/** Parameters of the recirculation model. */
+struct RecirculationParams
+{
+    /** Servers per rack (2U form factor, Section IV-A). */
+    std::size_t serversPerRack = 20;
+    /** Inlet rise per watt of the rack's *average* rejected power
+     *  (K/W). 0 disables recirculation. */
+    KelvinPerWatt risePerRackWatt = 0.006;
+    RackAssignment assignment = RackAssignment::Contiguous;
+};
+
+/** Computes per-server inlet offsets from per-server rejected heat. */
+class RecirculationModel
+{
+  public:
+    /**
+     * @param num_servers Cluster size (> 0).
+     * @param params Layout and coupling strength.
+     */
+    RecirculationModel(std::size_t num_servers,
+                       const RecirculationParams &params = {});
+
+    /** Number of racks in the layout. */
+    std::size_t numRacks() const { return numRacks_; }
+
+    /** Rack index of a server id. */
+    std::size_t rackOf(std::size_t server_id) const;
+
+    /**
+     * Per-server inlet offsets for the given per-server rejected
+     * power (one entry per server, watts).
+     */
+    std::vector<Kelvin>
+    inletOffsets(const std::vector<Watts> &rejected) const;
+
+    const RecirculationParams &params() const { return params_; }
+
+  private:
+    std::size_t numServers_;
+    std::size_t numRacks_;
+    RecirculationParams params_;
+};
+
+} // namespace vmt
+
+#endif // VMT_COOLING_RECIRCULATION_H

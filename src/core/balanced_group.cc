@@ -1,0 +1,63 @@
+#include "core/balanced_group.h"
+
+#include "sched/scheduler.h"
+
+namespace vmt {
+
+void
+BalancedGroup::clear()
+{
+    heap_ = {};
+}
+
+void
+BalancedGroup::add(const Cluster &cluster, std::size_t id)
+{
+    const Server &srv = cluster.server(id);
+    const Celsius projected =
+        srv.thermal().inletTemp() +
+        cluster.thermalParams().airRisePerWatt *
+            srv.power(cluster.powerModel());
+    heap_.push(Entry{projected, id});
+}
+
+std::size_t
+BalancedGroup::place(Cluster &cluster, Watts added_watts)
+{
+    const KelvinPerWatt rise = cluster.thermalParams().airRisePerWatt;
+    while (!heap_.empty()) {
+        Entry entry = heap_.top();
+        heap_.pop();
+        if (!cluster.server(entry.id).hasCapacity())
+            continue; // Full until the next interval rebuild.
+        entry.temp += rise * added_watts;
+        heap_.push(entry);
+        return entry.id;
+    }
+    return kNoServer;
+}
+
+std::size_t
+BalancedGroup::placeIfBelow(Cluster &cluster, Watts added_watts,
+                            Watts limit)
+{
+    const ServerThermalParams &thermal = cluster.thermalParams();
+    const KelvinPerWatt rise = thermal.airRisePerWatt;
+    // The limit is expressed as a power against the nominal inlet;
+    // convert to the equivalent projected temperature.
+    const Celsius temp_limit = thermal.inletTemp + rise * limit;
+    while (!heap_.empty()) {
+        Entry entry = heap_.top();
+        if (entry.temp >= temp_limit)
+            return kNoServer; // Everyone is warm enough already.
+        heap_.pop();
+        if (!cluster.server(entry.id).hasCapacity())
+            continue;
+        entry.temp += rise * added_watts;
+        heap_.push(entry);
+        return entry.id;
+    }
+    return kNoServer;
+}
+
+} // namespace vmt

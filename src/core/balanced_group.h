@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Temperature-balanced placement within a server group.
+ *
+ * Section III-A: "Within each group, jobs are distributed evenly
+ * among the servers." Even distribution must hold for the resulting
+ * *temperatures*, not just arrival counts — departures are random and
+ * inlet temperatures vary between slots (Section V-D), so a rotating
+ * cursor lets per-server thermal state drift by several kelvin, which
+ * smears the group's temperature band and makes servers melt out at
+ * different times. BalancedGroup keeps a min-heap keyed by each
+ * server's *projected steady-state air temperature* (inlet reading
+ * plus rise-per-watt times estimated power, refreshed once per
+ * scheduling interval and bumped by every placement), so each new job
+ * lands on the member that will run coolest.
+ */
+
+#ifndef VMT_CORE_BALANCED_GROUP_H
+#define VMT_CORE_BALANCED_GROUP_H
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "server/cluster.h"
+#include "util/units.h"
+
+namespace vmt {
+
+/** Min-heap of (projected temperature, server id) with capacity
+ *  checks. */
+class BalancedGroup
+{
+  public:
+    /** Drop all members. */
+    void clear();
+
+    /** True when no members remain placeable this interval. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of members still in the heap. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Add one server keyed by its projected steady-state air
+     *  temperature (inlet + rise-per-watt x current power). */
+    void add(const Cluster &cluster, std::size_t id);
+
+    /**
+     * Place one job: pop the projected-coolest member with a free
+     * core, re-insert it with `added_watts` folded into its key, and
+     * return its id. Members found full are dropped until the next
+     * rebuild.
+     * @return Server id, or kNoServer when every member is full.
+     */
+    std::size_t place(Cluster &cluster, Watts added_watts);
+
+    /**
+     * Like place(), but only when the coolest member's projected
+     * *power-equivalent* is still below `limit` watts (used for
+     * VMT-WA's keep-warm fill: melted servers receive load only up to
+     * the power that pins them at the melting point). Members at or
+     * above the limit stay in the heap.
+     */
+    std::size_t placeIfBelow(Cluster &cluster, Watts added_watts,
+                             Watts limit);
+
+  private:
+    struct Entry
+    {
+        /** Projected steady-state air temperature (C). */
+        Celsius temp;
+        std::size_t id;
+        bool operator>(const Entry &o) const
+        {
+            if (temp != o.temp)
+                return temp > o.temp;
+            return id > o.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+        heap_;
+};
+
+} // namespace vmt
+
+#endif // VMT_CORE_BALANCED_GROUP_H

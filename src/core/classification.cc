@@ -1,0 +1,39 @@
+#include "core/classification.h"
+
+#include "util/logging.h"
+
+namespace vmt {
+
+ThermalClassifier::ThermalClassifier(const PowerModel &power,
+                                     const ServerThermalParams &thermal,
+                                     double peak_utilization)
+    : power_(power), thermal_(thermal),
+      peakUtilization_(peak_utilization)
+{
+    if (peak_utilization <= 0.0 || peak_utilization > 1.0)
+        fatal("ThermalClassifier requires peak utilization in (0, 1]");
+}
+
+Celsius
+ThermalClassifier::isolatedAirTemp(WorkloadType type) const
+{
+    const Watts p =
+        power_.singleWorkloadPower(type, peakUtilization_);
+    return thermal_.inletTemp + thermal_.airRisePerWatt * p;
+}
+
+ThermalClass
+ThermalClassifier::classify(WorkloadType type) const
+{
+    return isolatedAirTemp(type) >= thermal_.pcm.meltTemp
+               ? ThermalClass::Hot
+               : ThermalClass::Cold;
+}
+
+bool
+ThermalClassifier::isHot(WorkloadType type) const
+{
+    return classify(type) == ThermalClass::Hot;
+}
+
+} // namespace vmt

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Hot/cold job classification (Section III-A): a workload is *hot* if
+ * "a server filled with only a single workload can melt significant
+ * wax over a peak load cycle"; otherwise it is cold.
+ *
+ * Deployments would classify using on-package thermal/power sensors
+ * (e.g., Intel RAPL); here we evaluate the same criterion against the
+ * thermal model: the steady-state air temperature of a server running
+ * only that workload at peak utilization must reach the wax's
+ * physical melting temperature.
+ */
+
+#ifndef VMT_CORE_CLASSIFICATION_H
+#define VMT_CORE_CLASSIFICATION_H
+
+#include "server/power_model.h"
+#include "thermal/thermal_params.h"
+#include "workload/workload.h"
+
+namespace vmt {
+
+/** Classifies workloads as hot or cold against a thermal model. */
+class ThermalClassifier
+{
+  public:
+    /**
+     * @param power Power model for the deployed servers.
+     * @param thermal Thermal constants for the deployed servers.
+     * @param peak_utilization Utilization at which the single-workload
+     *        criterion is evaluated (the trace's peak by default).
+     */
+    ThermalClassifier(const PowerModel &power,
+                      const ServerThermalParams &thermal,
+                      double peak_utilization = 0.95);
+
+    /** Classify one workload. */
+    ThermalClass classify(WorkloadType type) const;
+
+    /** True when classify(type) == ThermalClass::Hot. */
+    bool isHot(WorkloadType type) const;
+
+    /**
+     * Steady-state air-at-wax temperature of a single-workload server
+     * at the classifier's peak utilization (exposed for Fig. 1).
+     */
+    Celsius isolatedAirTemp(WorkloadType type) const;
+
+  private:
+    PowerModel power_;
+    ServerThermalParams thermal_;
+    double peakUtilization_;
+};
+
+} // namespace vmt
+
+#endif // VMT_CORE_CLASSIFICATION_H

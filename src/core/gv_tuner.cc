@@ -1,0 +1,84 @@
+#include "core/gv_tuner.h"
+
+#include <cmath>
+#include <memory>
+
+#include "core/vmt_wa.h"
+#include "sched/round_robin.h"
+#include "util/logging.h"
+
+namespace vmt {
+
+namespace {
+
+double
+evaluate(const SimConfig &forecast, const SimResult &baseline,
+         VmtAlgorithm algorithm, double gv, const HotMask &mask,
+         int &evaluations)
+{
+    VmtConfig vmt;
+    vmt.groupingValue = gv;
+    std::unique_ptr<Scheduler> sched;
+    if (algorithm == VmtAlgorithm::ThermalAware)
+        sched = std::make_unique<VmtTaScheduler>(vmt, mask);
+    else
+        sched = std::make_unique<VmtWaScheduler>(vmt, mask);
+    ++evaluations;
+    return peakReductionPercent(baseline,
+                                runSimulation(forecast, *sched));
+}
+
+} // namespace
+
+GvTunerResult
+tuneGv(const SimConfig &forecast, const GvTunerParams &params,
+       const HotMask &mask)
+{
+    if (params.gvLow <= 0.0 || params.gvHigh <= params.gvLow)
+        fatal("GvTunerParams requires 0 < gvLow < gvHigh");
+    if (params.tolerance <= 0.0)
+        fatal("GvTunerParams::tolerance must be positive");
+
+    RoundRobinScheduler rr;
+    const SimResult baseline = runSimulation(forecast, rr);
+
+    GvTunerResult result;
+    const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double lo = params.gvLow;
+    double hi = params.gvHigh;
+    double x1 = hi - phi * (hi - lo);
+    double x2 = lo + phi * (hi - lo);
+    double f1 = evaluate(forecast, baseline, params.algorithm, x1,
+                         mask, result.evaluations);
+    double f2 = evaluate(forecast, baseline, params.algorithm, x2,
+                         mask, result.evaluations);
+
+    while (hi - lo > params.tolerance) {
+        if (f1 >= f2) {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - phi * (hi - lo);
+            f1 = evaluate(forecast, baseline, params.algorithm, x1,
+                          mask, result.evaluations);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + phi * (hi - lo);
+            f2 = evaluate(forecast, baseline, params.algorithm, x2,
+                          mask, result.evaluations);
+        }
+    }
+
+    if (f1 >= f2) {
+        result.bestGv = x1;
+        result.bestReduction = f1;
+    } else {
+        result.bestGv = x2;
+        result.bestReduction = f2;
+    }
+    return result;
+}
+
+} // namespace vmt

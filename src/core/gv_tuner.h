@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Automatic grouping-value selection (Section V-C: "In a scenario
+ * where the operators can predict load accurately day to day, they
+ * can actually change the GV to the optimal value each day").
+ *
+ * The tuner runs candidate simulations over a forecast day and picks
+ * the GV with the largest peak-cooling-load reduction, using a
+ * golden-section search (the reduction-vs-GV curve is unimodal
+ * around the optimum, Fig. 18).
+ */
+
+#ifndef VMT_CORE_GV_TUNER_H
+#define VMT_CORE_GV_TUNER_H
+
+#include "core/vmt_ta.h"
+#include "sim/simulation.h"
+
+namespace vmt {
+
+/** Which VMT algorithm to tune. */
+enum class VmtAlgorithm
+{
+    ThermalAware,
+    WaxAware,
+};
+
+/** Tuning parameters. */
+struct GvTunerParams
+{
+    /** Search interval. */
+    double gvLow = 14.0;
+    double gvHigh = 30.0;
+    /** Stop once the bracket is this narrow. */
+    double tolerance = 0.5;
+    /** Algorithm whose GV is being tuned. */
+    VmtAlgorithm algorithm = VmtAlgorithm::WaxAware;
+};
+
+/** Result of a tuning run. */
+struct GvTunerResult
+{
+    /** Recommended grouping value. */
+    double bestGv = 0.0;
+    /** Peak cooling load reduction at bestGv (percent vs RR). */
+    double bestReduction = 0.0;
+    /** Candidate simulations evaluated. */
+    int evaluations = 0;
+};
+
+/**
+ * Tune the GV against a forecast (expressed as a SimConfig whose
+ * trace models the expected day).
+ *
+ * @param forecast The forecast scenario; every candidate runs on it.
+ * @param params Search parameters.
+ * @param mask Hot/cold classification for the schedulers.
+ */
+GvTunerResult tuneGv(const SimConfig &forecast,
+                     const GvTunerParams &params = {},
+                     const HotMask &mask = hotMaskFromPaper());
+
+} // namespace vmt
+
+#endif // VMT_CORE_GV_TUNER_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Configuration of the Virtual Melting Temperature technique
+ * (Section III).
+ */
+
+#ifndef VMT_CORE_VMT_CONFIG_H
+#define VMT_CORE_VMT_CONFIG_H
+
+#include <cstddef>
+
+#include "util/units.h"
+
+namespace vmt {
+
+/** Operator-facing VMT knobs. */
+struct VmtConfig
+{
+    /**
+     * The Grouping Value (GV). The hot-group size is
+     * GV / PMT x num_servers (Eq. 1); GV does not map directly onto a
+     * temperature — Table II derives the mapping empirically for a
+     * given wax and workload mixture.
+     */
+    double groupingValue = 22.0;
+
+    /**
+     * Physical melting temperature of the deployed wax; must match
+     * PcmParams::meltTemp (35.7 C commercial paraffin by default).
+     */
+    Celsius physicalMeltTemp = 35.7;
+
+    /**
+     * Wax threshold: the estimated melt fraction above which VMT-WA
+     * considers a server "fully melted" (Fig. 17; 0.98 default).
+     */
+    double waxThreshold = 0.98;
+
+    /**
+     * VMT-WA adds melted servers' replacements "based upon current
+     * load trends": the hot group only grows while the running hot
+     * jobs can still hold every member at `extensionLoadFactor` times
+     * the keep-warm power. Growing past that would dilute the hot
+     * load below the melting point everywhere and stall all storage.
+     */
+    double extensionLoadFactor = 1.10;
+
+    /**
+     * Keep-warm engages only while cluster utilization is at least
+     * this fraction. During the peak, refreezing a melted server
+     * releases stored heat at the worst moment; during the off hours
+     * the PCM is *supposed* to refreeze and release (that is thermal
+     * time shifting), so holding servers warm overnight would only
+     * squander the next day's storage capacity.
+     */
+    double keepWarmUtilization = 0.5;
+};
+
+/**
+ * Hot-group size per Equation 1: GV / PMT x num_servers, clamped to
+ * [0, num_servers].
+ * @throws FatalError for non-positive GV or PMT.
+ */
+std::size_t hotGroupSizeFor(const VmtConfig &config,
+                            std::size_t num_servers);
+
+/** Cold-group size per Equation 2. */
+std::size_t coldGroupSizeFor(const VmtConfig &config,
+                             std::size_t num_servers);
+
+} // namespace vmt
+
+#endif // VMT_CORE_VMT_CONFIG_H

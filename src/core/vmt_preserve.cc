@@ -1,0 +1,93 @@
+#include "core/vmt_preserve.h"
+
+namespace vmt {
+
+VmtPreserveScheduler::VmtPreserveScheduler(const VmtConfig &config,
+                                           const HotMask &hot_mask)
+    : config_(config), hotMask_(hot_mask)
+{}
+
+void
+VmtPreserveScheduler::beginInterval(Cluster &cluster, Seconds)
+{
+    const std::size_t n = cluster.numServers();
+    hotSize_ = hotGroupSizeFor(config_, n);
+
+    const KelvinPerWatt rise = cluster.thermalParams().airRisePerWatt;
+    melted_ = {};
+    packing_ = {};
+    coldGroup_.clear();
+    for (std::size_t id = 0; id < n; ++id) {
+        if (id >= hotSize_) {
+            coldGroup_.add(cluster, id);
+            continue;
+        }
+        const Server &srv = cluster.server(id);
+        const Celsius projected =
+            srv.thermal().inletTemp() +
+            rise * srv.power(cluster.powerModel());
+        if (srv.estimatedMeltFraction() >= config_.waxThreshold)
+            melted_.push(Entry{projected, id});
+        else
+            packing_.push(Entry{projected, id});
+    }
+    initialized_ = true;
+}
+
+std::size_t
+VmtPreserveScheduler::placeHot(Cluster &cluster, Watts watts)
+{
+    const KelvinPerWatt rise = cluster.thermalParams().airRisePerWatt;
+    // (1) Servers whose wax is already melted: adding heat there
+    // costs no stored capacity.
+    while (!melted_.empty()) {
+        Entry entry = melted_.top();
+        if (!cluster.server(entry.id).hasCapacity()) {
+            melted_.pop();
+            continue;
+        }
+        melted_.pop();
+        entry.temp += rise * watts;
+        melted_.push(entry);
+        return entry.id;
+    }
+    // (2) Pack the projected-hottest unmelted hot-group server so as
+    // few wax loads as possible are sacrificed.
+    while (!packing_.empty()) {
+        Entry entry = packing_.top();
+        if (!cluster.server(entry.id).hasCapacity()) {
+            packing_.pop();
+            continue;
+        }
+        packing_.pop();
+        entry.temp += rise * watts;
+        packing_.push(entry);
+        return entry.id;
+    }
+    // (3) Overflow into the cold group.
+    return coldGroup_.place(cluster, watts);
+}
+
+std::size_t
+VmtPreserveScheduler::placeJob(Cluster &cluster, const Job &job)
+{
+    if (!initialized_)
+        beginInterval(cluster, 0.0);
+    const Watts watts = cluster.powerModel().corePower(job.type);
+    if (hotMask_[workloadIndex(job.type)])
+        return placeHot(cluster, watts);
+
+    // Cold jobs: cold group first, then wherever space remains.
+    const std::size_t id = coldGroup_.place(cluster, watts);
+    if (id != kNoServer)
+        return id;
+    return placeHot(cluster, watts);
+}
+
+std::optional<std::size_t>
+VmtPreserveScheduler::hotGroupSize() const
+{
+    return hotSize_;
+}
+
+} // namespace vmt

@@ -1,0 +1,71 @@
+#include "core/vmt_ta.h"
+
+namespace vmt {
+
+HotMask
+hotMaskFromClassifier(const ThermalClassifier &classifier)
+{
+    HotMask mask{};
+    for (WorkloadType type : kAllWorkloads)
+        mask[workloadIndex(type)] = classifier.isHot(type);
+    return mask;
+}
+
+HotMask
+hotMaskFromPaper()
+{
+    HotMask mask{};
+    for (WorkloadType type : kAllWorkloads) {
+        mask[workloadIndex(type)] =
+            workloadInfo(type).paperClass == ThermalClass::Hot;
+    }
+    return mask;
+}
+
+VmtTaScheduler::VmtTaScheduler(const VmtConfig &config,
+                               const HotMask &hot_mask)
+    : config_(config), hotMask_(hot_mask)
+{}
+
+void
+VmtTaScheduler::beginInterval(Cluster &cluster, Seconds)
+{
+    const std::size_t n = cluster.numServers();
+    hotSize_ = hotGroupSizeFor(config_, n);
+
+    hotGroup_.clear();
+    coldGroup_.clear();
+    for (std::size_t id = 0; id < n; ++id) {
+        if (id < hotSize_)
+            hotGroup_.add(cluster, id);
+        else
+            coldGroup_.add(cluster, id);
+    }
+    initialized_ = true;
+}
+
+std::size_t
+VmtTaScheduler::placeJob(Cluster &cluster, const Job &job)
+{
+    if (!initialized_)
+        beginInterval(cluster, 0.0); // Placement before first interval.
+
+    const Watts watts = cluster.powerModel().corePower(job.type);
+    const bool hot = hotMask_[workloadIndex(job.type)];
+
+    BalancedGroup &primary = hot ? hotGroup_ : coldGroup_;
+    BalancedGroup &fallback = hot ? coldGroup_ : hotGroup_;
+
+    const std::size_t id = primary.place(cluster, watts);
+    if (id != kNoServer)
+        return id;
+    return fallback.place(cluster, watts);
+}
+
+std::optional<std::size_t>
+VmtTaScheduler::hotGroupSize() const
+{
+    return hotSize_;
+}
+
+} // namespace vmt

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * VMT with Thermal Aware job placement (VMT-TA, Section III-A).
+ *
+ * The cluster is split into a hot group (ids [0, hotGroupSize)) and a
+ * cold group (the rest); sizes follow Eq. 1/2. Hot-classified jobs go
+ * to the hot group and cold jobs to the cold group, each distributed
+ * evenly within its group (power-balanced, see BalancedGroup); if a
+ * group is full the job overflows to the other group, so placement
+ * only fails when the whole cluster is out of cores.
+ */
+
+#ifndef VMT_CORE_VMT_TA_H
+#define VMT_CORE_VMT_TA_H
+
+#include <array>
+
+#include "core/balanced_group.h"
+#include "core/classification.h"
+#include "core/vmt_config.h"
+#include "sched/scheduler.h"
+
+namespace vmt {
+
+/** Per-workload hot/cold mask used by the VMT schedulers. */
+using HotMask = std::array<bool, kNumWorkloads>;
+
+/** Build a mask from the model-driven classifier. */
+HotMask hotMaskFromClassifier(const ThermalClassifier &classifier);
+
+/** Build a mask from the paper's Table I labels. */
+HotMask hotMaskFromPaper();
+
+/** Static-group thermal-aware VMT scheduler. */
+class VmtTaScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param config VMT knobs (GV, PMT).
+     * @param hot_mask Which workloads are hot jobs.
+     */
+    VmtTaScheduler(const VmtConfig &config, const HotMask &hot_mask);
+
+    std::string name() const override { return "VMT-TA"; }
+
+    void beginInterval(Cluster &cluster, Seconds now) override;
+
+    std::size_t placeJob(Cluster &cluster, const Job &job) override;
+
+    std::optional<std::size_t> hotGroupSize() const override;
+
+  private:
+    VmtConfig config_;
+    HotMask hotMask_;
+    bool initialized_ = false;
+    std::size_t hotSize_ = 0;
+    BalancedGroup hotGroup_;
+    BalancedGroup coldGroup_;
+};
+
+} // namespace vmt
+
+#endif // VMT_CORE_VMT_TA_H

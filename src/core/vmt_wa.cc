@@ -1,0 +1,270 @@
+#include "core/vmt_wa.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+VmtWaScheduler::VmtWaScheduler(const VmtConfig &config,
+                               const HotMask &hot_mask)
+    : config_(config), hotMask_(hot_mask)
+{}
+
+bool
+VmtWaScheduler::placeable(const Server &srv) const
+{
+    return srv.estimatedMeltFraction() < config_.waxThreshold ||
+           srv.airTemp() < config_.physicalMeltTemp;
+}
+
+void
+VmtWaScheduler::beginInterval(Cluster &cluster, Seconds)
+{
+    const std::size_t n = cluster.numServers();
+    baseHotSize_ = hotGroupSizeFor(config_, n);
+
+    // Scan the fleet's estimated wax state (the per-server model
+    // reports once per minute, Section IV-A).
+    meltedCount_ = 0;
+    for (std::size_t id = 0; id < n; ++id) {
+        if (cluster.server(id).estimatedMeltFraction() >=
+            config_.waxThreshold)
+            ++meltedCount_;
+    }
+
+    // The server power that holds the air at the melting point; a
+    // melted server below it sheds stored heat back into the room.
+    const ServerThermalParams &thermal = cluster.thermalParams();
+    keepWarmPower_ =
+        (config_.physicalMeltTemp + 0.3 - thermal.inletTemp) /
+        thermal.airRisePerWatt;
+
+    // Restart from the Eq. 1 minimum and add at most one server per
+    // fully melted server, in id order — bounded by "current load
+    // trends": after the melted servers' keep-warm load is set aside,
+    // the remaining hot load must still hold every *placeable* group
+    // member above the melting point (times extensionLoadFactor for
+    // margin). Growing past that dilutes the hot jobs below the
+    // melting point everywhere and stalls all thermal storage.
+    Watts hot_dynamic = 0.0;
+    for (WorkloadType type : kAllWorkloads) {
+        if (hotMask_[workloadIndex(type)]) {
+            hot_dynamic +=
+                static_cast<double>(
+                    cluster.activeCounts()[workloadIndex(type)]) *
+                cluster.powerModel().corePower(type);
+        }
+    }
+    const Watts warm_cost = std::max(
+        1.0, keepWarmPower_ - cluster.powerModel().spec().idlePower);
+    const Watts remaining = std::max(
+        0.0, hot_dynamic -
+                 static_cast<double>(meltedCount_) * warm_cost);
+    const auto placeable_cap = static_cast<std::size_t>(
+        remaining / (warm_cost * config_.extensionLoadFactor));
+    std::size_t extension = 0;
+    if (placeable_cap + meltedCount_ > baseHotSize_)
+        extension = placeable_cap + meltedCount_ - baseHotSize_;
+    extension = std::min(extension, meltedCount_);
+    hotSize_ = std::min(n, baseHotSize_ + extension);
+    // Capacity-driven mid-interval growth respects the same bound;
+    // overflow falls through to cascade steps (3)/(4), which spread
+    // it instead of committing more servers to the hot group.
+    domainCap_ = hotSize_;
+
+    // Keep-warm only matters while load is high: off-peak the wax is
+    // supposed to refreeze and release its heat (that is TTS).
+    const double utilization =
+        static_cast<double>(cluster.busyCores()) /
+        static_cast<double>(cluster.totalCores());
+    const bool keep_warm_active =
+        utilization >= config_.keepWarmUtilization;
+
+    keepWarm_.clear();
+    hotPlaceable_.clear();
+    coldGroup_.clear();
+    hotMelted_.clear();
+    for (std::size_t id = 0; id < hotSize_; ++id) {
+        const Server &srv = cluster.server(id);
+        const bool melted =
+            srv.estimatedMeltFraction() >= config_.waxThreshold;
+        if (melted && keep_warm_active)
+            keepWarm_.add(cluster, id);
+        if (placeable(srv))
+            hotPlaceable_.add(cluster, id);
+        else
+            hotMelted_.push_back(id);
+    }
+    for (std::size_t id = hotSize_; id < n; ++id)
+        coldGroup_.add(cluster, id);
+
+    meltedCursor_ = 0;
+    initialized_ = true;
+}
+
+std::size_t
+VmtWaScheduler::placeHot(Cluster &cluster, Watts watts)
+{
+    const std::size_t n = cluster.numServers();
+
+    // (0) Melted servers that need load to stay above the melting
+    // point; refreezing them mid-peak would release stored heat.
+    std::size_t id = keepWarm_.placeIfBelow(cluster, watts,
+                                            keepWarmPower_);
+    if (id != kNoServer)
+        return id;
+
+    // (1) Hot-group server below the wax threshold or melting temp.
+    id = hotPlaceable_.place(cluster, watts);
+    if (id != kNoServer)
+        return id;
+
+    // (2) Extend the hot group from the cold group sequentially until
+    // a placeable server with capacity appears; still bounded by what
+    // the current hot load can keep warm.
+    while (hotSize_ < domainCap_) {
+        const std::size_t added = hotSize_++;
+        const Server &srv = cluster.server(added);
+        if (placeable(srv)) {
+            hotPlaceable_.add(cluster, added);
+            id = hotPlaceable_.place(cluster, watts);
+            if (id != kNoServer)
+                return id;
+        } else {
+            hotMelted_.push_back(added);
+        }
+    }
+
+    // (3) Any server below the melted threshold with capacity.
+    for (std::size_t probes = 0; probes < n; ++probes) {
+        const std::size_t cand = anyCursor_;
+        anyCursor_ = (anyCursor_ + 1) % n;
+        const Server &srv = cluster.server(cand);
+        if (srv.hasCapacity() &&
+            srv.estimatedMeltFraction() < config_.waxThreshold)
+            return cand;
+    }
+
+    // (4) Any remaining server.
+    for (std::size_t probes = 0; probes < n; ++probes) {
+        const std::size_t cand = anyCursor_;
+        anyCursor_ = (anyCursor_ + 1) % n;
+        if (cluster.server(cand).hasCapacity())
+            return cand;
+    }
+    return kNoServer;
+}
+
+std::size_t
+VmtWaScheduler::placeCold(Cluster &cluster, Watts watts)
+{
+    // (1) Cold group first.
+    std::size_t id = coldGroup_.place(cluster, watts);
+    if (id != kNoServer)
+        return id;
+
+    // (2) Hot-group server already melted and above melting temp
+    // (minimum thermal impact).
+    const std::size_t melted = hotMelted_.size();
+    for (std::size_t probes = 0; probes < melted; ++probes) {
+        if (meltedCursor_ >= melted)
+            meltedCursor_ = 0;
+        const std::size_t cand = hotMelted_[meltedCursor_];
+        meltedCursor_ = (meltedCursor_ + 1) % melted;
+        if (cluster.server(cand).hasCapacity())
+            return cand;
+    }
+
+    // (3) Any remaining hot-group server.
+    id = keepWarm_.place(cluster, watts);
+    if (id != kNoServer)
+        return id;
+    return hotPlaceable_.place(cluster, watts);
+}
+
+std::size_t
+VmtWaScheduler::placeJob(Cluster &cluster, const Job &job)
+{
+    if (!initialized_)
+        beginInterval(cluster, 0.0);
+    const Watts watts = cluster.powerModel().corePower(job.type);
+    return hotMask_[workloadIndex(job.type)]
+               ? placeHot(cluster, watts)
+               : placeCold(cluster, watts);
+}
+
+std::optional<std::size_t>
+VmtWaScheduler::hotGroupSize() const
+{
+    return hotSize_;
+}
+
+std::vector<MigrationRequest>
+VmtWaScheduler::proposeMigrations(Cluster &cluster, Seconds)
+{
+    std::vector<MigrationRequest> requests;
+    const double utilization =
+        static_cast<double>(cluster.busyCores()) /
+        static_cast<double>(cluster.totalCores());
+    if (utilization < config_.keepWarmUtilization)
+        return requests; // Off-peak rebalancing has no thermal value.
+
+    // Unmelted hot-group members with spare cores, coolest first.
+    BalancedGroup targets;
+    std::size_t target_slots = 0;
+    for (std::size_t id = 0; id < hotSize_; ++id) {
+        const Server &srv = cluster.server(id);
+        if (srv.estimatedMeltFraction() < config_.waxThreshold &&
+            srv.hasCapacity()) {
+            targets.add(cluster, id);
+            target_slots += srv.freeCores();
+        }
+    }
+    if (targets.empty())
+        return requests;
+
+    // Melted servers holding more than their keep-warm load shed the
+    // excess, hottest jobs first.
+    for (std::size_t id = 0; id < hotSize_ && target_slots > 0;
+         ++id) {
+        const Server &srv = cluster.server(id);
+        if (srv.estimatedMeltFraction() < config_.waxThreshold)
+            continue;
+        Watts power = srv.power(cluster.powerModel());
+        if (power <= keepWarmPower_)
+            continue;
+        // Move hot jobs until the server would drop to keep-warm.
+        CoreCounts counts = srv.coreCounts();
+        for (WorkloadType type : kAllWorkloads) {
+            if (!hotMask_[workloadIndex(type)])
+                continue;
+            const Watts per_core =
+                cluster.powerModel().corePower(type);
+            while (counts[workloadIndex(type)] > 0 &&
+                   power - per_core >= keepWarmPower_ &&
+                   target_slots > 0) {
+                const std::size_t to =
+                    targets.place(cluster, per_core);
+                if (to == kNoServer)
+                    return requests;
+                requests.push_back(
+                    MigrationRequest{id, type, to});
+                --counts[workloadIndex(type)];
+                power -= per_core;
+                --target_slots;
+            }
+        }
+    }
+    return requests;
+}
+
+void
+VmtWaScheduler::setGroupingValue(double gv)
+{
+    if (gv <= 0.0)
+        fatal("setGroupingValue requires gv > 0");
+    config_.groupingValue = gv;
+}
+
+} // namespace vmt

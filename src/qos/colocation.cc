@@ -1,0 +1,93 @@
+#include "qos/colocation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+ColocationModel::ColocationModel(const ColocationParams &params)
+    : params_(params)
+{
+    if (params.totalCores <= 0)
+        fatal("ColocationParams::totalCores must be positive");
+}
+
+LatencyPoint
+ColocationModel::cachingLatency(double rps_per_core, int caching_cores,
+                                int search_cores) const
+{
+    if (caching_cores <= 0)
+        fatal("cachingLatency requires caching_cores > 0");
+    if (caching_cores + search_cores > params_.totalCores)
+        fatal("cachingLatency: core mix exceeds the socket");
+
+    // Service inflation from neighbors sharing LLC/bandwidth. The
+    // replicas' own bandwidth pressure grows with the square of
+    // utilization (it only bites as the memory system loads up),
+    // while search's cache pollution is roughly load-independent.
+    const double rho0 = rps_per_core * params_.cachingServiceTime;
+    const double inflation =
+        1.0 +
+        params_.cachingSelfPressure *
+            static_cast<double>(caching_cores - 1) * rho0 * rho0 +
+        params_.cachingSearchPressure *
+            static_cast<double>(search_cores);
+    const double rho = rho0 * inflation;
+
+    // Queueing delay comes in scheduler-quantum units: an M/M/1-shaped
+    // wait with the quantum as the service unit.
+    Seconds wait;
+    bool saturated = false;
+    if (rho >= 1.0) {
+        wait = params_.cachingSaturationWait;
+        saturated = true;
+    } else {
+        wait = std::min(params_.cachingSaturationWait,
+                        params_.cachingQuantum * rho / (1.0 - rho));
+    }
+
+    LatencyPoint p;
+    p.mean = params_.cachingBaseLatency + wait;
+    // Waits are roughly exponential; the 90th percentile stretches
+    // the queueing part only.
+    p.p90 = params_.cachingBaseLatency +
+            (saturated ? 1.3 * wait : std::min(2.3 * wait, 1.3 *
+                                               params_.cachingSaturationWait));
+    return p;
+}
+
+LatencyPoint
+ColocationModel::searchLatency(double clients_per_core,
+                               int search_cores,
+                               int caching_cores) const
+{
+    if (search_cores <= 0)
+        fatal("searchLatency requires search_cores > 0");
+    if (search_cores + caching_cores > params_.totalCores)
+        fatal("searchLatency: core mix exceeds the socket");
+
+    const double inflation =
+        1.0 +
+        params_.searchSelfPressure *
+            static_cast<double>(search_cores - 1) +
+        params_.searchCachingPressure *
+            static_cast<double>(caching_cores);
+    const Seconds demand = params_.searchServiceDemand * inflation;
+
+    const int clients = static_cast<int>(std::lround(
+        clients_per_core * static_cast<double>(search_cores)));
+    const MvaMetrics m = closedMva(clients, params_.searchThinkTime,
+                                   demand, search_cores);
+
+    LatencyPoint p;
+    p.mean = m.meanResponse;
+    // Search response times are roughly Erlang-shaped; the figure's
+    // 90th percentile tracks the mean with a widening gap as the
+    // station saturates.
+    p.p90 = m.meanResponse * (1.35 + 0.9 * m.utilization);
+    return p;
+}
+
+} // namespace vmt

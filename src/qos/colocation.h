@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Colocation interference model reproducing Fig. 6: Web Search and
+ * Data Caching sharing a six-core Xeon E5-2420 without contention
+ * mitigation.
+ *
+ * The paper measures real hardware; we substitute queueing models
+ * whose service times are inflated by shared-resource pressure:
+ * caching is memory-bound (pressured mostly by its own replicas'
+ * bandwidth), search is compute/cache-bound (pressured by cache
+ * interference from any neighbor). Calibrated to the figure's shapes:
+ * caching's hockey stick between 45-60k RPS/core with mixes matching
+ * or beating 6C in the mid range, and search degrading across the
+ * whole clients/core range when colocated.
+ */
+
+#ifndef VMT_QOS_COLOCATION_H
+#define VMT_QOS_COLOCATION_H
+
+#include "qos/mva.h"
+#include "qos/queueing.h"
+#include "util/units.h"
+
+namespace vmt {
+
+/** Interference/service-time constants for the test CPU. */
+struct ColocationParams
+{
+    /** Cores on the test CPU (E5-2420). */
+    int totalCores = 6;
+    /** Baseline per-request caching service time (seconds); its
+     *  reciprocal is the per-core saturation RPS (~66k). */
+    Seconds cachingServiceTime = 15.0e-6;
+    /** Fixed caching network/stack latency added to queueing. */
+    Seconds cachingBaseLatency = 1.2e-3;
+    /** Caching self-pressure: service inflation per additional
+     *  caching core, scaled by utilization squared (memory bandwidth
+     *  contention only bites as the replicas load up — this produces
+     *  the paper's crossover where 6C wins at low load but a mixture
+     *  matches or beats it in the middle range). */
+    double cachingSelfPressure = 0.07;
+    /** Caching cross-pressure per colocated search core (LLC). */
+    double cachingSearchPressure = 0.020;
+    /** Thread-scheduling quantum: the unit of queueing delay a
+     *  request suffers when its worker is busy. Memcached latency is
+     *  ~1 ms until high load because waits are scheduler-quantum
+     *  sized, not service-time sized. */
+    Seconds cachingQuantum = 0.9e-3;
+    /** Mean waiting-time cap once a configuration saturates. */
+    Seconds cachingSaturationWait = 15.0e-3;
+    /** Baseline per-query search service demand (seconds). */
+    Seconds searchServiceDemand = 80.0e-3;
+    /** Search client think time (seconds). */
+    Seconds searchThinkTime = 9.0;
+    /** Search self cache pressure per additional search core. */
+    double searchSelfPressure = 0.02;
+    /** Search cross-pressure per colocated caching core (LLC
+     *  thrashing from the memory-heavy neighbor). */
+    double searchCachingPressure = 0.075;
+};
+
+/** Mean and 90th-percentile latency for one operating point. */
+struct LatencyPoint
+{
+    Seconds mean = 0.0;
+    Seconds p90 = 0.0;
+};
+
+/** Fig. 6 curve generator. */
+class ColocationModel
+{
+  public:
+    explicit ColocationModel(const ColocationParams &params = {});
+
+    /**
+     * Data Caching latency when `caching_cores` run memcached and
+     * `search_cores` run Web Search on the same socket.
+     * @param rps_per_core Offered load per caching core.
+     */
+    LatencyPoint cachingLatency(double rps_per_core, int caching_cores,
+                                int search_cores) const;
+
+    /**
+     * Web Search latency for a closed population of
+     * clients_per_core x search_cores clients.
+     */
+    LatencyPoint searchLatency(double clients_per_core,
+                               int search_cores,
+                               int caching_cores) const;
+
+    const ColocationParams &params() const { return params_; }
+
+  private:
+    ColocationParams params_;
+};
+
+} // namespace vmt
+
+#endif // VMT_QOS_COLOCATION_H

@@ -1,0 +1,57 @@
+#include "qos/fanout.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+Seconds
+fanoutQuantile(const ShardLatency &shard, int shards, double quantile)
+{
+    if (shard.scale <= 0.0)
+        fatal("fanoutQuantile requires shard.scale > 0");
+    if (shards <= 0)
+        fatal("fanoutQuantile requires shards > 0");
+    if (quantile <= 0.0 || quantile >= 1.0)
+        fatal("fanoutQuantile requires quantile in (0, 1)");
+    // P(max <= t) = F(t)^k with F the shifted exponential CDF.
+    const double per_shard =
+        std::pow(quantile, 1.0 / static_cast<double>(shards));
+    return shard.base - shard.scale * std::log(1.0 - per_shard);
+}
+
+FanoutLatency
+fanoutLatency(const ShardLatency &shard, int shards)
+{
+    FanoutLatency out;
+    out.median = fanoutQuantile(shard, shards, 0.50);
+    out.p90 = fanoutQuantile(shard, shards, 0.90);
+    out.p99 = fanoutQuantile(shard, shards, 0.99);
+    // E[max of k Exp(scale)] = scale * H_k.
+    double harmonic = 0.0;
+    for (int i = 1; i <= shards; ++i)
+        harmonic += 1.0 / static_cast<double>(i);
+    out.mean = shard.base + shard.scale * harmonic;
+    return out;
+}
+
+ShardLatency
+shardFromMeanP90(Seconds mean, Seconds p90)
+{
+    if (mean <= 0.0 || p90 <= mean)
+        fatal("shardFromMeanP90 requires 0 < mean < p90");
+    // mean = base + s; p90 = base + s ln 10  =>  s = (p90-mean)/(ln10-1).
+    ShardLatency shard;
+    shard.scale = (p90 - mean) / (std::log(10.0) - 1.0);
+    shard.base = mean - shard.scale;
+    if (shard.base < 0.0) {
+        // Tail wider than a shifted exponential allows: drop the
+        // floor and keep the mean.
+        shard.base = 0.0;
+        shard.scale = mean;
+    }
+    return shard;
+}
+
+} // namespace vmt

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tail-at-scale fan-out model for Web Search (Section IV-B: "Web
+ * Search shards queries to multiple servers, each holding a portion
+ * of the index, and returns the results").
+ *
+ * A query completes when the *slowest* shard responds, so per-query
+ * latency is the maximum of k shard latencies. Shard latency is
+ * modeled as a shifted exponential (deterministic base service plus
+ * exponential queueing/interference tail); quantiles of the max have
+ * the closed form
+ *
+ *   t_q = base - scale * ln(1 - q^(1/k)).
+ *
+ * This is why the per-server colocation penalties of Fig. 6 matter
+ * more than their mean suggests: tail inflation compounds with the
+ * fan-out width.
+ */
+
+#ifndef VMT_QOS_FANOUT_H
+#define VMT_QOS_FANOUT_H
+
+#include "util/units.h"
+
+namespace vmt {
+
+/** Shifted-exponential shard latency: base + Exp(scale). */
+struct ShardLatency
+{
+    /** Deterministic component (service floor). */
+    Seconds base = 0.0;
+    /** Mean of the exponential tail component (> 0). */
+    Seconds scale = 0.0;
+};
+
+/** Query-level latency quantiles for a fan-out. */
+struct FanoutLatency
+{
+    Seconds median = 0.0;
+    Seconds p90 = 0.0;
+    Seconds p99 = 0.0;
+    /** Mean of the max of k shards (exact harmonic form). */
+    Seconds mean = 0.0;
+};
+
+/**
+ * Quantile of the max of `shards` iid shifted-exponential shard
+ * latencies.
+ * @param shard Per-shard latency distribution (scale > 0).
+ * @param shards Fan-out width k (> 0).
+ * @param quantile In (0, 1).
+ */
+Seconds fanoutQuantile(const ShardLatency &shard, int shards,
+                       double quantile);
+
+/** Median/p90/p99/mean of a fan-out. */
+FanoutLatency fanoutLatency(const ShardLatency &shard, int shards);
+
+/**
+ * Build a ShardLatency from a (mean, p90) pair — e.g. the outputs of
+ * ColocationModel::searchLatency — by matching both moments of the
+ * shifted exponential.
+ * @throws FatalError when p90 <= mean (not representable).
+ */
+ShardLatency shardFromMeanP90(Seconds mean, Seconds p90);
+
+} // namespace vmt
+
+#endif // VMT_QOS_FANOUT_H

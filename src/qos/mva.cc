@@ -1,0 +1,49 @@
+#include "qos/mva.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+MvaMetrics
+closedMva(int clients, Seconds think_time, Seconds service_demand,
+          int servers)
+{
+    if (clients < 0)
+        fatal("closedMva requires clients >= 0");
+    if (think_time < 0.0)
+        fatal("closedMva requires think_time >= 0");
+    if (service_demand <= 0.0)
+        fatal("closedMva requires service_demand > 0");
+    if (servers <= 0)
+        fatal("closedMva requires servers > 0");
+
+    // Seidmann transformation: a c-server station becomes a pure
+    // delay of D (c-1)/c plus a single queueing station with demand
+    // D/c. Exact for c = 1 and accurate within a few percent for the
+    // populations used here.
+    const double c = static_cast<double>(servers);
+    const Seconds d_queue = service_demand / c;
+    const Seconds d_delay = service_demand * (c - 1.0) / c;
+
+    double queue_len = 0.0;
+    double response = d_queue + d_delay;
+    double throughput = 0.0;
+    for (int n = 1; n <= clients; ++n) {
+        const Seconds r_queue = d_queue * (1.0 + queue_len);
+        response = r_queue + d_delay;
+        throughput =
+            static_cast<double>(n) / (think_time + response);
+        queue_len = throughput * r_queue;
+    }
+
+    MvaMetrics m;
+    m.meanResponse = clients == 0 ? 0.0 : response;
+    m.throughput = throughput;
+    m.utilization =
+        std::min(1.0, throughput * service_demand / c);
+    return m;
+}
+
+} // namespace vmt

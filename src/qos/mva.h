@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Exact Mean Value Analysis for a closed interactive network: N
+ * clients with think time Z driving a c-server queueing station.
+ * Models the Web Search panel of Fig. 6, where load is expressed in
+ * *clients per core* (a closed system), unlike caching's open RPS.
+ */
+
+#ifndef VMT_QOS_MVA_H
+#define VMT_QOS_MVA_H
+
+#include "util/units.h"
+
+namespace vmt {
+
+/** Closed-network operating point. */
+struct MvaMetrics
+{
+    /** Mean response time at the station (seconds). */
+    Seconds meanResponse = 0.0;
+    /** System throughput (requests per second). */
+    double throughput = 0.0;
+    /** Station utilization in [0, 1]. */
+    double utilization = 0.0;
+};
+
+/**
+ * Exact MVA for N clients, think time Z, and a load-dependent
+ * station of c parallel servers each with mean service demand D.
+ *
+ * Uses the standard approximation of treating the c-core station as a
+ * queueing-delay station with effective rate c/D when more than c
+ * customers are present (exact for c = 1).
+ *
+ * @param clients Population N (>= 0).
+ * @param think_time Z (>= 0 seconds).
+ * @param service_demand D per visit (> 0 seconds).
+ * @param servers Cores c at the station (> 0).
+ */
+MvaMetrics closedMva(int clients, Seconds think_time,
+                     Seconds service_demand, int servers);
+
+} // namespace vmt
+
+#endif // VMT_QOS_MVA_H

@@ -1,0 +1,102 @@
+#include "qos/qos_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+QosMonitor::QosMonitor(const ColocationParams &params,
+                       double caching_rps_per_core,
+                       double search_clients_per_core)
+    : params_(params), cachingRps_(caching_rps_per_core),
+      searchClients_(search_clients_per_core)
+{
+    if (caching_rps_per_core <= 0.0 || search_clients_per_core <= 0.0)
+        fatal("QosMonitor requires positive offered loads");
+}
+
+QosSample
+QosMonitor::sampleServer(const Server &srv,
+                         const ServerSpec &spec) const
+{
+    // Jobs spread evenly over the server's sockets; evaluate the
+    // average socket. Round to whole cores on the socket.
+    const double sockets = static_cast<double>(spec.cpusPerServer);
+    const auto per_socket = [&](WorkloadType type) {
+        return static_cast<int>(std::lround(
+            static_cast<double>(
+                srv.coreCounts()[workloadIndex(type)]) /
+            sockets));
+    };
+    const int caching = per_socket(WorkloadType::DataCaching);
+    const int search = per_socket(WorkloadType::WebSearch);
+    const int other = per_socket(WorkloadType::VideoEncoding) +
+                      per_socket(WorkloadType::VirusScan) +
+                      per_socket(WorkloadType::Clustering);
+
+    ColocationParams params = params_;
+    params.totalCores = spec.coresPerCpu;
+    const ColocationModel model(params);
+    const int cap = spec.coresPerCpu;
+
+    QosSample s;
+    if (caching > 0) {
+        // Every non-caching neighbor pollutes the LLC like search.
+        const int pressure =
+            std::min(cap - std::min(caching, cap), search + other);
+        const LatencyPoint p = model.cachingLatency(
+            cachingRps_, std::min(caching, cap), pressure);
+        s.cachingMean = p.mean;
+        s.cachingWorstP90 = p.p90;
+    }
+    if (search > 0) {
+        const int pressure =
+            std::min(cap - std::min(search, cap), caching);
+        const LatencyPoint p = model.searchLatency(
+            searchClients_, std::min(search, cap), pressure);
+        s.searchMean = p.mean;
+        s.searchWorstP90 = p.p90;
+    }
+    s.serversSampled = (caching > 0 || search > 0) ? 1 : 0;
+    return s;
+}
+
+QosSample
+QosMonitor::sample(const Cluster &cluster) const
+{
+    QosSample agg;
+    double caching_sum = 0.0;
+    std::size_t caching_n = 0;
+    double search_sum = 0.0;
+    std::size_t search_n = 0;
+
+    for (std::size_t id = 0; id < cluster.numServers(); ++id) {
+        const Server &srv = cluster.server(id);
+        const QosSample s = sampleServer(
+            srv, cluster.powerModel().spec());
+        if (s.serversSampled == 0)
+            continue;
+        ++agg.serversSampled;
+        if (s.cachingMean > 0.0) {
+            caching_sum += s.cachingMean;
+            ++caching_n;
+            agg.cachingWorstP90 =
+                std::max(agg.cachingWorstP90, s.cachingWorstP90);
+        }
+        if (s.searchMean > 0.0) {
+            search_sum += s.searchMean;
+            ++search_n;
+            agg.searchWorstP90 =
+                std::max(agg.searchWorstP90, s.searchWorstP90);
+        }
+    }
+    if (caching_n)
+        agg.cachingMean = caching_sum / static_cast<double>(caching_n);
+    if (search_n)
+        agg.searchMean = search_sum / static_cast<double>(search_n);
+    return agg;
+}
+
+} // namespace vmt

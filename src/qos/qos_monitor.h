@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Cluster-level QoS estimation: applies the Fig. 6 colocation model
+ * to every server's current core mix to estimate latency-critical
+ * tail latency across the cluster.
+ *
+ * The paper argues VMT's job concentration is QoS-safe given
+ * contention-mitigation techniques; this monitor quantifies the
+ * exposure: for each server it maps the per-socket mix of caching
+ * cores and (cache-polluting) neighbors onto the queueing models and
+ * reports the cluster mean and worst-server latencies.
+ */
+
+#ifndef VMT_QOS_QOS_MONITOR_H
+#define VMT_QOS_QOS_MONITOR_H
+
+#include "qos/colocation.h"
+#include "server/cluster.h"
+#include "util/units.h"
+
+namespace vmt {
+
+/** One QoS snapshot across a cluster. */
+struct QosSample
+{
+    /** Mean caching latency across servers running caching (s). */
+    Seconds cachingMean = 0.0;
+    /** Worst per-server 90th-percentile caching latency (s). */
+    Seconds cachingWorstP90 = 0.0;
+    /** Mean search latency across servers running search (s). */
+    Seconds searchMean = 0.0;
+    /** Worst per-server 90th-percentile search latency (s). */
+    Seconds searchWorstP90 = 0.0;
+    /** Servers that were running any latency-critical work. */
+    std::size_t serversSampled = 0;
+};
+
+/** Applies the colocation model to live cluster state. */
+class QosMonitor
+{
+  public:
+    /**
+     * @param params Interference constants; totalCores is overridden
+     *        with the deployed socket width.
+     * @param caching_rps_per_core Offered caching load (the paper
+     *        fixes 45 k RPS/core in the colocated measurements).
+     * @param search_clients_per_core Closed-loop search population
+     *        (the paper fixes 37.5 clients/core).
+     */
+    explicit QosMonitor(const ColocationParams &params = {},
+                        double caching_rps_per_core = 45000.0,
+                        double search_clients_per_core = 37.5);
+
+    /** Evaluate the whole cluster's current placement. */
+    QosSample sample(const Cluster &cluster) const;
+
+    /** Evaluate one server (exposed for tests). */
+    QosSample sampleServer(const Server &srv,
+                           const ServerSpec &spec) const;
+
+  private:
+    ColocationParams params_;
+    double cachingRps_;
+    double searchClients_;
+};
+
+} // namespace vmt
+
+#endif // VMT_QOS_QOS_MONITOR_H

@@ -1,0 +1,77 @@
+#include "qos/queueing.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+double
+erlangC(int servers, double offered_load)
+{
+    if (servers <= 0)
+        fatal("erlangC requires servers > 0");
+    if (offered_load < 0.0)
+        fatal("erlangC requires offered_load >= 0");
+    if (offered_load >= static_cast<double>(servers))
+        return 1.0;
+
+    // Iterative Erlang B, then convert to Erlang C; numerically stable
+    // for the small c used here.
+    double b = 1.0;
+    for (int k = 1; k <= servers; ++k)
+        b = offered_load * b / (static_cast<double>(k) + offered_load * b);
+    const double rho = offered_load / static_cast<double>(servers);
+    return b / (1.0 - rho + rho * b);
+}
+
+QueueMetrics
+mmc(double arrival_rate, Seconds service_time, int servers,
+    Seconds saturation_cap)
+{
+    if (service_time <= 0.0)
+        fatal("mmc requires service_time > 0");
+    if (servers <= 0)
+        fatal("mmc requires servers > 0");
+    if (arrival_rate < 0.0)
+        fatal("mmc requires arrival_rate >= 0");
+
+    QueueMetrics m;
+    const double a = arrival_rate * service_time;
+    m.utilization = a / static_cast<double>(servers);
+
+    if (m.utilization >= 1.0) {
+        m.utilization = 1.0;
+        m.saturated = true;
+        m.meanWait = saturation_cap;
+        m.meanResponse = saturation_cap;
+        m.p90Response = saturation_cap;
+        return m;
+    }
+
+    const double pw = erlangC(servers, a);
+    m.meanWait = pw * service_time /
+                 (static_cast<double>(servers) * (1.0 - m.utilization));
+    m.meanResponse = m.meanWait + service_time;
+
+    // Conditional wait is exponential for M/M/c; approximate the p90
+    // of response with the standard two-branch quantile.
+    const double tail = 0.10;
+    if (pw > tail) {
+        const double rate = static_cast<double>(servers) *
+                            (1.0 - m.utilization) / service_time;
+        m.p90Response = service_time + std::log(pw / tail) / rate;
+    } else {
+        // Waiting is rarer than 10%: the p90 is set by service alone.
+        m.p90Response = -std::log(tail) * service_time;
+    }
+    return m;
+}
+
+QueueMetrics
+mm1(double arrival_rate, Seconds service_time, Seconds saturation_cap)
+{
+    return mmc(arrival_rate, service_time, 1, saturation_cap);
+}
+
+} // namespace vmt

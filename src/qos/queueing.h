@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Open-system queueing primitives (M/M/1, M/M/c with Erlang C) used
+ * to model the latency-critical Data Caching workload's response time
+ * under load (Fig. 6 substrate).
+ */
+
+#ifndef VMT_QOS_QUEUEING_H
+#define VMT_QOS_QUEUEING_H
+
+#include "util/units.h"
+
+namespace vmt {
+
+/**
+ * Erlang C: probability an arriving request waits in an M/M/c queue.
+ * @param servers Number of servers c (> 0).
+ * @param offered_load a = lambda / mu (Erlangs, < c for stability).
+ */
+double erlangC(int servers, double offered_load);
+
+/** Open queue operating point. */
+struct QueueMetrics
+{
+    /** Server utilization rho in [0, 1). */
+    double utilization = 0.0;
+    /** Mean waiting time in queue (seconds). */
+    Seconds meanWait = 0.0;
+    /** Mean response time = wait + service (seconds). */
+    Seconds meanResponse = 0.0;
+    /** Approximate 90th-percentile response time (seconds). */
+    Seconds p90Response = 0.0;
+    /** True when the queue is saturated (metrics are clamped). */
+    bool saturated = false;
+};
+
+/**
+ * M/M/c performance at a given arrival rate.
+ *
+ * @param arrival_rate lambda, requests per second.
+ * @param service_time Mean service time per request (seconds, > 0).
+ * @param servers Number of servers c (> 0).
+ * @param saturation_cap Response-time cap reported when rho >= 1.
+ */
+QueueMetrics mmc(double arrival_rate, Seconds service_time, int servers,
+                 Seconds saturation_cap = 60.0);
+
+/** M/M/1 shorthand. */
+QueueMetrics mm1(double arrival_rate, Seconds service_time,
+                 Seconds saturation_cap = 60.0);
+
+} // namespace vmt
+
+#endif // VMT_QOS_QUEUEING_H

@@ -1,0 +1,90 @@
+#include "reliability/failure_model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+namespace {
+
+/** Average hours in a month (365.25 * 24 / 12). */
+constexpr Hours kHoursPerMonth = 730.5;
+
+} // namespace
+
+FailureModel::FailureModel(Hours mtbf_at_ref, Celsius ref_temp,
+                           Kelvin doubling_delta)
+    : mtbf_(mtbf_at_ref), refTemp_(ref_temp),
+      doublingDelta_(doubling_delta)
+{
+    if (mtbf_at_ref <= 0.0)
+        fatal("FailureModel requires a positive MTBF");
+    if (doubling_delta <= 0.0)
+        fatal("FailureModel requires a positive doubling delta");
+}
+
+double
+FailureModel::failureRate(Celsius temp) const
+{
+    return std::exp2((temp - refTemp_) / doublingDelta_) / mtbf_;
+}
+
+double
+FailureModel::cumulativeFailure(
+    const std::vector<Celsius> &monthly_temps) const
+{
+    double hazard = 0.0;
+    for (Celsius t : monthly_temps)
+        hazard += failureRate(t) * kHoursPerMonth;
+    return 1.0 - std::exp(-hazard);
+}
+
+std::vector<double>
+FailureModel::cumulativeFailureCurve(
+    const std::vector<Celsius> &monthly_temps) const
+{
+    std::vector<double> curve;
+    curve.reserve(monthly_temps.size());
+    double hazard = 0.0;
+    for (Celsius t : monthly_temps) {
+        hazard += failureRate(t) * kHoursPerMonth;
+        curve.push_back(1.0 - std::exp(-hazard));
+    }
+    return curve;
+}
+
+std::vector<Celsius>
+RotationPolicy::profile(int months, Celsius hot_temp, Celsius cold_temp,
+                        int phase) const
+{
+    if (hotMonths < 0 || coldMonths < 0 || cycleLength() == 0)
+        fatal("RotationPolicy requires a non-empty cycle");
+    std::vector<Celsius> temps;
+    temps.reserve(static_cast<std::size_t>(months));
+    for (int m = 0; m < months; ++m) {
+        const int pos = (m + phase) % cycleLength();
+        temps.push_back(pos < hotMonths ? hot_temp : cold_temp);
+    }
+    return temps;
+}
+
+std::vector<double>
+fleetFailureCurve(const FailureModel &model, const RotationPolicy &policy,
+                  int months, Celsius hot_temp, Celsius cold_temp)
+{
+    const int cycle = policy.cycleLength();
+    std::vector<double> fleet(static_cast<std::size_t>(months), 0.0);
+    for (int phase = 0; phase < cycle; ++phase) {
+        const auto curve = model.cumulativeFailureCurve(
+            policy.profile(months, hot_temp, cold_temp, phase));
+        for (int m = 0; m < months; ++m)
+            fleet[static_cast<std::size_t>(m)] +=
+                curve[static_cast<std::size_t>(m)];
+    }
+    for (double &v : fleet)
+        v /= static_cast<double>(cycle);
+    return fleet;
+}
+
+} // namespace vmt

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Temperature-dependent server failure model (Section IV-D / Fig. 7).
+ *
+ * Baseline: 70,000-hour MTBF at 30 C (Intel white-paper figure),
+ * scaled by the rule of thumb that a 10 C rise doubles the component
+ * failure rate. VMT rotates servers between the hot and cold groups
+ * (20 % per month; three months hot, two months cold for the paper's
+ * 60/40 workload split) to level thermal wear.
+ */
+
+#ifndef VMT_RELIABILITY_FAILURE_MODEL_H
+#define VMT_RELIABILITY_FAILURE_MODEL_H
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.h"
+
+namespace vmt {
+
+/** Exponential failure model with Arrhenius-style temperature
+ *  scaling. */
+class FailureModel
+{
+  public:
+    /**
+     * @param mtbf_at_ref MTBF at the reference temperature (hours).
+     * @param ref_temp Reference temperature.
+     * @param doubling_delta Temperature rise that doubles the rate.
+     */
+    explicit FailureModel(Hours mtbf_at_ref = 70000.0,
+                          Celsius ref_temp = 30.0,
+                          Kelvin doubling_delta = 10.0);
+
+    /** Failure rate (per hour) at a temperature. */
+    double failureRate(Celsius temp) const;
+
+    /**
+     * Cumulative failure probability after operating through the
+     * given month-by-month temperature profile.
+     * @param monthly_temps Average component temperature each month.
+     * @return Probability in [0, 1].
+     */
+    double cumulativeFailure(const std::vector<Celsius> &monthly_temps)
+        const;
+
+    /**
+     * Cumulative failure curve: entry m is the probability of failing
+     * within the first m+1 months of the profile.
+     */
+    std::vector<double>
+    cumulativeFailureCurve(const std::vector<Celsius> &monthly_temps)
+        const;
+
+  private:
+    Hours mtbf_;
+    Celsius refTemp_;
+    Kelvin doublingDelta_;
+};
+
+/** Hot/cold group rotation policy (Section IV-D). */
+struct RotationPolicy
+{
+    /** Consecutive months a server spends in the hot group. */
+    int hotMonths = 3;
+    /** Consecutive months in the cold group. */
+    int coldMonths = 2;
+
+    int cycleLength() const { return hotMonths + coldMonths; }
+
+    /**
+     * Per-month temperature profile for a server starting at the
+     * given phase of the rotation cycle.
+     */
+    std::vector<Celsius> profile(int months, Celsius hot_temp,
+                                 Celsius cold_temp, int phase = 0) const;
+};
+
+/**
+ * Fleet-average cumulative failure curve under rotation: servers are
+ * uniformly distributed over the rotation phases (the steady state of
+ * rotating 1/cycleLength of the fleet each month).
+ */
+std::vector<double> fleetFailureCurve(const FailureModel &model,
+                                      const RotationPolicy &policy,
+                                      int months, Celsius hot_temp,
+                                      Celsius cold_temp);
+
+} // namespace vmt
+
+#endif // VMT_RELIABILITY_FAILURE_MODEL_H

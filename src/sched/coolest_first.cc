@@ -1,0 +1,37 @@
+#include "sched/coolest_first.h"
+
+namespace vmt {
+
+void
+CoolestFirstScheduler::beginInterval(Cluster &cluster, Seconds)
+{
+    heap_ = {};
+    for (std::size_t id = 0; id < cluster.numServers(); ++id)
+        heap_.push({cluster.server(id).airTemp(), id});
+}
+
+std::size_t
+CoolestFirstScheduler::placeJob(Cluster &cluster, const Job &job)
+{
+    // Pop until we find a server with a free core; full servers are
+    // dropped for the rest of the interval.
+    while (!heap_.empty()) {
+        Entry entry = heap_.top();
+        heap_.pop();
+        Server &srv = cluster.server(entry.id);
+        if (!srv.hasCapacity())
+            continue;
+        // Re-insert with the virtual rise of the core we are adding so
+        // same-interval placements spread over the coolest set. The
+        // server becomes ineligible once full (checked on next pop).
+        const Watts core_power =
+            cluster.powerModel().corePower(job.type);
+        entry.temp +=
+            cluster.thermalParams().airRisePerWatt * core_power;
+        heap_.push(entry);
+        return srv.id();
+    }
+    return kNoServer;
+}
+
+} // namespace vmt

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Coolest-first placement, the paper's second baseline: "a more
+ * advanced coolest-first scheduler that presumes the coolest servers
+ * have the greatest thermal headroom available and schedules on them
+ * first" (Section V).
+ */
+
+#ifndef VMT_SCHED_COOLEST_FIRST_H
+#define VMT_SCHED_COOLEST_FIRST_H
+
+#include <queue>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace vmt {
+
+/**
+ * Thermal-aware load *balancing* baseline.
+ *
+ * Server temperatures only update once per interval, so placing many
+ * jobs on "the coolest server" within one interval would dogpile a
+ * single machine. Each placement therefore bumps the chosen server's
+ * *virtual* temperature by the expected steady-state rise of the
+ * added core, spreading same-interval placements across the coolest
+ * set — which is what produces the paper's tight temperature band
+ * (Fig. 10) versus round robin (Fig. 9).
+ */
+class CoolestFirstScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "CoolestFirst"; }
+
+    void beginInterval(Cluster &cluster, Seconds now) override;
+
+    std::size_t placeJob(Cluster &cluster, const Job &job) override;
+
+  private:
+    /** (virtual temperature, server id) min-heap entry. */
+    struct Entry
+    {
+        Celsius temp;
+        std::size_t id;
+        bool operator>(const Entry &o) const { return temp > o.temp; }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+};
+
+} // namespace vmt
+
+#endif // VMT_SCHED_COOLEST_FIRST_H

@@ -1,0 +1,18 @@
+#include "sched/round_robin.h"
+
+namespace vmt {
+
+std::size_t
+RoundRobinScheduler::placeJob(Cluster &cluster, const Job &)
+{
+    const std::size_t n = cluster.numServers();
+    for (std::size_t probes = 0; probes < n; ++probes) {
+        const std::size_t id = cursor_;
+        cursor_ = (cursor_ + 1) % n;
+        if (cluster.server(id).hasCapacity())
+            return id;
+    }
+    return kNoServer;
+}
+
+} // namespace vmt

@@ -1,0 +1,21 @@
+#include "sched/scheduler.h"
+
+namespace vmt {
+
+void
+Scheduler::beginInterval(Cluster &, Seconds)
+{}
+
+std::optional<std::size_t>
+Scheduler::hotGroupSize() const
+{
+    return std::nullopt;
+}
+
+std::vector<MigrationRequest>
+Scheduler::proposeMigrations(Cluster &, Seconds)
+{
+    return {};
+}
+
+} // namespace vmt

@@ -1,0 +1,48 @@
+#include "sched/switchover.h"
+
+#include "util/logging.h"
+
+namespace vmt {
+
+SwitchoverScheduler::SwitchoverScheduler(Scheduler &before,
+                                         Scheduler &after,
+                                         Seconds switch_time)
+    : before_(before), after_(after), switchTime_(switch_time)
+{
+    if (switch_time < 0.0)
+        fatal("SwitchoverScheduler requires switch_time >= 0");
+}
+
+std::string
+SwitchoverScheduler::name() const
+{
+    return before_.name() + "->" + after_.name();
+}
+
+void
+SwitchoverScheduler::beginInterval(Cluster &cluster, Seconds now)
+{
+    if (!switched_ && now >= switchTime_)
+        switched_ = true;
+    active().beginInterval(cluster, now);
+}
+
+std::size_t
+SwitchoverScheduler::placeJob(Cluster &cluster, const Job &job)
+{
+    return active().placeJob(cluster, job);
+}
+
+std::optional<std::size_t>
+SwitchoverScheduler::hotGroupSize() const
+{
+    return active().hotGroupSize();
+}
+
+std::vector<MigrationRequest>
+SwitchoverScheduler::proposeMigrations(Cluster &cluster, Seconds now)
+{
+    return active().proposeMigrations(cluster, now);
+}
+
+} // namespace vmt

@@ -1,0 +1,122 @@
+#include "server/cluster.h"
+
+#include "util/logging.h"
+
+namespace vmt {
+
+Cluster::Cluster(std::size_t num_servers, const ServerSpec &spec,
+                 const ServerThermalParams &thermal,
+                 const PowerModel &power,
+                 const std::vector<Kelvin> &inlet_offsets)
+    : spec_(spec), thermal_(thermal), power_(power)
+{
+    if (num_servers == 0)
+        fatal("Cluster requires at least one server");
+    if (!inlet_offsets.empty() && inlet_offsets.size() != num_servers)
+        fatal("Cluster inlet_offsets must be empty or one per server");
+
+    servers_.reserve(num_servers);
+    for (std::size_t i = 0; i < num_servers; ++i) {
+        const Kelvin offset =
+            inlet_offsets.empty() ? 0.0 : inlet_offsets[i];
+        servers_.emplace_back(i, spec, thermal, offset);
+    }
+    totalCores_ = num_servers * spec.cores();
+}
+
+Server &
+Cluster::server(std::size_t id)
+{
+    if (id >= servers_.size())
+        panic("Cluster::server out of range");
+    return servers_[id];
+}
+
+const Server &
+Cluster::server(std::size_t id) const
+{
+    if (id >= servers_.size())
+        panic("Cluster::server out of range");
+    return servers_[id];
+}
+
+void
+Cluster::addJob(std::size_t server_id, WorkloadType type)
+{
+    server(server_id).addJob(type);
+    ++active_[workloadIndex(type)];
+    ++busyCores_;
+}
+
+void
+Cluster::removeJob(std::size_t server_id, WorkloadType type)
+{
+    server(server_id).removeJob(type);
+    auto &count = active_[workloadIndex(type)];
+    if (count == 0)
+        panic("Cluster::removeJob underflow");
+    --count;
+    --busyCores_;
+}
+
+Watts
+Cluster::totalPower() const
+{
+    Watts total = 0.0;
+    for (const Server &srv : servers_)
+        total += srv.power(power_);
+    return total;
+}
+
+ClusterSample
+Cluster::stepThermal(Seconds dt, Celsius hot_threshold)
+{
+    ClusterSample agg;
+    bool first = true;
+    for (Server &srv : servers_) {
+        const ThermalSample s = srv.stepThermal(power_, dt);
+        agg.totalPower += s.rejectedPower + s.waxHeatFlow;
+        agg.coolingLoad += s.rejectedPower;
+        agg.waxHeatFlow += s.waxHeatFlow;
+        agg.meanAirTemp += s.airTemp;
+        agg.meanMeltFraction += srv.waxMeltFraction();
+        if (first || s.airTemp > agg.maxAirTemp)
+            agg.maxAirTemp = s.airTemp;
+        first = false;
+        if (s.airTemp >= hot_threshold)
+            ++agg.serversAboveThreshold;
+        if (srv.throttled())
+            ++agg.throttledServers;
+    }
+    const auto n = static_cast<double>(servers_.size());
+    agg.meanAirTemp /= n;
+    agg.meanMeltFraction /= n;
+    return agg;
+}
+
+void
+Cluster::setBaseInlet(Celsius inlet)
+{
+    thermal_.inletTemp = inlet;
+    for (Server &srv : servers_)
+        srv.setBaseInlet(inlet);
+}
+
+void
+Cluster::setBaseInlet(std::size_t server_id, Celsius inlet)
+{
+    server(server_id).setBaseInlet(inlet);
+}
+
+Celsius
+Cluster::meanAirTemp(std::size_t count) const
+{
+    if (count == 0 || count > servers_.size())
+        fatal("Cluster::meanAirTemp requires 0 < count <= numServers");
+    Celsius sum = 0.0;
+    for (std::size_t i = 0; i < count; ++i)
+        sum += servers_[i].airTemp();
+    return sum / static_cast<double>(count);
+}
+
+} // namespace vmt

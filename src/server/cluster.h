@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A homogeneous cluster of PCM-enabled servers ("servers are divided
+ * into homogeneous clusters and job scheduling is performed at the
+ * cluster level", Section IV-A).
+ */
+
+#ifndef VMT_SERVER_CLUSTER_H
+#define VMT_SERVER_CLUSTER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "server/power_model.h"
+#include "server/server.h"
+#include "server/server_spec.h"
+#include "thermal/thermal_params.h"
+#include "util/units.h"
+#include "workload/workload.h"
+
+namespace vmt {
+
+/** Cluster-level thermal/power aggregate for one step. */
+struct ClusterSample
+{
+    /** Total electrical power (W). */
+    Watts totalPower = 0.0;
+    /** Total heat rejected to the room, i.e. the cooling load (W). */
+    Watts coolingLoad = 0.0;
+    /** Total heat flow into wax across the cluster (W, signed). */
+    Watts waxHeatFlow = 0.0;
+    /** Mean air-at-wax temperature across servers. */
+    Celsius meanAirTemp = 0.0;
+    /** Mean ground-truth melt fraction across servers. */
+    double meanMeltFraction = 0.0;
+    /** Hottest air-at-wax temperature across servers. */
+    Celsius maxAirTemp = 0.0;
+    /** Servers whose air temperature is at or above the threshold
+     *  passed to stepThermal. */
+    std::size_t serversAboveThreshold = 0;
+    /** Servers currently thermally throttled (DVFS downclocked). */
+    std::size_t throttledServers = 0;
+};
+
+/** Owns the servers and the aggregate job bookkeeping. */
+class Cluster
+{
+  public:
+    /**
+     * @param num_servers Cluster size.
+     * @param spec Server hardware configuration.
+     * @param thermal Thermal constants shared by all servers.
+     * @param power Power model shared by all servers.
+     * @param inlet_offsets Per-server inlet deviations; empty means
+     *        zero for every server, otherwise must have one entry per
+     *        server.
+     */
+    Cluster(std::size_t num_servers, const ServerSpec &spec,
+            const ServerThermalParams &thermal, const PowerModel &power,
+            const std::vector<Kelvin> &inlet_offsets = {});
+
+    std::size_t numServers() const { return servers_.size(); }
+
+    /** Total schedulable cores across the cluster. */
+    std::size_t totalCores() const { return totalCores_; }
+
+    /** Currently occupied cores. */
+    std::size_t busyCores() const { return busyCores_; }
+
+    /** Cluster-wide running jobs per workload. */
+    const CoreCounts &activeCounts() const { return active_; }
+
+    Server &server(std::size_t id);
+    const Server &server(std::size_t id) const;
+
+    /** Occupy a core on a server; updates cluster aggregates. */
+    void addJob(std::size_t server_id, WorkloadType type);
+
+    /** Release a core on a server; updates cluster aggregates. */
+    void removeJob(std::size_t server_id, WorkloadType type);
+
+    /** Instantaneous total electrical power. */
+    Watts totalPower() const;
+
+    /**
+     * Advance every server's thermal state by dt and aggregate.
+     * @param dt Step length (seconds).
+     * @param hot_threshold Air temperature counted as overheating in
+     *        ClusterSample::serversAboveThreshold.
+     */
+    ClusterSample stepThermal(Seconds dt, Celsius hot_threshold = 1e9);
+
+    /** Set every server's cold-aisle inlet (cooling feedback);
+     *  per-server offsets are preserved. */
+    void setBaseInlet(Celsius inlet);
+
+    /** Set one server's cold-aisle inlet (recirculation modelling). */
+    void setBaseInlet(std::size_t server_id, Celsius inlet);
+
+    /** Power model shared by the servers. */
+    const PowerModel &powerModel() const { return power_; }
+
+    /** Thermal constants shared by the servers. */
+    const ServerThermalParams &thermalParams() const { return thermal_; }
+
+    /** Mean air temperature over servers [0, count). */
+    Celsius meanAirTemp(std::size_t count) const;
+
+  private:
+    ServerSpec spec_;
+    ServerThermalParams thermal_;
+    PowerModel power_;
+    std::vector<Server> servers_;
+    std::size_t totalCores_ = 0;
+    std::size_t busyCores_ = 0;
+    CoreCounts active_{};
+};
+
+} // namespace vmt
+
+#endif // VMT_SERVER_CLUSTER_H

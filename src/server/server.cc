@@ -1,0 +1,75 @@
+#include "server/server.h"
+
+#include "util/logging.h"
+
+namespace vmt {
+
+Server::Server(std::size_t id, const ServerSpec &spec,
+               const ServerThermalParams &thermal_params,
+               Kelvin inlet_offset)
+    : id_(id),
+      spec_(spec),
+      thermal_(thermal_params, inlet_offset),
+      estimator_(thermal_params.pcm)
+{}
+
+void
+Server::addJob(WorkloadType type)
+{
+    if (!hasCapacity())
+        panic("Server::addJob on a full server");
+    ++counts_[workloadIndex(type)];
+    ++busyCores_;
+}
+
+void
+Server::removeJob(WorkloadType type)
+{
+    auto &count = counts_[workloadIndex(type)];
+    if (count == 0)
+        panic("Server::removeJob with no such job running");
+    --count;
+    --busyCores_;
+}
+
+Watts
+Server::power(const PowerModel &model) const
+{
+    const Watts nominal = model.serverPower(counts_);
+    if (!throttled_)
+        return nominal;
+    // DVFS trims the dynamic part only; idle power is unaffected.
+    const Watts idle = model.spec().idlePower;
+    return idle +
+           (nominal - idle) * thermal_.params().throttleFactor;
+}
+
+Celsius
+Server::cpuTemp(const PowerModel &model) const
+{
+    return thermal_.cpuTemp(power(model));
+}
+
+ThermalSample
+Server::stepThermal(const PowerModel &model, Seconds dt)
+{
+    const ThermalSample sample = thermal_.step(power(model), dt);
+    // The on-board model reads the container-exterior sensor once per
+    // update (Section III-B, "Tracking Wax State").
+    estimator_.update(sample.containerTemp, dt);
+
+    // Thermal-limit management with hysteresis: downclock when the
+    // junction hits the limit, recover once it cools off.
+    const ServerThermalParams &tp = thermal_.params();
+    if (!throttled_ && sample.cpuTemp >= tp.cpuLimit &&
+        tp.throttleFactor < 1.0) {
+        throttled_ = true;
+    } else if (throttled_ &&
+               sample.cpuTemp <
+                   tp.cpuLimit - tp.throttleHysteresis) {
+        throttled_ = false;
+    }
+    return sample;
+}
+
+} // namespace vmt

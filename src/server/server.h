@@ -1,0 +1,110 @@
+/**
+ * @file
+ * One PCM-enabled server: core slots, running-job mix, thermal state
+ * and the on-board wax-state estimator the cluster scheduler reads
+ * (Section III-B, "Tracking Wax State").
+ */
+
+#ifndef VMT_SERVER_SERVER_H
+#define VMT_SERVER_SERVER_H
+
+#include <cstddef>
+
+#include "server/power_model.h"
+#include "server/server_spec.h"
+#include "thermal/server_thermal.h"
+#include "thermal/wax_state_estimator.h"
+#include "util/units.h"
+#include "workload/workload.h"
+
+namespace vmt {
+
+/** A single simulated server. */
+class Server
+{
+  public:
+    /**
+     * @param id Server index within the cluster.
+     * @param spec Hardware configuration.
+     * @param thermal_params Thermal constants.
+     * @param inlet_offset Per-server inlet temperature deviation.
+     */
+    Server(std::size_t id, const ServerSpec &spec,
+           const ServerThermalParams &thermal_params,
+           Kelvin inlet_offset = 0.0);
+
+    /** Cluster-wide index. */
+    std::size_t id() const { return id_; }
+
+    /** Total core slots. */
+    std::size_t cores() const { return spec_.cores(); }
+
+    /** Unoccupied core slots. */
+    std::size_t freeCores() const { return cores() - busyCores_; }
+
+    /** Occupied core slots. */
+    std::size_t busyCores() const { return busyCores_; }
+
+    /** True when at least one core is free. */
+    bool hasCapacity() const { return busyCores_ < cores(); }
+
+    /** Running jobs per workload type. */
+    const CoreCounts &coreCounts() const { return counts_; }
+
+    /** Occupy one core with a job of the given type. */
+    void addJob(WorkloadType type);
+
+    /** Release one core of the given type. */
+    void removeJob(WorkloadType type);
+
+    /** Instantaneous power under the given model, including any
+     *  active thermal throttling. */
+    Watts power(const PowerModel &model) const;
+
+    /** True while the server is thermally throttled (DVFS
+     *  downclocked because the CPU junction hit its limit). */
+    bool throttled() const { return throttled_; }
+
+    /** Estimated CPU junction temperature right now. */
+    Celsius cpuTemp(const PowerModel &model) const;
+
+    /**
+     * Advance thermal state by dt at the server's current power.
+     * Also feeds the wax-state estimator with the container sensor.
+     */
+    ThermalSample stepThermal(const PowerModel &model, Seconds dt);
+
+    /** Air temperature at the wax (the heatmap quantity). */
+    Celsius airTemp() const { return thermal_.airTemp(); }
+
+    /** Ground-truth melt fraction (the simulator's knowledge). */
+    double waxMeltFraction() const { return thermal_.pcm().meltFraction(); }
+
+    /** The melt-fraction estimate the scheduler is allowed to see. */
+    double estimatedMeltFraction() const { return estimator_.estimate(); }
+
+    /** Ground-truth latent energy stored in the wax. */
+    Joules waxEnergyStored() const
+    {
+        return thermal_.pcm().latentEnergyStored();
+    }
+
+    /** Thermal model (read-only). */
+    const ServerThermal &thermal() const { return thermal_; }
+
+    /** Propagate a cold-aisle inlet change (cooling feedback). */
+    void setBaseInlet(Celsius inlet) { thermal_.setBaseInlet(inlet); }
+
+  private:
+    std::size_t id_;
+    ServerSpec spec_;
+    ServerThermal thermal_;
+    WaxStateEstimator estimator_;
+    CoreCounts counts_{};
+    std::size_t busyCores_ = 0;
+    bool throttled_ = false;
+};
+
+} // namespace vmt
+
+#endif // VMT_SERVER_SERVER_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Physical description of the study's 2U high-throughput server
+ * (Section IV-A): Sun Fire X4470 layout, 4x Xeon E7-4809 v4, 500 W
+ * peak / 100 W idle, 4.0 L of wax behind the CPU heat sinks.
+ */
+
+#ifndef VMT_SERVER_SERVER_SPEC_H
+#define VMT_SERVER_SERVER_SPEC_H
+
+#include <cstddef>
+
+#include "util/units.h"
+#include "workload/workload.h"
+
+namespace vmt {
+
+/** Static server configuration. */
+struct ServerSpec
+{
+    /** CPU packages per server. */
+    int cpusPerServer = 4;
+    /** Cores per CPU package (Xeon E7-4809 v4). */
+    int coresPerCpu = kCoresPerCpu;
+    /** Idle power consumption. */
+    Watts idlePower = 100.0;
+    /** Nominal peak power consumption. */
+    Watts peakPower = 500.0;
+    /** Servers per rack in this 2U form factor. */
+    int serversPerRack = 20;
+    /** Racks per cluster. */
+    int racksPerCluster = 50;
+
+    /** Total schedulable cores. */
+    std::size_t cores() const
+    {
+        return static_cast<std::size_t>(cpusPerServer) *
+               static_cast<std::size_t>(coresPerCpu);
+    }
+};
+
+} // namespace vmt
+
+#endif // VMT_SERVER_SERVER_SPEC_H

@@ -1,0 +1,62 @@
+#include "sim/datacenter_sim.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace vmt {
+
+DatacenterSimResult::DatacenterSimResult()
+    : coolingLoad(kMinute), totalPower(kMinute)
+{}
+
+DatacenterSimResult
+runDatacenter(const DatacenterSimConfig &config,
+              const SchedulerFactory &factory)
+{
+    if (config.numClusters == 0)
+        fatal("DatacenterSimConfig requires at least one cluster");
+    if (!factory)
+        fatal("runDatacenter requires a scheduler factory");
+
+    DatacenterSimResult result;
+    result.coolingLoad = TimeSeries(config.cluster.interval);
+    result.totalPower = TimeSeries(config.cluster.interval);
+
+    Rng rng(config.cluster.seed ^ 0xdcdcdcdcULL);
+    result.clusters.reserve(config.numClusters);
+    for (std::size_t c = 0; c < config.numClusters; ++c) {
+        SimConfig cluster_cfg = config.cluster;
+        cluster_cfg.seed = config.cluster.seed + 1000 * (c + 1);
+        cluster_cfg.trace.seed = config.cluster.trace.seed + c;
+        cluster_cfg.trace.phaseOffset =
+            rng.uniform(-config.peakPhaseSpread,
+                        config.peakPhaseSpread);
+
+        std::unique_ptr<Scheduler> sched = factory(c);
+        if (!sched)
+            fatal("SchedulerFactory returned null");
+        result.clusters.push_back(
+            runSimulation(cluster_cfg, *sched));
+        result.sumOfClusterPeaks +=
+            result.clusters.back().peakCoolingLoad;
+    }
+
+    // Facility series: sum aligned samples across clusters.
+    const std::size_t intervals =
+        result.clusters.front().coolingLoad.size();
+    for (std::size_t i = 0; i < intervals; ++i) {
+        Watts cooling = 0.0;
+        Watts power = 0.0;
+        for (const SimResult &r : result.clusters) {
+            cooling += r.coolingLoad.at(i);
+            power += r.totalPower.at(i);
+        }
+        result.coolingLoad.add(cooling);
+        result.totalPower.add(power);
+    }
+    result.peakCoolingLoad = result.coolingLoad.smoothedPeak(
+        config.cluster.peakWindow);
+    return result;
+}
+
+} // namespace vmt

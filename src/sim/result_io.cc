@@ -1,0 +1,58 @@
+#include "sim/result_io.h"
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace vmt {
+
+void
+saveResultCsv(const SimResult &result, const std::string &path)
+{
+    CsvWriter csv(path);
+    csv.writeRow(std::vector<std::string>{
+        "hour", "cooling_load_w", "total_power_w", "wax_heat_flow_w",
+        "mean_air_temp_c", "hot_group_temp_c", "hot_group_size",
+        "mean_melt_fraction", "utilization", "inlet_temp_c"});
+    for (std::size_t i = 0; i < result.coolingLoad.size(); ++i) {
+        csv.writeRow(std::vector<double>{
+            secondsToHours(result.coolingLoad.timeAt(i)),
+            result.coolingLoad.at(i),
+            result.totalPower.at(i),
+            result.waxHeatFlow.at(i),
+            result.meanAirTemp.at(i),
+            result.hotGroupTemp.at(i),
+            result.hotGroupSizeSeries.at(i),
+            result.meanMeltFraction.at(i),
+            result.utilization.at(i),
+            result.inletTemp.at(i),
+        });
+    }
+}
+
+void
+saveHeatmapCsv(const SimResult &result, const std::string &which,
+               const std::string &path)
+{
+    const Heatmap *map = nullptr;
+    if (which == "airtemp")
+        map = result.airTempMap ? &*result.airTempMap : nullptr;
+    else if (which == "melt")
+        map = result.meltMap ? &*result.meltMap : nullptr;
+    else
+        fatal("saveHeatmapCsv: unknown map '" + which +
+              "' (use \"airtemp\" or \"melt\")");
+    if (!map)
+        fatal("saveHeatmapCsv: heatmaps were not recorded "
+              "(set SimConfig::recordHeatmaps)");
+
+    CsvWriter csv(path);
+    for (std::size_t row = 0; row < map->rows(); ++row) {
+        std::vector<double> cells;
+        cells.reserve(map->cols());
+        for (std::size_t col = 0; col < map->cols(); ++col)
+            cells.push_back(map->at(row, col));
+        csv.writeRow(cells);
+    }
+}
+
+} // namespace vmt

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Export simulation results to CSV for offline plotting: one row per
+ * interval with every recorded series, plus optional heatmap dumps.
+ */
+
+#ifndef VMT_SIM_RESULT_IO_H
+#define VMT_SIM_RESULT_IO_H
+
+#include <string>
+
+#include "sim/simulation.h"
+
+namespace vmt {
+
+/**
+ * Write the per-interval series (hour, cooling load, power, wax flow,
+ * temperatures, utilization, hot group size, melt fraction, inlet)
+ * to a CSV file.
+ * @throws FatalError when the file cannot be opened.
+ */
+void saveResultCsv(const SimResult &result, const std::string &path);
+
+/**
+ * Write a recorded heatmap (servers x intervals) to CSV, one row per
+ * server.
+ * @param which "airtemp" or "melt".
+ * @throws FatalError when the map was not recorded or the name is
+ *         unknown.
+ */
+void saveHeatmapCsv(const SimResult &result, const std::string &which,
+                    const std::string &path);
+
+} // namespace vmt
+
+#endif // VMT_SIM_RESULT_IO_H

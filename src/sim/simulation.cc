@@ -1,0 +1,258 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "cooling/cooling_system.h"
+#include "sim/event_queue.h"
+#include "thermal/inlet_model.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "workload/job_generator.h"
+
+namespace vmt {
+
+namespace {
+
+/** Where each running job currently lives (jobs can migrate). */
+struct ActiveJob
+{
+    std::size_t serverId;
+    WorkloadType type;
+};
+
+} // namespace
+
+SimResult::SimResult()
+    : coolingLoad(kMinute),
+      totalPower(kMinute),
+      waxHeatFlow(kMinute),
+      meanAirTemp(kMinute),
+      hotGroupTemp(kMinute),
+      hotGroupSizeSeries(kMinute),
+      meanMeltFraction(kMinute),
+      utilization(kMinute),
+      inletTemp(kMinute)
+{}
+
+SimResult
+runSimulation(const SimConfig &config, Scheduler &scheduler,
+              const SimObserver &observer)
+{
+    if (config.interval <= 0.0)
+        fatal("SimConfig::interval must be positive");
+
+    Rng rng(config.seed);
+    const std::vector<Kelvin> offsets =
+        drawInletOffsets(config.numServers, config.inletStddev, rng);
+
+    const PowerModel power(config.spec, config.powerScale);
+    Cluster cluster(config.numServers, config.spec, config.thermal,
+                    power, offsets);
+
+    TraceParams trace_params = config.trace;
+    trace_params.sampleInterval = config.interval;
+    const DiurnalTrace trace =
+        config.traceSamples.empty()
+            ? DiurnalTrace(trace_params)
+            : DiurnalTrace(config.traceSamples, config.interval);
+    JobGenerator generator(trace, cluster.totalCores(), rng.next(),
+                           config.mixSchedule);
+
+    SimResult result;
+    result.schedulerName = scheduler.name();
+    const auto series_reset = [&](TimeSeries &ts) {
+        ts = TimeSeries(config.interval);
+    };
+    series_reset(result.coolingLoad);
+    series_reset(result.totalPower);
+    series_reset(result.waxHeatFlow);
+    series_reset(result.meanAirTemp);
+    series_reset(result.hotGroupTemp);
+    series_reset(result.hotGroupSizeSeries);
+    series_reset(result.meanMeltFraction);
+    series_reset(result.utilization);
+    series_reset(result.inletTemp);
+
+    if (config.recordHeatmaps) {
+        result.airTempMap.emplace(config.numServers, trace.size());
+        result.meltMap.emplace(config.numServers, trace.size());
+    }
+
+    // Departures carry the job id; the home table follows migrations.
+    EventQueue<std::uint64_t> departures;
+    std::unordered_map<std::uint64_t, ActiveJob> active_jobs;
+    // Per-(server, type) id index so migrations find a victim in O(1).
+    std::vector<std::array<std::vector<std::uint64_t>, kNumWorkloads>>
+        jobs_at(config.numServers);
+    const auto index_remove = [&](std::size_t server,
+                                  WorkloadType type,
+                                  std::uint64_t job_id) {
+        auto &ids = jobs_at[server][workloadIndex(type)];
+        for (auto &id : ids) {
+            if (id == job_id) {
+                id = ids.back();
+                ids.pop_back();
+                return;
+            }
+        }
+        panic("job missing from server index");
+    };
+
+    std::optional<CoolingSystem> plant;
+    if (config.coolingCapacity > 0.0) {
+        plant.emplace(config.coolingCapacity,
+                      config.thermal.inletTemp,
+                      config.coolingOverloadRise);
+    }
+    Watts prev_cooling_load = 0.0;
+
+    std::optional<RecirculationModel> recirc;
+    if (config.modelRecirculation)
+        recirc.emplace(config.numServers, config.recirculation);
+
+    for (std::size_t interval = 0; interval < trace.size(); ++interval) {
+        const Seconds now =
+            static_cast<double>(interval) * config.interval;
+
+        // 1. Complete jobs due by now.
+        while (departures.hasEventDue(now)) {
+            const std::uint64_t job_id = departures.pop();
+            const auto it = active_jobs.find(job_id);
+            if (it == active_jobs.end())
+                panic("departure for unknown job");
+            cluster.removeJob(it->second.serverId, it->second.type);
+            index_remove(it->second.serverId, it->second.type,
+                         job_id);
+            active_jobs.erase(it);
+        }
+
+        // 2. Refresh per-interval scheduler state (wax scans etc.)
+        // and execute the policy's migration wishes, bounded by the
+        // configured budget.
+        scheduler.beginInterval(cluster, now);
+        if (config.migrationBudget > 0) {
+            std::size_t budget = config.migrationBudget;
+            for (const MigrationRequest &req :
+                 scheduler.proposeMigrations(cluster, now)) {
+                if (budget == 0)
+                    break;
+                if (req.fromServer >= config.numServers ||
+                    req.toServer >= config.numServers ||
+                    req.fromServer == req.toServer)
+                    continue;
+                if (!cluster.server(req.toServer).hasCapacity())
+                    continue;
+                // Any matching job on the source server will do.
+                auto &ids =
+                    jobs_at[req.fromServer][workloadIndex(req.type)];
+                if (ids.empty())
+                    continue;
+                const std::uint64_t job_id = ids.back();
+                ids.pop_back();
+                jobs_at[req.toServer][workloadIndex(req.type)]
+                    .push_back(job_id);
+                cluster.removeJob(req.fromServer, req.type);
+                cluster.addJob(req.toServer, req.type);
+                active_jobs[job_id].serverId = req.toServer;
+                ++result.migrations;
+                --budget;
+            }
+        }
+
+        // 3. Place this interval's arrivals.
+        ActiveCounts active{};
+        for (WorkloadType type : kAllWorkloads)
+            active[workloadIndex(type)] =
+                cluster.activeCounts()[workloadIndex(type)];
+        for (const Job &job : generator.arrivalsFor(interval, active)) {
+            const std::size_t id = scheduler.placeJob(cluster, job);
+            if (id == kNoServer) {
+                ++result.droppedJobs;
+                continue;
+            }
+            cluster.addJob(id, job.type);
+            active_jobs.emplace(job.id, ActiveJob{id, job.type});
+            jobs_at[id][workloadIndex(job.type)].push_back(job.id);
+            departures.schedule(now + job.duration, job.id);
+            ++result.placedJobs;
+        }
+
+        // 4. Cooling-plant feedback: an overloaded plant cannot hold
+        // the cold-aisle setpoint.
+        Celsius inlet = config.thermal.inletTemp;
+        if (plant) {
+            inlet = plant->inletFor(prev_cooling_load);
+            if (!recirc)
+                cluster.setBaseInlet(inlet);
+        }
+        // 4b. Rack recirculation: each rack's exhaust warms its own
+        // inlets in proportion to the rack's heat.
+        if (recirc) {
+            std::vector<Watts> rejected(config.numServers, 0.0);
+            for (std::size_t id = 0; id < config.numServers; ++id)
+                rejected[id] =
+                    cluster.server(id).power(cluster.powerModel());
+            const std::vector<Kelvin> offsets =
+                recirc->inletOffsets(rejected);
+            for (std::size_t id = 0; id < config.numServers; ++id)
+                cluster.setBaseInlet(id, inlet + offsets[id]);
+        }
+        result.inletTemp.add(inlet);
+
+        // 5. Advance thermal state across the interval and record.
+        const ClusterSample sample = cluster.stepThermal(
+            config.interval, config.overheatTemp);
+        prev_cooling_load = sample.coolingLoad;
+        result.maxAirTemp =
+            std::max(result.maxAirTemp, sample.maxAirTemp);
+        result.overheatedServerIntervals +=
+            sample.serversAboveThreshold;
+        result.throttledServerIntervals += sample.throttledServers;
+        result.coolingLoad.add(sample.coolingLoad);
+        result.totalPower.add(sample.totalPower);
+        result.waxHeatFlow.add(sample.waxHeatFlow);
+        result.meanAirTemp.add(sample.meanAirTemp);
+        result.meanMeltFraction.add(sample.meanMeltFraction);
+        result.utilization.add(
+            static_cast<double>(cluster.busyCores()) /
+            static_cast<double>(cluster.totalCores()));
+
+        const std::optional<std::size_t> hot = scheduler.hotGroupSize();
+        result.hotGroupSizeSeries.add(
+            static_cast<double>(hot.value_or(0)));
+        result.hotGroupTemp.add(
+            hot && *hot > 0 ? cluster.meanAirTemp(*hot)
+                            : sample.meanAirTemp);
+
+        if (config.recordHeatmaps) {
+            for (std::size_t id = 0; id < config.numServers; ++id) {
+                const Server &srv = cluster.server(id);
+                result.airTempMap->at(id, interval) = srv.airTemp();
+                result.meltMap->at(id, interval) =
+                    srv.waxMeltFraction() * 100.0;
+            }
+        }
+
+        if (observer)
+            observer(cluster, interval);
+    }
+
+    result.peakCoolingLoad =
+        result.coolingLoad.smoothedPeak(config.peakWindow);
+    result.peakPower = result.totalPower.smoothedPeak(config.peakWindow);
+    result.maxMeltFraction = result.meanMeltFraction.peak();
+    return result;
+}
+
+double
+peakReductionPercent(const SimResult &baseline, const SimResult &policy)
+{
+    if (baseline.peakCoolingLoad <= 0.0)
+        fatal("peakReductionPercent: baseline has no cooling load");
+    return 100.0 *
+           (baseline.peakCoolingLoad - policy.peakCoolingLoad) /
+           baseline.peakCoolingLoad;
+}
+
+} // namespace vmt

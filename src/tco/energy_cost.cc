@@ -1,0 +1,52 @@
+#include "tco/energy_cost.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+EnergyCostModel::EnergyCostModel(const EnergyCostParams &params)
+    : params_(params)
+{
+    if (params.peakPricePerKwh < 0.0 ||
+        params.offPeakPricePerKwh < 0.0)
+        fatal("EnergyCostParams prices must be non-negative");
+    if (params.chillerCop <= 0.0)
+        fatal("EnergyCostParams::chillerCop must be positive");
+    if (params.peakStartHour < 0.0 || params.peakEndHour > 24.0 ||
+        params.peakStartHour >= params.peakEndHour)
+        fatal("EnergyCostParams requires 0 <= peakStart < peakEnd "
+              "<= 24");
+}
+
+bool
+EnergyCostModel::isPeakHour(Hours hour_of_day) const
+{
+    const double h = std::fmod(hour_of_day, 24.0);
+    return h >= params_.peakStartHour && h < params_.peakEndHour;
+}
+
+EnergyCostBreakdown
+EnergyCostModel::price(const TimeSeries &cooling_load) const
+{
+    EnergyCostBreakdown out;
+    const Seconds dt = cooling_load.period();
+    for (std::size_t i = 0; i < cooling_load.size(); ++i) {
+        const Joules heat = cooling_load.at(i) * dt;
+        const Hours hour =
+            secondsToHours(cooling_load.timeAt(i));
+        if (isPeakHour(hour))
+            out.peakEnergy += heat;
+        else
+            out.offPeakEnergy += heat;
+    }
+    // Electrical energy = heat / COP; J -> kWh is /3.6e6.
+    const double to_kwh = 1.0 / (params_.chillerCop * 3.6e6);
+    out.totalCost =
+        out.peakEnergy * to_kwh * params_.peakPricePerKwh +
+        out.offPeakEnergy * to_kwh * params_.offPeakPricePerKwh;
+    return out;
+}
+
+} // namespace vmt

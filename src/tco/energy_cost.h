@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cooling electricity cost under time-of-use tariffs (Section V-E:
+ * "there may be additional benefits offered by the ability to control
+ * the melting temperature day-to-day, such as leveraging less
+ * expensive off-peak power ... when cooling energy can be temporally
+ * shifted as well").
+ *
+ * TTS/VMT move cooling energy from peak-tariff hours to off-peak
+ * hours: heat absorbed at the (expensive) evening peak is rejected
+ * overnight at the cheap rate. This model prices a cooling-load time
+ * series against a two-rate tariff through a chiller COP.
+ */
+
+#ifndef VMT_TCO_ENERGY_COST_H
+#define VMT_TCO_ENERGY_COST_H
+
+#include "util/time_series.h"
+#include "util/units.h"
+
+namespace vmt {
+
+/** Two-rate time-of-use tariff plus chiller efficiency. */
+struct EnergyCostParams
+{
+    /** Peak-hours electricity price, dollars per kWh. */
+    Dollars peakPricePerKwh = 0.14;
+    /** Off-peak price, dollars per kWh. */
+    Dollars offPeakPricePerKwh = 0.07;
+    /** First peak-tariff hour of the day (inclusive). */
+    double peakStartHour = 12.0;
+    /** Last peak-tariff hour of the day (exclusive). */
+    double peakEndHour = 22.0;
+    /** Chiller coefficient of performance: watts of heat removed per
+     *  watt of electrical input. */
+    double chillerCop = 3.5;
+};
+
+/** Cost breakdown for one cooling-load series. */
+struct EnergyCostBreakdown
+{
+    /** Cooling energy removed during peak-tariff hours (J). */
+    Joules peakEnergy = 0.0;
+    /** Cooling energy removed off-peak (J). */
+    Joules offPeakEnergy = 0.0;
+    /** Total electricity cost for the series (dollars). */
+    Dollars totalCost = 0.0;
+};
+
+/** Prices cooling-load series against a time-of-use tariff. */
+class EnergyCostModel
+{
+  public:
+    explicit EnergyCostModel(const EnergyCostParams &params = {});
+
+    /** True when the (wall-clock, day-periodic) hour is on-peak. */
+    bool isPeakHour(Hours hour_of_day) const;
+
+    /**
+     * Price a cooling-load series (W per sample, starting at hour 0).
+     */
+    EnergyCostBreakdown price(const TimeSeries &cooling_load) const;
+
+    const EnergyCostParams &params() const { return params_; }
+
+  private:
+    EnergyCostParams params_;
+};
+
+} // namespace vmt
+
+#endif // VMT_TCO_ENERGY_COST_H

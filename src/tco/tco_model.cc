@@ -1,0 +1,73 @@
+#include "tco/tco_model.h"
+
+#include "util/logging.h"
+
+namespace vmt {
+
+TcoModel::TcoModel(const DatacenterSpec &dc, const TcoParams &params,
+                   const PcmParams &wax)
+    : dc_(dc), params_(params), wax_(wax)
+{
+    if (params.coolingCostPerKwMonth <= 0.0 ||
+        params.coolingLifetimeYears <= 0.0)
+        fatal("TcoParams cooling cost/lifetime must be positive");
+}
+
+Dollars
+TcoModel::coolingSystemCost(Watts peak_load) const
+{
+    if (peak_load < 0.0)
+        fatal("coolingSystemCost requires peak_load >= 0");
+    const double kw = peak_load / 1000.0;
+    const double months = params_.coolingLifetimeYears * 12.0;
+    return kw * params_.coolingCostPerKwMonth * months;
+}
+
+Dollars
+TcoModel::baselineCoolingCost() const
+{
+    return coolingSystemCost(dc_.criticalPower);
+}
+
+Dollars
+TcoModel::savingsFromReduction(double reduction) const
+{
+    if (reduction < 0.0 || reduction >= 1.0)
+        fatal("savingsFromReduction requires reduction in [0, 1)");
+    return baselineCoolingCost() * reduction;
+}
+
+Dollars
+TcoModel::waxCostPerServer() const
+{
+    const double tons = wax_.mass() / 1000.0;
+    return tons * params_.commercialWaxPerTon;
+}
+
+Dollars
+TcoModel::fleetWaxCost() const
+{
+    return waxCostPerServer() * static_cast<double>(dc_.totalServers());
+}
+
+Dollars
+TcoModel::fleetNParaffinCost() const
+{
+    const double tons = wax_.mass() / 1000.0;
+    return tons * params_.nParaffinPerTon *
+           static_cast<double>(dc_.totalServers());
+}
+
+Dollars
+TcoModel::netSavingsFromReduction(double reduction) const
+{
+    return savingsFromReduction(reduction) - fleetWaxCost();
+}
+
+std::size_t
+TcoModel::extraServers(double reduction) const
+{
+    return DatacenterCoolingModel(dc_).extraServers(reduction);
+}
+
+} // namespace vmt

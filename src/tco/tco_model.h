@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Cooling-system TCO model (Section IV-F / V-E), after Kontorinis et
+ * al.: $7 per kW of critical power per month of depreciation, 10-year
+ * linear depreciation for the cooling plant, i.e. $84,000 per MW per
+ * year and $21 M total for the 25 MW reference datacenter.
+ */
+
+#ifndef VMT_TCO_TCO_MODEL_H
+#define VMT_TCO_TCO_MODEL_H
+
+#include <cstddef>
+
+#include "cooling/datacenter.h"
+#include "thermal/thermal_params.h"
+#include "util/units.h"
+
+namespace vmt {
+
+/** Cost constants for the TCO analysis. */
+struct TcoParams
+{
+    /** Cooling depreciation, dollars per kW of critical power per
+     *  month. */
+    Dollars coolingCostPerKwMonth = 7.0;
+    /** Cooling system depreciation horizon. */
+    double coolingLifetimeYears = 10.0;
+    /** Commercial paraffin price per metric ton. */
+    Dollars commercialWaxPerTon = 1000.0;
+    /** Molecularly pure n-paraffin price per metric ton ("in excess
+     *  of $75,000 per ton"). */
+    Dollars nParaffinPerTon = 75000.0;
+};
+
+/** Cooling-TCO arithmetic for a PCM-enabled datacenter. */
+class TcoModel
+{
+  public:
+    TcoModel(const DatacenterSpec &dc, const TcoParams &params = {},
+             const PcmParams &wax = {});
+
+    /** Lifetime depreciation cost of a cooling system sized for the
+     *  given peak load. */
+    Dollars coolingSystemCost(Watts peak_load) const;
+
+    /** Lifetime cost of the full-subscription cooling system. */
+    Dollars baselineCoolingCost() const;
+
+    /** Gross lifetime savings from a fractional peak reduction. */
+    Dollars savingsFromReduction(double reduction) const;
+
+    /** One server's commercial-wax fill cost. */
+    Dollars waxCostPerServer() const;
+
+    /** Fleet-wide commercial-wax deployment cost. */
+    Dollars fleetWaxCost() const;
+
+    /** Fleet-wide cost of an n-paraffin deployment (what passive TTS
+     *  would need to reach a sub-commercial melting point). */
+    Dollars fleetNParaffinCost() const;
+
+    /** Savings net of deploying commercial wax in every server. */
+    Dollars netSavingsFromReduction(double reduction) const;
+
+    /** Extra servers under the original cooling system. */
+    std::size_t extraServers(double reduction) const;
+
+    const TcoParams &params() const { return params_; }
+    const DatacenterSpec &datacenter() const { return dc_; }
+
+  private:
+    DatacenterSpec dc_;
+    TcoParams params_;
+    PcmParams wax_;
+};
+
+} // namespace vmt
+
+#endif // VMT_TCO_TCO_MODEL_H

@@ -1,0 +1,20 @@
+#include "thermal/inlet_model.h"
+
+#include "util/logging.h"
+
+namespace vmt {
+
+std::vector<Kelvin>
+drawInletOffsets(std::size_t num_servers, Kelvin stddev, Rng &rng)
+{
+    if (stddev < 0.0)
+        fatal("drawInletOffsets requires stddev >= 0");
+    std::vector<Kelvin> offsets(num_servers, 0.0);
+    if (stddev == 0.0)
+        return offsets;
+    for (auto &offset : offsets)
+        offset = rng.normal(0.0, stddev);
+    return offsets;
+}
+
+} // namespace vmt

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Per-server inlet temperature variation (Section V-D).
+ *
+ * Real datacenters have airflow-driven inlet differences between
+ * servers; the paper models them as a normal distribution with a
+ * standard deviation of 0, 1 or 2 kelvin and evaluates five runs per
+ * setting.
+ */
+
+#ifndef VMT_THERMAL_INLET_MODEL_H
+#define VMT_THERMAL_INLET_MODEL_H
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace vmt {
+
+/**
+ * Draw per-server inlet offsets N(0, sigma), one per server; offsets
+ * are fixed for the lifetime of a run (they model the server's slot in
+ * the rack, not minute-scale turbulence).
+ *
+ * @param num_servers Number of offsets to draw.
+ * @param stddev Standard deviation in kelvin (>= 0).
+ * @param rng Random source (mutated).
+ */
+std::vector<Kelvin> drawInletOffsets(std::size_t num_servers,
+                                     Kelvin stddev, Rng &rng);
+
+} // namespace vmt
+
+#endif // VMT_THERMAL_INLET_MODEL_H

@@ -1,0 +1,76 @@
+#include "thermal/pcm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+Pcm::Pcm(const PcmParams &params, Celsius initial_temp)
+    : params_(params)
+{
+    if (params.volume <= 0.0 || params.densityKgPerL <= 0.0 ||
+        params.latentHeat <= 0.0 || params.conductance <= 0.0 ||
+        params.specificHeatSolid <= 0.0 || params.specificHeatLiquid <= 0.0)
+        fatal("PcmParams must be positive");
+    const Celsius t = std::min(initial_temp, params.meltTemp);
+    enthalpy_ = params.mass() * params.specificHeatSolid *
+                (t - params.meltTemp);
+}
+
+Joules
+Pcm::step(Celsius air_temp, Seconds dt)
+{
+    if (dt <= 0.0)
+        fatal("Pcm::step requires dt > 0");
+
+    // Sub-step so explicit integration stays well inside the sensible
+    // regime's time constant (m c / G, ~4-5 minutes with defaults).
+    const double sensible_tau =
+        params_.mass() *
+        std::min(params_.specificHeatSolid, params_.specificHeatLiquid) /
+        params_.conductance;
+    const auto substeps = static_cast<int>(
+        std::ceil(dt / std::max(1.0, sensible_tau / 5.0)));
+    const Seconds sub_dt = dt / substeps;
+
+    Joules absorbed = 0.0;
+    for (int i = 0; i < substeps; ++i) {
+        const Watts flow = params_.conductance * (air_temp - temperature());
+        const Joules dq = flow * sub_dt;
+        enthalpy_ += dq;
+        absorbed += dq;
+    }
+    return absorbed;
+}
+
+Celsius
+Pcm::temperature() const
+{
+    const Joules latent = params_.latentCapacity();
+    if (enthalpy_ < 0.0) {
+        return params_.meltTemp +
+               enthalpy_ / (params_.mass() * params_.specificHeatSolid);
+    }
+    if (enthalpy_ <= latent)
+        return params_.meltTemp;
+    return params_.meltTemp + (enthalpy_ - latent) /
+                                  (params_.mass() *
+                                   params_.specificHeatLiquid);
+}
+
+double
+Pcm::meltFraction() const
+{
+    const Joules latent = params_.latentCapacity();
+    return std::clamp(enthalpy_ / latent, 0.0, 1.0);
+}
+
+Joules
+Pcm::latentEnergyStored() const
+{
+    return meltFraction() * params_.latentCapacity();
+}
+
+} // namespace vmt

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Enthalpy-based phase change material model.
+ *
+ * The wax is a single lumped mass exchanging heat with the server air
+ * through a fixed conductance. State is tracked as total enthalpy above
+ * a reference (solid at the melting temperature), which maps uniquely
+ * onto (temperature, melt fraction):
+ *
+ *   H < 0                : solid, T = Tm + H / (m c_s), fraction 0
+ *   0 <= H <= m L        : transition, T = Tm, fraction H / (m L)
+ *   H > m L              : liquid, T = Tm + (H - m L) / (m c_l)
+ *
+ * This reproduces the latent "plateau" TTS relies on: while melting or
+ * freezing the wax temperature is pinned at the melting point and all
+ * exchanged heat moves the melt fraction.
+ */
+
+#ifndef VMT_THERMAL_PCM_H
+#define VMT_THERMAL_PCM_H
+
+#include "thermal/thermal_params.h"
+#include "util/units.h"
+
+namespace vmt {
+
+/** Lumped phase-change thermal store (one server's wax load). */
+class Pcm
+{
+  public:
+    /**
+     * @param params Material properties.
+     * @param initial_temp Starting (solid) wax temperature; clamped to
+     *        the melting temperature when above it.
+     */
+    explicit Pcm(const PcmParams &params, Celsius initial_temp = 22.0);
+
+    /**
+     * Advance the wax by dt against the given air temperature.
+     *
+     * @param air_temp Air temperature at the wax containers.
+     * @param dt Time step in seconds (> 0).
+     * @return Heat absorbed by the wax over the step in joules;
+     *         negative when the wax is releasing heat back to the air.
+     */
+    Joules step(Celsius air_temp, Seconds dt);
+
+    /** Current wax temperature. */
+    Celsius temperature() const;
+
+    /** Melted fraction in [0, 1]. */
+    double meltFraction() const;
+
+    /** True once the melt fraction reaches 1. */
+    bool fullyMelted() const { return meltFraction() >= 1.0; }
+
+    /** True when no wax has melted. */
+    bool fullySolid() const { return meltFraction() <= 0.0; }
+
+    /** Enthalpy above the solid-at-melting-point reference, joules. */
+    Joules enthalpy() const { return enthalpy_; }
+
+    /** Latent energy currently stored (melt fraction x capacity). */
+    Joules latentEnergyStored() const;
+
+    /** Material properties in use. */
+    const PcmParams &params() const { return params_; }
+
+  private:
+    PcmParams params_;
+    Joules enthalpy_;
+};
+
+} // namespace vmt
+
+#endif // VMT_THERMAL_PCM_H

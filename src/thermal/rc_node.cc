@@ -1,0 +1,25 @@
+#include "thermal/rc_node.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+RcNode::RcNode(Seconds time_constant, Celsius initial)
+    : tau_(time_constant), temp_(initial)
+{
+    if (time_constant <= 0.0)
+        fatal("RcNode requires a positive time constant");
+}
+
+Celsius
+RcNode::step(Celsius target, Seconds dt)
+{
+    if (dt <= 0.0)
+        fatal("RcNode::step requires dt > 0");
+    temp_ += (target - temp_) * (1.0 - std::exp(-dt / tau_));
+    return temp_;
+}
+
+} // namespace vmt

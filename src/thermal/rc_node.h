@@ -1,0 +1,50 @@
+/**
+ * @file
+ * First-order thermal RC node: exact exponential relaxation toward a
+ * (possibly time-varying) target temperature. The building block for
+ * the lumped server model; exposed so users can compose their own
+ * thermal chains (e.g. die -> heatsink -> chassis air).
+ */
+
+#ifndef VMT_THERMAL_RC_NODE_H
+#define VMT_THERMAL_RC_NODE_H
+
+#include "util/units.h"
+
+namespace vmt {
+
+/** One thermal capacitance relaxing toward a driven temperature. */
+class RcNode
+{
+  public:
+    /**
+     * @param time_constant RC product in seconds (> 0).
+     * @param initial Starting temperature.
+     */
+    RcNode(Seconds time_constant, Celsius initial);
+
+    /**
+     * Advance by dt toward the target (exact solution of the linear
+     * ODE for a constant target over the step).
+     * @return The temperature after the step.
+     */
+    Celsius step(Celsius target, Seconds dt);
+
+    /** Current node temperature. */
+    Celsius temperature() const { return temp_; }
+
+    /** Time constant in use. */
+    Seconds timeConstant() const { return tau_; }
+
+    /** Jump the state (e.g. re-initialization after a maintenance
+     *  event). */
+    void reset(Celsius temperature) { temp_ = temperature; }
+
+  private:
+    Seconds tau_;
+    Celsius temp_;
+};
+
+} // namespace vmt
+
+#endif // VMT_THERMAL_RC_NODE_H

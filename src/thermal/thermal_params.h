@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Lumped-parameter thermal constants for a 2U PCM-enabled server.
+ *
+ * The TTS paper derives DCsim model parameters from a CFD model that was
+ * validated against a real wax-instrumented server; we substitute a
+ * first-order lumped model whose steady-state gains and time constant
+ * are calibrated to the paper's premise: with round-robin placement the
+ * cluster peaks *just below* the 35.7 C physical melting temperature,
+ * while a hot group concentrated by VMT exceeds it (see DESIGN.md).
+ */
+
+#ifndef VMT_THERMAL_THERMAL_PARAMS_H
+#define VMT_THERMAL_THERMAL_PARAMS_H
+
+#include "util/units.h"
+
+namespace vmt {
+
+/** Properties of the deployed phase change material (paraffin wax). */
+struct PcmParams
+{
+    /** Physical melting temperature; 35.7 C is the lowest commercially
+     *  available paraffin per the paper. */
+    Celsius meltTemp = 35.7;
+    /** Wax volume per server (4.0 L from the CFD design-space study). */
+    Liters volume = 4.0;
+    /** Solid paraffin density, kg per liter (RT35HC-class blend). */
+    double densityKgPerL = 0.88;
+    /** Specific latent heat of fusion (RT35HC-class blend). */
+    JoulesPerKg latentHeat = 222000.0;
+    /** Specific heat, solid phase. */
+    JoulesPerKgK specificHeatSolid = 2100.0;
+    /** Specific heat, liquid phase. */
+    JoulesPerKgK specificHeatLiquid = 2100.0;
+    /** Air-to-wax thermal conductance through the finned aluminum
+     *  containers (calibrated; see DESIGN.md section 5). */
+    double conductance = 100.0; // W/K
+
+    /** Wax mass in kilograms. */
+    Kilograms mass() const { return volume * densityKgPerL; }
+
+    /** Total latent (phase transition) storage capacity in joules. */
+    Joules latentCapacity() const { return mass() * latentHeat; }
+};
+
+/** Server-level airflow/thermal constants. */
+struct ServerThermalParams
+{
+    /** Cold-aisle inlet air temperature. */
+    Celsius inletTemp = 22.0;
+    /** Steady-state air-at-wax temperature rise per watt of server
+     *  power (K/W). */
+    KelvinPerWatt airRisePerWatt = 0.040;
+    /** Steady-state exhaust temperature rise per watt of heat actually
+     *  rejected to the room (K/W). */
+    KelvinPerWatt exhaustRisePerWatt = 0.058;
+    /** Thermal time constant of the chassis air/heatsink path. */
+    Seconds timeConstant = 900.0;
+    /** CPU junction rise above the local air per watt of server
+     *  power (heatsink path; used to check the CFD study's "without
+     *  exceeding CPU thermal limits" constraint). */
+    KelvinPerWatt cpuRisePerWatt = 0.050;
+    /** CPU junction temperature treated as thermal-limit violation. */
+    Celsius cpuLimit = 85.0;
+    /** Dynamic-power multiplier while thermally throttled (DVFS
+     *  downclock). 1.0 disables throttling. */
+    double throttleFactor = 0.85;
+    /** Hysteresis: throttling clears once the junction falls this
+     *  far below the limit. */
+    Kelvin throttleHysteresis = 5.0;
+
+    PcmParams pcm;
+};
+
+} // namespace vmt
+
+#endif // VMT_THERMAL_THERMAL_PARAMS_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Lightweight per-server wax-state model (the paper's "Tracking Wax
+ * State" mechanism, after Skach et al., IEEE IC 2017 [24]).
+ *
+ * Each deployed server runs a model that estimates the current melt
+ * fraction from sensors it already has: a single temperature sensor on
+ * the wax container exterior plus CPU power/temperature. The paper's
+ * model is a lookup table; we reproduce that: the temperature delta to
+ * the melting point is quantized into table buckets, each mapping to a
+ * heat-flow estimate, which is integrated once per update period. The
+ * estimator therefore drifts from ground truth (quantization error),
+ * which is precisely why the wax threshold exists (Fig. 17).
+ */
+
+#ifndef VMT_THERMAL_WAX_STATE_ESTIMATOR_H
+#define VMT_THERMAL_WAX_STATE_ESTIMATOR_H
+
+#include <vector>
+
+#include "thermal/thermal_params.h"
+#include "util/units.h"
+
+namespace vmt {
+
+/** Table-driven online estimate of a server's wax melt fraction. */
+class WaxStateEstimator
+{
+  public:
+    /**
+     * Build the lookup table for a wax load.
+     * @param params Wax properties the table is derived from.
+     * @param bucket_width Temperature quantization in kelvin (> 0).
+     * @param span Largest |T_air - T_melt| the table covers; deltas
+     *        beyond the span saturate at the edge buckets.
+     */
+    explicit WaxStateEstimator(const PcmParams &params,
+                               Kelvin bucket_width = 0.05,
+                               Kelvin span = 20.0);
+
+    /**
+     * Fold one sensor reading into the estimate.
+     * @param container_temp Measured wax-container exterior skin
+     *        temperature (the paper's single sensor; see
+     *        ThermalSample::containerTemp).
+     * @param dt Time since the previous update (seconds, > 0).
+     */
+    void update(Celsius container_temp, Seconds dt);
+
+    /** Current melt fraction estimate in [0, 1]. */
+    double estimate() const;
+
+    /** Reset to fully solid (e.g., after a wax swap). */
+    void reset();
+
+    /** Number of table buckets (for introspection/tests). */
+    std::size_t tableSize() const { return table_.size(); }
+
+  private:
+    PcmParams params_;
+    Kelvin bucketWidth_;
+    Kelvin span_;
+    /** Heat-flow estimate (W) per quantized temperature-delta bucket. */
+    std::vector<Watts> table_;
+    Joules estimatedEnthalpy_ = 0.0;
+};
+
+} // namespace vmt
+
+#endif // VMT_THERMAL_WAX_STATE_ESTIMATOR_H

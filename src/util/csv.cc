@@ -1,0 +1,60 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+namespace {
+
+std::string
+escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out_(path)
+{
+    if (!out_)
+        fatal("CsvWriter: cannot open " + path);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &cells)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells) {
+        std::ostringstream os;
+        os.precision(12);
+        os << v;
+        text.push_back(os.str());
+    }
+    writeRow(text);
+}
+
+} // namespace vmt

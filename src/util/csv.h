@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Tiny CSV writer so benches can dump full-resolution series next to
+ * the console tables (for offline plotting).
+ */
+
+#ifndef VMT_UTIL_CSV_H
+#define VMT_UTIL_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vmt {
+
+/** Streams rows to a CSV file; commas/quotes in cells are escaped. */
+class CsvWriter
+{
+  public:
+    /**
+     * Open (truncate) the output file.
+     * @throws FatalError when the file cannot be opened.
+     */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Convenience: write a row of doubles with full precision. */
+    void writeRow(const std::vector<double> &cells);
+
+  private:
+    std::ofstream out_;
+};
+
+} // namespace vmt
+
+#endif // VMT_UTIL_CSV_H

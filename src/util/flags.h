@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the vmtsim front-end:
+ * `--name value` / `--name=value` pairs plus positional arguments,
+ * with typed accessors and unknown-flag detection.
+ */
+
+#ifndef VMT_UTIL_FLAGS_H
+#define VMT_UTIL_FLAGS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vmt {
+
+/** Parsed command line. */
+class Flags
+{
+  public:
+    /**
+     * Parse argv. Flags start with "--"; a flag followed by another
+     * flag or nothing is treated as boolean true.
+     * @throws FatalError on malformed input (e.g. empty flag name).
+     */
+    Flags(int argc, const char *const *argv);
+
+    /** True when the flag appeared at all. */
+    bool has(const std::string &name) const;
+
+    /** String value, or fallback when absent. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback = "") const;
+
+    /**
+     * Numeric value.
+     * @throws FatalError when present but not numeric.
+     */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Integer value (rejects fractional input). */
+    long long getInt(const std::string &name,
+                     long long fallback) const;
+
+    /** Boolean: absent -> fallback; present without value or with
+     *  true/1/yes -> true; false/0/no -> false. */
+    bool getBool(const std::string &name, bool fallback) const;
+
+    /** Arguments that were not flags, in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /**
+     * Flags never read by any accessor so far — call after all
+     * getX() to reject typos.
+     */
+    std::vector<std::string> unreadFlags() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    mutable std::map<std::string, bool> read_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace vmt
+
+#endif // VMT_UTIL_FLAGS_H

@@ -1,0 +1,108 @@
+#include "util/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+Heatmap::Heatmap(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+    if (rows == 0 || cols == 0)
+        fatal("Heatmap requires non-zero dimensions");
+}
+
+double &
+Heatmap::at(std::size_t row, std::size_t col)
+{
+    if (row >= rows_ || col >= cols_)
+        panic("Heatmap::at out of range");
+    return data_[row * cols_ + col];
+}
+
+double
+Heatmap::at(std::size_t row, std::size_t col) const
+{
+    if (row >= rows_ || col >= cols_)
+        panic("Heatmap::at out of range");
+    return data_[row * cols_ + col];
+}
+
+double
+Heatmap::minValue() const
+{
+    return *std::min_element(data_.begin(), data_.end());
+}
+
+double
+Heatmap::maxValue() const
+{
+    return *std::max_element(data_.begin(), data_.end());
+}
+
+double
+Heatmap::meanValue() const
+{
+    double sum = 0.0;
+    for (double v : data_)
+        sum += v;
+    return sum / static_cast<double>(data_.size());
+}
+
+double
+Heatmap::columnMean(std::size_t col) const
+{
+    double sum = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r)
+        sum += at(r, col);
+    return sum / static_cast<double>(rows_);
+}
+
+double
+Heatmap::rowMean(std::size_t row) const
+{
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c)
+        sum += at(row, c);
+    return sum / static_cast<double>(cols_);
+}
+
+void
+Heatmap::render(std::ostream &os, double lo, double hi,
+                std::size_t max_rows, std::size_t max_cols) const
+{
+    static const char ramp[] = " .:-=+*#%@";
+    constexpr std::size_t levels = sizeof(ramp) - 2;
+
+    if (hi <= lo)
+        fatal("Heatmap::render requires hi > lo");
+    const std::size_t out_rows = std::min(rows_, max_rows);
+    const std::size_t out_cols = std::min(cols_, max_cols);
+
+    for (std::size_t orow = 0; orow < out_rows; ++orow) {
+        const std::size_t r0 = orow * rows_ / out_rows;
+        const std::size_t r1 =
+            std::max(r0 + 1, (orow + 1) * rows_ / out_rows);
+        for (std::size_t ocol = 0; ocol < out_cols; ++ocol) {
+            const std::size_t c0 = ocol * cols_ / out_cols;
+            const std::size_t c1 =
+                std::max(c0 + 1, (ocol + 1) * cols_ / out_cols);
+            double sum = 0.0;
+            for (std::size_t r = r0; r < r1; ++r)
+                for (std::size_t c = c0; c < c1; ++c)
+                    sum += at(r, c);
+            const double v =
+                sum / static_cast<double>((r1 - r0) * (c1 - c0));
+            double norm = (v - lo) / (hi - lo);
+            norm = std::clamp(norm, 0.0, 1.0);
+            const auto idx = static_cast<std::size_t>(
+                std::lround(norm * static_cast<double>(levels)));
+            os << ramp[idx];
+        }
+        os << '\n';
+    }
+}
+
+} // namespace vmt

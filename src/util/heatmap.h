@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A dense (rows x cols) grid of samples plus an ASCII renderer, used to
+ * regenerate the paper's server-by-time heatmaps (Figs. 9-11, 14).
+ */
+
+#ifndef VMT_UTIL_HEATMAP_H
+#define VMT_UTIL_HEATMAP_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vmt {
+
+/**
+ * Row-major grid of doubles; rows are servers, columns are samples in
+ * time for the paper's figures.
+ */
+class Heatmap
+{
+  public:
+    /** Create a rows x cols grid initialised to zero. */
+    Heatmap(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Mutable cell access. */
+    double &at(std::size_t row, std::size_t col);
+
+    /** Read-only cell access. */
+    double at(std::size_t row, std::size_t col) const;
+
+    /** Smallest value in the grid. */
+    double minValue() const;
+
+    /** Largest value in the grid. */
+    double maxValue() const;
+
+    /** Mean over all cells. */
+    double meanValue() const;
+
+    /** Mean of one column (one instant across all rows). */
+    double columnMean(std::size_t col) const;
+
+    /** Mean of one row (one server across time). */
+    double rowMean(std::size_t row) const;
+
+    /**
+     * Render as ASCII art with one character per bucket, downsampling
+     * both axes, mapping [lo, hi] onto the ramp " .:-=+*#%@".
+     *
+     * @param os Destination stream.
+     * @param lo Value mapped to the lightest glyph.
+     * @param hi Value mapped to the darkest glyph.
+     * @param max_rows Maximum output rows (downsampled by averaging).
+     * @param max_cols Maximum output columns.
+     */
+    void render(std::ostream &os, double lo, double hi,
+                std::size_t max_rows = 25, std::size_t max_cols = 96) const;
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> data_;
+};
+
+} // namespace vmt
+
+#endif // VMT_UTIL_HEATMAP_H

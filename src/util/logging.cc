@@ -1,0 +1,33 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vmt {
+
+void
+fatal(const std::string &message)
+{
+    throw FatalError(message);
+}
+
+void
+panic(const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    std::abort();
+}
+
+void
+warn(const std::string &message)
+{
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+inform(const std::string &message)
+{
+    std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+} // namespace vmt

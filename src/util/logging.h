@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal gem5-flavored status/error reporting.
+ *
+ * fatal() is for user error (bad configuration); it throws
+ * FatalError so library users and tests can recover. panic() is for
+ * internal invariant violations and aborts. warn()/inform() are
+ * best-effort stderr notes that never stop the run.
+ */
+
+#ifndef VMT_UTIL_LOGGING_H
+#define VMT_UTIL_LOGGING_H
+
+#include <stdexcept>
+#include <string>
+
+namespace vmt {
+
+/** Exception thrown by fatal() for unrecoverable *user* errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/**
+ * Report an unrecoverable configuration/usage error.
+ * @param message Description of what the user did wrong.
+ * @throws FatalError always.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Report an internal invariant violation (a library bug) and abort.
+ * @param message Description of the broken invariant.
+ */
+[[noreturn]] void panic(const std::string &message);
+
+/** Print a non-fatal warning to stderr. */
+void warn(const std::string &message);
+
+/** Print an informational note to stderr. */
+void inform(const std::string &message);
+
+} // namespace vmt
+
+#endif // VMT_UTIL_LOGGING_H

@@ -1,0 +1,115 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+namespace {
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Expand the seed with splitmix64 so nearby seeds give
+    // uncorrelated streams; an all-zero state would be degenerate.
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    if (n == 0)
+        panic("Rng::below called with n == 0");
+    // Modulo bias is < 2^-53 for every n used in this project.
+    return next() % n;
+}
+
+double
+Rng::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 0.0)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    spare_ = r * std::sin(theta);
+    hasSpare_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::exponential(double mean)
+{
+    if (mean <= 0.0)
+        fatal("Rng::exponential requires a positive mean");
+    double u = 0.0;
+    while (u <= 0.0)
+        u = uniform();
+    return -mean * std::log(u);
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+} // namespace vmt

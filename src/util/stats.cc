@@ -1,0 +1,84 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        fatal("percentile requires p in [0, 100]");
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+maxValue(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+minValue(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::min_element(values.begin(), values.end());
+}
+
+} // namespace vmt

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Summary statistics helpers: running accumulators and percentiles.
+ */
+
+#ifndef VMT_UTIL_STATS_H
+#define VMT_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace vmt {
+
+/**
+ * Single-pass accumulator for mean / min / max / stddev
+ * (Welford's algorithm).
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples seen so far. */
+    std::size_t count() const { return count_; }
+
+    /** Mean of the samples (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Smallest sample (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance (0 for fewer than two samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Percentile of a sample set with linear interpolation between ranks.
+ *
+ * @param values Samples; copied and sorted internally.
+ * @param p Percentile in [0, 100].
+ * @return The interpolated percentile, or 0 for an empty input.
+ */
+double percentile(std::vector<double> values, double p);
+
+/** Arithmetic mean of a vector (0 when empty). */
+double mean(const std::vector<double> &values);
+
+/** Largest element (0 when empty). */
+double maxValue(const std::vector<double> &values);
+
+/** Smallest element (0 when empty). */
+double minValue(const std::vector<double> &values);
+
+} // namespace vmt
+
+#endif // VMT_UTIL_STATS_H

@@ -1,0 +1,81 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+Table::Table(std::string title)
+    : title_(std::move(title))
+{}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty() && row.size() != header_.size())
+        fatal("Table row width does not match header width");
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    // Column widths from header and all rows.
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto grow = [&widths](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]))
+               << row[i];
+            if (i + 1 < row.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << title_ << '\n';
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        os << std::string(total >= 2 ? total - 2 : total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+Table::cell(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+Table::cell(long long value)
+{
+    return std::to_string(value);
+}
+
+} // namespace vmt

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fixed-width console table printer used by the benchmark harnesses to
+ * print paper-style rows.
+ */
+
+#ifndef VMT_UTIL_TABLE_H
+#define VMT_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vmt {
+
+/**
+ * Collects rows of strings and prints them with aligned columns.
+ *
+ * Numeric cells are produced with the cell() helpers so benches control
+ * precision explicitly.
+ */
+class Table
+{
+  public:
+    /** @param title Optional heading printed above the table. */
+    explicit Table(std::string title = "");
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; must match the header width when one is set. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with column alignment and a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with fixed precision. */
+    static std::string cell(double value, int precision = 2);
+
+    /** Format an integer. */
+    static std::string cell(long long value);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vmt
+
+#endif // VMT_UTIL_TABLE_H

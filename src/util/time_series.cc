@@ -1,0 +1,112 @@
+#include "util/time_series.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+TimeSeries::TimeSeries(Seconds period)
+    : period_(period)
+{
+    if (period <= 0.0)
+        fatal("TimeSeries requires a positive sampling period");
+}
+
+void
+TimeSeries::add(double value)
+{
+    values_.push_back(value);
+}
+
+double
+TimeSeries::at(std::size_t i) const
+{
+    if (i >= values_.size())
+        panic("TimeSeries::at out of range");
+    return values_[i];
+}
+
+Seconds
+TimeSeries::timeAt(std::size_t i) const
+{
+    return static_cast<double>(i) * period_;
+}
+
+double
+TimeSeries::peak() const
+{
+    if (values_.empty())
+        return 0.0;
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+std::size_t
+TimeSeries::peakIndex() const
+{
+    if (values_.empty())
+        return 0;
+    return static_cast<std::size_t>(
+        std::max_element(values_.begin(), values_.end()) - values_.begin());
+}
+
+double
+TimeSeries::trough() const
+{
+    if (values_.empty())
+        return 0.0;
+    return *std::min_element(values_.begin(), values_.end());
+}
+
+double
+TimeSeries::average() const
+{
+    if (values_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values_)
+        sum += v;
+    return sum / static_cast<double>(values_.size());
+}
+
+double
+TimeSeries::smoothedPeak(std::size_t window) const
+{
+    if (window == 0)
+        fatal("smoothedPeak requires window >= 1");
+    if (values_.empty())
+        return 0.0;
+    if (window > values_.size())
+        window = values_.size();
+    double sum = 0.0;
+    for (std::size_t i = 0; i < window; ++i)
+        sum += values_[i];
+    double best = sum;
+    for (std::size_t i = window; i < values_.size(); ++i) {
+        sum += values_[i] - values_[i - window];
+        best = std::max(best, sum);
+    }
+    return best / static_cast<double>(window);
+}
+
+Seconds
+TimeSeries::timeAbove(double level) const
+{
+    std::size_t n = 0;
+    for (double v : values_) {
+        if (v >= level)
+            ++n;
+    }
+    return static_cast<double>(n) * period_;
+}
+
+double
+TimeSeries::integral() const
+{
+    double sum = 0.0;
+    for (double v : values_)
+        sum += v;
+    return sum * period_;
+}
+
+} // namespace vmt

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Uniformly sampled time series used for cooling load, temperatures and
+ * group sizes over a simulated run.
+ */
+
+#ifndef VMT_UTIL_TIME_SERIES_H
+#define VMT_UTIL_TIME_SERIES_H
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.h"
+
+namespace vmt {
+
+/**
+ * A time series with a fixed sampling period starting at t = 0.
+ *
+ * Samples are appended in time order; the timestamp of sample i is
+ * i * period().
+ */
+class TimeSeries
+{
+  public:
+    /** @param period Sampling period in seconds (> 0). */
+    explicit TimeSeries(Seconds period);
+
+    /** Append the next sample. */
+    void add(double value);
+
+    /** Number of samples. */
+    std::size_t size() const { return values_.size(); }
+
+    /** True when no samples have been added. */
+    bool empty() const { return values_.empty(); }
+
+    /** Sampling period in seconds. */
+    Seconds period() const { return period_; }
+
+    /** Value of sample i. */
+    double at(std::size_t i) const;
+
+    /** Timestamp (seconds) of sample i. */
+    Seconds timeAt(std::size_t i) const;
+
+    /** All samples, oldest first. */
+    const std::vector<double> &values() const { return values_; }
+
+    /** Largest sample (0 when empty). */
+    double peak() const;
+
+    /** Index of the largest sample (0 when empty). */
+    std::size_t peakIndex() const;
+
+    /** Smallest sample (0 when empty). */
+    double trough() const;
+
+    /** Arithmetic mean (0 when empty). */
+    double average() const;
+
+    /**
+     * Largest sample over a sliding window average.
+     * Peak *cooling load* is reported on a smoothed series so a single
+     * one-minute spike does not dominate; window of 1 returns peak().
+     * @param window Number of samples per window (>= 1).
+     */
+    double smoothedPeak(std::size_t window) const;
+
+    /**
+     * Total time the series spends at or above a level, in seconds.
+     */
+    Seconds timeAbove(double level) const;
+
+    /** Integral of the series over time (value-seconds). */
+    double integral() const;
+
+  private:
+    Seconds period_;
+    std::vector<double> values_;
+};
+
+} // namespace vmt
+
+#endif // VMT_UTIL_TIME_SERIES_H

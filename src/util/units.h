@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Unit aliases and physical constants used throughout the VMT library.
+ *
+ * All quantities are SI doubles; the aliases document intent at interface
+ * boundaries without imposing a heavyweight unit system on hot simulation
+ * loops.
+ */
+
+#ifndef VMT_UTIL_UNITS_H
+#define VMT_UTIL_UNITS_H
+
+namespace vmt {
+
+/** Power in watts. */
+using Watts = double;
+/** Energy in joules. */
+using Joules = double;
+/** Temperature in degrees Celsius. */
+using Celsius = double;
+/** Temperature difference in kelvin (== Celsius delta). */
+using Kelvin = double;
+/** Time in seconds. */
+using Seconds = double;
+/** Time in hours. */
+using Hours = double;
+/** Mass in kilograms. */
+using Kilograms = double;
+/** Volume in liters. */
+using Liters = double;
+/** Thermal resistance in kelvin per watt. */
+using KelvinPerWatt = double;
+/** Heat capacity in joules per kelvin. */
+using JoulesPerKelvin = double;
+/** Specific heat in joules per kilogram-kelvin. */
+using JoulesPerKgK = double;
+/** Specific latent heat in joules per kilogram. */
+using JoulesPerKg = double;
+/** Money in US dollars. */
+using Dollars = double;
+
+/** Seconds in one minute. */
+inline constexpr Seconds kMinute = 60.0;
+/** Seconds in one hour. */
+inline constexpr Seconds kHour = 3600.0;
+/** Seconds in one day. */
+inline constexpr Seconds kDay = 86400.0;
+
+/** Convert seconds to hours. */
+constexpr Hours secondsToHours(Seconds s) { return s / kHour; }
+/** Convert hours to seconds. */
+constexpr Seconds hoursToSeconds(Hours h) { return h * kHour; }
+
+} // namespace vmt
+
+#endif // VMT_UTIL_UNITS_H

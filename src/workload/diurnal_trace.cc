@@ -1,0 +1,167 @@
+#include "workload/diurnal_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace vmt {
+
+namespace {
+
+/** One control point of the normalized diurnal shape. */
+struct ControlPoint
+{
+    Hours hour;
+    double level; // 0 = trough, 1 = peak
+};
+
+// Two distinct days, mirroring the paper's Fig. 8/9: troughs near
+// hours 5 and 29, peaks near hour 20 (day one) and hour 46 (day two,
+// slightly later and with a slightly different evening ramp).
+constexpr ControlPoint kShape[] = {
+    {0.0, 0.45},  {2.0, 0.25},  {5.0, 0.00},  {8.0, 0.18},
+    {11.0, 0.30}, {14.0, 0.42}, {16.0, 0.50}, {18.0, 0.70},
+    {19.0, 0.86}, {20.0, 1.00}, {21.0, 0.95}, {22.0, 0.78},
+    {23.0, 0.58},
+    // Day two.
+    {24.0, 0.45}, {26.0, 0.25}, {29.0, 0.00}, {32.0, 0.18},
+    {35.0, 0.30}, {38.0, 0.42}, {41.0, 0.52}, {43.5, 0.70},
+    {46.0, 1.00}, {47.0, 0.90}, {48.0, 0.45},
+};
+
+/** Cosine-smoothed interpolation of a control polygon. */
+double
+interpolate(const ControlPoint *points, std::size_t n, Hours hour)
+{
+    if (hour <= points[0].hour)
+        return points[0].level;
+    for (std::size_t i = 1; i < n; ++i) {
+        if (hour <= points[i].hour) {
+            const auto &a = points[i - 1];
+            const auto &b = points[i];
+            const double t = (hour - a.hour) / (b.hour - a.hour);
+            const double s = 0.5 - 0.5 * std::cos(t * M_PI);
+            return a.level + (b.level - a.level) * s;
+        }
+    }
+    return points[n - 1].level;
+}
+
+double
+shapeAt(Hours hour)
+{
+    return interpolate(kShape, std::size(kShape), hour);
+}
+
+} // namespace
+
+DiurnalTrace::DiurnalTrace(const TraceParams &params)
+    : params_(params)
+{
+    if (params.duration <= 0.0 || params.sampleInterval <= 0.0)
+        fatal("TraceParams duration/sampleInterval must be positive");
+    if (params.peakUtilization > 1.0 ||
+        params.troughUtilization < 0.0 ||
+        params.peakUtilization <= params.troughUtilization)
+        fatal("TraceParams requires 0 <= trough < peak <= 1");
+
+    std::vector<ControlPoint> custom;
+    if (!params.customShape.empty()) {
+        Hours prev = -1.0;
+        for (const auto &[hour, level] : params.customShape) {
+            if (hour <= prev)
+                fatal("TraceParams::customShape hours must be "
+                      "strictly increasing");
+            if (level < 0.0 || level > 1.0)
+                fatal("TraceParams::customShape levels must be in "
+                      "[0, 1]");
+            prev = hour;
+            custom.push_back(ControlPoint{hour, level});
+        }
+    }
+    const Hours cycle =
+        custom.empty() ? 48.0 : custom.back().hour;
+
+    Rng rng(params.seed);
+    const auto count = static_cast<std::size_t>(
+        std::ceil(hoursToSeconds(params.duration) / params.sampleInterval));
+    samples_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const Hours hour = secondsToHours(
+            static_cast<double>(i) * params.sampleInterval);
+        // The trace repeats after one cycle if a longer run is
+        // requested; the phase offset shifts the shape in time.
+        Hours wrapped =
+            std::fmod(hour - params.phaseOffset, cycle);
+        if (wrapped < 0.0)
+            wrapped += cycle;
+        const double shape =
+            custom.empty()
+                ? shapeAt(wrapped)
+                : interpolate(custom.data(), custom.size(), wrapped);
+        double u = params.troughUtilization +
+                   (params.peakUtilization - params.troughUtilization) *
+                       shape;
+        if (params.noiseStddev > 0.0)
+            u *= 1.0 + rng.normal(0.0, params.noiseStddev);
+        samples_.push_back(std::clamp(u, 0.0, 1.0));
+    }
+}
+
+DiurnalTrace::DiurnalTrace(std::vector<double> samples,
+                           Seconds sample_interval)
+    : samples_(std::move(samples))
+{
+    if (sample_interval <= 0.0)
+        fatal("DiurnalTrace requires a positive sample interval");
+    if (samples_.empty())
+        fatal("DiurnalTrace requires at least one sample");
+    for (double u : samples_) {
+        if (u < 0.0 || u > 1.0)
+            fatal("DiurnalTrace samples must be in [0, 1]");
+    }
+    params_.sampleInterval = sample_interval;
+    params_.duration = secondsToHours(
+        static_cast<double>(samples_.size()) * sample_interval);
+    params_.noiseStddev = 0.0;
+    params_.troughUtilization = trough();
+    params_.peakUtilization = peak();
+}
+
+double
+DiurnalTrace::utilization(std::size_t i) const
+{
+    if (i >= samples_.size())
+        panic("DiurnalTrace::utilization out of range");
+    return samples_[i];
+}
+
+double
+DiurnalTrace::workloadUtilization(WorkloadType type, std::size_t i) const
+{
+    return utilization(i) * workloadInfo(type).loadShare;
+}
+
+std::size_t
+DiurnalTrace::indexAt(Seconds t) const
+{
+    const auto idx =
+        static_cast<std::size_t>(std::max(0.0, t) / params_.sampleInterval);
+    return std::min(idx, samples_.size() - 1);
+}
+
+double
+DiurnalTrace::peak() const
+{
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+DiurnalTrace::trough() const
+{
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+} // namespace vmt

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * A job: one core's worth of work of a given workload type.
+ *
+ * The paper schedules jobs at core granularity ("all of the workloads
+ * can be co-located within the same server, however they are assigned
+ * separate physical cores"); a job therefore occupies exactly one core
+ * for its duration.
+ */
+
+#ifndef VMT_WORKLOAD_JOB_H
+#define VMT_WORKLOAD_JOB_H
+
+#include <cstdint>
+
+#include "util/units.h"
+#include "workload/workload.h"
+
+namespace vmt {
+
+/** One core-granularity unit of schedulable work. */
+struct Job
+{
+    /** Monotonically increasing id (for tracing/debugging). */
+    std::uint64_t id = 0;
+    /** Which workload the job belongs to; determines power and the
+     *  hot/cold classification used by VMT. */
+    WorkloadType type = WorkloadType::WebSearch;
+    /** Run length in seconds. */
+    Seconds duration = 0.0;
+};
+
+} // namespace vmt
+
+#endif // VMT_WORKLOAD_JOB_H

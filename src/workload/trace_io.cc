@@ -1,0 +1,70 @@
+#include "workload/trace_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+void
+saveTraceCsv(const DiurnalTrace &trace, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("saveTraceCsv: cannot open " + path);
+    out << "hour,utilization\n";
+    out.precision(17);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        out << secondsToHours(trace.sampleInterval() *
+                              static_cast<double>(i))
+            << ',' << trace.utilization(i) << '\n';
+    }
+}
+
+DiurnalTrace
+loadTraceCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("loadTraceCsv: cannot open " + path);
+
+    std::vector<double> hours;
+    std::vector<double> samples;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (line.rfind("hour", 0) == 0)
+            continue; // Header.
+        std::istringstream row(line);
+        std::string hour_cell, util_cell;
+        if (!std::getline(row, hour_cell, ',') ||
+            !std::getline(row, util_cell, ','))
+            fatal("loadTraceCsv: malformed row '" + line + "'");
+        try {
+            hours.push_back(std::stod(hour_cell));
+            samples.push_back(std::stod(util_cell));
+        } catch (const std::exception &) {
+            fatal("loadTraceCsv: non-numeric row '" + line + "'");
+        }
+    }
+    if (samples.size() < 2)
+        fatal("loadTraceCsv: need at least two rows");
+
+    const Seconds interval = hoursToSeconds(hours[1] - hours[0]);
+    if (interval <= 0.0)
+        fatal("loadTraceCsv: hour column must be increasing");
+    // Sanity-check uniform sampling.
+    for (std::size_t i = 1; i < hours.size(); ++i) {
+        const Seconds step = hoursToSeconds(hours[i] - hours[i - 1]);
+        if (std::abs(step - interval) > 1e-6 * interval + 1e-9)
+            fatal("loadTraceCsv: non-uniform sampling at row " +
+                  std::to_string(i));
+    }
+    return DiurnalTrace(std::move(samples), interval);
+}
+
+} // namespace vmt

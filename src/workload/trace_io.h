@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Load/store utilization traces as CSV so operators can feed real
+ * datacenter traces to the simulator (the paper uses a proprietary
+ * two-day Google trace; this is the adoption path for "bring your
+ * own").
+ *
+ * Format: a header line `hour,utilization` followed by one row per
+ * sampling interval; utilization is a fraction of total cluster
+ * cores in [0, 1]. Lines starting with '#' are ignored.
+ */
+
+#ifndef VMT_WORKLOAD_TRACE_IO_H
+#define VMT_WORKLOAD_TRACE_IO_H
+
+#include <string>
+
+#include "workload/diurnal_trace.h"
+
+namespace vmt {
+
+/**
+ * Write a trace to CSV.
+ * @throws FatalError when the file cannot be opened.
+ */
+void saveTraceCsv(const DiurnalTrace &trace, const std::string &path);
+
+/**
+ * Load a trace from CSV written by saveTraceCsv (or hand-authored in
+ * the same format). The sampling interval is inferred from the hour
+ * column of the first two rows.
+ * @throws FatalError on malformed input.
+ */
+DiurnalTrace loadTraceCsv(const std::string &path);
+
+} // namespace vmt
+
+#endif // VMT_WORKLOAD_TRACE_IO_H

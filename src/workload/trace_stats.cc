@@ -1,0 +1,55 @@
+#include "workload/trace_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmt {
+
+TraceStats
+analyzeTrace(const DiurnalTrace &trace)
+{
+    TraceStats stats;
+    stats.peak = trace.peak();
+    stats.trough = trace.trough();
+
+    double sum = 0.0;
+    std::size_t peak_index = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const double u = trace.utilization(i);
+        sum += u;
+        if (u > trace.utilization(peak_index))
+            peak_index = i;
+    }
+    stats.mean = sum / static_cast<double>(trace.size());
+    stats.peakHour = secondsToHours(
+        static_cast<double>(peak_index) * trace.sampleInterval());
+
+    // Time within 10 % (relative) of the peak.
+    const double near_peak = stats.peak * 0.90;
+    std::size_t near = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (trace.utilization(i) >= near_peak)
+            ++near;
+    }
+    stats.peakWidth = secondsToHours(
+        static_cast<double>(near) * trace.sampleInterval());
+
+    // Steepest one-hour rise.
+    const auto samples_per_hour = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::lround(kHour / trace.sampleInterval())));
+    for (std::size_t i = samples_per_hour; i < trace.size(); ++i) {
+        stats.maxHourlyRamp = std::max(
+            stats.maxHourlyRamp,
+            trace.utilization(i) -
+                trace.utilization(i - samples_per_hour));
+    }
+
+    for (WorkloadType type : kAllWorkloads) {
+        if (workloadInfo(type).paperClass == ThermalClass::Hot)
+            stats.hotLoadShare += workloadInfo(type).loadShare;
+    }
+    return stats;
+}
+
+} // namespace vmt

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Trace analytics: the characteristics an operator needs before
+ * choosing a GV — peak, trough, peak width, ramp rate, and the hot
+ * fraction of load. Used by the mix advisor, the GV tuner's sanity
+ * output and `vmtsim trace --analyze`.
+ */
+
+#ifndef VMT_WORKLOAD_TRACE_STATS_H
+#define VMT_WORKLOAD_TRACE_STATS_H
+
+#include "util/units.h"
+#include "workload/diurnal_trace.h"
+
+namespace vmt {
+
+/** Summary statistics of a utilization trace. */
+struct TraceStats
+{
+    /** Largest utilization sample. */
+    double peak = 0.0;
+    /** Smallest utilization sample. */
+    double trough = 0.0;
+    /** Mean utilization. */
+    double mean = 0.0;
+    /** Hour of the first global-peak sample. */
+    Hours peakHour = 0.0;
+    /** Total time spent within 10 % (relative) of the peak. */
+    Hours peakWidth = 0.0;
+    /** Steepest sustained one-hour rise in utilization. */
+    double maxHourlyRamp = 0.0;
+    /** Fraction of total core demand from hot-classified
+     *  workloads (fixed by the catalog's shares). */
+    double hotLoadShare = 0.0;
+};
+
+/** Compute statistics over a trace. */
+TraceStats analyzeTrace(const DiurnalTrace &trace);
+
+} // namespace vmt
+
+#endif // VMT_WORKLOAD_TRACE_STATS_H

@@ -1,0 +1,48 @@
+#include "workload/workload.h"
+
+#include "util/logging.h"
+
+namespace vmt {
+
+namespace {
+
+// Table I of the paper, plus the load split used for the trace.
+// Hot shares (WebSearch + VideoEncoding + Clustering) sum to 0.60 for
+// the paper's "roughly 60-40 split between hot jobs and cold jobs".
+constexpr std::array<WorkloadInfo, kNumWorkloads> kCatalog = {{
+    {WorkloadType::WebSearch, "WebSearch", 37.2, ThermalClass::Hot,
+     QosClass::LatencyCritical, 0.25, 5.0 * kMinute},
+    {WorkloadType::DataCaching, "DataCaching", 13.5, ThermalClass::Cold,
+     QosClass::LatencyCritical, 0.25, 15.0 * kMinute},
+    {WorkloadType::VideoEncoding, "VideoEncoding", 60.9, ThermalClass::Hot,
+     QosClass::Deferrable, 0.15, 25.0 * kMinute},
+    {WorkloadType::VirusScan, "VirusScan", 3.4, ThermalClass::Cold,
+     QosClass::Deferrable, 0.15, 8.0 * kMinute},
+    {WorkloadType::Clustering, "Clustering", 59.5, ThermalClass::Hot,
+     QosClass::Deferrable, 0.20, 40.0 * kMinute},
+}};
+
+} // namespace
+
+const WorkloadInfo &
+workloadInfo(WorkloadType type)
+{
+    const auto idx = workloadIndex(type);
+    if (idx >= kNumWorkloads)
+        panic("workloadInfo: invalid workload type");
+    return kCatalog[idx];
+}
+
+Watts
+perCorePower(WorkloadType type)
+{
+    return workloadInfo(type).cpuPower / static_cast<double>(kCoresPerCpu);
+}
+
+std::string
+workloadName(WorkloadType type)
+{
+    return workloadInfo(type).name;
+}
+
+} // namespace vmt

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The five-workload suite from Table I of the paper, with per-CPU
+ * power, VMT thermal class, QoS class, load share and job duration.
+ */
+
+#ifndef VMT_WORKLOAD_WORKLOAD_H
+#define VMT_WORKLOAD_WORKLOAD_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "util/units.h"
+
+namespace vmt {
+
+/** The workloads considered in the scale-out study (Table I). */
+enum class WorkloadType : std::uint8_t
+{
+    WebSearch = 0,
+    DataCaching,
+    VideoEncoding,
+    VirusScan,
+    Clustering,
+};
+
+/** Number of workload types. */
+inline constexpr std::size_t kNumWorkloads = 5;
+
+/** All workload types, for iteration. */
+inline constexpr std::array<WorkloadType, kNumWorkloads> kAllWorkloads = {
+    WorkloadType::WebSearch,   WorkloadType::DataCaching,
+    WorkloadType::VideoEncoding, WorkloadType::VirusScan,
+    WorkloadType::Clustering,
+};
+
+/** VMT thermal classification of a workload (Section III-A). */
+enum class ThermalClass : std::uint8_t
+{
+    Hot,
+    Cold,
+};
+
+/** Latency sensitivity, for the QoS models (Section IV-B). */
+enum class QosClass : std::uint8_t
+{
+    /** Millisecond/microsecond targets (search, caching). */
+    LatencyCritical,
+    /** User-facing but tolerant of seconds of delay. */
+    Deferrable,
+};
+
+/** Static description of one workload. */
+struct WorkloadInfo
+{
+    WorkloadType type;
+    const char *name;
+    /** Power of one fully busy 8-core Xeon E7-4809 v4 running the
+     *  workload (Table I). */
+    Watts cpuPower;
+    /** Paper's hot/cold label (Table I). */
+    ThermalClass paperClass;
+    QosClass qos;
+    /** Fraction of the trace's total core demand carried by this
+     *  workload (chosen for the paper's ~60/40 hot/cold power split). */
+    double loadShare;
+    /** Mean job duration (exponentially distributed). */
+    Seconds meanDuration;
+};
+
+/** Cores per CPU package used to normalize Table I powers. */
+inline constexpr int kCoresPerCpu = 8;
+
+/** Look up the static description of a workload. */
+const WorkloadInfo &workloadInfo(WorkloadType type);
+
+/** Table I power divided across the package's cores (W per core). */
+Watts perCorePower(WorkloadType type);
+
+/** Short display name. */
+std::string workloadName(WorkloadType type);
+
+/** Index helper for dense per-workload arrays. */
+constexpr std::size_t
+workloadIndex(WorkloadType type)
+{
+    return static_cast<std::size_t>(type);
+}
+
+} // namespace vmt
+
+#endif // VMT_WORKLOAD_WORKLOAD_H

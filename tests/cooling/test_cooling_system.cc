@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Unit tests for the fixed-capacity cooling plant model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cooling/cooling_system.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+TEST(CoolingSystem, HoldsSetpointUnderCapacity)
+{
+    const CoolingSystem plant(30000.0, 22.0, 1.5e-3);
+    EXPECT_DOUBLE_EQ(plant.inletFor(0.0), 22.0);
+    EXPECT_DOUBLE_EQ(plant.inletFor(30000.0), 22.0);
+    EXPECT_FALSE(plant.overloaded(30000.0));
+}
+
+TEST(CoolingSystem, InletRisesLinearlyWithOverload)
+{
+    const CoolingSystem plant(30000.0, 22.0, 1.5e-3);
+    EXPECT_DOUBLE_EQ(plant.inletFor(31000.0), 23.5);
+    EXPECT_DOUBLE_EQ(plant.inletFor(34000.0), 28.0);
+    EXPECT_TRUE(plant.overloaded(31000.0));
+}
+
+TEST(CoolingSystem, Accessors)
+{
+    const CoolingSystem plant(1000.0, 20.0);
+    EXPECT_DOUBLE_EQ(plant.capacity(), 1000.0);
+    EXPECT_DOUBLE_EQ(plant.nominalInlet(), 20.0);
+}
+
+TEST(CoolingSystem, Validates)
+{
+    EXPECT_THROW(CoolingSystem(0.0), FatalError);
+    EXPECT_THROW(CoolingSystem(100.0, 22.0, -1.0), FatalError);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for datacenter-level cooling arithmetic (Section V-E).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cooling/datacenter.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+TEST(DatacenterSpec, TwentyFiveMwIsFiftyThousandServers)
+{
+    const DatacenterSpec dc;
+    EXPECT_EQ(dc.totalServers(), 50000u);
+    EXPECT_EQ(dc.numClusters(), 50u);
+}
+
+TEST(DatacenterCooling, BaselineEqualsCriticalPower)
+{
+    const DatacenterCoolingModel model{DatacenterSpec{}};
+    EXPECT_DOUBLE_EQ(model.baselinePeakLoad(), 25.0e6);
+}
+
+TEST(DatacenterCooling, TwelvePointEightPercentReduction)
+{
+    // "Decreasing the peak cooling load 12.8% reduces the peak
+    // cooling load of the datacenter from 25 MW to 21.8 MW."
+    const DatacenterCoolingModel model{DatacenterSpec{}};
+    EXPECT_NEAR(model.reducedPeakLoad(0.128), 21.8e6, 0.05e6);
+}
+
+TEST(DatacenterCooling, PaperExtraServerCounts)
+{
+    const DatacenterCoolingModel model{DatacenterSpec{}};
+    // 12.8% -> "14.6% more servers: ... 7,339 additional servers".
+    EXPECT_NEAR(static_cast<double>(model.extraServers(0.128)),
+                7339.0, 5.0);
+    // 6% -> "6.4% more servers: ... 3,191 additional servers".
+    EXPECT_NEAR(static_cast<double>(model.extraServers(0.06)),
+                3191.0, 2.0);
+}
+
+TEST(DatacenterCooling, ZeroReductionAddsNothing)
+{
+    const DatacenterCoolingModel model{DatacenterSpec{}};
+    EXPECT_EQ(model.extraServers(0.0), 0u);
+    EXPECT_DOUBLE_EQ(model.reducedPeakLoad(0.0), 25.0e6);
+}
+
+TEST(DatacenterCooling, Validates)
+{
+    const DatacenterCoolingModel model{DatacenterSpec{}};
+    EXPECT_THROW(model.reducedPeakLoad(-0.1), FatalError);
+    EXPECT_THROW(model.reducedPeakLoad(1.0), FatalError);
+    EXPECT_THROW(model.extraServers(1.0), FatalError);
+    DatacenterSpec bad;
+    bad.criticalPower = 0.0;
+    EXPECT_THROW(DatacenterCoolingModel{bad}, FatalError);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the rack recirculation model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cooling/recirculation.h"
+#include "core/vmt_ta.h"
+#include "sim/simulation.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+TEST(Recirculation, Validates)
+{
+    EXPECT_THROW(RecirculationModel(0), FatalError);
+    RecirculationParams p;
+    p.serversPerRack = 0;
+    EXPECT_THROW(RecirculationModel(10, p), FatalError);
+    p = {};
+    p.risePerRackWatt = -1.0;
+    EXPECT_THROW(RecirculationModel(10, p), FatalError);
+}
+
+TEST(Recirculation, RackCountRoundsUp)
+{
+    RecirculationParams p;
+    p.serversPerRack = 20;
+    EXPECT_EQ(RecirculationModel(100, p).numRacks(), 5u);
+    EXPECT_EQ(RecirculationModel(101, p).numRacks(), 6u);
+}
+
+TEST(Recirculation, ContiguousAssignment)
+{
+    const RecirculationModel model(100);
+    EXPECT_EQ(model.rackOf(0), 0u);
+    EXPECT_EQ(model.rackOf(19), 0u);
+    EXPECT_EQ(model.rackOf(20), 1u);
+    EXPECT_EQ(model.rackOf(99), 4u);
+}
+
+TEST(Recirculation, StripedAssignment)
+{
+    RecirculationParams p;
+    p.assignment = RackAssignment::Striped;
+    const RecirculationModel model(100, p);
+    EXPECT_EQ(model.rackOf(0), 0u);
+    EXPECT_EQ(model.rackOf(1), 1u);
+    EXPECT_EQ(model.rackOf(5), 0u);
+    EXPECT_EQ(model.rackOf(99), 4u);
+}
+
+TEST(Recirculation, OffsetsScaleWithRackAverage)
+{
+    RecirculationParams p;
+    p.serversPerRack = 2;
+    p.risePerRackWatt = 0.01;
+    const RecirculationModel model(4, p);
+    // Rack 0 averages 300 W, rack 1 averages 100 W.
+    const auto offsets =
+        model.inletOffsets({200.0, 400.0, 100.0, 100.0});
+    ASSERT_EQ(offsets.size(), 4u);
+    EXPECT_DOUBLE_EQ(offsets[0], 3.0);
+    EXPECT_DOUBLE_EQ(offsets[1], 3.0);
+    EXPECT_DOUBLE_EQ(offsets[2], 1.0);
+    EXPECT_DOUBLE_EQ(offsets[3], 1.0);
+}
+
+TEST(Recirculation, StripingFlattensTheInletField)
+{
+    // Half the servers hot, half idle. Contiguous: hot rack gets the
+    // full rise; striped: every rack sees the mixture.
+    RecirculationParams contiguous;
+    contiguous.serversPerRack = 10;
+    RecirculationParams striped = contiguous;
+    striped.assignment = RackAssignment::Striped;
+
+    std::vector<Watts> rejected(40, 100.0);
+    for (std::size_t i = 0; i < 20; ++i)
+        rejected[i] = 400.0;
+
+    const auto a =
+        RecirculationModel(40, contiguous).inletOffsets(rejected);
+    const auto b =
+        RecirculationModel(40, striped).inletOffsets(rejected);
+
+    auto spread = [](const std::vector<Kelvin> &v) {
+        return *std::max_element(v.begin(), v.end()) -
+               *std::min_element(v.begin(), v.end());
+    };
+    EXPECT_GT(spread(a), 1.0);
+    EXPECT_NEAR(spread(b), 0.0, 1e-9);
+}
+
+TEST(Recirculation, MismatchedVectorIsFatal)
+{
+    const RecirculationModel model(10);
+    EXPECT_THROW(model.inletOffsets(std::vector<Watts>(9, 1.0)),
+                 FatalError);
+}
+
+TEST(Recirculation, SimulationIntegration)
+{
+    // With recirculation on, a contiguous VMT hot group heats its own
+    // racks: hot-group inlet support pushes melt earlier and the
+    // spread grows versus the no-recirculation run.
+    SimConfig config;
+    config.numServers = 60;
+    config.trace.duration = 24.0;
+    config.seed = 7;
+    config.recordHeatmaps = true;
+
+    VmtTaScheduler flat(VmtConfig{}, hotMaskFromPaper());
+    const SimResult without = runSimulation(config, flat);
+
+    config.modelRecirculation = true;
+    config.recirculation.serversPerRack = 10;
+    VmtTaScheduler sched(VmtConfig{}, hotMaskFromPaper());
+    const SimResult with = runSimulation(config, sched);
+
+    EXPECT_GT(with.hotGroupTemp.peak(), without.hotGroupTemp.peak());
+    EXPECT_GE(with.maxMeltFraction, without.maxMeltFraction - 1e-9);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the closed-loop adaptive GV controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_vmt.h"
+#include "util/logging.h"
+#include "sched/round_robin.h"
+#include "sim/simulation.h"
+
+namespace vmt {
+namespace {
+
+SimConfig
+multiDay(Hours hours)
+{
+    SimConfig config;
+    config.numServers = 100;
+    config.trace.duration = hours;
+    config.seed = 7;
+    return config;
+}
+
+VmtConfig
+startAt(double gv)
+{
+    VmtConfig c;
+    c.groupingValue = gv;
+    return c;
+}
+
+TEST(AdaptiveVmt, ValidatesParams)
+{
+    AdaptiveVmtParams p;
+    p.gvMin = 0.0;
+    EXPECT_THROW(
+        AdaptiveVmtScheduler(startAt(22.0), hotMaskFromPaper(), p),
+        FatalError);
+    p = {};
+    p.stepUp = 0.0;
+    EXPECT_THROW(
+        AdaptiveVmtScheduler(startAt(22.0), hotMaskFromPaper(), p),
+        FatalError);
+    p = {};
+    p.bandHigh = p.bandLow;
+    EXPECT_THROW(
+        AdaptiveVmtScheduler(startAt(22.0), hotMaskFromPaper(), p),
+        FatalError);
+    p = {};
+    p.maxDailyChange = 0.0;
+    EXPECT_THROW(
+        AdaptiveVmtScheduler(startAt(22.0), hotMaskFromPaper(), p),
+        FatalError);
+}
+
+TEST(AdaptiveVmt, HoldsAtTheOptimum)
+{
+    const SimConfig config = multiDay(48.0);
+    AdaptiveVmtScheduler sched(startAt(22.0), hotMaskFromPaper());
+    const SimResult r = runSimulation(config, sched);
+    EXPECT_NEAR(sched.currentGv(), 22.0, 1.0);
+    EXPECT_EQ(r.droppedJobs, 0u);
+}
+
+TEST(AdaptiveVmt, RaisesGvWhenStartedTooConcentrated)
+{
+    const SimConfig config = multiDay(96.0);
+    AdaptiveVmtScheduler sched(startAt(16.0), hotMaskFromPaper());
+    runSimulation(config, sched);
+    // A too-small hot group saturates and over-extends; the
+    // controller must walk the GV upward day by day.
+    EXPECT_GT(sched.currentGv(), 18.5);
+}
+
+TEST(AdaptiveVmt, LowersGvWhenStartedTooSpread)
+{
+    const SimConfig config = multiDay(96.0);
+    AdaptiveVmtScheduler sched(startAt(28.0), hotMaskFromPaper());
+    runSimulation(config, sched);
+    EXPECT_LT(sched.currentGv(), 26.5);
+}
+
+TEST(AdaptiveVmt, BeatsTheStaticMissetGvWithinDays)
+{
+    SimConfig config = multiDay(96.0);
+    RoundRobinScheduler rr;
+    const SimResult base = runSimulation(config, rr);
+    VmtWaScheduler misset(startAt(16.0), hotMaskFromPaper());
+    const SimResult st = runSimulation(config, misset);
+    AdaptiveVmtScheduler sched(startAt(16.0), hotMaskFromPaper());
+    const SimResult ad = runSimulation(config, sched);
+
+    // Compare the last simulated day's cooling peaks.
+    auto day_peak = [](const TimeSeries &s, int day) {
+        double best = 0.0;
+        for (std::size_t i = day * 1440;
+             i < static_cast<std::size_t>(day + 1) * 1440 &&
+             i < s.size();
+             ++i)
+            best = std::max(best, s.at(i));
+        return best;
+    };
+    const double base_peak = day_peak(base.coolingLoad, 3);
+    const double static_red =
+        100.0 * (base_peak - day_peak(st.coolingLoad, 3)) / base_peak;
+    const double adaptive_red =
+        100.0 * (base_peak - day_peak(ad.coolingLoad, 3)) / base_peak;
+    EXPECT_GT(adaptive_red, static_red + 2.0);
+}
+
+TEST(AdaptiveVmt, GvStaysWithinBounds)
+{
+    AdaptiveVmtParams params;
+    params.gvMin = 20.0;
+    params.gvMax = 24.0;
+    const SimConfig config = multiDay(48.0);
+    AdaptiveVmtScheduler sched(startAt(22.0), hotMaskFromPaper(),
+                               params);
+    runSimulation(config, sched);
+    EXPECT_GE(sched.currentGv(), 20.0);
+    EXPECT_LE(sched.currentGv(), 24.0);
+}
+
+TEST(AdaptiveVmt, Name)
+{
+    AdaptiveVmtScheduler sched(startAt(22.0), hotMaskFromPaper());
+    EXPECT_EQ(sched.name(), "VMT-Adaptive");
+}
+
+} // namespace
+} // namespace vmt

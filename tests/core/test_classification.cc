@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for hot/cold workload classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/classification.h"
+#include "core/vmt_ta.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+ThermalClassifier
+studyClassifier()
+{
+    return ThermalClassifier(PowerModel({}, 1.77),
+                             ServerThermalParams{}, 0.95);
+}
+
+TEST(Classification, MatchesTableOneLabels)
+{
+    const ThermalClassifier c = studyClassifier();
+    for (WorkloadType type : kAllWorkloads) {
+        EXPECT_EQ(c.classify(type), workloadInfo(type).paperClass)
+            << workloadName(type);
+    }
+}
+
+TEST(Classification, IsolatedTempOrderingFollowsPower)
+{
+    const ThermalClassifier c = studyClassifier();
+    // More per-core power -> hotter isolated server.
+    EXPECT_GT(c.isolatedAirTemp(WorkloadType::VideoEncoding),
+              c.isolatedAirTemp(WorkloadType::WebSearch));
+    EXPECT_GT(c.isolatedAirTemp(WorkloadType::WebSearch),
+              c.isolatedAirTemp(WorkloadType::DataCaching));
+    EXPECT_GT(c.isolatedAirTemp(WorkloadType::DataCaching),
+              c.isolatedAirTemp(WorkloadType::VirusScan));
+}
+
+TEST(Classification, HotWorkloadsExceedMeltTempInIsolation)
+{
+    const ThermalClassifier c = studyClassifier();
+    const Celsius melt = ServerThermalParams{}.pcm.meltTemp;
+    for (WorkloadType type : kAllWorkloads) {
+        if (c.isHot(type))
+            EXPECT_GE(c.isolatedAirTemp(type), melt);
+        else
+            EXPECT_LT(c.isolatedAirTemp(type), melt);
+    }
+}
+
+TEST(Classification, ValidatesUtilization)
+{
+    const PowerModel power({}, 1.0);
+    EXPECT_THROW(
+        ThermalClassifier(power, ServerThermalParams{}, 0.0),
+        FatalError);
+    EXPECT_THROW(
+        ThermalClassifier(power, ServerThermalParams{}, 1.5),
+        FatalError);
+}
+
+TEST(Classification, MasksAgree)
+{
+    // The model-driven mask reproduces the paper's Table I mask for
+    // the calibrated configuration.
+    EXPECT_EQ(hotMaskFromClassifier(studyClassifier()),
+              hotMaskFromPaper());
+}
+
+TEST(Classification, PaperMaskContents)
+{
+    const HotMask mask = hotMaskFromPaper();
+    EXPECT_TRUE(mask[workloadIndex(WorkloadType::WebSearch)]);
+    EXPECT_FALSE(mask[workloadIndex(WorkloadType::DataCaching)]);
+    EXPECT_TRUE(mask[workloadIndex(WorkloadType::VideoEncoding)]);
+    EXPECT_FALSE(mask[workloadIndex(WorkloadType::VirusScan)]);
+    EXPECT_TRUE(mask[workloadIndex(WorkloadType::Clustering)]);
+}
+
+TEST(Classification, LowerUtilizationCanDemoteBorderlineWorkloads)
+{
+    // WebSearch is the borderline hot workload; at low utilization it
+    // cannot melt wax in isolation.
+    const ThermalClassifier low(PowerModel({}, 1.77),
+                                ServerThermalParams{}, 0.7);
+    EXPECT_EQ(low.classify(WorkloadType::WebSearch),
+              ThermalClass::Cold);
+    EXPECT_EQ(low.classify(WorkloadType::VideoEncoding),
+              ThermalClass::Hot);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for automatic GV tuning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gv_tuner.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+SimConfig
+forecastDay()
+{
+    SimConfig config;
+    config.numServers = 50;
+    config.trace.duration = 24.0;
+    config.seed = 7;
+    return config;
+}
+
+TEST(GvTuner, Validates)
+{
+    GvTunerParams p;
+    p.gvLow = 0.0;
+    EXPECT_THROW(tuneGv(forecastDay(), p), FatalError);
+    p = {};
+    p.gvHigh = p.gvLow;
+    EXPECT_THROW(tuneGv(forecastDay(), p), FatalError);
+    p = {};
+    p.tolerance = 0.0;
+    EXPECT_THROW(tuneGv(forecastDay(), p), FatalError);
+}
+
+TEST(GvTuner, FindsTheFigure18Optimum)
+{
+    GvTunerParams params;
+    params.algorithm = VmtAlgorithm::ThermalAware;
+    params.tolerance = 1.0;
+    const GvTunerResult r = tuneGv(forecastDay(), params);
+    // Fig. 18: the optimum sits at GV ~ 22 for the study workload.
+    EXPECT_NEAR(r.bestGv, 22.0, 1.5);
+    EXPECT_GT(r.bestReduction, 8.0);
+    EXPECT_GT(r.evaluations, 4);
+    EXPECT_LT(r.evaluations, 25);
+}
+
+TEST(GvTuner, WaxAwareAtLeastMatchesDefaults)
+{
+    const GvTunerResult r = tuneGv(forecastDay());
+    EXPECT_GT(r.bestReduction, 8.0);
+    EXPECT_GT(r.bestGv, 14.0);
+    EXPECT_LT(r.bestGv, 30.0);
+}
+
+TEST(GvTuner, TighterToleranceCostsMoreEvaluations)
+{
+    GvTunerParams coarse;
+    coarse.tolerance = 4.0;
+    GvTunerParams fine;
+    fine.tolerance = 0.5;
+    const GvTunerResult a = tuneGv(forecastDay(), coarse);
+    const GvTunerResult b = tuneGv(forecastDay(), fine);
+    EXPECT_LT(a.evaluations, b.evaluations);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the melt-preservation scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vmt_preserve.h"
+#include "core/vmt_wa.h"
+#include "sim/simulation.h"
+
+namespace vmt {
+namespace {
+
+Cluster
+makeCluster(std::size_t n = 10)
+{
+    return Cluster(n, ServerSpec{}, ServerThermalParams{},
+                   PowerModel({}, 1.77));
+}
+
+Job
+job(WorkloadType type)
+{
+    Job j;
+    j.type = type;
+    return j;
+}
+
+TEST(VmtPreserve, PacksHotJobsOntoOneServerAtATime)
+{
+    Cluster c = makeCluster();
+    VmtPreserveScheduler sched(VmtConfig{}, hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    // With a cold, idle hot group, packing targets the max-projected
+    // server and keeps returning it until full.
+    const std::size_t first =
+        sched.placeJob(c, job(WorkloadType::Clustering));
+    c.addJob(first, WorkloadType::Clustering);
+    for (int i = 1; i < 32; ++i) {
+        const std::size_t id =
+            sched.placeJob(c, job(WorkloadType::Clustering));
+        EXPECT_EQ(id, first);
+        c.addJob(id, WorkloadType::Clustering);
+    }
+    // Once full, packing moves to a second server.
+    const std::size_t second =
+        sched.placeJob(c, job(WorkloadType::Clustering));
+    EXPECT_NE(second, first);
+    EXPECT_LT(second, 6u); // Still inside the hot group.
+}
+
+TEST(VmtPreserve, PrefersMeltedServers)
+{
+    Cluster c = makeCluster();
+    // Melt server 2's wax.
+    for (std::size_t i = 0; i < 32; ++i)
+        c.addJob(2, WorkloadType::VideoEncoding);
+    for (int minute = 0; minute < 2000; ++minute) {
+        c.stepThermal(60.0);
+        if (c.server(2).estimatedMeltFraction() >= 0.98)
+            break;
+    }
+    ASSERT_GE(c.server(2).estimatedMeltFraction(), 0.98);
+    for (std::size_t i = 0; i < 32; ++i)
+        c.removeJob(2, WorkloadType::VideoEncoding);
+
+    VmtPreserveScheduler sched(VmtConfig{}, hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    // Hot jobs go to the melted server first — heat there is free.
+    for (int i = 0; i < 10; ++i) {
+        const std::size_t id =
+            sched.placeJob(c, job(WorkloadType::Clustering));
+        EXPECT_EQ(id, 2u);
+        c.addJob(id, WorkloadType::Clustering);
+    }
+}
+
+TEST(VmtPreserve, ColdJobsBalancedInColdGroup)
+{
+    Cluster c = makeCluster();
+    VmtPreserveScheduler sched(VmtConfig{}, hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    std::array<int, 10> placed{};
+    for (int i = 0; i < 8; ++i) {
+        const std::size_t id =
+            sched.placeJob(c, job(WorkloadType::DataCaching));
+        EXPECT_GE(id, 6u); // Cold group.
+        c.addJob(id, WorkloadType::DataCaching);
+        ++placed[id];
+    }
+    for (std::size_t id = 6; id < 10; ++id)
+        EXPECT_EQ(placed[id], 2);
+}
+
+TEST(VmtPreserve, HotOverflowsToColdGroup)
+{
+    Cluster c = makeCluster(3); // Hot group: 22/35.7*3 = 1.85 -> 2.
+    VmtPreserveScheduler sched(VmtConfig{}, hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    for (std::size_t id = 0; id < 2; ++id)
+        for (std::size_t i = 0; i < 32; ++i)
+            c.addJob(id, WorkloadType::Clustering);
+    const std::size_t id =
+        sched.placeJob(c, job(WorkloadType::WebSearch));
+    EXPECT_EQ(id, 2u);
+}
+
+TEST(VmtPreserve, PreservesMoreWaxThanWaOnAShoulder)
+{
+    // Integration-flavored check: on a half-day at shoulder load the
+    // preservation policy ends with less wax melted than VMT-WA.
+    SimConfig config;
+    config.numServers = 50;
+    config.trace.duration = 16.0;
+    config.trace.customShape = {
+        {0.0, 0.3}, {8.0, 0.75}, {13.0, 0.75}, {16.0, 0.5}};
+    config.trace.peakUtilization = 0.97;
+
+    VmtPreserveScheduler preserve(VmtConfig{}, hotMaskFromPaper());
+    VmtWaScheduler wa(VmtConfig{}, hotMaskFromPaper());
+    const SimResult p = runSimulation(config, preserve);
+    const SimResult w = runSimulation(config, wa);
+    EXPECT_LT(p.maxMeltFraction, w.maxMeltFraction + 1e-9);
+}
+
+TEST(VmtPreserve, Name)
+{
+    VmtPreserveScheduler sched(VmtConfig{}, hotMaskFromPaper());
+    EXPECT_EQ(sched.name(), "VMT-Preserve");
+}
+
+} // namespace
+} // namespace vmt

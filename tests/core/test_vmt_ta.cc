@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the thermal-aware VMT scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vmt_ta.h"
+
+namespace vmt {
+namespace {
+
+Cluster
+makeCluster(std::size_t n = 10)
+{
+    return Cluster(n, ServerSpec{}, ServerThermalParams{},
+                   PowerModel({}, 1.77));
+}
+
+VmtConfig
+gv(double value)
+{
+    VmtConfig c;
+    c.groupingValue = value;
+    return c;
+}
+
+Job
+job(WorkloadType type)
+{
+    Job j;
+    j.type = type;
+    return j;
+}
+
+TEST(VmtTa, ReportsHotGroupSize)
+{
+    Cluster c = makeCluster(10);
+    VmtTaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    ASSERT_TRUE(sched.hotGroupSize().has_value());
+    EXPECT_EQ(*sched.hotGroupSize(), 6u); // 22/35.7*10 = 6.16 -> 6.
+}
+
+TEST(VmtTa, HotJobsGoToHotGroup)
+{
+    Cluster c = makeCluster(10);
+    VmtTaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    for (int i = 0; i < 12; ++i) {
+        const std::size_t id =
+            sched.placeJob(c, job(WorkloadType::Clustering));
+        EXPECT_LT(id, 6u);
+        c.addJob(id, WorkloadType::Clustering);
+    }
+}
+
+TEST(VmtTa, ColdJobsGoToColdGroup)
+{
+    Cluster c = makeCluster(10);
+    VmtTaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    for (int i = 0; i < 8; ++i) {
+        const std::size_t id =
+            sched.placeJob(c, job(WorkloadType::DataCaching));
+        EXPECT_GE(id, 6u);
+        c.addJob(id, WorkloadType::DataCaching);
+    }
+}
+
+TEST(VmtTa, HotOverflowsToColdGroupWhenFull)
+{
+    Cluster c = makeCluster(2);
+    VmtConfig cfg = gv(18.0); // 18/35.7*2 = 1.01 -> 1 hot server.
+    VmtTaScheduler sched(cfg, hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    for (std::size_t i = 0; i < 32; ++i)
+        c.addJob(0, WorkloadType::Clustering);
+    const std::size_t id =
+        sched.placeJob(c, job(WorkloadType::Clustering));
+    EXPECT_EQ(id, 1u);
+}
+
+TEST(VmtTa, ColdOverflowsToHotGroupWhenFull)
+{
+    Cluster c = makeCluster(2);
+    VmtTaScheduler sched(gv(18.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    for (std::size_t i = 0; i < 32; ++i)
+        c.addJob(1, WorkloadType::DataCaching);
+    const std::size_t id =
+        sched.placeJob(c, job(WorkloadType::DataCaching));
+    EXPECT_EQ(id, 0u);
+}
+
+TEST(VmtTa, FullClusterReturnsNoServer)
+{
+    Cluster c = makeCluster(2);
+    VmtTaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    for (std::size_t s = 0; s < 2; ++s)
+        for (std::size_t i = 0; i < 32; ++i)
+            c.addJob(s, WorkloadType::DataCaching);
+    EXPECT_EQ(sched.placeJob(c, job(WorkloadType::WebSearch)),
+              kNoServer);
+}
+
+TEST(VmtTa, DistributesEvenlyWithinGroup)
+{
+    Cluster c = makeCluster(10);
+    VmtTaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    std::array<int, 10> placed{};
+    for (int i = 0; i < 60; ++i) {
+        const std::size_t id =
+            sched.placeJob(c, job(WorkloadType::VideoEncoding));
+        c.addJob(id, WorkloadType::VideoEncoding);
+        ++placed[id];
+    }
+    for (std::size_t id = 0; id < 6; ++id)
+        EXPECT_EQ(placed[id], 10) << "server " << id;
+}
+
+TEST(VmtTa, WorksWithoutExplicitBeginInterval)
+{
+    Cluster c = makeCluster(10);
+    VmtTaScheduler sched(gv(22.0), hotMaskFromPaper());
+    const std::size_t id =
+        sched.placeJob(c, job(WorkloadType::WebSearch));
+    EXPECT_LT(id, 6u);
+}
+
+TEST(VmtTa, Name)
+{
+    VmtTaScheduler sched(gv(22.0), hotMaskFromPaper());
+    EXPECT_EQ(sched.name(), "VMT-TA");
+}
+
+} // namespace
+} // namespace vmt

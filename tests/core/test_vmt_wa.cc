@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the wax-aware VMT scheduler's mechanisms: the
+ * melted-server scan, load-bounded hot-group extension, keep-warm
+ * priority, and the placement cascade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vmt_wa.h"
+
+namespace vmt {
+namespace {
+
+Cluster
+makeCluster(std::size_t n)
+{
+    return Cluster(n, ServerSpec{}, ServerThermalParams{},
+                   PowerModel({}, 1.77));
+}
+
+VmtConfig
+gv(double value)
+{
+    VmtConfig c;
+    c.groupingValue = value;
+    return c;
+}
+
+Job
+job(WorkloadType type)
+{
+    Job j;
+    j.type = type;
+    return j;
+}
+
+/** Run servers at full VideoEncoding until their estimates cross the
+ *  threshold (simultaneously: an idle melted server refreezes). */
+void
+meltServers(Cluster &c, const std::vector<std::size_t> &ids)
+{
+    for (std::size_t id : ids)
+        for (std::size_t i = 0; i < 32; ++i)
+            c.addJob(id, WorkloadType::VideoEncoding);
+    for (int minute = 0; minute < 2000; ++minute) {
+        c.stepThermal(60.0);
+        bool all = true;
+        for (std::size_t id : ids)
+            all = all &&
+                  c.server(id).estimatedMeltFraction() >= 0.98;
+        if (all)
+            break;
+    }
+    for (std::size_t id : ids) {
+        ASSERT_GE(c.server(id).estimatedMeltFraction(), 0.98);
+        for (std::size_t i = 0; i < 32; ++i)
+            c.removeJob(id, WorkloadType::VideoEncoding);
+    }
+}
+
+void
+meltServer(Cluster &c, std::size_t id)
+{
+    meltServers(c, {id});
+}
+
+/** Occupy cores so cluster utilization crosses the keep-warm gate,
+ *  with a hot-heavy mix that funds the extension budget. */
+void
+loadCluster(Cluster &c, double utilization, std::size_t first_id = 0)
+{
+    const auto target = static_cast<std::size_t>(
+        utilization * static_cast<double>(c.totalCores()));
+    std::size_t placed = 0;
+    for (std::size_t id = first_id;
+         id < c.numServers() && placed < target; ++id) {
+        for (std::size_t i = 0; i < 24 && placed < target; ++i) {
+            c.addJob(id, WorkloadType::Clustering);
+            ++placed;
+        }
+    }
+}
+
+TEST(VmtWa, StartsAtEquationOneSize)
+{
+    Cluster c = makeCluster(10);
+    VmtWaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    EXPECT_EQ(*sched.hotGroupSize(), 6u);
+    EXPECT_EQ(sched.meltedCount(), 0u);
+}
+
+TEST(VmtWa, SchedulesLikeTaBeforeAnyMelting)
+{
+    Cluster c = makeCluster(10);
+    VmtWaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    for (int i = 0; i < 6; ++i) {
+        const std::size_t id =
+            sched.placeJob(c, job(WorkloadType::WebSearch));
+        EXPECT_LT(id, 6u);
+        c.addJob(id, WorkloadType::WebSearch);
+    }
+    for (int i = 0; i < 4; ++i) {
+        const std::size_t id =
+            sched.placeJob(c, job(WorkloadType::VirusScan));
+        EXPECT_GE(id, 6u);
+        c.addJob(id, WorkloadType::VirusScan);
+    }
+}
+
+TEST(VmtWa, ScanCountsMeltedServers)
+{
+    Cluster c = makeCluster(6);
+    meltServers(c, {0, 2});
+    VmtWaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    EXPECT_EQ(sched.meltedCount(), 2u);
+}
+
+TEST(VmtWa, ExtendsHotGroupWhenLoadSupportsIt)
+{
+    Cluster c = makeCluster(10);
+    // Base hot group is 6; melt two of its members.
+    meltServers(c, {0, 1});
+    loadCluster(c, 0.8); // Plenty of hot load to fund extension.
+    VmtWaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    EXPECT_EQ(sched.meltedCount(), 2u);
+    EXPECT_EQ(*sched.hotGroupSize(), 8u); // 6 + 2 melted.
+}
+
+TEST(VmtWa, ExtensionBoundedWithoutHotLoad)
+{
+    Cluster c = makeCluster(10);
+    meltServers(c, {0, 1});
+    // No running jobs: no hot load to keep anything warm, so the
+    // group must stay at the Eq. 1 minimum.
+    VmtWaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    EXPECT_EQ(*sched.hotGroupSize(), 6u);
+}
+
+TEST(VmtWa, KeepWarmGetsFirstClaimOnHotJobs)
+{
+    Cluster c = makeCluster(10);
+    meltServer(c, 0); // Melted and now nearly idle -> cooling off.
+    // Load the *other* servers so the melted one stays starved.
+    loadCluster(c, 0.6, /*first_id=*/1);
+    VmtWaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    // The first hot placements must target the melted server to stop
+    // it refreezing mid-peak.
+    const std::size_t id =
+        sched.placeJob(c, job(WorkloadType::Clustering));
+    EXPECT_EQ(id, 0u);
+}
+
+TEST(VmtWa, KeepWarmDisabledOffPeak)
+{
+    Cluster c = makeCluster(10);
+    meltServer(c, 0);
+    // Utilization stays below the keep-warm gate (0.5): off-peak the
+    // wax is supposed to refreeze, so placements spread normally and
+    // must not single out the melted server.
+    VmtWaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    std::array<int, 10> placed{};
+    for (int i = 0; i < 12; ++i) {
+        const std::size_t id =
+            sched.placeJob(c, job(WorkloadType::Clustering));
+        c.addJob(id, WorkloadType::Clustering);
+        ++placed[id];
+    }
+    EXPECT_LE(placed[0], 4);
+}
+
+TEST(VmtWa, ColdJobsPreferColdGroupThenMeltedServers)
+{
+    Cluster c = makeCluster(4); // Base hot group: 22/35.7*4 = 2.46 -> 2.
+    VmtWaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    ASSERT_EQ(*sched.hotGroupSize(), 2u);
+    // Fill the cold group (servers 2, 3).
+    for (std::size_t id = 2; id < 4; ++id)
+        for (std::size_t i = 0; i < 32; ++i)
+            c.addJob(id, WorkloadType::DataCaching);
+    // Cold overflow lands in the hot group rather than failing.
+    const std::size_t id =
+        sched.placeJob(c, job(WorkloadType::DataCaching));
+    EXPECT_LT(id, 2u);
+}
+
+TEST(VmtWa, FullClusterReturnsNoServer)
+{
+    Cluster c = makeCluster(2);
+    VmtWaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    for (std::size_t s = 0; s < 2; ++s)
+        for (std::size_t i = 0; i < 32; ++i)
+            c.addJob(s, WorkloadType::DataCaching);
+    EXPECT_EQ(sched.placeJob(c, job(WorkloadType::WebSearch)),
+              kNoServer);
+    EXPECT_EQ(sched.placeJob(c, job(WorkloadType::VirusScan)),
+              kNoServer);
+}
+
+TEST(VmtWa, HotPlacementAvoidsMeltedServersWhenWarm)
+{
+    Cluster c = makeCluster(10);
+    meltServer(c, 0);
+    // 20 Clustering cores per server (~363 W) keeps every server,
+    // including the melted one, above the keep-warm power.
+    loadCluster(c, 0.625);
+    for (int i = 0; i < 60; ++i)
+        c.stepThermal(60.0);
+    VmtWaScheduler sched(gv(22.0), hotMaskFromPaper());
+    sched.beginInterval(c, 0.0);
+    // Hot jobs now go to unmelted placeable servers, not server 0.
+    for (int i = 0; i < 5; ++i) {
+        const std::size_t id =
+            sched.placeJob(c, job(WorkloadType::Clustering));
+        EXPECT_NE(id, 0u);
+        c.addJob(id, WorkloadType::Clustering);
+    }
+}
+
+TEST(VmtWa, Name)
+{
+    VmtWaScheduler sched(gv(22.0), hotMaskFromPaper());
+    EXPECT_EQ(sched.name(), "VMT-WA");
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Integration tests pinning the paper's evaluation *shape* (DESIGN.md
+ * section 5). These run full two-day, 100-server simulations with the
+ * calibrated defaults; if a default drifts, these fail before the
+ * figures silently change.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vmt_ta.h"
+#include "core/vmt_wa.h"
+#include "sched/coolest_first.h"
+#include "sched/round_robin.h"
+#include "sim/simulation.h"
+
+namespace vmt {
+namespace {
+
+/** Shared across tests: runs are deterministic, so cache them. */
+class CalibrationTest : public ::testing::Test
+{
+  protected:
+    static SimConfig
+    config()
+    {
+        SimConfig c;
+        c.numServers = 100;
+        c.seed = 7;
+        return c;
+    }
+
+    static const SimResult &
+    roundRobin()
+    {
+        static const SimResult result = [] {
+            RoundRobinScheduler rr;
+            return runSimulation(config(), rr);
+        }();
+        return result;
+    }
+
+    static SimResult
+    runTa(double gv)
+    {
+        VmtConfig vmt;
+        vmt.groupingValue = gv;
+        VmtTaScheduler sched(vmt, hotMaskFromPaper());
+        return runSimulation(config(), sched);
+    }
+
+    static SimResult
+    runWa(double gv)
+    {
+        VmtConfig vmt;
+        vmt.groupingValue = gv;
+        VmtWaScheduler sched(vmt, hotMaskFromPaper());
+        return runSimulation(config(), sched);
+    }
+};
+
+TEST_F(CalibrationTest, RoundRobinPeaksJustBelowMeltTemp)
+{
+    // The paper's premise: the cluster average cannot melt wax.
+    const SimResult &rr = roundRobin();
+    EXPECT_GT(rr.meanAirTemp.peak(), 34.0);
+    EXPECT_LT(rr.meanAirTemp.peak(), 35.7);
+}
+
+TEST_F(CalibrationTest, BaselinesMeltNoSignificantWax)
+{
+    EXPECT_LT(roundRobin().maxMeltFraction, 0.05);
+    CoolestFirstScheduler cf;
+    const SimResult result = runSimulation(config(), cf);
+    EXPECT_LT(result.maxMeltFraction, 0.02);
+}
+
+TEST_F(CalibrationTest, CoolestFirstHasTighterBandThanRoundRobin)
+{
+    SimConfig cfg = config();
+    cfg.recordHeatmaps = true;
+    RoundRobinScheduler rr;
+    CoolestFirstScheduler cf;
+    const SimResult r1 = runSimulation(cfg, rr);
+    const SimResult r2 = runSimulation(cfg, cf);
+    // Compare per-server temperature spread at the day-one peak.
+    const std::size_t col = 20 * 60;
+    auto spread = [col](const SimResult &r) {
+        double lo = 1e9, hi = -1e9;
+        for (std::size_t s = 0; s < r.airTempMap->rows(); ++s) {
+            lo = std::min(lo, r.airTempMap->at(s, col));
+            hi = std::max(hi, r.airTempMap->at(s, col));
+        }
+        return hi - lo;
+    };
+    EXPECT_LT(spread(r2), spread(r1) * 0.5);
+}
+
+TEST_F(CalibrationTest, VmtTaOptimumIsAtGv22)
+{
+    const double best = peakReductionPercent(roundRobin(), runTa(22.0));
+    EXPECT_GT(best, 10.0);
+    EXPECT_LT(best, 15.0);
+    EXPECT_GT(best, peakReductionPercent(roundRobin(), runTa(20.0)));
+    EXPECT_GT(best, peakReductionPercent(roundRobin(), runTa(24.0)));
+    EXPECT_GT(best, peakReductionPercent(roundRobin(), runTa(26.0)));
+}
+
+TEST_F(CalibrationTest, VmtTaGv24IsRoughlyTwoThirdsOfBest)
+{
+    const double best = peakReductionPercent(roundRobin(), runTa(22.0));
+    const double gv24 = peakReductionPercent(roundRobin(), runTa(24.0));
+    EXPECT_GT(gv24, best * 0.5);
+    EXPECT_LT(gv24, best * 0.95);
+}
+
+TEST_F(CalibrationTest, VmtTaCollapsesWellBelowOptimum)
+{
+    // "the peak cooling load reduction using VMT-TA quickly drops to
+    // zero when the hot group melts too quickly".
+    EXPECT_LT(peakReductionPercent(roundRobin(), runTa(18.0)), 2.0);
+}
+
+TEST_F(CalibrationTest, VmtWaMatchesTaAtOptimumAndAbove)
+{
+    const double ta22 = peakReductionPercent(roundRobin(), runTa(22.0));
+    const double wa22 = peakReductionPercent(roundRobin(), runWa(22.0));
+    EXPECT_NEAR(wa22, ta22, 1.5);
+    const double ta24 = peakReductionPercent(roundRobin(), runTa(24.0));
+    const double wa24 = peakReductionPercent(roundRobin(), runWa(24.0));
+    EXPECT_NEAR(wa24, ta24, 1.5);
+}
+
+TEST_F(CalibrationTest, VmtWaIsRobustBelowOptimum)
+{
+    // Paper: WA at GV=20 still reaches ~7% where TA collapses.
+    const double wa20 = peakReductionPercent(roundRobin(), runWa(20.0));
+    const double ta20 = peakReductionPercent(roundRobin(), runTa(20.0));
+    EXPECT_GT(wa20, 5.0);
+    EXPECT_GT(wa20, ta20 + 1.5);
+    // And it degrades slowly further down.
+    const double wa18 = peakReductionPercent(roundRobin(), runWa(18.0));
+    EXPECT_GT(wa18, 3.0);
+}
+
+TEST_F(CalibrationTest, HotGroupExceedsMeltTempAtOptimum)
+{
+    // Fig. 12: the hot group's average exceeds the melting point even
+    // though the cluster average (round robin) does not.
+    const SimResult ta = runTa(22.0);
+    EXPECT_GT(ta.hotGroupTemp.peak(), 35.7);
+}
+
+TEST_F(CalibrationTest, VmtDoesNotChangeTotalEnergy)
+{
+    // Placement moves heat in time, not in total: over the full run
+    // the integral of cluster power matches round robin within noise,
+    // and cooling-load integral matches power integral (all stored
+    // heat is eventually released).
+    const SimResult &rr = roundRobin();
+    const SimResult ta = runTa(22.0);
+    EXPECT_NEAR(ta.totalPower.integral() / rr.totalPower.integral(),
+                1.0, 0.01);
+    // The run ends two hours after the day-two peak, so up to one hot
+    // group's worth of latent heat is still stored at the horizon.
+    EXPECT_NEAR(ta.coolingLoad.integral() / ta.totalPower.integral(),
+                1.0, 0.02);
+}
+
+TEST_F(CalibrationTest, WaxThresholdFlatAboveNinetyFive)
+{
+    // Fig. 17: thresholds >= 0.95 achieve the full reduction.
+    VmtConfig vmt;
+    vmt.groupingValue = 22.0;
+    auto run = [&](double threshold) {
+        VmtConfig cfg = vmt;
+        cfg.waxThreshold = threshold;
+        VmtWaScheduler sched(cfg, hotMaskFromPaper());
+        return peakReductionPercent(roundRobin(),
+                                    runSimulation(config(), sched));
+    };
+    const double at95 = run(0.95);
+    const double at98 = run(0.98);
+    const double at100 = run(1.00);
+    EXPECT_NEAR(at95, at98, 1.5);
+    EXPECT_NEAR(at100, at98, 1.5);
+    // And a low threshold costs reduction (Fig. 17's 0.85 point; our
+    // calibrated drop is gentler than the paper's but monotone).
+    EXPECT_LT(run(0.85), at98 - 0.5);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Property sweeps: invariants that must hold for every scheduler,
+ * grouping value and seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/vmt_ta.h"
+#include "core/vmt_wa.h"
+#include "sched/coolest_first.h"
+#include "sched/round_robin.h"
+#include "sim/simulation.h"
+
+namespace vmt {
+namespace {
+
+enum class Policy
+{
+    RoundRobin,
+    CoolestFirst,
+    VmtTa,
+    VmtWa,
+};
+
+std::unique_ptr<Scheduler>
+makeScheduler(Policy policy, double gv)
+{
+    VmtConfig vmt;
+    vmt.groupingValue = gv;
+    switch (policy) {
+      case Policy::RoundRobin:
+        return std::make_unique<RoundRobinScheduler>();
+      case Policy::CoolestFirst:
+        return std::make_unique<CoolestFirstScheduler>();
+      case Policy::VmtTa:
+        return std::make_unique<VmtTaScheduler>(vmt,
+                                                hotMaskFromPaper());
+      case Policy::VmtWa:
+        return std::make_unique<VmtWaScheduler>(vmt,
+                                                hotMaskFromPaper());
+    }
+    return nullptr;
+}
+
+/** (policy, grouping value, seed). */
+using Param = std::tuple<Policy, double, std::uint64_t>;
+
+class SimulationInvariants : public ::testing::TestWithParam<Param>
+{};
+
+TEST_P(SimulationInvariants, Hold)
+{
+    const auto [policy, gv, seed] = GetParam();
+    SimConfig config;
+    config.numServers = 40;
+    config.trace.duration = 30.0; // Covers a peak and a trough.
+    config.seed = seed;
+
+    auto sched = makeScheduler(policy, gv);
+    const SimResult r = runSimulation(config, *sched);
+
+    // The paper does not model computational overcommit: nothing is
+    // dropped at its utilization levels.
+    EXPECT_EQ(r.droppedJobs, 0u);
+    EXPECT_GT(r.placedJobs, 0u);
+
+    const std::size_t n = r.coolingLoad.size();
+    ASSERT_EQ(n, 1800u);
+    const double idle_floor = 40.0 * 100.0; // All-idle power.
+    for (std::size_t i = 0; i < n; ++i) {
+        // Energy split: power = cooling + wax flow, exactly.
+        EXPECT_NEAR(r.totalPower.at(i),
+                    r.coolingLoad.at(i) + r.waxHeatFlow.at(i), 1e-6);
+        // Power never falls below idle.
+        EXPECT_GE(r.totalPower.at(i), idle_floor - 1e-6);
+        // Melt fraction is a fraction.
+        EXPECT_GE(r.meanMeltFraction.at(i), 0.0);
+        EXPECT_LE(r.meanMeltFraction.at(i), 1.0);
+        // Utilization is a fraction.
+        EXPECT_GE(r.utilization.at(i), 0.0);
+        EXPECT_LE(r.utilization.at(i), 1.0);
+        // Hot group size stays within the cluster.
+        EXPECT_LE(r.hotGroupSizeSeries.at(i), 40.0);
+        // Temperatures stay physical.
+        EXPECT_GT(r.meanAirTemp.at(i), 10.0);
+        EXPECT_LT(r.meanAirTemp.at(i), 60.0);
+    }
+
+    // All stored heat is eventually released: integrals agree to 2%.
+    EXPECT_NEAR(r.coolingLoad.integral() / r.totalPower.integral(),
+                1.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimulationInvariants,
+    ::testing::Combine(::testing::Values(Policy::RoundRobin,
+                                         Policy::CoolestFirst,
+                                         Policy::VmtTa,
+                                         Policy::VmtWa),
+                       ::testing::Values(16.0, 22.0, 28.0),
+                       ::testing::Values(7u, 1234u)));
+
+/** VMT group sizing invariants across the GV range. */
+class GroupSizing : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(GroupSizing, HotGroupNeverShrinksBelowEquationOne)
+{
+    const double gv = GetParam();
+    SimConfig config;
+    config.numServers = 30;
+    config.trace.duration = 24.0;
+    VmtConfig vmt;
+    vmt.groupingValue = gv;
+    VmtWaScheduler sched(vmt, hotMaskFromPaper());
+    const SimResult r = runSimulation(config, sched);
+    const auto base = static_cast<double>(hotGroupSizeFor(vmt, 30));
+    for (std::size_t i = 0; i < r.hotGroupSizeSeries.size(); ++i) {
+        EXPECT_GE(r.hotGroupSizeSeries.at(i), base);
+        EXPECT_LE(r.hotGroupSizeSeries.at(i), 30.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(GvSweep, GroupSizing,
+                         ::testing::Values(12.0, 18.0, 22.0, 26.0,
+                                           32.0));
+
+/** Identical seeds must give identical results for every policy. */
+class Determinism : public ::testing::TestWithParam<Policy>
+{};
+
+TEST_P(Determinism, RunsAreReproducible)
+{
+    SimConfig config;
+    config.numServers = 20;
+    config.trace.duration = 10.0;
+    auto s1 = makeScheduler(GetParam(), 22.0);
+    auto s2 = makeScheduler(GetParam(), 22.0);
+    const SimResult a = runSimulation(config, *s1);
+    const SimResult b = runSimulation(config, *s2);
+    ASSERT_EQ(a.coolingLoad.size(), b.coolingLoad.size());
+    for (std::size_t i = 0; i < a.coolingLoad.size(); ++i) {
+        ASSERT_DOUBLE_EQ(a.coolingLoad.at(i), b.coolingLoad.at(i));
+        ASSERT_DOUBLE_EQ(a.meanAirTemp.at(i), b.meanAirTemp.at(i));
+    }
+    EXPECT_EQ(a.placedJobs, b.placedJobs);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, Determinism,
+                         ::testing::Values(Policy::RoundRobin,
+                                           Policy::CoolestFirst,
+                                           Policy::VmtTa,
+                                           Policy::VmtWa));
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shape tests for the Fig. 6 colocation model: the qualitative
+ * relationships the paper measures on real hardware must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/colocation.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+TEST(Colocation, CachingLatencyIncreasesWithLoad)
+{
+    const ColocationModel model;
+    double prev = 0.0;
+    for (double rps = 25000.0; rps <= 55000.0; rps += 5000.0) {
+        const LatencyPoint p = model.cachingLatency(rps, 6, 0);
+        EXPECT_GT(p.mean, prev);
+        prev = p.mean;
+    }
+}
+
+TEST(Colocation, CachingHockeyStickNearSixtyK)
+{
+    const ColocationModel model;
+    const LatencyPoint low = model.cachingLatency(30000.0, 6, 0);
+    const LatencyPoint high = model.cachingLatency(58000.0, 6, 0);
+    EXPECT_LT(low.mean, 0.004);  // A few ms at low load.
+    EXPECT_GT(high.mean, 0.008); // Blowing up near saturation.
+}
+
+TEST(Colocation, CachingP90AboveMean)
+{
+    const ColocationModel model;
+    for (double rps : {30000.0, 45000.0, 55000.0}) {
+        const LatencyPoint p = model.cachingLatency(rps, 4, 2);
+        EXPECT_GT(p.p90, p.mean);
+    }
+}
+
+TEST(Colocation, SixCoreCachingBestAtLowLoad)
+{
+    // At low load, 6C alone beats the colocated mixes (Fig. 6).
+    const ColocationModel model;
+    const double rps = 30000.0;
+    const LatencyPoint alone = model.cachingLatency(rps, 6, 0);
+    const LatencyPoint mix2 = model.cachingLatency(rps, 2, 4);
+    const LatencyPoint mix4 = model.cachingLatency(rps, 4, 2);
+    EXPECT_LE(alone.mean, mix2.mean);
+    EXPECT_LE(alone.mean, mix4.mean);
+}
+
+TEST(Colocation, SearchDegradesWhenColocatedAcrossWholeRange)
+{
+    // "For Web Search, we observe decreased performance across the
+    // whole range of clients per core."
+    const ColocationModel model;
+    for (double clients = 10.0; clients <= 50.0; clients += 10.0) {
+        const LatencyPoint alone =
+            model.searchLatency(clients, 6, 0);
+        const LatencyPoint mixed =
+            model.searchLatency(clients, 4, 2);
+        EXPECT_GT(mixed.mean, alone.mean) << clients;
+    }
+}
+
+TEST(Colocation, SearchLatencyIncreasesWithClients)
+{
+    const ColocationModel model;
+    double prev = 0.0;
+    for (double clients = 10.0; clients <= 50.0; clients += 5.0) {
+        const LatencyPoint p = model.searchLatency(clients, 6, 0);
+        EXPECT_GE(p.mean, prev);
+        prev = p.mean;
+    }
+}
+
+TEST(Colocation, SearchLatencyInPaperRange)
+{
+    // Fig. 6's search panel spans roughly 0.05-0.4 s.
+    const ColocationModel model;
+    const LatencyPoint low = model.searchLatency(10.0, 6, 0);
+    const LatencyPoint high = model.searchLatency(50.0, 4, 2);
+    EXPECT_GT(low.mean, 0.02);
+    EXPECT_LT(low.mean, 0.2);
+    EXPECT_GT(high.mean, 0.1);
+    EXPECT_LT(high.mean, 1.0);
+}
+
+TEST(Colocation, ValidatesCoreMix)
+{
+    const ColocationModel model;
+    EXPECT_THROW(model.cachingLatency(1000.0, 0, 2), FatalError);
+    EXPECT_THROW(model.cachingLatency(1000.0, 4, 3), FatalError);
+    EXPECT_THROW(model.searchLatency(10.0, 0, 1), FatalError);
+    EXPECT_THROW(model.searchLatency(10.0, 5, 2), FatalError);
+}
+
+TEST(Colocation, ParamsValidated)
+{
+    ColocationParams p;
+    p.totalCores = 0;
+    EXPECT_THROW(ColocationModel{p}, FatalError);
+}
+
+} // namespace
+} // namespace vmt

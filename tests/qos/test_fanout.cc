@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the tail-at-scale fan-out model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qos/fanout.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+ShardLatency
+shard(Seconds base = 0.05, Seconds scale = 0.02)
+{
+    ShardLatency s;
+    s.base = base;
+    s.scale = scale;
+    return s;
+}
+
+TEST(Fanout, Validates)
+{
+    EXPECT_THROW(fanoutQuantile(shard(0.0, 0.0), 1, 0.5),
+                 FatalError);
+    EXPECT_THROW(fanoutQuantile(shard(), 0, 0.5), FatalError);
+    EXPECT_THROW(fanoutQuantile(shard(), 1, 0.0), FatalError);
+    EXPECT_THROW(fanoutQuantile(shard(), 1, 1.0), FatalError);
+}
+
+TEST(Fanout, SingleShardMatchesExponentialQuantiles)
+{
+    // k = 1: t_q = base - scale ln(1 - q).
+    const Seconds median = fanoutQuantile(shard(), 1, 0.5);
+    EXPECT_NEAR(median, 0.05 + 0.02 * std::log(2.0), 1e-12);
+    const Seconds p99 = fanoutQuantile(shard(), 1, 0.99);
+    EXPECT_NEAR(p99, 0.05 - 0.02 * std::log(0.01), 1e-12);
+}
+
+TEST(Fanout, TailGrowsLogarithmicallyWithWidth)
+{
+    const Seconds p99_1 = fanoutQuantile(shard(), 1, 0.99);
+    const Seconds p99_16 = fanoutQuantile(shard(), 16, 0.99);
+    const Seconds p99_256 = fanoutQuantile(shard(), 256, 0.99);
+    EXPECT_GT(p99_16, p99_1);
+    EXPECT_GT(p99_256, p99_16);
+    // Each 16x widening adds ~scale*ln(16) to the tail.
+    EXPECT_NEAR(p99_256 - p99_16, 0.02 * std::log(16.0), 0.002);
+}
+
+TEST(Fanout, QuantilesOrdered)
+{
+    const FanoutLatency f = fanoutLatency(shard(), 40);
+    EXPECT_LT(f.median, f.p90);
+    EXPECT_LT(f.p90, f.p99);
+    EXPECT_GT(f.mean, shard().base);
+}
+
+TEST(Fanout, MeanUsesHarmonicNumbers)
+{
+    // E[max of 3 Exp(s)] = s (1 + 1/2 + 1/3).
+    const FanoutLatency f = fanoutLatency(shard(0.0, 0.02), 3);
+    EXPECT_NEAR(f.mean, 0.02 * (1.0 + 0.5 + 1.0 / 3.0), 1e-12);
+}
+
+TEST(Fanout, ShardFromMeanP90RoundTrips)
+{
+    const ShardLatency s = shardFromMeanP90(0.10, 0.20);
+    EXPECT_NEAR(s.base + s.scale, 0.10, 1e-12); // Mean preserved.
+    // p90 of a single shard reproduces the input.
+    EXPECT_NEAR(fanoutQuantile(s, 1, 0.90), 0.20, 1e-9);
+}
+
+TEST(Fanout, ShardFromMeanP90Validates)
+{
+    EXPECT_THROW(shardFromMeanP90(0.0, 0.1), FatalError);
+    EXPECT_THROW(shardFromMeanP90(0.2, 0.1), FatalError);
+}
+
+TEST(Fanout, VeryWideTailFallsBackToPureExponential)
+{
+    // p90 > mean*ln(10): not representable with a non-negative base.
+    const ShardLatency s = shardFromMeanP90(0.10, 0.50);
+    EXPECT_DOUBLE_EQ(s.base, 0.0);
+    EXPECT_DOUBLE_EQ(s.scale, 0.10);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for closed-network mean value analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/mva.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+TEST(Mva, ZeroClientsIsIdle)
+{
+    const MvaMetrics m = closedMva(0, 1.0, 0.1, 1);
+    EXPECT_DOUBLE_EQ(m.meanResponse, 0.0);
+    EXPECT_DOUBLE_EQ(m.throughput, 0.0);
+    EXPECT_DOUBLE_EQ(m.utilization, 0.0);
+}
+
+TEST(Mva, SingleClientSeesBareServiceDemand)
+{
+    const MvaMetrics m = closedMva(1, 1.0, 0.1, 1);
+    EXPECT_NEAR(m.meanResponse, 0.1, 1e-12);
+    EXPECT_NEAR(m.throughput, 1.0 / 1.1, 1e-12);
+}
+
+TEST(Mva, ThroughputBoundedByServiceRate)
+{
+    for (int n : {10, 100, 1000}) {
+        const MvaMetrics m = closedMva(n, 1.0, 0.1, 1);
+        EXPECT_LE(m.throughput, 10.0 + 1e-9);
+    }
+}
+
+TEST(Mva, AsymptoticResponseIsLinearInPopulation)
+{
+    // Saturated closed system: R ~ N D / c - Z.
+    const MvaMetrics m = closedMva(500, 1.0, 0.1, 1);
+    EXPECT_NEAR(m.meanResponse, 500 * 0.1 - 1.0, 1.0);
+}
+
+TEST(Mva, ResponseMonotoneInClients)
+{
+    double prev = 0.0;
+    for (int n = 1; n <= 200; n += 20) {
+        const MvaMetrics m = closedMva(n, 2.0, 0.05, 2);
+        EXPECT_GE(m.meanResponse, prev - 1e-12);
+        prev = m.meanResponse;
+    }
+}
+
+TEST(Mva, MoreServersReduceResponse)
+{
+    const MvaMetrics two = closedMva(100, 1.0, 0.1, 2);
+    const MvaMetrics six = closedMva(100, 1.0, 0.1, 6);
+    EXPECT_LT(six.meanResponse, two.meanResponse);
+}
+
+TEST(Mva, UtilizationInUnitRange)
+{
+    for (int n : {1, 10, 100, 1000}) {
+        const MvaMetrics m = closedMva(n, 1.0, 0.07, 3);
+        EXPECT_GE(m.utilization, 0.0);
+        EXPECT_LE(m.utilization, 1.0);
+    }
+}
+
+TEST(Mva, Validates)
+{
+    EXPECT_THROW(closedMva(-1, 1.0, 0.1, 1), FatalError);
+    EXPECT_THROW(closedMva(1, -1.0, 0.1, 1), FatalError);
+    EXPECT_THROW(closedMva(1, 1.0, 0.0, 1), FatalError);
+    EXPECT_THROW(closedMva(1, 1.0, 0.1, 0), FatalError);
+}
+
+} // namespace
+} // namespace vmt

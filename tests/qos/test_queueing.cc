@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for M/M/1 and M/M/c queueing formulas.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/queueing.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+TEST(ErlangC, KnownValues)
+{
+    // Single server: Erlang C equals the utilization.
+    EXPECT_NEAR(erlangC(1, 0.5), 0.5, 1e-12);
+    EXPECT_NEAR(erlangC(1, 0.9), 0.9, 1e-12);
+    // Classic two-server case: C(2, 1.0) = 1/3.
+    EXPECT_NEAR(erlangC(2, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ErlangC, OverloadedIsCertainWait)
+{
+    EXPECT_DOUBLE_EQ(erlangC(2, 2.0), 1.0);
+    EXPECT_DOUBLE_EQ(erlangC(2, 5.0), 1.0);
+}
+
+TEST(ErlangC, Validates)
+{
+    EXPECT_THROW(erlangC(0, 0.5), FatalError);
+    EXPECT_THROW(erlangC(2, -1.0), FatalError);
+}
+
+TEST(Mm1, MatchesClosedForm)
+{
+    // M/M/1: W = s / (1 - rho), Wq = rho s / (1 - rho).
+    const QueueMetrics m = mm1(50.0, 0.01); // rho = 0.5
+    EXPECT_NEAR(m.utilization, 0.5, 1e-12);
+    EXPECT_NEAR(m.meanWait, 0.01, 1e-9);
+    EXPECT_NEAR(m.meanResponse, 0.02, 1e-9);
+    EXPECT_FALSE(m.saturated);
+}
+
+TEST(Mm1, ZeroLoadIsServiceTimeOnly)
+{
+    const QueueMetrics m = mm1(0.0, 0.01);
+    EXPECT_DOUBLE_EQ(m.meanWait, 0.0);
+    EXPECT_DOUBLE_EQ(m.meanResponse, 0.01);
+}
+
+TEST(Mmc, ReducesToMm1)
+{
+    const QueueMetrics a = mm1(80.0, 0.01);
+    const QueueMetrics b = mmc(80.0, 0.01, 1);
+    EXPECT_DOUBLE_EQ(a.meanResponse, b.meanResponse);
+}
+
+TEST(Mmc, MoreServersReduceWaiting)
+{
+    const QueueMetrics two = mmc(150.0, 0.01, 2);
+    const QueueMetrics four = mmc(150.0, 0.01, 4);
+    EXPECT_LT(four.meanWait, two.meanWait);
+}
+
+TEST(Mmc, SaturationClampsToCap)
+{
+    const QueueMetrics m = mmc(300.0, 0.01, 2, 42.0);
+    EXPECT_TRUE(m.saturated);
+    EXPECT_DOUBLE_EQ(m.meanResponse, 42.0);
+    EXPECT_DOUBLE_EQ(m.utilization, 1.0);
+}
+
+TEST(Mmc, P90AtLeastMean)
+{
+    for (double lambda : {10.0, 50.0, 90.0}) {
+        const QueueMetrics m = mm1(lambda, 0.01);
+        EXPECT_GE(m.p90Response, m.meanResponse);
+    }
+}
+
+TEST(Mmc, ResponseMonotoneInLoad)
+{
+    double prev = 0.0;
+    for (double lambda = 10.0; lambda < 100.0; lambda += 10.0) {
+        const QueueMetrics m = mm1(lambda, 0.01);
+        EXPECT_GT(m.meanResponse, prev);
+        prev = m.meanResponse;
+    }
+}
+
+TEST(Mmc, Validates)
+{
+    EXPECT_THROW(mmc(10.0, 0.0, 1), FatalError);
+    EXPECT_THROW(mmc(10.0, 0.01, 0), FatalError);
+    EXPECT_THROW(mmc(-1.0, 0.01, 1), FatalError);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the temperature-scaled failure model (Fig. 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/failure_model.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+TEST(FailureModel, BaseRateIsInverseMtbf)
+{
+    const FailureModel model;
+    EXPECT_NEAR(model.failureRate(30.0), 1.0 / 70000.0, 1e-12);
+}
+
+TEST(FailureModel, TenDegreesDoublesRate)
+{
+    const FailureModel model;
+    EXPECT_NEAR(model.failureRate(40.0),
+                2.0 * model.failureRate(30.0), 1e-12);
+    EXPECT_NEAR(model.failureRate(20.0),
+                0.5 * model.failureRate(30.0), 1e-12);
+}
+
+TEST(FailureModel, Validates)
+{
+    EXPECT_THROW(FailureModel(0.0), FatalError);
+    EXPECT_THROW(FailureModel(1000.0, 30.0, 0.0), FatalError);
+}
+
+TEST(FailureModel, SixMonthCumulativeMatchesPaperScale)
+{
+    // 1 - exp(-6 x 730.5 / 70000) ~ 6.1% (Fig. 7 left panel scale).
+    const FailureModel model;
+    const std::vector<Celsius> profile(6, 30.0);
+    EXPECT_NEAR(model.cumulativeFailure(profile), 0.0607, 0.002);
+}
+
+TEST(FailureModel, ThreeYearCumulativeMatchesPaperScale)
+{
+    // ~31% after 36 months at 30 C (Fig. 7 right panel scale).
+    const FailureModel model;
+    const std::vector<Celsius> profile(36, 30.0);
+    EXPECT_NEAR(model.cumulativeFailure(profile), 0.313, 0.01);
+}
+
+TEST(FailureModel, CurveIsMonotone)
+{
+    const FailureModel model;
+    const std::vector<Celsius> profile(36, 32.0);
+    const auto curve = model.cumulativeFailureCurve(profile);
+    ASSERT_EQ(curve.size(), 36u);
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_GT(curve[i], curve[i - 1]);
+    EXPECT_NEAR(curve.back(), model.cumulativeFailure(profile),
+                1e-12);
+}
+
+TEST(RotationPolicy, ProfileAlternatesHotAndCold)
+{
+    const RotationPolicy policy; // 3 hot / 2 cold.
+    const auto temps = policy.profile(10, 40.0, 20.0);
+    const std::vector<Celsius> expect = {40, 40, 40, 20, 20,
+                                         40, 40, 40, 20, 20};
+    EXPECT_EQ(temps, expect);
+}
+
+TEST(RotationPolicy, PhaseShiftsTheCycle)
+{
+    const RotationPolicy policy;
+    const auto temps = policy.profile(5, 40.0, 20.0, 3);
+    const std::vector<Celsius> expect = {20, 20, 40, 40, 40};
+    EXPECT_EQ(temps, expect);
+}
+
+TEST(FleetFailureCurve, BetweenPureHotAndPureCold)
+{
+    const FailureModel model;
+    const RotationPolicy policy;
+    const auto fleet =
+        fleetFailureCurve(model, policy, 36, 34.0, 28.0);
+    const double hot_only = model.cumulativeFailure(
+        std::vector<Celsius>(36, 34.0));
+    const double cold_only = model.cumulativeFailure(
+        std::vector<Celsius>(36, 28.0));
+    EXPECT_GT(fleet.back(), cold_only);
+    EXPECT_LT(fleet.back(), hot_only);
+}
+
+TEST(FleetFailureCurve, VmtPenaltyIsSmallUnderRotation)
+{
+    // The paper: after 3 years the VMT-WA fleet's cumulative failure
+    // is only ~0.4-0.6% above round robin.
+    const FailureModel model;
+    const RotationPolicy policy;
+    // Round robin: every server at the blended average temperature.
+    const double rr = model.cumulativeFailure(
+        std::vector<Celsius>(36, 29.5));
+    // VMT: rotating between a warmer hot group and cooler cold group.
+    const auto vmt =
+        fleetFailureCurve(model, policy, 36, 31.5, 26.5);
+    const double delta = vmt.back() - rr;
+    EXPECT_GT(delta, 0.0);
+    EXPECT_LT(delta, 0.015);
+}
+
+} // namespace
+} // namespace vmt

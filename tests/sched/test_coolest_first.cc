@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the coolest-first baseline scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/coolest_first.h"
+
+namespace vmt {
+namespace {
+
+Cluster
+makeCluster(std::size_t n = 3)
+{
+    return Cluster(n, ServerSpec{}, ServerThermalParams{},
+                   PowerModel({}, 1.77));
+}
+
+Job
+job(WorkloadType type = WorkloadType::WebSearch)
+{
+    Job j;
+    j.type = type;
+    return j;
+}
+
+TEST(CoolestFirst, PicksTheCoolestServer)
+{
+    Cluster c = makeCluster(3);
+    // Heat servers 0 and 1; leave 2 idle/cool.
+    for (std::size_t i = 0; i < 20; ++i) {
+        c.addJob(0, WorkloadType::Clustering);
+        c.addJob(1, WorkloadType::Clustering);
+    }
+    for (int i = 0; i < 30; ++i)
+        c.stepThermal(60.0);
+    CoolestFirstScheduler sched;
+    sched.beginInterval(c, 0.0);
+    EXPECT_EQ(sched.placeJob(c, job()), 2u);
+}
+
+TEST(CoolestFirst, SpreadsWithinAnInterval)
+{
+    Cluster c = makeCluster(3);
+    CoolestFirstScheduler sched;
+    sched.beginInterval(c, 0.0);
+    // All servers equally cool: placements must not dogpile one
+    // server thanks to the virtual-temperature bump.
+    std::array<int, 3> placed{};
+    for (int i = 0; i < 30; ++i) {
+        const std::size_t id = sched.placeJob(c, job());
+        c.addJob(id, WorkloadType::WebSearch);
+        ++placed[id];
+    }
+    for (int count : placed)
+        EXPECT_EQ(count, 10);
+}
+
+TEST(CoolestFirst, SkipsFullServers)
+{
+    Cluster c = makeCluster(2);
+    for (std::size_t i = 0; i < 32; ++i)
+        c.addJob(0, WorkloadType::VirusScan);
+    CoolestFirstScheduler sched;
+    sched.beginInterval(c, 0.0);
+    for (int i = 0; i < 5; ++i) {
+        const std::size_t id = sched.placeJob(c, job());
+        EXPECT_EQ(id, 1u);
+        c.addJob(id, WorkloadType::WebSearch);
+    }
+}
+
+TEST(CoolestFirst, FullClusterReturnsNoServer)
+{
+    Cluster c = makeCluster(1);
+    for (std::size_t i = 0; i < 32; ++i)
+        c.addJob(0, WorkloadType::VirusScan);
+    CoolestFirstScheduler sched;
+    sched.beginInterval(c, 0.0);
+    EXPECT_EQ(sched.placeJob(c, job()), kNoServer);
+}
+
+TEST(CoolestFirst, HotterJobsBumpVirtualTempMore)
+{
+    Cluster c = makeCluster(2);
+    CoolestFirstScheduler sched;
+    sched.beginInterval(c, 0.0);
+    // Place a heavy job on server A; the next light job should go to
+    // the other server, and a further light one back to A only after
+    // B accumulates comparable virtual heat.
+    const std::size_t a =
+        sched.placeJob(c, job(WorkloadType::VideoEncoding));
+    c.addJob(a, WorkloadType::VideoEncoding);
+    const std::size_t b =
+        sched.placeJob(c, job(WorkloadType::VirusScan));
+    c.addJob(b, WorkloadType::VirusScan);
+    EXPECT_NE(a, b);
+    // VirusScan bumps are tiny: the scheduler should keep preferring
+    // server b until its bumps accumulate.
+    const std::size_t next =
+        sched.placeJob(c, job(WorkloadType::VirusScan));
+    EXPECT_EQ(next, b);
+}
+
+TEST(CoolestFirst, NoHotGroup)
+{
+    CoolestFirstScheduler sched;
+    EXPECT_FALSE(sched.hotGroupSize().has_value());
+    EXPECT_EQ(sched.name(), "CoolestFirst");
+}
+
+} // namespace
+} // namespace vmt

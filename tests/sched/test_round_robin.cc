@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the round-robin baseline scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/round_robin.h"
+
+namespace vmt {
+namespace {
+
+Cluster
+makeCluster(std::size_t n = 4)
+{
+    return Cluster(n, ServerSpec{}, ServerThermalParams{},
+                   PowerModel({}, 1.0));
+}
+
+Job
+job(WorkloadType type = WorkloadType::WebSearch)
+{
+    Job j;
+    j.type = type;
+    j.duration = 300.0;
+    return j;
+}
+
+TEST(RoundRobin, RotatesThroughServers)
+{
+    Cluster c = makeCluster(3);
+    RoundRobinScheduler sched;
+    EXPECT_EQ(sched.placeJob(c, job()), 0u);
+    EXPECT_EQ(sched.placeJob(c, job()), 1u);
+    EXPECT_EQ(sched.placeJob(c, job()), 2u);
+    EXPECT_EQ(sched.placeJob(c, job()), 0u);
+}
+
+TEST(RoundRobin, SkipsFullServers)
+{
+    Cluster c = makeCluster(2);
+    for (std::size_t i = 0; i < 32; ++i)
+        c.addJob(0, WorkloadType::DataCaching);
+    RoundRobinScheduler sched;
+    EXPECT_EQ(sched.placeJob(c, job()), 1u);
+    EXPECT_EQ(sched.placeJob(c, job()), 1u);
+}
+
+TEST(RoundRobin, FullClusterReturnsNoServer)
+{
+    Cluster c = makeCluster(2);
+    for (std::size_t s = 0; s < 2; ++s)
+        for (std::size_t i = 0; i < 32; ++i)
+            c.addJob(s, WorkloadType::DataCaching);
+    RoundRobinScheduler sched;
+    EXPECT_EQ(sched.placeJob(c, job()), kNoServer);
+}
+
+TEST(RoundRobin, IgnoresWorkloadType)
+{
+    Cluster c = makeCluster(2);
+    RoundRobinScheduler sched;
+    EXPECT_EQ(sched.placeJob(c, job(WorkloadType::VideoEncoding)), 0u);
+    EXPECT_EQ(sched.placeJob(c, job(WorkloadType::VirusScan)), 1u);
+}
+
+TEST(RoundRobin, EvenArrivalDistribution)
+{
+    Cluster c = makeCluster(5);
+    RoundRobinScheduler sched;
+    std::array<int, 5> placed{};
+    for (int i = 0; i < 100; ++i) {
+        const std::size_t id = sched.placeJob(c, job());
+        c.addJob(id, WorkloadType::WebSearch);
+        ++placed[id];
+    }
+    for (int count : placed)
+        EXPECT_EQ(count, 20);
+}
+
+TEST(RoundRobin, NoHotGroup)
+{
+    RoundRobinScheduler sched;
+    EXPECT_FALSE(sched.hotGroupSize().has_value());
+    EXPECT_EQ(sched.name(), "RoundRobin");
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the time-based policy switchover.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vmt_ta.h"
+#include "sched/round_robin.h"
+#include "sched/switchover.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+Cluster
+makeCluster()
+{
+    return Cluster(10, ServerSpec{}, ServerThermalParams{},
+                   PowerModel({}, 1.77));
+}
+
+Job
+hotJob()
+{
+    Job j;
+    j.type = WorkloadType::Clustering;
+    return j;
+}
+
+TEST(Switchover, UsesBeforePolicyUntilSwitchTime)
+{
+    Cluster c = makeCluster();
+    RoundRobinScheduler rr;
+    VmtTaScheduler ta(VmtConfig{}, hotMaskFromPaper());
+    SwitchoverScheduler sched(rr, ta, 3600.0);
+
+    sched.beginInterval(c, 0.0);
+    EXPECT_FALSE(sched.switched());
+    EXPECT_FALSE(sched.hotGroupSize().has_value()); // RR view.
+    // Round robin rotates from server 0 regardless of type.
+    EXPECT_EQ(sched.placeJob(c, hotJob()), 0u);
+    EXPECT_EQ(sched.placeJob(c, hotJob()), 1u);
+}
+
+TEST(Switchover, HandsOverAtSwitchTime)
+{
+    Cluster c = makeCluster();
+    RoundRobinScheduler rr;
+    VmtTaScheduler ta(VmtConfig{}, hotMaskFromPaper());
+    SwitchoverScheduler sched(rr, ta, 3600.0);
+
+    sched.beginInterval(c, 0.0);
+    sched.beginInterval(c, 3600.0);
+    EXPECT_TRUE(sched.switched());
+    ASSERT_TRUE(sched.hotGroupSize().has_value());
+    EXPECT_EQ(*sched.hotGroupSize(), 6u);
+    // Hot jobs now confined to the VMT hot group.
+    for (int i = 0; i < 8; ++i) {
+        const std::size_t id = sched.placeJob(c, hotJob());
+        EXPECT_LT(id, 6u);
+        c.addJob(id, WorkloadType::Clustering);
+    }
+}
+
+TEST(Switchover, NeverSwitchesBack)
+{
+    Cluster c = makeCluster();
+    RoundRobinScheduler rr;
+    VmtTaScheduler ta(VmtConfig{}, hotMaskFromPaper());
+    SwitchoverScheduler sched(rr, ta, 100.0);
+    sched.beginInterval(c, 200.0);
+    ASSERT_TRUE(sched.switched());
+    sched.beginInterval(c, 50.0); // Clock oddity must not revert.
+    EXPECT_TRUE(sched.switched());
+}
+
+TEST(Switchover, NameCombinesBoth)
+{
+    RoundRobinScheduler rr;
+    VmtTaScheduler ta(VmtConfig{}, hotMaskFromPaper());
+    SwitchoverScheduler sched(rr, ta, 1.0);
+    EXPECT_EQ(sched.name(), "RoundRobin->VMT-TA");
+}
+
+TEST(Switchover, RejectsNegativeTime)
+{
+    RoundRobinScheduler rr;
+    VmtTaScheduler ta(VmtConfig{}, hotMaskFromPaper());
+    EXPECT_THROW(SwitchoverScheduler(rr, ta, -1.0), FatalError);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the Cluster container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "server/cluster.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+Cluster
+makeCluster(std::size_t n = 4)
+{
+    return Cluster(n, ServerSpec{}, ServerThermalParams{},
+                   PowerModel({}, 1.0));
+}
+
+TEST(Cluster, RejectsEmpty)
+{
+    EXPECT_THROW(makeCluster(0), FatalError);
+}
+
+TEST(Cluster, RejectsMismatchedOffsets)
+{
+    EXPECT_THROW(Cluster(3, ServerSpec{}, ServerThermalParams{},
+                         PowerModel({}, 1.0), {1.0, 2.0}),
+                 FatalError);
+}
+
+TEST(Cluster, BasicGeometry)
+{
+    const Cluster c = makeCluster(4);
+    EXPECT_EQ(c.numServers(), 4u);
+    EXPECT_EQ(c.totalCores(), 4u * 32u);
+    EXPECT_EQ(c.busyCores(), 0u);
+}
+
+TEST(Cluster, AddRemoveUpdatesAggregates)
+{
+    Cluster c = makeCluster();
+    c.addJob(1, WorkloadType::WebSearch);
+    c.addJob(1, WorkloadType::DataCaching);
+    c.addJob(2, WorkloadType::WebSearch);
+    EXPECT_EQ(c.busyCores(), 3u);
+    EXPECT_EQ(c.activeCounts()[workloadIndex(WorkloadType::WebSearch)],
+              2u);
+    EXPECT_EQ(c.server(1).busyCores(), 2u);
+    c.removeJob(1, WorkloadType::WebSearch);
+    EXPECT_EQ(c.busyCores(), 2u);
+    EXPECT_EQ(c.activeCounts()[workloadIndex(WorkloadType::WebSearch)],
+              1u);
+}
+
+TEST(Cluster, ServerOutOfRangePanics)
+{
+    Cluster c = makeCluster();
+    EXPECT_DEATH(c.server(4), "out of range");
+}
+
+TEST(Cluster, TotalPowerSumsServers)
+{
+    Cluster c = makeCluster(3);
+    EXPECT_DOUBLE_EQ(c.totalPower(), 300.0);
+    c.addJob(0, WorkloadType::VideoEncoding);
+    EXPECT_DOUBLE_EQ(c.totalPower(), 300.0 + 60.9 / 8.0);
+}
+
+TEST(Cluster, StepThermalAggregates)
+{
+    Cluster c = makeCluster(2);
+    const ClusterSample s = c.stepThermal(60.0);
+    EXPECT_NEAR(s.totalPower, 200.0, 1e-9);
+    EXPECT_NEAR(s.coolingLoad + s.waxHeatFlow, s.totalPower, 1e-9);
+    EXPECT_NEAR(s.meanAirTemp, 22.0, 0.5);
+    EXPECT_DOUBLE_EQ(s.meanMeltFraction, 0.0);
+}
+
+TEST(Cluster, MeanAirTempPrefix)
+{
+    Cluster c = makeCluster(3);
+    // Heat server 0 only.
+    for (std::size_t i = 0; i < 32; ++i)
+        c.addJob(0, WorkloadType::Clustering);
+    for (int i = 0; i < 60; ++i)
+        c.stepThermal(60.0);
+    EXPECT_GT(c.meanAirTemp(1), c.meanAirTemp(3));
+    EXPECT_THROW(c.meanAirTemp(0), FatalError);
+    EXPECT_THROW(c.meanAirTemp(4), FatalError);
+}
+
+TEST(Cluster, InletOffsetsReachServers)
+{
+    const Cluster c(2, ServerSpec{}, ServerThermalParams{},
+                    PowerModel({}, 1.0), {0.0, 3.0});
+    EXPECT_DOUBLE_EQ(c.server(0).thermal().inletTemp(), 22.0);
+    EXPECT_DOUBLE_EQ(c.server(1).thermal().inletTemp(), 25.0);
+}
+
+} // namespace
+} // namespace vmt

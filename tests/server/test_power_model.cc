@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the linear per-core power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "server/power_model.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+TEST(PowerModel, IdleServerConsumesIdlePower)
+{
+    const PowerModel model({}, 1.0);
+    const CoreCounts none{};
+    EXPECT_DOUBLE_EQ(model.serverPower(none), 100.0);
+}
+
+TEST(PowerModel, RejectsNonPositiveScale)
+{
+    EXPECT_THROW(PowerModel({}, 0.0), FatalError);
+    EXPECT_THROW(PowerModel({}, -2.0), FatalError);
+}
+
+TEST(PowerModel, LinearInCoreCounts)
+{
+    const PowerModel model({}, 1.0);
+    CoreCounts counts{};
+    counts[workloadIndex(WorkloadType::WebSearch)] = 8;
+    // 8 cores of WebSearch == one full CPU == Table I power.
+    EXPECT_DOUBLE_EQ(model.serverPower(counts), 100.0 + 37.2);
+    counts[workloadIndex(WorkloadType::VirusScan)] = 16;
+    EXPECT_DOUBLE_EQ(model.serverPower(counts),
+                     100.0 + 37.2 + 2.0 * 3.4);
+}
+
+TEST(PowerModel, ScaleMultipliesDynamicOnly)
+{
+    const PowerModel model({}, 2.0);
+    CoreCounts counts{};
+    counts[workloadIndex(WorkloadType::Clustering)] = 4;
+    EXPECT_DOUBLE_EQ(model.serverPower(counts),
+                     100.0 + 2.0 * 4.0 * (59.5 / 8.0));
+}
+
+TEST(PowerModel, CorePowerAccessor)
+{
+    const PowerModel model({}, 1.77);
+    EXPECT_DOUBLE_EQ(model.corePower(WorkloadType::VideoEncoding),
+                     1.77 * 60.9 / 8.0);
+}
+
+TEST(PowerModel, SingleWorkloadPower)
+{
+    const PowerModel model({}, 1.0);
+    // Full server of DataCaching at 50%: 32 cores * 0.5.
+    EXPECT_DOUBLE_EQ(
+        model.singleWorkloadPower(WorkloadType::DataCaching, 0.5),
+        100.0 + 0.5 * 32.0 * (13.5 / 8.0));
+}
+
+TEST(PowerModel, SingleWorkloadPowerValidatesUtilization)
+{
+    const PowerModel model({}, 1.0);
+    EXPECT_THROW(
+        model.singleWorkloadPower(WorkloadType::WebSearch, -0.1),
+        FatalError);
+    EXPECT_THROW(
+        model.singleWorkloadPower(WorkloadType::WebSearch, 1.1),
+        FatalError);
+}
+
+TEST(PowerModel, StudyScaleKeepsServerUnderNameplateForMix)
+{
+    // The calibrated scale must keep an average-mix server below the
+    // 500 W nameplate at full utilization.
+    const PowerModel model({}, 1.77);
+    CoreCounts counts{};
+    // Average mix at 100%: shares x 32 cores.
+    counts[workloadIndex(WorkloadType::WebSearch)] = 8;
+    counts[workloadIndex(WorkloadType::DataCaching)] = 8;
+    counts[workloadIndex(WorkloadType::VideoEncoding)] = 5;
+    counts[workloadIndex(WorkloadType::VirusScan)] = 5;
+    counts[workloadIndex(WorkloadType::Clustering)] = 6;
+    EXPECT_LT(model.serverPower(counts), 500.0);
+}
+
+} // namespace
+} // namespace vmt

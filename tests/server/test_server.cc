@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the Server object.
+ */
+
+#include <gtest/gtest.h>
+
+#include "server/server.h"
+
+namespace vmt {
+namespace {
+
+Server
+makeServer()
+{
+    return Server(3, ServerSpec{}, ServerThermalParams{});
+}
+
+TEST(Server, InitialState)
+{
+    const Server srv = makeServer();
+    EXPECT_EQ(srv.id(), 3u);
+    EXPECT_EQ(srv.cores(), 32u);
+    EXPECT_EQ(srv.freeCores(), 32u);
+    EXPECT_EQ(srv.busyCores(), 0u);
+    EXPECT_TRUE(srv.hasCapacity());
+    EXPECT_DOUBLE_EQ(srv.waxMeltFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(srv.estimatedMeltFraction(), 0.0);
+}
+
+TEST(Server, AddRemoveJobsTracksCounts)
+{
+    Server srv = makeServer();
+    srv.addJob(WorkloadType::WebSearch);
+    srv.addJob(WorkloadType::WebSearch);
+    srv.addJob(WorkloadType::VirusScan);
+    EXPECT_EQ(srv.busyCores(), 3u);
+    EXPECT_EQ(srv.coreCounts()[workloadIndex(WorkloadType::WebSearch)],
+              2u);
+    srv.removeJob(WorkloadType::WebSearch);
+    EXPECT_EQ(srv.busyCores(), 2u);
+    EXPECT_EQ(srv.coreCounts()[workloadIndex(WorkloadType::WebSearch)],
+              1u);
+}
+
+TEST(Server, FillsToCapacity)
+{
+    Server srv = makeServer();
+    for (std::size_t i = 0; i < srv.cores(); ++i)
+        srv.addJob(WorkloadType::DataCaching);
+    EXPECT_FALSE(srv.hasCapacity());
+    EXPECT_EQ(srv.freeCores(), 0u);
+}
+
+TEST(Server, AddBeyondCapacityPanics)
+{
+    Server srv = makeServer();
+    for (std::size_t i = 0; i < srv.cores(); ++i)
+        srv.addJob(WorkloadType::DataCaching);
+    EXPECT_DEATH(srv.addJob(WorkloadType::DataCaching), "full");
+}
+
+TEST(Server, RemoveMissingJobPanics)
+{
+    Server srv = makeServer();
+    EXPECT_DEATH(srv.removeJob(WorkloadType::Clustering),
+                 "no such job");
+}
+
+TEST(Server, PowerReflectsJobMix)
+{
+    Server srv = makeServer();
+    const PowerModel model({}, 1.0);
+    EXPECT_DOUBLE_EQ(srv.power(model), 100.0);
+    srv.addJob(WorkloadType::VideoEncoding);
+    EXPECT_DOUBLE_EQ(srv.power(model), 100.0 + 60.9 / 8.0);
+}
+
+TEST(Server, ThermalStepHeatsBusyServer)
+{
+    Server srv = makeServer();
+    const PowerModel model({}, 1.77);
+    for (std::size_t i = 0; i < srv.cores(); ++i)
+        srv.addJob(WorkloadType::Clustering);
+    const Celsius before = srv.airTemp();
+    for (int i = 0; i < 30; ++i)
+        srv.stepThermal(model, 60.0);
+    EXPECT_GT(srv.airTemp(), before + 5.0);
+}
+
+TEST(Server, EstimatorFollowsMeltUnderLoad)
+{
+    Server srv = makeServer();
+    const PowerModel model({}, 1.77);
+    for (std::size_t i = 0; i < srv.cores(); ++i)
+        srv.addJob(WorkloadType::VideoEncoding);
+    for (int i = 0; i < 400; ++i)
+        srv.stepThermal(model, 60.0);
+    EXPECT_GT(srv.waxMeltFraction(), 0.3);
+    EXPECT_NEAR(srv.estimatedMeltFraction(), srv.waxMeltFraction(),
+                0.15);
+    EXPECT_GT(srv.waxEnergyStored(), 0.0);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for CPU thermal throttling (DVFS downclock at the
+ * junction limit, with hysteresis).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/round_robin.h"
+#include "server/server.h"
+#include "sim/simulation.h"
+
+namespace vmt {
+namespace {
+
+/** Thermal params with a limit low enough to trip in tests. */
+ServerThermalParams
+touchyParams()
+{
+    ServerThermalParams p;
+    p.cpuLimit = 55.0;
+    return p;
+}
+
+void
+fill(Server &srv, WorkloadType type = WorkloadType::VideoEncoding)
+{
+    for (std::size_t i = 0; i < srv.cores(); ++i)
+        srv.addJob(type);
+}
+
+TEST(Throttling, NeverTripsAtStudyOperatingPoints)
+{
+    Server srv(0, ServerSpec{}, ServerThermalParams{});
+    const PowerModel model({}, 1.77);
+    fill(srv);
+    for (int i = 0; i < 300; ++i)
+        srv.stepThermal(model, 60.0);
+    EXPECT_FALSE(srv.throttled());
+    EXPECT_LT(srv.cpuTemp(model), ServerThermalParams{}.cpuLimit);
+}
+
+TEST(Throttling, TripsWhenJunctionHitsLimit)
+{
+    Server srv(0, ServerSpec{}, touchyParams());
+    const PowerModel model({}, 1.77);
+    fill(srv);
+    const Watts before = srv.power(model);
+    bool tripped = false;
+    for (int i = 0; i < 300 && !tripped; ++i) {
+        srv.stepThermal(model, 60.0);
+        tripped = srv.throttled();
+    }
+    ASSERT_TRUE(tripped);
+    // Throttled power is lower; idle floor preserved.
+    EXPECT_LT(srv.power(model), before);
+    EXPECT_GT(srv.power(model), ServerSpec{}.idlePower);
+}
+
+TEST(Throttling, HysteresisRecoversAfterLoadDrop)
+{
+    Server srv(0, ServerSpec{}, touchyParams());
+    const PowerModel model({}, 1.77);
+    fill(srv);
+    for (int i = 0; i < 300; ++i)
+        srv.stepThermal(model, 60.0);
+    ASSERT_TRUE(srv.throttled());
+    // Drop all load: the junction cools past the hysteresis band.
+    for (std::size_t i = 0; i < srv.cores(); ++i)
+        srv.removeJob(WorkloadType::VideoEncoding);
+    for (int i = 0; i < 120; ++i)
+        srv.stepThermal(model, 60.0);
+    EXPECT_FALSE(srv.throttled());
+}
+
+TEST(Throttling, DisabledWhenFactorIsOne)
+{
+    ServerThermalParams p = touchyParams();
+    p.throttleFactor = 1.0;
+    Server srv(0, ServerSpec{}, p);
+    const PowerModel model({}, 1.77);
+    fill(srv);
+    for (int i = 0; i < 300; ++i)
+        srv.stepThermal(model, 60.0);
+    EXPECT_FALSE(srv.throttled());
+}
+
+TEST(Throttling, SimulationCountsThrottledIntervals)
+{
+    // A severely undersized cooling plant drives the room hot enough
+    // to downclock CPUs under round robin.
+    SimConfig config;
+    config.numServers = 40;
+    config.seed = 7;
+    config.coolingCapacity = 8000.0; // ~60% of this cluster's peak.
+    config.coolingOverloadRise = 6.0e-3;
+    RoundRobinScheduler rr;
+    const SimResult r = runSimulation(config, rr);
+    EXPECT_GT(r.throttledServerIntervals, 0u);
+}
+
+TEST(Throttling, NoThrottlingWithAdequateCooling)
+{
+    SimConfig config;
+    config.numServers = 40;
+    config.seed = 7;
+    RoundRobinScheduler rr;
+    const SimResult r = runSimulation(config, rr);
+    EXPECT_EQ(r.throttledServerIntervals, 0u);
+}
+
+} // namespace
+} // namespace vmt

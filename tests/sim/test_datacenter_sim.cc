@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the multi-cluster datacenter driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vmt_ta.h"
+#include "sched/round_robin.h"
+#include "sim/datacenter_sim.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+DatacenterSimConfig
+smallDc(std::size_t clusters = 3)
+{
+    DatacenterSimConfig config;
+    config.numClusters = clusters;
+    config.cluster.numServers = 10;
+    config.cluster.trace.duration = 8.0;
+    return config;
+}
+
+SchedulerFactory
+roundRobinFactory()
+{
+    return [](std::size_t) {
+        return std::make_unique<RoundRobinScheduler>();
+    };
+}
+
+TEST(DatacenterSim, Validates)
+{
+    DatacenterSimConfig config = smallDc();
+    config.numClusters = 0;
+    EXPECT_THROW(runDatacenter(config, roundRobinFactory()),
+                 FatalError);
+    EXPECT_THROW(runDatacenter(smallDc(), SchedulerFactory{}),
+                 FatalError);
+    EXPECT_THROW(
+        runDatacenter(smallDc(),
+                      [](std::size_t) {
+                          return std::unique_ptr<Scheduler>{};
+                      }),
+        FatalError);
+}
+
+TEST(DatacenterSim, AggregatesAllClusters)
+{
+    const DatacenterSimResult r =
+        runDatacenter(smallDc(3), roundRobinFactory());
+    ASSERT_EQ(r.clusters.size(), 3u);
+    EXPECT_EQ(r.coolingLoad.size(), r.clusters[0].coolingLoad.size());
+    // Facility sample = sum of cluster samples.
+    const std::size_t i = 100;
+    double sum = 0.0;
+    for (const SimResult &c : r.clusters)
+        sum += c.coolingLoad.at(i);
+    EXPECT_NEAR(r.coolingLoad.at(i), sum, 1e-6);
+}
+
+TEST(DatacenterSim, MisalignedPeaksNeverExceedLinearScaling)
+{
+    DatacenterSimConfig config = smallDc(4);
+    config.peakPhaseSpread = 1.0;
+    const DatacenterSimResult r =
+        runDatacenter(config, roundRobinFactory());
+    EXPECT_LE(r.peakCoolingLoad, r.sumOfClusterPeaks + 1e-6);
+    EXPECT_GT(r.peakCoolingLoad, 0.5 * r.sumOfClusterPeaks);
+}
+
+TEST(DatacenterSim, ZeroSpreadMatchesLinearScalingClosely)
+{
+    DatacenterSimConfig config = smallDc(3);
+    config.peakPhaseSpread = 0.0;
+    // Identical trace shape and seeds differing only in noise: the
+    // facility peak should be within a few percent of the linear sum.
+    const DatacenterSimResult r =
+        runDatacenter(config, roundRobinFactory());
+    EXPECT_NEAR(r.peakCoolingLoad / r.sumOfClusterPeaks, 1.0, 0.05);
+}
+
+TEST(DatacenterSim, FactoryReceivesClusterIds)
+{
+    std::vector<std::size_t> seen;
+    runDatacenter(smallDc(3), [&](std::size_t id) {
+        seen.push_back(id);
+        return std::make_unique<RoundRobinScheduler>();
+    });
+    EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(DatacenterSim, VmtReducesFacilityPeak)
+{
+    DatacenterSimConfig config = smallDc(3);
+    config.cluster.numServers = 50;
+    config.cluster.trace.duration = 24.0;
+    const DatacenterSimResult base =
+        runDatacenter(config, roundRobinFactory());
+    const DatacenterSimResult vmt =
+        runDatacenter(config, [](std::size_t) {
+            return std::make_unique<VmtTaScheduler>(
+                VmtConfig{}, hotMaskFromPaper());
+        });
+    EXPECT_LT(vmt.peakCoolingLoad, base.peakCoolingLoad * 0.95);
+}
+
+} // namespace
+} // namespace vmt

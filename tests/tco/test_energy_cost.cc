@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the time-of-use cooling energy cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tco/energy_cost.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+TEST(EnergyCost, Validates)
+{
+    EnergyCostParams p;
+    p.chillerCop = 0.0;
+    EXPECT_THROW(EnergyCostModel{p}, FatalError);
+    p = {};
+    p.peakPricePerKwh = -1.0;
+    EXPECT_THROW(EnergyCostModel{p}, FatalError);
+    p = {};
+    p.peakStartHour = 22.0;
+    p.peakEndHour = 12.0;
+    EXPECT_THROW(EnergyCostModel{p}, FatalError);
+}
+
+TEST(EnergyCost, PeakHourWindow)
+{
+    const EnergyCostModel model;
+    EXPECT_FALSE(model.isPeakHour(11.9));
+    EXPECT_TRUE(model.isPeakHour(12.0));
+    EXPECT_TRUE(model.isPeakHour(21.9));
+    EXPECT_FALSE(model.isPeakHour(22.0));
+    // Day-periodic.
+    EXPECT_TRUE(model.isPeakHour(24.0 + 15.0));
+    EXPECT_FALSE(model.isPeakHour(24.0 + 3.0));
+}
+
+TEST(EnergyCost, KnownArithmetic)
+{
+    // Flat 3.5 kW cooling load for 24 h, COP 3.5 -> 1 kW electrical.
+    // 10 peak hours at $0.14 + 14 off-peak at $0.07 = $2.38.
+    TimeSeries load(kHour);
+    for (int h = 0; h < 24; ++h)
+        load.add(3500.0);
+    const EnergyCostModel model;
+    const EnergyCostBreakdown out = model.price(load);
+    EXPECT_NEAR(out.totalCost, 10 * 0.14 + 14 * 0.07, 1e-9);
+    EXPECT_NEAR(out.peakEnergy, 3500.0 * 10 * 3600.0, 1e-6);
+    EXPECT_NEAR(out.offPeakEnergy, 3500.0 * 14 * 3600.0, 1e-6);
+}
+
+TEST(EnergyCost, ShiftingLoadOffPeakIsCheaper)
+{
+    // Same total energy, concentrated at the peak vs overnight.
+    TimeSeries peaky(kHour), nightly(kHour);
+    for (int h = 0; h < 24; ++h) {
+        peaky.add(h >= 12 && h < 22 ? 2400.0 : 0.0);
+        nightly.add(h < 10 ? 2400.0 : 0.0);
+    }
+    const EnergyCostModel model;
+    EXPECT_GT(model.price(peaky).totalCost,
+              model.price(nightly).totalCost * 1.5);
+}
+
+TEST(EnergyCost, HigherCopIsCheaper)
+{
+    TimeSeries load(kHour);
+    for (int h = 0; h < 24; ++h)
+        load.add(1000.0);
+    EnergyCostParams efficient;
+    efficient.chillerCop = 7.0;
+    EXPECT_LT(EnergyCostModel(efficient).price(load).totalCost,
+              EnergyCostModel().price(load).totalCost);
+}
+
+} // namespace
+} // namespace vmt

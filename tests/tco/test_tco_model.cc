@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the cooling TCO model — these pin the paper's
+ * Section V-E dollar figures exactly (the TCO analysis is pure
+ * arithmetic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tco/tco_model.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+TcoModel
+study()
+{
+    return TcoModel(DatacenterSpec{});
+}
+
+TEST(Tco, BaselineCoolingCostIsTwentyOneMillion)
+{
+    // $7 / kW-month x 120 months x 25,000 kW = $21,000,000.
+    EXPECT_NEAR(study().baselineCoolingCost(), 21.0e6, 1.0);
+}
+
+TEST(Tco, PaperHeadlineSavings)
+{
+    // "a cost savings of $2,690,000" at 12.8%.
+    EXPECT_NEAR(study().savingsFromReduction(0.128), 2.688e6, 5e3);
+    // "A 6% reduction ... still provides a cost savings of
+    // $1,260,000."
+    EXPECT_NEAR(study().savingsFromReduction(0.06), 1.26e6, 1e3);
+}
+
+TEST(Tco, WaxCostIsUnderHalfPercentOfServerCost)
+{
+    // "less than 0.5% of the purchase cost per server at a wax price
+    // of $1000/ton" — 4 L of commercial paraffin is a few dollars.
+    const Dollars per_server = study().waxCostPerServer();
+    EXPECT_GT(per_server, 1.0);
+    EXPECT_LT(per_server, 10.0);
+}
+
+TEST(Tco, NParaffinDeploymentIsOrderTenMillion)
+{
+    // "deploying an n-paraffin wax ... would cost on the order of
+    // $10 million."
+    const Dollars cost = study().fleetNParaffinCost();
+    EXPECT_GT(cost, 8.0e6);
+    EXPECT_LT(cost, 16.0e6);
+}
+
+TEST(Tco, NetSavingsSubtractsWax)
+{
+    const TcoModel tco = study();
+    EXPECT_NEAR(tco.netSavingsFromReduction(0.128),
+                tco.savingsFromReduction(0.128) - tco.fleetWaxCost(),
+                1e-6);
+    EXPECT_GT(tco.netSavingsFromReduction(0.128), 2.4e6);
+}
+
+TEST(Tco, ExtraServersDelegatesToCoolingModel)
+{
+    EXPECT_NEAR(static_cast<double>(study().extraServers(0.128)),
+                7339.0, 5.0);
+}
+
+TEST(Tco, CoolingSystemCostScalesLinearly)
+{
+    const TcoModel tco = study();
+    EXPECT_NEAR(tco.coolingSystemCost(1.0e6), 840000.0, 1e-6);
+    EXPECT_DOUBLE_EQ(tco.coolingSystemCost(0.0), 0.0);
+}
+
+TEST(Tco, Validates)
+{
+    const TcoModel tco = study();
+    EXPECT_THROW(tco.coolingSystemCost(-1.0), FatalError);
+    EXPECT_THROW(tco.savingsFromReduction(1.0), FatalError);
+    TcoParams bad;
+    bad.coolingCostPerKwMonth = 0.0;
+    EXPECT_THROW(TcoModel(DatacenterSpec{}, bad), FatalError);
+}
+
+} // namespace
+} // namespace vmt

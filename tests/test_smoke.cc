@@ -1,0 +1,48 @@
+/**
+ * @file
+ * End-to-end smoke test: a short run of every scheduler completes,
+ * places all jobs, and produces sane aggregates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vmt_ta.h"
+#include "core/vmt_wa.h"
+#include "sched/coolest_first.h"
+#include "sched/round_robin.h"
+#include "sim/simulation.h"
+
+namespace vmt {
+namespace {
+
+SimConfig
+shortConfig()
+{
+    SimConfig config;
+    config.numServers = 20;
+    config.trace.duration = 6.0; // hours
+    config.seed = 3;
+    return config;
+}
+
+TEST(Smoke, AllSchedulersRun)
+{
+    const SimConfig config = shortConfig();
+
+    RoundRobinScheduler rr;
+    CoolestFirstScheduler cf;
+    VmtTaScheduler ta({}, hotMaskFromPaper());
+    VmtWaScheduler wa({}, hotMaskFromPaper());
+
+    for (Scheduler *sched :
+         std::initializer_list<Scheduler *>{&rr, &cf, &ta, &wa}) {
+        const SimResult result = runSimulation(config, *sched);
+        EXPECT_EQ(result.droppedJobs, 0u) << sched->name();
+        EXPECT_GT(result.placedJobs, 0u) << sched->name();
+        EXPECT_GT(result.peakCoolingLoad, 0.0) << sched->name();
+        EXPECT_EQ(result.coolingLoad.size(), 360u) << sched->name();
+    }
+}
+
+} // namespace
+} // namespace vmt

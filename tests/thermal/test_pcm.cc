@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit and property tests for the enthalpy-based PCM model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "thermal/pcm.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+PcmParams
+testWax()
+{
+    PcmParams p;
+    p.meltTemp = 35.7;
+    p.volume = 4.0;
+    p.densityKgPerL = 0.88;
+    p.latentHeat = 240000.0;
+    p.conductance = 86.0;
+    return p;
+}
+
+TEST(Pcm, MassAndCapacity)
+{
+    const PcmParams p = testWax();
+    EXPECT_DOUBLE_EQ(p.mass(), 3.52);
+    EXPECT_DOUBLE_EQ(p.latentCapacity(), 3.52 * 240000.0);
+}
+
+TEST(Pcm, StartsSolidAtInitialTemp)
+{
+    const Pcm pcm(testWax(), 22.0);
+    EXPECT_NEAR(pcm.temperature(), 22.0, 1e-9);
+    EXPECT_TRUE(pcm.fullySolid());
+    EXPECT_DOUBLE_EQ(pcm.meltFraction(), 0.0);
+}
+
+TEST(Pcm, InitialTempClampedToMeltPoint)
+{
+    const Pcm pcm(testWax(), 50.0);
+    EXPECT_DOUBLE_EQ(pcm.temperature(), 35.7);
+    EXPECT_DOUBLE_EQ(pcm.meltFraction(), 0.0);
+}
+
+TEST(Pcm, RejectsBadParams)
+{
+    PcmParams p = testWax();
+    p.conductance = 0.0;
+    EXPECT_THROW(Pcm{p}, FatalError);
+    p = testWax();
+    p.latentHeat = -1.0;
+    EXPECT_THROW(Pcm{p}, FatalError);
+}
+
+TEST(Pcm, StepRejectsNonPositiveDt)
+{
+    Pcm pcm(testWax());
+    EXPECT_THROW(pcm.step(40.0, 0.0), FatalError);
+}
+
+TEST(Pcm, AbsorbedEnergyEqualsEnthalpyChange)
+{
+    Pcm pcm(testWax(), 22.0);
+    const Joules before = pcm.enthalpy();
+    Joules absorbed = 0.0;
+    for (int i = 0; i < 100; ++i)
+        absorbed += pcm.step(40.0, 60.0);
+    EXPECT_NEAR(pcm.enthalpy() - before, absorbed, 1e-6);
+}
+
+TEST(Pcm, SensibleHeatingBelowMeltPoint)
+{
+    Pcm pcm(testWax(), 22.0);
+    pcm.step(30.0, 600.0);
+    EXPECT_GT(pcm.temperature(), 22.0);
+    EXPECT_LT(pcm.temperature(), 30.0 + 1e-9);
+    EXPECT_DOUBLE_EQ(pcm.meltFraction(), 0.0);
+}
+
+TEST(Pcm, TemperaturePinnedDuringTransition)
+{
+    Pcm pcm(testWax(), 35.0);
+    // Drive hard: hot air for a long time, sampling mid-transition.
+    bool saw_plateau = false;
+    for (int i = 0; i < 500; ++i) {
+        pcm.step(40.0, 60.0);
+        const double f = pcm.meltFraction();
+        if (f > 0.05 && f < 0.95) {
+            EXPECT_DOUBLE_EQ(pcm.temperature(), 35.7);
+            saw_plateau = true;
+        }
+    }
+    EXPECT_TRUE(saw_plateau);
+    EXPECT_TRUE(pcm.fullyMelted());
+}
+
+TEST(Pcm, LiquidHeatsAboveMeltPointAfterFullMelt)
+{
+    Pcm pcm(testWax(), 35.7);
+    for (int i = 0; i < 2000 && !pcm.fullyMelted(); ++i)
+        pcm.step(45.0, 60.0);
+    ASSERT_TRUE(pcm.fullyMelted());
+    for (int i = 0; i < 200; ++i)
+        pcm.step(45.0, 60.0);
+    EXPECT_GT(pcm.temperature(), 35.7);
+    EXPECT_LT(pcm.temperature(), 45.0 + 1e-9);
+}
+
+TEST(Pcm, RefreezingReleasesStoredHeat)
+{
+    Pcm pcm(testWax(), 35.7);
+    for (int i = 0; i < 2000 && pcm.meltFraction() < 0.5; ++i)
+        pcm.step(40.0, 60.0);
+    ASSERT_GT(pcm.meltFraction(), 0.4);
+    // Cold air: the wax must *release* (negative absorbed).
+    Joules released = 0.0;
+    for (int i = 0; i < 100; ++i)
+        released += pcm.step(25.0, 60.0);
+    EXPECT_LT(released, 0.0);
+    EXPECT_LT(pcm.meltFraction(), 0.5);
+}
+
+TEST(Pcm, MeltFreezeRoundTripConservesEnergy)
+{
+    Pcm pcm(testWax(), 30.0);
+    Joules net = 0.0;
+    for (int i = 0; i < 300; ++i)
+        net += pcm.step(42.0, 60.0);
+    for (int i = 0; i < 3000; ++i)
+        net += pcm.step(30.0, 60.0);
+    // Back near the starting state: net energy ~ 0.
+    EXPECT_NEAR(pcm.temperature(), 30.0, 0.05);
+    EXPECT_NEAR(net, 0.0, pcm.params().latentCapacity() * 0.01);
+}
+
+TEST(Pcm, LatentEnergyStoredTracksFraction)
+{
+    Pcm pcm(testWax(), 35.7);
+    for (int i = 0; i < 60; ++i)
+        pcm.step(40.0, 60.0);
+    EXPECT_NEAR(pcm.latentEnergyStored(),
+                pcm.meltFraction() * pcm.params().latentCapacity(),
+                1e-6);
+}
+
+/** Melt fraction must stay in [0, 1] whatever the drive. */
+class PcmBounds
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{};
+
+TEST_P(PcmBounds, FractionAlwaysInRange)
+{
+    const auto [air, dt] = GetParam();
+    Pcm pcm(testWax(), 22.0);
+    for (int i = 0; i < 500; ++i) {
+        pcm.step(air, dt);
+        EXPECT_GE(pcm.meltFraction(), 0.0);
+        EXPECT_LE(pcm.meltFraction(), 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PcmBounds,
+    ::testing::Combine(::testing::Values(-10.0, 10.0, 35.7, 36.0, 80.0),
+                       ::testing::Values(1.0, 60.0, 600.0)));
+
+/** Finer sub-stepping must not change the result materially. */
+TEST(Pcm, SubSteppingConverges)
+{
+    Pcm coarse(testWax(), 22.0);
+    Pcm fine(testWax(), 22.0);
+    for (int i = 0; i < 240; ++i) {
+        coarse.step(40.0, 60.0);
+        for (int j = 0; j < 60; ++j)
+            fine.step(40.0, 1.0);
+    }
+    EXPECT_NEAR(coarse.meltFraction(), fine.meltFraction(), 0.02);
+    EXPECT_NEAR(coarse.temperature(), fine.temperature(), 0.2);
+}
+
+} // namespace
+} // namespace vmt

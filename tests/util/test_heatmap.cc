@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the heatmap grid and ASCII renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/heatmap.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+TEST(Heatmap, RejectsEmptyDimensions)
+{
+    EXPECT_THROW(Heatmap(0, 5), FatalError);
+    EXPECT_THROW(Heatmap(5, 0), FatalError);
+}
+
+TEST(Heatmap, InitializedToZero)
+{
+    const Heatmap map(3, 4);
+    EXPECT_EQ(map.rows(), 3u);
+    EXPECT_EQ(map.cols(), 4u);
+    EXPECT_EQ(map.minValue(), 0.0);
+    EXPECT_EQ(map.maxValue(), 0.0);
+}
+
+TEST(Heatmap, CellReadWrite)
+{
+    Heatmap map(2, 2);
+    map.at(1, 0) = 7.5;
+    EXPECT_DOUBLE_EQ(map.at(1, 0), 7.5);
+    EXPECT_DOUBLE_EQ(map.maxValue(), 7.5);
+}
+
+TEST(Heatmap, RowAndColumnMeans)
+{
+    Heatmap map(2, 2);
+    map.at(0, 0) = 1.0;
+    map.at(0, 1) = 3.0;
+    map.at(1, 0) = 5.0;
+    map.at(1, 1) = 7.0;
+    EXPECT_DOUBLE_EQ(map.rowMean(0), 2.0);
+    EXPECT_DOUBLE_EQ(map.rowMean(1), 6.0);
+    EXPECT_DOUBLE_EQ(map.columnMean(0), 3.0);
+    EXPECT_DOUBLE_EQ(map.columnMean(1), 5.0);
+    EXPECT_DOUBLE_EQ(map.meanValue(), 4.0);
+}
+
+TEST(Heatmap, OutOfRangePanics)
+{
+    Heatmap map(2, 2);
+    EXPECT_DEATH(map.at(2, 0), "out of range");
+    EXPECT_DEATH(map.at(0, 2), "out of range");
+}
+
+TEST(Heatmap, RenderProducesRequestedShape)
+{
+    Heatmap map(50, 200);
+    std::ostringstream os;
+    map.render(os, 0.0, 1.0, 10, 40);
+    const std::string out = os.str();
+    std::size_t lines = 0, first_len = 0;
+    std::istringstream is(out);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (!lines)
+            first_len = line.size();
+        EXPECT_EQ(line.size(), first_len);
+        ++lines;
+    }
+    EXPECT_EQ(lines, 10u);
+    EXPECT_EQ(first_len, 40u);
+}
+
+TEST(Heatmap, RenderMapsExtremesToRampEnds)
+{
+    Heatmap map(1, 2);
+    map.at(0, 0) = 0.0;
+    map.at(0, 1) = 1.0;
+    std::ostringstream os;
+    map.render(os, 0.0, 1.0, 1, 2);
+    EXPECT_EQ(os.str(), " @\n");
+}
+
+TEST(Heatmap, RenderClampsOutOfRangeValues)
+{
+    Heatmap map(1, 2);
+    map.at(0, 0) = -10.0;
+    map.at(0, 1) = 10.0;
+    std::ostringstream os;
+    map.render(os, 0.0, 1.0, 1, 2);
+    EXPECT_EQ(os.str(), " @\n");
+}
+
+TEST(Heatmap, RenderRejectsBadRange)
+{
+    Heatmap map(1, 1);
+    std::ostringstream os;
+    EXPECT_THROW(map.render(os, 1.0, 1.0), FatalError);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for running statistics and percentiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace vmt {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSet)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // Classic population example.
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, NegativeValues)
+{
+    RunningStats s;
+    s.add(-5.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Percentile, EmptyReturnsZero)
+{
+    EXPECT_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 0.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 100.0), 42.0);
+}
+
+TEST(Percentile, MedianOfOddSet)
+{
+    EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks)
+{
+    // Ranks 0..3 for p=50 -> rank 1.5 -> midpoint of 2 and 3.
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+}
+
+TEST(Percentile, ExtremesAreMinAndMax)
+{
+    const std::vector<double> v = {9.0, 1.0, 5.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, RejectsOutOfRangeP)
+{
+    EXPECT_THROW(percentile({1.0}, -1.0), FatalError);
+    EXPECT_THROW(percentile({1.0}, 100.5), FatalError);
+}
+
+class PercentileMonotone : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(PercentileMonotone, NonDecreasingInP)
+{
+    const std::vector<double> v = {5.0, 3.0, 8.0, 1.0, 9.0,
+                                   2.0, 7.0, 4.0, 6.0};
+    const double p = GetParam();
+    EXPECT_LE(percentile(v, p), percentile(v, std::min(100.0, p + 10.0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PercentileMonotone,
+                         ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0,
+                                           90.0, 99.0));
+
+TEST(VectorHelpers, MeanMaxMin)
+{
+    const std::vector<double> v = {1.0, 2.0, 6.0};
+    EXPECT_DOUBLE_EQ(mean(v), 3.0);
+    EXPECT_DOUBLE_EQ(maxValue(v), 6.0);
+    EXPECT_DOUBLE_EQ(minValue(v), 1.0);
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_EQ(maxValue({}), 0.0);
+    EXPECT_EQ(minValue({}), 0.0);
+}
+
+} // namespace
+} // namespace vmt

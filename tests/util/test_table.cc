@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the console table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace vmt {
+namespace {
+
+TEST(Table, CellFormatting)
+{
+    EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::cell(3.0, 0), "3");
+    EXPECT_EQ(Table::cell(-1.5, 1), "-1.5");
+    EXPECT_EQ(Table::cell(42ll), "42");
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t;
+    t.setHeader({"a", "bbbb"});
+    t.addRow({"xxxx", "y"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    // Header, separator, one row.
+    EXPECT_NE(out.find("a     bbbb"), std::string::npos);
+    EXPECT_NE(out.find("xxxx  y"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, TitlePrintedFirst)
+{
+    Table t("My Title");
+    t.addRow({"x"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_EQ(os.str().rfind("My Title", 0), 0u);
+}
+
+TEST(Table, MismatchedRowWidthIsFatal)
+{
+    Table t;
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(Table, NoHeaderAcceptsAnyWidth)
+{
+    Table t;
+    t.addRow({"a"});
+    t.addRow({"b", "c", "d"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("b  c  d"), std::string::npos);
+}
+
+} // namespace
+} // namespace vmt

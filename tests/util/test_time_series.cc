@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for TimeSeries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/time_series.h"
+
+namespace vmt {
+namespace {
+
+TimeSeries
+make(std::initializer_list<double> values, Seconds period = 60.0)
+{
+    TimeSeries ts(period);
+    for (double v : values)
+        ts.add(v);
+    return ts;
+}
+
+TEST(TimeSeries, RejectsNonPositivePeriod)
+{
+    EXPECT_THROW(TimeSeries(0.0), FatalError);
+    EXPECT_THROW(TimeSeries(-60.0), FatalError);
+}
+
+TEST(TimeSeries, BasicAccessors)
+{
+    const TimeSeries ts = make({1.0, 3.0, 2.0});
+    EXPECT_EQ(ts.size(), 3u);
+    EXPECT_FALSE(ts.empty());
+    EXPECT_DOUBLE_EQ(ts.at(1), 3.0);
+    EXPECT_DOUBLE_EQ(ts.timeAt(2), 120.0);
+}
+
+TEST(TimeSeries, PeakTroughAverage)
+{
+    const TimeSeries ts = make({1.0, 5.0, 3.0});
+    EXPECT_DOUBLE_EQ(ts.peak(), 5.0);
+    EXPECT_EQ(ts.peakIndex(), 1u);
+    EXPECT_DOUBLE_EQ(ts.trough(), 1.0);
+    EXPECT_DOUBLE_EQ(ts.average(), 3.0);
+}
+
+TEST(TimeSeries, EmptyAggregatesAreZero)
+{
+    const TimeSeries ts(60.0);
+    EXPECT_EQ(ts.peak(), 0.0);
+    EXPECT_EQ(ts.trough(), 0.0);
+    EXPECT_EQ(ts.average(), 0.0);
+    EXPECT_EQ(ts.peakIndex(), 0u);
+}
+
+TEST(TimeSeries, SmoothedPeakWindowOneIsPeak)
+{
+    const TimeSeries ts = make({1.0, 9.0, 1.0});
+    EXPECT_DOUBLE_EQ(ts.smoothedPeak(1), ts.peak());
+}
+
+TEST(TimeSeries, SmoothedPeakAveragesSpikes)
+{
+    // A single spike of 10 among 0s: window 2 halves it.
+    const TimeSeries ts = make({0.0, 10.0, 0.0, 0.0});
+    EXPECT_DOUBLE_EQ(ts.smoothedPeak(2), 5.0);
+}
+
+TEST(TimeSeries, SmoothedPeakWindowLargerThanSeries)
+{
+    const TimeSeries ts = make({2.0, 4.0});
+    EXPECT_DOUBLE_EQ(ts.smoothedPeak(10), 3.0);
+}
+
+TEST(TimeSeries, SmoothedPeakRejectsZeroWindow)
+{
+    const TimeSeries ts = make({1.0});
+    EXPECT_THROW(ts.smoothedPeak(0), FatalError);
+}
+
+TEST(TimeSeries, TimeAboveCountsSamples)
+{
+    const TimeSeries ts = make({1.0, 2.0, 3.0, 2.0}, 60.0);
+    EXPECT_DOUBLE_EQ(ts.timeAbove(2.0), 3 * 60.0);
+    EXPECT_DOUBLE_EQ(ts.timeAbove(10.0), 0.0);
+}
+
+TEST(TimeSeries, IntegralIsSumTimesPeriod)
+{
+    const TimeSeries ts = make({1.0, 2.0, 3.0}, 30.0);
+    EXPECT_DOUBLE_EQ(ts.integral(), 6.0 * 30.0);
+}
+
+TEST(TimeSeries, AtOutOfRangePanics)
+{
+    const TimeSeries ts = make({1.0});
+    EXPECT_DEATH(ts.at(1), "out of range");
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the synthetic two-day diurnal trace (Fig. 8 shape).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "workload/diurnal_trace.h"
+
+namespace vmt {
+namespace {
+
+TraceParams
+quiet()
+{
+    TraceParams p;
+    p.noiseStddev = 0.0;
+    return p;
+}
+
+TEST(DiurnalTrace, DefaultCoversTwoDaysAtOneMinute)
+{
+    const DiurnalTrace trace(quiet());
+    EXPECT_EQ(trace.size(), 2880u);
+    EXPECT_DOUBLE_EQ(trace.sampleInterval(), 60.0);
+}
+
+TEST(DiurnalTrace, PeakAndTroughLevels)
+{
+    const DiurnalTrace trace(quiet());
+    EXPECT_NEAR(trace.peak(), 0.95, 1e-9);
+    EXPECT_NEAR(trace.trough(), 0.30, 1e-9);
+}
+
+TEST(DiurnalTrace, TroughsNearHoursFiveAndTwentyNine)
+{
+    const DiurnalTrace trace(quiet());
+    EXPECT_NEAR(trace.utilization(trace.indexAt(5 * kHour)), 0.30,
+                0.01);
+    EXPECT_NEAR(trace.utilization(trace.indexAt(29 * kHour)), 0.30,
+                0.01);
+}
+
+TEST(DiurnalTrace, PeaksNearHoursTwentyAndFortySix)
+{
+    const DiurnalTrace trace(quiet());
+    EXPECT_NEAR(trace.utilization(trace.indexAt(20 * kHour)), 0.95,
+                0.01);
+    EXPECT_NEAR(trace.utilization(trace.indexAt(46 * kHour)), 0.95,
+                0.01);
+    // Midday is clearly below peak.
+    EXPECT_LT(trace.utilization(trace.indexAt(12 * kHour)), 0.60);
+}
+
+TEST(DiurnalTrace, WorkloadSplitUsesCatalogShares)
+{
+    const DiurnalTrace trace(quiet());
+    const std::size_t i = trace.indexAt(20 * kHour);
+    double sum = 0.0;
+    for (WorkloadType type : kAllWorkloads) {
+        const double u = trace.workloadUtilization(type, i);
+        EXPECT_NEAR(u,
+                    trace.utilization(i) *
+                        workloadInfo(type).loadShare,
+                    1e-12);
+        sum += u;
+    }
+    EXPECT_NEAR(sum, trace.utilization(i), 1e-9);
+}
+
+TEST(DiurnalTrace, NoiseIsDeterministicPerSeed)
+{
+    TraceParams p;
+    p.noiseStddev = 0.01;
+    p.seed = 99;
+    const DiurnalTrace a(p), b(p);
+    for (std::size_t i = 0; i < a.size(); i += 100)
+        EXPECT_DOUBLE_EQ(a.utilization(i), b.utilization(i));
+}
+
+TEST(DiurnalTrace, DifferentSeedsDiffer)
+{
+    TraceParams p;
+    p.noiseStddev = 0.01;
+    p.seed = 1;
+    const DiurnalTrace a(p);
+    p.seed = 2;
+    const DiurnalTrace b(p);
+    int diff = 0;
+    for (std::size_t i = 0; i < a.size(); i += 10)
+        diff += a.utilization(i) != b.utilization(i);
+    EXPECT_GT(diff, 200);
+}
+
+TEST(DiurnalTrace, LongerTracesRepeatTheCycle)
+{
+    TraceParams p = quiet();
+    p.duration = 96.0;
+    const DiurnalTrace trace(p);
+    EXPECT_EQ(trace.size(), 5760u);
+    EXPECT_NEAR(trace.utilization(trace.indexAt(68 * kHour)),
+                trace.utilization(trace.indexAt(20 * kHour)), 1e-9);
+}
+
+TEST(DiurnalTrace, IndexAtClampsToEnd)
+{
+    const DiurnalTrace trace(quiet());
+    EXPECT_EQ(trace.indexAt(1e9), trace.size() - 1);
+    EXPECT_EQ(trace.indexAt(-5.0), 0u);
+}
+
+TEST(DiurnalTrace, ValidatesParams)
+{
+    TraceParams p = quiet();
+    p.duration = 0.0;
+    EXPECT_THROW(DiurnalTrace{p}, FatalError);
+    p = quiet();
+    p.troughUtilization = 0.9;
+    p.peakUtilization = 0.5;
+    EXPECT_THROW(DiurnalTrace{p}, FatalError);
+    p = quiet();
+    p.peakUtilization = 1.5;
+    EXPECT_THROW(DiurnalTrace{p}, FatalError);
+}
+
+TEST(DiurnalTrace, UtilizationAlwaysInUnitRange)
+{
+    TraceParams p;
+    p.noiseStddev = 0.05; // Exaggerated noise still clamps.
+    const DiurnalTrace trace(p);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_GE(trace.utilization(i), 0.0);
+        EXPECT_LE(trace.utilization(i), 1.0);
+    }
+}
+
+TEST(DiurnalTrace, CustomShapeIsFollowed)
+{
+    TraceParams p = quiet();
+    p.duration = 24.0;
+    p.customShape = {{0.0, 0.0}, {12.0, 1.0}, {24.0, 0.0}};
+    const DiurnalTrace trace(p);
+    EXPECT_NEAR(trace.utilization(trace.indexAt(0.0)), 0.30, 0.01);
+    EXPECT_NEAR(trace.utilization(trace.indexAt(12 * kHour)), 0.95,
+                0.01);
+    EXPECT_NEAR(trace.utilization(trace.indexAt(6 * kHour)),
+                0.30 + 0.65 * 0.5, 0.01);
+}
+
+TEST(DiurnalTrace, CustomShapeRepeatsItsOwnCycle)
+{
+    TraceParams p = quiet();
+    p.duration = 20.0;
+    p.customShape = {{0.0, 0.0}, {5.0, 1.0}, {10.0, 0.0}};
+    const DiurnalTrace trace(p);
+    EXPECT_NEAR(trace.utilization(trace.indexAt(15 * kHour)),
+                trace.utilization(trace.indexAt(5 * kHour)), 1e-9);
+}
+
+TEST(DiurnalTrace, CustomShapeValidated)
+{
+    TraceParams p = quiet();
+    p.customShape = {{5.0, 0.2}, {5.0, 0.4}};
+    EXPECT_THROW(DiurnalTrace{p}, FatalError);
+    p.customShape = {{0.0, 0.5}, {10.0, 1.5}};
+    EXPECT_THROW(DiurnalTrace{p}, FatalError);
+    p.customShape = {{10.0, 0.5}, {5.0, 0.6}};
+    EXPECT_THROW(DiurnalTrace{p}, FatalError);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the trace-following job generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "util/logging.h"
+#include "workload/job_generator.h"
+
+namespace vmt {
+namespace {
+
+TraceParams
+quiet()
+{
+    TraceParams p;
+    p.noiseStddev = 0.0;
+    return p;
+}
+
+TEST(JobGenerator, RejectsEmptyCluster)
+{
+    const DiurnalTrace trace(quiet());
+    EXPECT_THROW(JobGenerator(trace, 0), FatalError);
+}
+
+TEST(JobGenerator, FillsToTargetFromIdle)
+{
+    const DiurnalTrace trace(quiet());
+    JobGenerator gen(trace, 3200);
+    const ActiveCounts none{};
+    const auto arrivals = gen.arrivalsFor(0, none);
+    // Interval 0 has utilization 0.30 + 0.65 * 0.45 ~ 0.59.
+    const double u = trace.utilization(0);
+    EXPECT_NEAR(static_cast<double>(arrivals.size()), u * 3200.0,
+                5.0);
+}
+
+TEST(JobGenerator, PerWorkloadTargetsFollowShares)
+{
+    const DiurnalTrace trace(quiet());
+    JobGenerator gen(trace, 3200);
+    const ActiveCounts none{};
+    std::array<std::size_t, kNumWorkloads> counts{};
+    for (const Job &job : gen.arrivalsFor(0, none))
+        ++counts[workloadIndex(job.type)];
+    for (WorkloadType type : kAllWorkloads) {
+        const double expect =
+            trace.workloadUtilization(type, 0) * 3200.0;
+        EXPECT_NEAR(static_cast<double>(counts[workloadIndex(type)]),
+                    expect, 1.0)
+            << workloadName(type);
+    }
+}
+
+TEST(JobGenerator, NoArrivalsWhenAtOrAboveTarget)
+{
+    const DiurnalTrace trace(quiet());
+    JobGenerator gen(trace, 3200);
+    ActiveCounts saturated{};
+    for (WorkloadType type : kAllWorkloads)
+        saturated[workloadIndex(type)] = 3200;
+    EXPECT_TRUE(gen.arrivalsFor(0, saturated).empty());
+}
+
+TEST(JobGenerator, TopsUpOnlyTheGap)
+{
+    const DiurnalTrace trace(quiet());
+    JobGenerator gen(trace, 3200);
+    ActiveCounts partial{};
+    const auto idx = workloadIndex(WorkloadType::WebSearch);
+    const auto target = static_cast<std::size_t>(std::lround(
+        trace.workloadUtilization(WorkloadType::WebSearch, 0) *
+        3200.0));
+    partial[idx] = target - 10;
+    std::size_t search_arrivals = 0;
+    for (const Job &job : gen.arrivalsFor(0, partial)) {
+        if (job.type == WorkloadType::WebSearch)
+            ++search_arrivals;
+    }
+    EXPECT_EQ(search_arrivals, 10u);
+}
+
+TEST(JobGenerator, DurationsClampedToSaneRange)
+{
+    const DiurnalTrace trace(quiet());
+    JobGenerator gen(trace, 3200);
+    const ActiveCounts none{};
+    for (const Job &job : gen.arrivalsFor(0, none)) {
+        EXPECT_GE(job.duration, kMinute);
+        EXPECT_LE(job.duration,
+                  6.0 * workloadInfo(job.type).meanDuration);
+    }
+}
+
+TEST(JobGenerator, IdsAreUniqueAndCounted)
+{
+    const DiurnalTrace trace(quiet());
+    JobGenerator gen(trace, 320);
+    const ActiveCounts none{};
+    const auto a = gen.arrivalsFor(0, none);
+    const auto b = gen.arrivalsFor(1, none);
+    EXPECT_EQ(gen.jobsEmitted(), a.size() + b.size());
+    if (!a.empty() && !b.empty()) {
+        EXPECT_LT(a.back().id, b.front().id);
+    }
+}
+
+TEST(JobGenerator, DeterministicPerSeed)
+{
+    const DiurnalTrace trace(quiet());
+    JobGenerator g1(trace, 3200, 5), g2(trace, 3200, 5);
+    const ActiveCounts none{};
+    const auto a = g1.arrivalsFor(0, none);
+    const auto b = g2.arrivalsFor(0, none);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].type, b[i].type);
+        EXPECT_DOUBLE_EQ(a[i].duration, b[i].duration);
+    }
+}
+
+TEST(JobGenerator, CatalogSharesMatchTableOne)
+{
+    const WorkloadShares shares = catalogShares();
+    double sum = 0.0;
+    for (WorkloadType type : kAllWorkloads) {
+        EXPECT_DOUBLE_EQ(shares[workloadIndex(type)],
+                         workloadInfo(type).loadShare);
+        sum += shares[workloadIndex(type)];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(JobGenerator, MixScheduleValidation)
+{
+    const DiurnalTrace trace(quiet());
+    WorkloadShares bad = catalogShares();
+    bad[0] += 0.5; // Does not sum to 1.
+    EXPECT_THROW(JobGenerator(trace, 100, 1, {{0.0, bad}}),
+                 FatalError);
+    WorkloadShares negative = catalogShares();
+    negative[0] = -0.1;
+    negative[1] += 0.35 + 0.1;
+    EXPECT_THROW(JobGenerator(trace, 100, 1, {{0.0, negative}}),
+                 FatalError);
+    // Non-ascending hours.
+    EXPECT_THROW(JobGenerator(trace, 100, 1,
+                              {{5.0, catalogShares()},
+                               {5.0, catalogShares()}}),
+                 FatalError);
+}
+
+TEST(JobGenerator, MixScheduleSwitchesShares)
+{
+    const DiurnalTrace trace(quiet());
+    WorkloadShares cold{};
+    cold[workloadIndex(WorkloadType::DataCaching)] = 1.0;
+    JobGenerator gen(trace, 3200, 1,
+                     {{0.0, catalogShares()}, {24.0, cold}});
+
+    // Hour 0: catalog shares.
+    EXPECT_DOUBLE_EQ(
+        gen.sharesAt(0)[workloadIndex(WorkloadType::WebSearch)],
+        0.25);
+    // Hour 30 (interval 1800): everything is caching.
+    EXPECT_DOUBLE_EQ(
+        gen.sharesAt(1800)[workloadIndex(WorkloadType::DataCaching)],
+        1.0);
+    const ActiveCounts none{};
+    for (const Job &job : gen.arrivalsFor(1800, none))
+        EXPECT_EQ(job.type, WorkloadType::DataCaching);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests for trace analytics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/trace_stats.h"
+
+namespace vmt {
+namespace {
+
+TEST(TraceStats, StudyTraceCharacteristics)
+{
+    TraceParams params;
+    params.noiseStddev = 0.0;
+    const TraceStats stats = analyzeTrace(DiurnalTrace(params));
+    EXPECT_NEAR(stats.peak, 0.95, 1e-9);
+    EXPECT_NEAR(stats.trough, 0.30, 1e-9);
+    EXPECT_GT(stats.mean, stats.trough);
+    EXPECT_LT(stats.mean, stats.peak);
+    // Global peak on day one near hour 20 (or the day-two twin).
+    EXPECT_GT(stats.peakHour, 19.0);
+    EXPECT_LT(stats.peakHour, 47.0);
+    // The calibrated evening peak is a few hours wide in total
+    // across both days.
+    EXPECT_GT(stats.peakWidth, 2.0);
+    EXPECT_LT(stats.peakWidth, 10.0);
+    EXPECT_GT(stats.maxHourlyRamp, 0.05);
+    EXPECT_NEAR(stats.hotLoadShare, 0.60, 1e-12);
+}
+
+TEST(TraceStats, FlatTraceHasZeroRampAndFullWidth)
+{
+    const DiurnalTrace flat(std::vector<double>(100, 0.5), kMinute);
+    const TraceStats stats = analyzeTrace(flat);
+    EXPECT_DOUBLE_EQ(stats.peak, 0.5);
+    EXPECT_DOUBLE_EQ(stats.trough, 0.5);
+    EXPECT_DOUBLE_EQ(stats.maxHourlyRamp, 0.0);
+    EXPECT_NEAR(stats.peakWidth, 100.0 / 60.0, 1e-9);
+    EXPECT_DOUBLE_EQ(stats.peakHour, 0.0);
+}
+
+TEST(TraceStats, RampDetectsSteepRise)
+{
+    // Step from 0.2 to 0.9 -> one-hour ramp of 0.7.
+    std::vector<double> samples(240, 0.2);
+    for (std::size_t i = 120; i < 240; ++i)
+        samples[i] = 0.9;
+    const TraceStats stats =
+        analyzeTrace(DiurnalTrace(samples, kMinute));
+    EXPECT_NEAR(stats.maxHourlyRamp, 0.7, 1e-9);
+    EXPECT_NEAR(stats.peakHour, 2.0, 0.02);
+}
+
+} // namespace
+} // namespace vmt

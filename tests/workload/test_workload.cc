@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the Table I workload catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/workload.h"
+
+namespace vmt {
+namespace {
+
+TEST(Workload, TableOnePowers)
+{
+    EXPECT_DOUBLE_EQ(workloadInfo(WorkloadType::WebSearch).cpuPower,
+                     37.2);
+    EXPECT_DOUBLE_EQ(workloadInfo(WorkloadType::DataCaching).cpuPower,
+                     13.5);
+    EXPECT_DOUBLE_EQ(
+        workloadInfo(WorkloadType::VideoEncoding).cpuPower, 60.9);
+    EXPECT_DOUBLE_EQ(workloadInfo(WorkloadType::VirusScan).cpuPower,
+                     3.4);
+    EXPECT_DOUBLE_EQ(workloadInfo(WorkloadType::Clustering).cpuPower,
+                     59.5);
+}
+
+TEST(Workload, TableOneClasses)
+{
+    EXPECT_EQ(workloadInfo(WorkloadType::WebSearch).paperClass,
+              ThermalClass::Hot);
+    EXPECT_EQ(workloadInfo(WorkloadType::DataCaching).paperClass,
+              ThermalClass::Cold);
+    EXPECT_EQ(workloadInfo(WorkloadType::VideoEncoding).paperClass,
+              ThermalClass::Hot);
+    EXPECT_EQ(workloadInfo(WorkloadType::VirusScan).paperClass,
+              ThermalClass::Cold);
+    EXPECT_EQ(workloadInfo(WorkloadType::Clustering).paperClass,
+              ThermalClass::Hot);
+}
+
+TEST(Workload, LoadSharesSumToOne)
+{
+    double total = 0.0;
+    for (WorkloadType type : kAllWorkloads)
+        total += workloadInfo(type).loadShare;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Workload, HotSharesAreSixtyPercent)
+{
+    double hot = 0.0;
+    for (WorkloadType type : kAllWorkloads) {
+        if (workloadInfo(type).paperClass == ThermalClass::Hot)
+            hot += workloadInfo(type).loadShare;
+    }
+    EXPECT_NEAR(hot, 0.60, 1e-12);
+}
+
+TEST(Workload, PerCorePowerDividesByPackageCores)
+{
+    EXPECT_DOUBLE_EQ(perCorePower(WorkloadType::WebSearch), 37.2 / 8.0);
+    EXPECT_DOUBLE_EQ(perCorePower(WorkloadType::VirusScan), 3.4 / 8.0);
+}
+
+TEST(Workload, QosClasses)
+{
+    EXPECT_EQ(workloadInfo(WorkloadType::WebSearch).qos,
+              QosClass::LatencyCritical);
+    EXPECT_EQ(workloadInfo(WorkloadType::DataCaching).qos,
+              QosClass::LatencyCritical);
+    EXPECT_EQ(workloadInfo(WorkloadType::VideoEncoding).qos,
+              QosClass::Deferrable);
+}
+
+TEST(Workload, NamesAndIndices)
+{
+    EXPECT_EQ(workloadName(WorkloadType::Clustering), "Clustering");
+    EXPECT_EQ(workloadIndex(WorkloadType::WebSearch), 0u);
+    EXPECT_EQ(workloadIndex(WorkloadType::Clustering), 4u);
+    EXPECT_EQ(kAllWorkloads.size(), kNumWorkloads);
+}
+
+TEST(Workload, DurationsArePositive)
+{
+    for (WorkloadType type : kAllWorkloads)
+        EXPECT_GT(workloadInfo(type).meanDuration, 0.0);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * vmtsim — command-line front-end to the VMT scale-out simulator.
+ *
+ * Commands:
+ *   run      simulate one policy and print a summary
+ *   compare  run every policy on the same trace, print reductions
+ *   sweep    sweep the grouping value for one policy
+ *   tune     golden-section search for the best GV on a forecast
+ *   trace    generate the study trace (--out FILE), or analyze an
+ *            existing one (--analyze with --trace FILE)
+ *
+ * Common flags:
+ *   --servers N          cluster size               (default 100)
+ *   --hours H            trace length               (default 48)
+ *   --seed X             run seed                   (default 7)
+ *   --inlet-stddev S     inlet variation sigma in K (default 0)
+ *   --cooling-capacity W cooling plant capacity in watts (0 = inf)
+ *   --trace FILE         load utilization trace CSV (hour,utilization)
+ *
+ * run flags:
+ *   --policy P           rr | cf | ta | wa | preserve | adaptive
+ *                        (default wa)
+ *   --gv G               grouping value              (default 22)
+ *   --threshold T        wax threshold               (default 0.98)
+ *   --out FILE           write per-interval series CSV
+ *   --heatmaps PREFIX    write PREFIX_airtemp.csv / PREFIX_melt.csv
+ *
+ * sweep flags: --policy, --gv-from, --gv-to, --gv-step
+ * trace flags: --out FILE
+ *
+ * Examples:
+ *   vmtsim compare --servers 1000
+ *   vmtsim run --policy wa --gv 22 --out series.csv
+ *   vmtsim sweep --policy ta --gv-from 16 --gv-to 28 --gv-step 1
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/adaptive_vmt.h"
+#include "core/gv_tuner.h"
+#include "core/vmt_preserve.h"
+#include "core/vmt_ta.h"
+#include "core/vmt_wa.h"
+#include "sched/coolest_first.h"
+#include "sched/round_robin.h"
+#include "sim/result_io.h"
+#include "sim/simulation.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/table.h"
+#include "workload/trace_io.h"
+#include "workload/trace_stats.h"
+
+using namespace vmt;
+
+namespace {
+
+SimConfig
+configFromFlags(const Flags &flags)
+{
+    SimConfig config;
+    config.numServers = static_cast<std::size_t>(
+        flags.getInt("servers", 100));
+    config.trace.duration = flags.getDouble("hours", 48.0);
+    config.seed = static_cast<std::uint64_t>(flags.getInt("seed", 7));
+    config.inletStddev = flags.getDouble("inlet-stddev", 0.0);
+    config.coolingCapacity =
+        flags.getDouble("cooling-capacity", 0.0);
+    if (flags.has("trace")) {
+        const DiurnalTrace loaded =
+            loadTraceCsv(flags.getString("trace"));
+        if (std::abs(loaded.sampleInterval() - config.interval) >
+            1e-6)
+            fatal("vmtsim: trace sampling interval must be one "
+                  "minute");
+        config.traceSamples = std::vector<double>();
+        config.traceSamples.reserve(loaded.size());
+        for (std::size_t i = 0; i < loaded.size(); ++i)
+            config.traceSamples.push_back(loaded.utilization(i));
+    }
+    return config;
+}
+
+std::unique_ptr<Scheduler>
+makePolicy(const std::string &policy, double gv, double threshold)
+{
+    VmtConfig vmt;
+    vmt.groupingValue = gv;
+    vmt.waxThreshold = threshold;
+    if (policy == "rr")
+        return std::make_unique<RoundRobinScheduler>();
+    if (policy == "cf")
+        return std::make_unique<CoolestFirstScheduler>();
+    if (policy == "ta")
+        return std::make_unique<VmtTaScheduler>(vmt,
+                                                hotMaskFromPaper());
+    if (policy == "wa")
+        return std::make_unique<VmtWaScheduler>(vmt,
+                                                hotMaskFromPaper());
+    if (policy == "preserve")
+        return std::make_unique<VmtPreserveScheduler>(
+            vmt, hotMaskFromPaper());
+    if (policy == "adaptive")
+        return std::make_unique<AdaptiveVmtScheduler>(
+            vmt, hotMaskFromPaper());
+    fatal("vmtsim: unknown policy '" + policy +
+          "' (rr|cf|ta|wa|preserve|adaptive)");
+}
+
+void
+printSummary(const SimResult &r)
+{
+    std::printf("policy            %s\n", r.schedulerName.c_str());
+    std::printf("peak cooling load %.1f kW\n",
+                r.peakCoolingLoad / 1e3);
+    std::printf("peak power        %.1f kW\n", r.peakPower / 1e3);
+    std::printf("max mean melt     %.1f %%\n",
+                r.maxMeltFraction * 100.0);
+    std::printf("max air temp      %.1f C\n", r.maxAirTemp);
+    std::printf("peak inlet        %.2f C\n", r.inletTemp.peak());
+    std::printf("jobs placed       %llu (dropped %llu)\n",
+                static_cast<unsigned long long>(r.placedJobs),
+                static_cast<unsigned long long>(r.droppedJobs));
+}
+
+int
+cmdRun(const Flags &flags)
+{
+    SimConfig config = configFromFlags(flags);
+    config.recordHeatmaps = flags.has("heatmaps");
+    const std::string heatmaps = flags.getString("heatmaps", "");
+    const std::string out = flags.getString("out", "");
+
+    auto sched = makePolicy(flags.getString("policy", "wa"),
+                            flags.getDouble("gv", 22.0),
+                            flags.getDouble("threshold", 0.98));
+    const SimResult result = runSimulation(config, *sched);
+    printSummary(result);
+
+    if (!out.empty()) {
+        saveResultCsv(result, out);
+        std::printf("series written    %s\n", out.c_str());
+    }
+    if (!heatmaps.empty()) {
+        saveHeatmapCsv(result, "airtemp", heatmaps + "_airtemp.csv");
+        saveHeatmapCsv(result, "melt", heatmaps + "_melt.csv");
+        std::printf("heatmaps written  %s_{airtemp,melt}.csv\n",
+                    heatmaps.c_str());
+    }
+    return 0;
+}
+
+int
+cmdCompare(const Flags &flags)
+{
+    const SimConfig config = configFromFlags(flags);
+    const double gv = flags.getDouble("gv", 22.0);
+    const double threshold = flags.getDouble("threshold", 0.98);
+
+    RoundRobinScheduler rr;
+    const SimResult base = runSimulation(config, rr);
+
+    Table table("Policy comparison (" +
+                std::to_string(config.numServers) + " servers)");
+    table.setHeader({"Policy", "Peak (kW)", "Reduction (%)",
+                     "Max melt (%)"});
+    table.addRow({base.schedulerName,
+                  Table::cell(base.peakCoolingLoad / 1e3, 1), "0.0",
+                  Table::cell(base.maxMeltFraction * 100.0, 1)});
+    for (const char *policy : {"cf", "ta", "wa", "preserve"}) {
+        auto sched = makePolicy(policy, gv, threshold);
+        const SimResult r = runSimulation(config, *sched);
+        table.addRow({r.schedulerName,
+                      Table::cell(r.peakCoolingLoad / 1e3, 1),
+                      Table::cell(peakReductionPercent(base, r), 1),
+                      Table::cell(r.maxMeltFraction * 100.0, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdSweep(const Flags &flags)
+{
+    const SimConfig config = configFromFlags(flags);
+    const std::string policy = flags.getString("policy", "wa");
+    const double from = flags.getDouble("gv-from", 16.0);
+    const double to = flags.getDouble("gv-to", 28.0);
+    const double step = flags.getDouble("gv-step", 2.0);
+    if (step <= 0.0 || to < from)
+        fatal("vmtsim sweep: need gv-from <= gv-to and gv-step > 0");
+
+    RoundRobinScheduler rr;
+    const SimResult base = runSimulation(config, rr);
+
+    Table table("GV sweep, policy " + policy);
+    table.setHeader({"GV", "Peak (kW)", "Reduction (%)"});
+    for (double gv = from; gv <= to + 1e-9; gv += step) {
+        auto sched =
+            makePolicy(policy, gv, flags.getDouble("threshold", 0.98));
+        const SimResult r = runSimulation(config, *sched);
+        table.addRow({Table::cell(gv, 2),
+                      Table::cell(r.peakCoolingLoad / 1e3, 1),
+                      Table::cell(peakReductionPercent(base, r), 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdTune(const Flags &flags)
+{
+    SimConfig forecast = configFromFlags(flags);
+    GvTunerParams params;
+    params.gvLow = flags.getDouble("gv-from", 14.0);
+    params.gvHigh = flags.getDouble("gv-to", 30.0);
+    params.tolerance = flags.getDouble("tolerance", 0.5);
+    params.algorithm = flags.getString("policy", "wa") == "ta"
+                           ? VmtAlgorithm::ThermalAware
+                           : VmtAlgorithm::WaxAware;
+    const GvTunerResult r = tuneGv(forecast, params);
+    std::printf("best GV        %.2f\n", r.bestGv);
+    std::printf("reduction      %.1f %%\n", r.bestReduction);
+    std::printf("evaluations    %d\n", r.evaluations);
+    return 0;
+}
+
+void
+printTraceStats(const DiurnalTrace &trace)
+{
+    const TraceStats stats = analyzeTrace(trace);
+    std::printf("samples        %zu (%.1f h at %.0f s)\n",
+                trace.size(),
+                secondsToHours(trace.sampleInterval() *
+                               static_cast<double>(trace.size())),
+                trace.sampleInterval());
+    std::printf("peak           %.1f %% at hour %.1f\n",
+                stats.peak * 100.0, stats.peakHour);
+    std::printf("trough         %.1f %%\n", stats.trough * 100.0);
+    std::printf("mean           %.1f %%\n", stats.mean * 100.0);
+    std::printf("peak width     %.1f h within 10%% of peak\n",
+                stats.peakWidth);
+    std::printf("max ramp       %.1f %%/h\n",
+                stats.maxHourlyRamp * 100.0);
+    std::printf("hot load share %.0f %%\n",
+                stats.hotLoadShare * 100.0);
+}
+
+int
+cmdTrace(const Flags &flags)
+{
+    if (flags.getBool("analyze", false)) {
+        if (!flags.has("trace"))
+            fatal("vmtsim trace --analyze requires --trace FILE");
+        printTraceStats(loadTraceCsv(flags.getString("trace")));
+        return 0;
+    }
+    const std::string out = flags.getString("out", "");
+    if (out.empty())
+        fatal("vmtsim trace: --out FILE is required");
+    TraceParams params;
+    params.duration = flags.getDouble("hours", 48.0);
+    params.seed =
+        static_cast<std::uint64_t>(flags.getInt("seed", 42));
+    const DiurnalTrace trace(params);
+    saveTraceCsv(trace, out);
+    std::printf("trace written %s\n", out.c_str());
+    printTraceStats(trace);
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: vmtsim <run|compare|sweep|tune|trace> [flags]\n"
+                 "see the header comment in tools/vmtsim.cc for the "
+                 "full flag reference\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Flags flags(argc, argv);
+    if (flags.positional().empty())
+        return usage();
+    const std::string command = flags.positional().front();
+
+    try {
+        int rc;
+        if (command == "run")
+            rc = cmdRun(flags);
+        else if (command == "compare")
+            rc = cmdCompare(flags);
+        else if (command == "sweep")
+            rc = cmdSweep(flags);
+        else if (command == "tune")
+            rc = cmdTune(flags);
+        else if (command == "trace")
+            rc = cmdTrace(flags);
+        else
+            return usage();
+
+        const auto unread = flags.unreadFlags();
+        if (!unread.empty()) {
+            std::fprintf(stderr, "vmtsim: unknown flag(s):");
+            for (const std::string &name : unread)
+                std::fprintf(stderr, " --%s", name.c_str());
+            std::fprintf(stderr, "\n");
+            return 2;
+        }
+        return rc;
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "vmtsim: %s\n", err.what());
+        return 1;
+    }
+}
