@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_period.dir/ablation_update_period.cc.o"
+  "CMakeFiles/ablation_update_period.dir/ablation_update_period.cc.o.d"
+  "ablation_update_period"
+  "ablation_update_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wax_volume.dir/ablation_wax_volume.cc.o"
+  "CMakeFiles/ablation_wax_volume.dir/ablation_wax_volume.cc.o.d"
+  "ablation_wax_volume"
+  "ablation_wax_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wax_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_adaptive.dir/extension_adaptive.cc.o"
+  "CMakeFiles/extension_adaptive.dir/extension_adaptive.cc.o.d"
+  "extension_adaptive"
+  "extension_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

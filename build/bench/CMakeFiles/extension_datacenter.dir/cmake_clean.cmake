@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_datacenter.dir/extension_datacenter.cc.o"
+  "CMakeFiles/extension_datacenter.dir/extension_datacenter.cc.o.d"
+  "extension_datacenter"
+  "extension_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_energy_cost.dir/extension_energy_cost.cc.o"
+  "CMakeFiles/extension_energy_cost.dir/extension_energy_cost.cc.o.d"
+  "extension_energy_cost"
+  "extension_energy_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_energy_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_fanout_tail.dir/extension_fanout_tail.cc.o"
+  "CMakeFiles/extension_fanout_tail.dir/extension_fanout_tail.cc.o.d"
+  "extension_fanout_tail"
+  "extension_fanout_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_fanout_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_mix_drift.dir/extension_mix_drift.cc.o"
+  "CMakeFiles/extension_mix_drift.dir/extension_mix_drift.cc.o.d"
+  "extension_mix_drift"
+  "extension_mix_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_mix_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_oversubscription.dir/extension_oversubscription.cc.o"
+  "CMakeFiles/extension_oversubscription.dir/extension_oversubscription.cc.o.d"
+  "extension_oversubscription"
+  "extension_oversubscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

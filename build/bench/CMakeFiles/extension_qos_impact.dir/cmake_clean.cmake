@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_qos_impact.dir/extension_qos_impact.cc.o"
+  "CMakeFiles/extension_qos_impact.dir/extension_qos_impact.cc.o.d"
+  "extension_qos_impact"
+  "extension_qos_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_qos_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

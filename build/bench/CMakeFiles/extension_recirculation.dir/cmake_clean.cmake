@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_recirculation.dir/extension_recirculation.cc.o"
+  "CMakeFiles/extension_recirculation.dir/extension_recirculation.cc.o.d"
+  "extension_recirculation"
+  "extension_recirculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_recirculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

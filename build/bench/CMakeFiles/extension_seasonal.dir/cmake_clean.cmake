@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_seasonal.dir/extension_seasonal.cc.o"
+  "CMakeFiles/extension_seasonal.dir/extension_seasonal.cc.o.d"
+  "extension_seasonal"
+  "extension_seasonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_seasonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

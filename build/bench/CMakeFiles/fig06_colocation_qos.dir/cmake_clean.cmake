@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_colocation_qos.dir/fig06_colocation_qos.cc.o"
+  "CMakeFiles/fig06_colocation_qos.dir/fig06_colocation_qos.cc.o.d"
+  "fig06_colocation_qos"
+  "fig06_colocation_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_colocation_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_trace.dir/fig08_trace.cc.o"
+  "CMakeFiles/fig08_trace.dir/fig08_trace.cc.o.d"
+  "fig08_trace"
+  "fig08_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

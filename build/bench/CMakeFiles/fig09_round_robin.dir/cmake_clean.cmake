@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_round_robin.dir/fig09_round_robin.cc.o"
+  "CMakeFiles/fig09_round_robin.dir/fig09_round_robin.cc.o.d"
+  "fig09_round_robin"
+  "fig09_round_robin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_round_robin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_coolest_first.dir/fig10_coolest_first.cc.o"
+  "CMakeFiles/fig10_coolest_first.dir/fig10_coolest_first.cc.o.d"
+  "fig10_coolest_first"
+  "fig10_coolest_first.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_coolest_first.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

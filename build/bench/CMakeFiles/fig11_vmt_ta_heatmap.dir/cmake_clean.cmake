@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vmt_ta_heatmap.dir/fig11_vmt_ta_heatmap.cc.o"
+  "CMakeFiles/fig11_vmt_ta_heatmap.dir/fig11_vmt_ta_heatmap.cc.o.d"
+  "fig11_vmt_ta_heatmap"
+  "fig11_vmt_ta_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vmt_ta_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

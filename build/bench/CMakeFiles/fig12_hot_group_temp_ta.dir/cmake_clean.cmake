@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hot_group_temp_ta.dir/fig12_hot_group_temp_ta.cc.o"
+  "CMakeFiles/fig12_hot_group_temp_ta.dir/fig12_hot_group_temp_ta.cc.o.d"
+  "fig12_hot_group_temp_ta"
+  "fig12_hot_group_temp_ta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hot_group_temp_ta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

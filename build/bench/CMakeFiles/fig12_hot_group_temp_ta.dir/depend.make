@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_hot_group_temp_ta.
+# This may be replaced when dependencies are built.

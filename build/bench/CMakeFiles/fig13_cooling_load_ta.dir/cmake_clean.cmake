@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cooling_load_ta.dir/fig13_cooling_load_ta.cc.o"
+  "CMakeFiles/fig13_cooling_load_ta.dir/fig13_cooling_load_ta.cc.o.d"
+  "fig13_cooling_load_ta"
+  "fig13_cooling_load_ta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cooling_load_ta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_vmt_wa_heatmap.dir/fig14_vmt_wa_heatmap.cc.o"
+  "CMakeFiles/fig14_vmt_wa_heatmap.dir/fig14_vmt_wa_heatmap.cc.o.d"
+  "fig14_vmt_wa_heatmap"
+  "fig14_vmt_wa_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_vmt_wa_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

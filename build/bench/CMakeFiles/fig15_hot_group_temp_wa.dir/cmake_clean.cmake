@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_hot_group_temp_wa.dir/fig15_hot_group_temp_wa.cc.o"
+  "CMakeFiles/fig15_hot_group_temp_wa.dir/fig15_hot_group_temp_wa.cc.o.d"
+  "fig15_hot_group_temp_wa"
+  "fig15_hot_group_temp_wa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_hot_group_temp_wa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

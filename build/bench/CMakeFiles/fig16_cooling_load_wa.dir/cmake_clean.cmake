@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cooling_load_wa.dir/fig16_cooling_load_wa.cc.o"
+  "CMakeFiles/fig16_cooling_load_wa.dir/fig16_cooling_load_wa.cc.o.d"
+  "fig16_cooling_load_wa"
+  "fig16_cooling_load_wa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cooling_load_wa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_wax_threshold.dir/fig17_wax_threshold.cc.o"
+  "CMakeFiles/fig17_wax_threshold.dir/fig17_wax_threshold.cc.o.d"
+  "fig17_wax_threshold"
+  "fig17_wax_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_wax_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

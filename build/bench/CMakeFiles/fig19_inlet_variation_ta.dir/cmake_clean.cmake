@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_inlet_variation_ta.dir/fig19_inlet_variation_ta.cc.o"
+  "CMakeFiles/fig19_inlet_variation_ta.dir/fig19_inlet_variation_ta.cc.o.d"
+  "fig19_inlet_variation_ta"
+  "fig19_inlet_variation_ta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_inlet_variation_ta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

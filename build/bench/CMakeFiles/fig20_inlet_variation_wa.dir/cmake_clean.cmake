@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_inlet_variation_wa.dir/fig20_inlet_variation_wa.cc.o"
+  "CMakeFiles/fig20_inlet_variation_wa.dir/fig20_inlet_variation_wa.cc.o.d"
+  "fig20_inlet_variation_wa"
+  "fig20_inlet_variation_wa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_inlet_variation_wa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_inlet_variation_wa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_gv_mapping.dir/table2_gv_mapping.cc.o"
+  "CMakeFiles/table2_gv_mapping.dir/table2_gv_mapping.cc.o.d"
+  "table2_gv_mapping"
+  "table2_gv_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_gv_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tco_summary.dir/tco_summary.cc.o"
+  "CMakeFiles/tco_summary.dir/tco_summary.cc.o.d"
+  "tco_summary"
+  "tco_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tco_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

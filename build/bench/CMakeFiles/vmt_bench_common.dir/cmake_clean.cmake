@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_bench_common.dir/common.cc.o"
+  "CMakeFiles/vmt_bench_common.dir/common.cc.o.d"
+  "libvmt_bench_common.a"
+  "libvmt_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_gv.dir/adaptive_gv.cpp.o"
+  "CMakeFiles/adaptive_gv.dir/adaptive_gv.cpp.o.d"
+  "adaptive_gv"
+  "adaptive_gv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_gv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_advisor.dir/mix_advisor.cpp.o"
+  "CMakeFiles/mix_advisor.dir/mix_advisor.cpp.o.d"
+  "mix_advisor"
+  "mix_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peak_preservation.dir/peak_preservation.cpp.o"
+  "CMakeFiles/peak_preservation.dir/peak_preservation.cpp.o.d"
+  "peak_preservation"
+  "peak_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peak_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

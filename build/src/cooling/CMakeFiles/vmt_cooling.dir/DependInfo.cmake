@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cooling/cooling_system.cc" "src/cooling/CMakeFiles/vmt_cooling.dir/cooling_system.cc.o" "gcc" "src/cooling/CMakeFiles/vmt_cooling.dir/cooling_system.cc.o.d"
+  "/root/repo/src/cooling/datacenter.cc" "src/cooling/CMakeFiles/vmt_cooling.dir/datacenter.cc.o" "gcc" "src/cooling/CMakeFiles/vmt_cooling.dir/datacenter.cc.o.d"
+  "/root/repo/src/cooling/recirculation.cc" "src/cooling/CMakeFiles/vmt_cooling.dir/recirculation.cc.o" "gcc" "src/cooling/CMakeFiles/vmt_cooling.dir/recirculation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/vmt_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/vmt_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vmt_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_cooling.dir/cooling_system.cc.o"
+  "CMakeFiles/vmt_cooling.dir/cooling_system.cc.o.d"
+  "CMakeFiles/vmt_cooling.dir/datacenter.cc.o"
+  "CMakeFiles/vmt_cooling.dir/datacenter.cc.o.d"
+  "CMakeFiles/vmt_cooling.dir/recirculation.cc.o"
+  "CMakeFiles/vmt_cooling.dir/recirculation.cc.o.d"
+  "libvmt_cooling.a"
+  "libvmt_cooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_vmt.cc" "src/core/CMakeFiles/vmt_core.dir/adaptive_vmt.cc.o" "gcc" "src/core/CMakeFiles/vmt_core.dir/adaptive_vmt.cc.o.d"
+  "/root/repo/src/core/balanced_group.cc" "src/core/CMakeFiles/vmt_core.dir/balanced_group.cc.o" "gcc" "src/core/CMakeFiles/vmt_core.dir/balanced_group.cc.o.d"
+  "/root/repo/src/core/classification.cc" "src/core/CMakeFiles/vmt_core.dir/classification.cc.o" "gcc" "src/core/CMakeFiles/vmt_core.dir/classification.cc.o.d"
+  "/root/repo/src/core/gv_tuner.cc" "src/core/CMakeFiles/vmt_core.dir/gv_tuner.cc.o" "gcc" "src/core/CMakeFiles/vmt_core.dir/gv_tuner.cc.o.d"
+  "/root/repo/src/core/vmt_config.cc" "src/core/CMakeFiles/vmt_core.dir/vmt_config.cc.o" "gcc" "src/core/CMakeFiles/vmt_core.dir/vmt_config.cc.o.d"
+  "/root/repo/src/core/vmt_preserve.cc" "src/core/CMakeFiles/vmt_core.dir/vmt_preserve.cc.o" "gcc" "src/core/CMakeFiles/vmt_core.dir/vmt_preserve.cc.o.d"
+  "/root/repo/src/core/vmt_ta.cc" "src/core/CMakeFiles/vmt_core.dir/vmt_ta.cc.o" "gcc" "src/core/CMakeFiles/vmt_core.dir/vmt_ta.cc.o.d"
+  "/root/repo/src/core/vmt_wa.cc" "src/core/CMakeFiles/vmt_core.dir/vmt_wa.cc.o" "gcc" "src/core/CMakeFiles/vmt_core.dir/vmt_wa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vmt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/vmt_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/vmt_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vmt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cooling/CMakeFiles/vmt_cooling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

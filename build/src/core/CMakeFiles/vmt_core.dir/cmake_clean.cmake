@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_core.dir/adaptive_vmt.cc.o"
+  "CMakeFiles/vmt_core.dir/adaptive_vmt.cc.o.d"
+  "CMakeFiles/vmt_core.dir/balanced_group.cc.o"
+  "CMakeFiles/vmt_core.dir/balanced_group.cc.o.d"
+  "CMakeFiles/vmt_core.dir/classification.cc.o"
+  "CMakeFiles/vmt_core.dir/classification.cc.o.d"
+  "CMakeFiles/vmt_core.dir/gv_tuner.cc.o"
+  "CMakeFiles/vmt_core.dir/gv_tuner.cc.o.d"
+  "CMakeFiles/vmt_core.dir/vmt_config.cc.o"
+  "CMakeFiles/vmt_core.dir/vmt_config.cc.o.d"
+  "CMakeFiles/vmt_core.dir/vmt_preserve.cc.o"
+  "CMakeFiles/vmt_core.dir/vmt_preserve.cc.o.d"
+  "CMakeFiles/vmt_core.dir/vmt_ta.cc.o"
+  "CMakeFiles/vmt_core.dir/vmt_ta.cc.o.d"
+  "CMakeFiles/vmt_core.dir/vmt_wa.cc.o"
+  "CMakeFiles/vmt_core.dir/vmt_wa.cc.o.d"
+  "libvmt_core.a"
+  "libvmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qos/colocation.cc" "src/qos/CMakeFiles/vmt_qos.dir/colocation.cc.o" "gcc" "src/qos/CMakeFiles/vmt_qos.dir/colocation.cc.o.d"
+  "/root/repo/src/qos/fanout.cc" "src/qos/CMakeFiles/vmt_qos.dir/fanout.cc.o" "gcc" "src/qos/CMakeFiles/vmt_qos.dir/fanout.cc.o.d"
+  "/root/repo/src/qos/mva.cc" "src/qos/CMakeFiles/vmt_qos.dir/mva.cc.o" "gcc" "src/qos/CMakeFiles/vmt_qos.dir/mva.cc.o.d"
+  "/root/repo/src/qos/qos_monitor.cc" "src/qos/CMakeFiles/vmt_qos.dir/qos_monitor.cc.o" "gcc" "src/qos/CMakeFiles/vmt_qos.dir/qos_monitor.cc.o.d"
+  "/root/repo/src/qos/queueing.cc" "src/qos/CMakeFiles/vmt_qos.dir/queueing.cc.o" "gcc" "src/qos/CMakeFiles/vmt_qos.dir/queueing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/vmt_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/vmt_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vmt_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_qos.dir/colocation.cc.o"
+  "CMakeFiles/vmt_qos.dir/colocation.cc.o.d"
+  "CMakeFiles/vmt_qos.dir/fanout.cc.o"
+  "CMakeFiles/vmt_qos.dir/fanout.cc.o.d"
+  "CMakeFiles/vmt_qos.dir/mva.cc.o"
+  "CMakeFiles/vmt_qos.dir/mva.cc.o.d"
+  "CMakeFiles/vmt_qos.dir/qos_monitor.cc.o"
+  "CMakeFiles/vmt_qos.dir/qos_monitor.cc.o.d"
+  "CMakeFiles/vmt_qos.dir/queueing.cc.o"
+  "CMakeFiles/vmt_qos.dir/queueing.cc.o.d"
+  "libvmt_qos.a"
+  "libvmt_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_reliability.dir/failure_model.cc.o"
+  "CMakeFiles/vmt_reliability.dir/failure_model.cc.o.d"
+  "libvmt_reliability.a"
+  "libvmt_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvmt_reliability.a"
+)

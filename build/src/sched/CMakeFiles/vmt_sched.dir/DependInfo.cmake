@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/coolest_first.cc" "src/sched/CMakeFiles/vmt_sched.dir/coolest_first.cc.o" "gcc" "src/sched/CMakeFiles/vmt_sched.dir/coolest_first.cc.o.d"
+  "/root/repo/src/sched/round_robin.cc" "src/sched/CMakeFiles/vmt_sched.dir/round_robin.cc.o" "gcc" "src/sched/CMakeFiles/vmt_sched.dir/round_robin.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/vmt_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/vmt_sched.dir/scheduler.cc.o.d"
+  "/root/repo/src/sched/switchover.cc" "src/sched/CMakeFiles/vmt_sched.dir/switchover.cc.o" "gcc" "src/sched/CMakeFiles/vmt_sched.dir/switchover.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/vmt_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vmt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/vmt_thermal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_sched.dir/coolest_first.cc.o"
+  "CMakeFiles/vmt_sched.dir/coolest_first.cc.o.d"
+  "CMakeFiles/vmt_sched.dir/round_robin.cc.o"
+  "CMakeFiles/vmt_sched.dir/round_robin.cc.o.d"
+  "CMakeFiles/vmt_sched.dir/scheduler.cc.o"
+  "CMakeFiles/vmt_sched.dir/scheduler.cc.o.d"
+  "CMakeFiles/vmt_sched.dir/switchover.cc.o"
+  "CMakeFiles/vmt_sched.dir/switchover.cc.o.d"
+  "libvmt_sched.a"
+  "libvmt_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

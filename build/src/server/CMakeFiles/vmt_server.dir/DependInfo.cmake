@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/cluster.cc" "src/server/CMakeFiles/vmt_server.dir/cluster.cc.o" "gcc" "src/server/CMakeFiles/vmt_server.dir/cluster.cc.o.d"
+  "/root/repo/src/server/power_model.cc" "src/server/CMakeFiles/vmt_server.dir/power_model.cc.o" "gcc" "src/server/CMakeFiles/vmt_server.dir/power_model.cc.o.d"
+  "/root/repo/src/server/server.cc" "src/server/CMakeFiles/vmt_server.dir/server.cc.o" "gcc" "src/server/CMakeFiles/vmt_server.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/thermal/CMakeFiles/vmt_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vmt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

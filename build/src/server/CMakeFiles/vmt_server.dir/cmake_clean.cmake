@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_server.dir/cluster.cc.o"
+  "CMakeFiles/vmt_server.dir/cluster.cc.o.d"
+  "CMakeFiles/vmt_server.dir/power_model.cc.o"
+  "CMakeFiles/vmt_server.dir/power_model.cc.o.d"
+  "CMakeFiles/vmt_server.dir/server.cc.o"
+  "CMakeFiles/vmt_server.dir/server.cc.o.d"
+  "libvmt_server.a"
+  "libvmt_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

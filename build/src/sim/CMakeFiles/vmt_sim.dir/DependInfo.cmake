@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/datacenter_sim.cc" "src/sim/CMakeFiles/vmt_sim.dir/datacenter_sim.cc.o" "gcc" "src/sim/CMakeFiles/vmt_sim.dir/datacenter_sim.cc.o.d"
+  "/root/repo/src/sim/result_io.cc" "src/sim/CMakeFiles/vmt_sim.dir/result_io.cc.o" "gcc" "src/sim/CMakeFiles/vmt_sim.dir/result_io.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/sim/CMakeFiles/vmt_sim.dir/simulation.cc.o" "gcc" "src/sim/CMakeFiles/vmt_sim.dir/simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cooling/CMakeFiles/vmt_cooling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vmt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/vmt_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/vmt_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vmt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

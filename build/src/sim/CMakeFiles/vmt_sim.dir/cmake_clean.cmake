@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_sim.dir/datacenter_sim.cc.o"
+  "CMakeFiles/vmt_sim.dir/datacenter_sim.cc.o.d"
+  "CMakeFiles/vmt_sim.dir/result_io.cc.o"
+  "CMakeFiles/vmt_sim.dir/result_io.cc.o.d"
+  "CMakeFiles/vmt_sim.dir/simulation.cc.o"
+  "CMakeFiles/vmt_sim.dir/simulation.cc.o.d"
+  "libvmt_sim.a"
+  "libvmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_tco.dir/energy_cost.cc.o"
+  "CMakeFiles/vmt_tco.dir/energy_cost.cc.o.d"
+  "CMakeFiles/vmt_tco.dir/tco_model.cc.o"
+  "CMakeFiles/vmt_tco.dir/tco_model.cc.o.d"
+  "libvmt_tco.a"
+  "libvmt_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

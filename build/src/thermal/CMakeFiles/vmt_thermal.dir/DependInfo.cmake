@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/inlet_model.cc" "src/thermal/CMakeFiles/vmt_thermal.dir/inlet_model.cc.o" "gcc" "src/thermal/CMakeFiles/vmt_thermal.dir/inlet_model.cc.o.d"
+  "/root/repo/src/thermal/pcm.cc" "src/thermal/CMakeFiles/vmt_thermal.dir/pcm.cc.o" "gcc" "src/thermal/CMakeFiles/vmt_thermal.dir/pcm.cc.o.d"
+  "/root/repo/src/thermal/rc_node.cc" "src/thermal/CMakeFiles/vmt_thermal.dir/rc_node.cc.o" "gcc" "src/thermal/CMakeFiles/vmt_thermal.dir/rc_node.cc.o.d"
+  "/root/repo/src/thermal/server_thermal.cc" "src/thermal/CMakeFiles/vmt_thermal.dir/server_thermal.cc.o" "gcc" "src/thermal/CMakeFiles/vmt_thermal.dir/server_thermal.cc.o.d"
+  "/root/repo/src/thermal/wax_state_estimator.cc" "src/thermal/CMakeFiles/vmt_thermal.dir/wax_state_estimator.cc.o" "gcc" "src/thermal/CMakeFiles/vmt_thermal.dir/wax_state_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_thermal.dir/inlet_model.cc.o"
+  "CMakeFiles/vmt_thermal.dir/inlet_model.cc.o.d"
+  "CMakeFiles/vmt_thermal.dir/pcm.cc.o"
+  "CMakeFiles/vmt_thermal.dir/pcm.cc.o.d"
+  "CMakeFiles/vmt_thermal.dir/rc_node.cc.o"
+  "CMakeFiles/vmt_thermal.dir/rc_node.cc.o.d"
+  "CMakeFiles/vmt_thermal.dir/server_thermal.cc.o"
+  "CMakeFiles/vmt_thermal.dir/server_thermal.cc.o.d"
+  "CMakeFiles/vmt_thermal.dir/wax_state_estimator.cc.o"
+  "CMakeFiles/vmt_thermal.dir/wax_state_estimator.cc.o.d"
+  "libvmt_thermal.a"
+  "libvmt_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

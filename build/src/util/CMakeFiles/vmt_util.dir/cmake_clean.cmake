@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_util.dir/csv.cc.o"
+  "CMakeFiles/vmt_util.dir/csv.cc.o.d"
+  "CMakeFiles/vmt_util.dir/flags.cc.o"
+  "CMakeFiles/vmt_util.dir/flags.cc.o.d"
+  "CMakeFiles/vmt_util.dir/heatmap.cc.o"
+  "CMakeFiles/vmt_util.dir/heatmap.cc.o.d"
+  "CMakeFiles/vmt_util.dir/logging.cc.o"
+  "CMakeFiles/vmt_util.dir/logging.cc.o.d"
+  "CMakeFiles/vmt_util.dir/rng.cc.o"
+  "CMakeFiles/vmt_util.dir/rng.cc.o.d"
+  "CMakeFiles/vmt_util.dir/stats.cc.o"
+  "CMakeFiles/vmt_util.dir/stats.cc.o.d"
+  "CMakeFiles/vmt_util.dir/table.cc.o"
+  "CMakeFiles/vmt_util.dir/table.cc.o.d"
+  "CMakeFiles/vmt_util.dir/time_series.cc.o"
+  "CMakeFiles/vmt_util.dir/time_series.cc.o.d"
+  "libvmt_util.a"
+  "libvmt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/diurnal_trace.cc" "src/workload/CMakeFiles/vmt_workload.dir/diurnal_trace.cc.o" "gcc" "src/workload/CMakeFiles/vmt_workload.dir/diurnal_trace.cc.o.d"
+  "/root/repo/src/workload/job_generator.cc" "src/workload/CMakeFiles/vmt_workload.dir/job_generator.cc.o" "gcc" "src/workload/CMakeFiles/vmt_workload.dir/job_generator.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/vmt_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/vmt_workload.dir/trace_io.cc.o.d"
+  "/root/repo/src/workload/trace_stats.cc" "src/workload/CMakeFiles/vmt_workload.dir/trace_stats.cc.o" "gcc" "src/workload/CMakeFiles/vmt_workload.dir/trace_stats.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/vmt_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/vmt_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

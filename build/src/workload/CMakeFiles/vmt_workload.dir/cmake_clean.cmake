@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_workload.dir/diurnal_trace.cc.o"
+  "CMakeFiles/vmt_workload.dir/diurnal_trace.cc.o.d"
+  "CMakeFiles/vmt_workload.dir/job_generator.cc.o"
+  "CMakeFiles/vmt_workload.dir/job_generator.cc.o.d"
+  "CMakeFiles/vmt_workload.dir/trace_io.cc.o"
+  "CMakeFiles/vmt_workload.dir/trace_io.cc.o.d"
+  "CMakeFiles/vmt_workload.dir/trace_stats.cc.o"
+  "CMakeFiles/vmt_workload.dir/trace_stats.cc.o.d"
+  "CMakeFiles/vmt_workload.dir/workload.cc.o"
+  "CMakeFiles/vmt_workload.dir/workload.cc.o.d"
+  "libvmt_workload.a"
+  "libvmt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_adaptive_vmt.cc" "tests/CMakeFiles/vmt_test_core.dir/core/test_adaptive_vmt.cc.o" "gcc" "tests/CMakeFiles/vmt_test_core.dir/core/test_adaptive_vmt.cc.o.d"
+  "/root/repo/tests/core/test_balanced_group.cc" "tests/CMakeFiles/vmt_test_core.dir/core/test_balanced_group.cc.o" "gcc" "tests/CMakeFiles/vmt_test_core.dir/core/test_balanced_group.cc.o.d"
+  "/root/repo/tests/core/test_classification.cc" "tests/CMakeFiles/vmt_test_core.dir/core/test_classification.cc.o" "gcc" "tests/CMakeFiles/vmt_test_core.dir/core/test_classification.cc.o.d"
+  "/root/repo/tests/core/test_gv_tuner.cc" "tests/CMakeFiles/vmt_test_core.dir/core/test_gv_tuner.cc.o" "gcc" "tests/CMakeFiles/vmt_test_core.dir/core/test_gv_tuner.cc.o.d"
+  "/root/repo/tests/core/test_vmt_config.cc" "tests/CMakeFiles/vmt_test_core.dir/core/test_vmt_config.cc.o" "gcc" "tests/CMakeFiles/vmt_test_core.dir/core/test_vmt_config.cc.o.d"
+  "/root/repo/tests/core/test_vmt_preserve.cc" "tests/CMakeFiles/vmt_test_core.dir/core/test_vmt_preserve.cc.o" "gcc" "tests/CMakeFiles/vmt_test_core.dir/core/test_vmt_preserve.cc.o.d"
+  "/root/repo/tests/core/test_vmt_ta.cc" "tests/CMakeFiles/vmt_test_core.dir/core/test_vmt_ta.cc.o" "gcc" "tests/CMakeFiles/vmt_test_core.dir/core/test_vmt_ta.cc.o.d"
+  "/root/repo/tests/core/test_vmt_wa.cc" "tests/CMakeFiles/vmt_test_core.dir/core/test_vmt_wa.cc.o" "gcc" "tests/CMakeFiles/vmt_test_core.dir/core/test_vmt_wa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cooling/CMakeFiles/vmt_cooling.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/vmt_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/vmt_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/tco/CMakeFiles/vmt_tco.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vmt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/vmt_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vmt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/vmt_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

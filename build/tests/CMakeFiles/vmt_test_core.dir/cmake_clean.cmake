@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_test_core.dir/core/test_adaptive_vmt.cc.o"
+  "CMakeFiles/vmt_test_core.dir/core/test_adaptive_vmt.cc.o.d"
+  "CMakeFiles/vmt_test_core.dir/core/test_balanced_group.cc.o"
+  "CMakeFiles/vmt_test_core.dir/core/test_balanced_group.cc.o.d"
+  "CMakeFiles/vmt_test_core.dir/core/test_classification.cc.o"
+  "CMakeFiles/vmt_test_core.dir/core/test_classification.cc.o.d"
+  "CMakeFiles/vmt_test_core.dir/core/test_gv_tuner.cc.o"
+  "CMakeFiles/vmt_test_core.dir/core/test_gv_tuner.cc.o.d"
+  "CMakeFiles/vmt_test_core.dir/core/test_vmt_config.cc.o"
+  "CMakeFiles/vmt_test_core.dir/core/test_vmt_config.cc.o.d"
+  "CMakeFiles/vmt_test_core.dir/core/test_vmt_preserve.cc.o"
+  "CMakeFiles/vmt_test_core.dir/core/test_vmt_preserve.cc.o.d"
+  "CMakeFiles/vmt_test_core.dir/core/test_vmt_ta.cc.o"
+  "CMakeFiles/vmt_test_core.dir/core/test_vmt_ta.cc.o.d"
+  "CMakeFiles/vmt_test_core.dir/core/test_vmt_wa.cc.o"
+  "CMakeFiles/vmt_test_core.dir/core/test_vmt_wa.cc.o.d"
+  "vmt_test_core"
+  "vmt_test_core.pdb"
+  "vmt_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_test_integration.dir/integration/test_calibration.cc.o"
+  "CMakeFiles/vmt_test_integration.dir/integration/test_calibration.cc.o.d"
+  "CMakeFiles/vmt_test_integration.dir/integration/test_migration.cc.o"
+  "CMakeFiles/vmt_test_integration.dir/integration/test_migration.cc.o.d"
+  "CMakeFiles/vmt_test_integration.dir/integration/test_oversubscription.cc.o"
+  "CMakeFiles/vmt_test_integration.dir/integration/test_oversubscription.cc.o.d"
+  "CMakeFiles/vmt_test_integration.dir/integration/test_properties.cc.o"
+  "CMakeFiles/vmt_test_integration.dir/integration/test_properties.cc.o.d"
+  "CMakeFiles/vmt_test_integration.dir/integration/test_randomized.cc.o"
+  "CMakeFiles/vmt_test_integration.dir/integration/test_randomized.cc.o.d"
+  "CMakeFiles/vmt_test_integration.dir/test_smoke.cc.o"
+  "CMakeFiles/vmt_test_integration.dir/test_smoke.cc.o.d"
+  "vmt_test_integration"
+  "vmt_test_integration.pdb"
+  "vmt_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_test_models.dir/cooling/test_cooling_system.cc.o"
+  "CMakeFiles/vmt_test_models.dir/cooling/test_cooling_system.cc.o.d"
+  "CMakeFiles/vmt_test_models.dir/cooling/test_datacenter.cc.o"
+  "CMakeFiles/vmt_test_models.dir/cooling/test_datacenter.cc.o.d"
+  "CMakeFiles/vmt_test_models.dir/cooling/test_recirculation.cc.o"
+  "CMakeFiles/vmt_test_models.dir/cooling/test_recirculation.cc.o.d"
+  "CMakeFiles/vmt_test_models.dir/reliability/test_failure_model.cc.o"
+  "CMakeFiles/vmt_test_models.dir/reliability/test_failure_model.cc.o.d"
+  "CMakeFiles/vmt_test_models.dir/tco/test_energy_cost.cc.o"
+  "CMakeFiles/vmt_test_models.dir/tco/test_energy_cost.cc.o.d"
+  "CMakeFiles/vmt_test_models.dir/tco/test_tco_model.cc.o"
+  "CMakeFiles/vmt_test_models.dir/tco/test_tco_model.cc.o.d"
+  "vmt_test_models"
+  "vmt_test_models.pdb"
+  "vmt_test_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_test_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_test_qos.dir/qos/test_colocation.cc.o"
+  "CMakeFiles/vmt_test_qos.dir/qos/test_colocation.cc.o.d"
+  "CMakeFiles/vmt_test_qos.dir/qos/test_fanout.cc.o"
+  "CMakeFiles/vmt_test_qos.dir/qos/test_fanout.cc.o.d"
+  "CMakeFiles/vmt_test_qos.dir/qos/test_mva.cc.o"
+  "CMakeFiles/vmt_test_qos.dir/qos/test_mva.cc.o.d"
+  "CMakeFiles/vmt_test_qos.dir/qos/test_qos_monitor.cc.o"
+  "CMakeFiles/vmt_test_qos.dir/qos/test_qos_monitor.cc.o.d"
+  "CMakeFiles/vmt_test_qos.dir/qos/test_queueing.cc.o"
+  "CMakeFiles/vmt_test_qos.dir/qos/test_queueing.cc.o.d"
+  "vmt_test_qos"
+  "vmt_test_qos.pdb"
+  "vmt_test_qos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_test_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_test_sched.dir/sched/test_coolest_first.cc.o"
+  "CMakeFiles/vmt_test_sched.dir/sched/test_coolest_first.cc.o.d"
+  "CMakeFiles/vmt_test_sched.dir/sched/test_round_robin.cc.o"
+  "CMakeFiles/vmt_test_sched.dir/sched/test_round_robin.cc.o.d"
+  "CMakeFiles/vmt_test_sched.dir/sched/test_switchover.cc.o"
+  "CMakeFiles/vmt_test_sched.dir/sched/test_switchover.cc.o.d"
+  "vmt_test_sched"
+  "vmt_test_sched.pdb"
+  "vmt_test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

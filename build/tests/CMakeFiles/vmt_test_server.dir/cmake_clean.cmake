@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_test_server.dir/server/test_cluster.cc.o"
+  "CMakeFiles/vmt_test_server.dir/server/test_cluster.cc.o.d"
+  "CMakeFiles/vmt_test_server.dir/server/test_power_model.cc.o"
+  "CMakeFiles/vmt_test_server.dir/server/test_power_model.cc.o.d"
+  "CMakeFiles/vmt_test_server.dir/server/test_server.cc.o"
+  "CMakeFiles/vmt_test_server.dir/server/test_server.cc.o.d"
+  "CMakeFiles/vmt_test_server.dir/server/test_throttling.cc.o"
+  "CMakeFiles/vmt_test_server.dir/server/test_throttling.cc.o.d"
+  "vmt_test_server"
+  "vmt_test_server.pdb"
+  "vmt_test_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_test_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_test_sim.dir/sim/test_datacenter_sim.cc.o"
+  "CMakeFiles/vmt_test_sim.dir/sim/test_datacenter_sim.cc.o.d"
+  "CMakeFiles/vmt_test_sim.dir/sim/test_event_queue.cc.o"
+  "CMakeFiles/vmt_test_sim.dir/sim/test_event_queue.cc.o.d"
+  "CMakeFiles/vmt_test_sim.dir/sim/test_result_io.cc.o"
+  "CMakeFiles/vmt_test_sim.dir/sim/test_result_io.cc.o.d"
+  "CMakeFiles/vmt_test_sim.dir/sim/test_simulation.cc.o"
+  "CMakeFiles/vmt_test_sim.dir/sim/test_simulation.cc.o.d"
+  "vmt_test_sim"
+  "vmt_test_sim.pdb"
+  "vmt_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_test_thermal.dir/thermal/test_inlet_model.cc.o"
+  "CMakeFiles/vmt_test_thermal.dir/thermal/test_inlet_model.cc.o.d"
+  "CMakeFiles/vmt_test_thermal.dir/thermal/test_pcm.cc.o"
+  "CMakeFiles/vmt_test_thermal.dir/thermal/test_pcm.cc.o.d"
+  "CMakeFiles/vmt_test_thermal.dir/thermal/test_rc_node.cc.o"
+  "CMakeFiles/vmt_test_thermal.dir/thermal/test_rc_node.cc.o.d"
+  "CMakeFiles/vmt_test_thermal.dir/thermal/test_server_thermal.cc.o"
+  "CMakeFiles/vmt_test_thermal.dir/thermal/test_server_thermal.cc.o.d"
+  "CMakeFiles/vmt_test_thermal.dir/thermal/test_wax_state_estimator.cc.o"
+  "CMakeFiles/vmt_test_thermal.dir/thermal/test_wax_state_estimator.cc.o.d"
+  "vmt_test_thermal"
+  "vmt_test_thermal.pdb"
+  "vmt_test_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_test_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

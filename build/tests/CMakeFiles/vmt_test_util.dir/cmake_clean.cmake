@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_test_util.dir/util/test_csv.cc.o"
+  "CMakeFiles/vmt_test_util.dir/util/test_csv.cc.o.d"
+  "CMakeFiles/vmt_test_util.dir/util/test_flags.cc.o"
+  "CMakeFiles/vmt_test_util.dir/util/test_flags.cc.o.d"
+  "CMakeFiles/vmt_test_util.dir/util/test_heatmap.cc.o"
+  "CMakeFiles/vmt_test_util.dir/util/test_heatmap.cc.o.d"
+  "CMakeFiles/vmt_test_util.dir/util/test_rng.cc.o"
+  "CMakeFiles/vmt_test_util.dir/util/test_rng.cc.o.d"
+  "CMakeFiles/vmt_test_util.dir/util/test_stats.cc.o"
+  "CMakeFiles/vmt_test_util.dir/util/test_stats.cc.o.d"
+  "CMakeFiles/vmt_test_util.dir/util/test_table.cc.o"
+  "CMakeFiles/vmt_test_util.dir/util/test_table.cc.o.d"
+  "CMakeFiles/vmt_test_util.dir/util/test_time_series.cc.o"
+  "CMakeFiles/vmt_test_util.dir/util/test_time_series.cc.o.d"
+  "vmt_test_util"
+  "vmt_test_util.pdb"
+  "vmt_test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

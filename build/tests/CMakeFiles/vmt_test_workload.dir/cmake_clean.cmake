@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_test_workload.dir/workload/test_diurnal_trace.cc.o"
+  "CMakeFiles/vmt_test_workload.dir/workload/test_diurnal_trace.cc.o.d"
+  "CMakeFiles/vmt_test_workload.dir/workload/test_job_generator.cc.o"
+  "CMakeFiles/vmt_test_workload.dir/workload/test_job_generator.cc.o.d"
+  "CMakeFiles/vmt_test_workload.dir/workload/test_trace_io.cc.o"
+  "CMakeFiles/vmt_test_workload.dir/workload/test_trace_io.cc.o.d"
+  "CMakeFiles/vmt_test_workload.dir/workload/test_trace_stats.cc.o"
+  "CMakeFiles/vmt_test_workload.dir/workload/test_trace_stats.cc.o.d"
+  "CMakeFiles/vmt_test_workload.dir/workload/test_workload.cc.o"
+  "CMakeFiles/vmt_test_workload.dir/workload/test_workload.cc.o.d"
+  "vmt_test_workload"
+  "vmt_test_workload.pdb"
+  "vmt_test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/vmt_test_util[1]_include.cmake")
+include("/root/repo/build/tests/vmt_test_thermal[1]_include.cmake")
+include("/root/repo/build/tests/vmt_test_workload[1]_include.cmake")
+include("/root/repo/build/tests/vmt_test_server[1]_include.cmake")
+include("/root/repo/build/tests/vmt_test_sched[1]_include.cmake")
+include("/root/repo/build/tests/vmt_test_core[1]_include.cmake")
+include("/root/repo/build/tests/vmt_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/vmt_test_qos[1]_include.cmake")
+include("/root/repo/build/tests/vmt_test_models[1]_include.cmake")
+include("/root/repo/build/tests/vmt_test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmtsim.dir/vmtsim.cc.o"
+  "CMakeFiles/vmtsim.dir/vmtsim.cc.o.d"
+  "vmtsim"
+  "vmtsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmtsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
