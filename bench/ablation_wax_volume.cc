@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "common.h"
 #include "util/table.h"
@@ -17,31 +18,48 @@
 using namespace vmt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreadsFromArgs(argc, argv);
+
+    const std::vector<double> volumes = {1.0, 2.0, 3.0, 4.0,
+                                         5.0, 6.0, 8.0};
+    struct Point
+    {
+        double capacityKj;
+        double bestGv;
+        double bestReduction;
+    };
+    // Each volume point carries its own baseline plus a GV sweep —
+    // the expensive unit to fan out.
+    const bench::SweepRunner sweep;
+    const std::vector<Point> points =
+        sweep.mapPoints<Point>(volumes, [&](double liters) {
+            SimConfig config = bench::studyConfig(100);
+            config.thermal.pcm.volume = liters;
+            const SimResult rr = bench::runRoundRobin(config);
+            double best = -1e9, best_gv = 0.0;
+            for (double gv = 18.0; gv <= 26.0; gv += 1.0) {
+                const SimResult wa = bench::runVmtWa(config, gv);
+                const double red = peakReductionPercent(rr, wa);
+                if (red > best) {
+                    best = red;
+                    best_gv = gv;
+                }
+            }
+            return Point{config.thermal.pcm.latentCapacity() / 1e3,
+                         best_gv, best};
+        });
+
     Table table("Peak cooling load reduction vs wax volume "
                 "(VMT-WA, 100 servers)");
     table.setHeader({"Volume (L)", "Capacity (kJ)", "Best GV",
                      "Reduction (%)"});
-
-    for (double liters : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0}) {
-        SimConfig config = bench::studyConfig(100);
-        config.thermal.pcm.volume = liters;
-        const SimResult rr = bench::runRoundRobin(config);
-        double best = -1e9, best_gv = 0.0;
-        for (double gv = 18.0; gv <= 26.0; gv += 1.0) {
-            const SimResult wa = bench::runVmtWa(config, gv);
-            const double red = peakReductionPercent(rr, wa);
-            if (red > best) {
-                best = red;
-                best_gv = gv;
-            }
-        }
-        table.addRow(
-            {Table::cell(liters, 1),
-             Table::cell(config.thermal.pcm.latentCapacity() / 1e3,
-                         0),
-             Table::cell(best_gv, 0), Table::cell(best, 1)});
+    for (std::size_t i = 0; i < volumes.size(); ++i) {
+        table.addRow({Table::cell(volumes[i], 1),
+                      Table::cell(points[i].capacityKj, 0),
+                      Table::cell(points[i].bestGv, 0),
+                      Table::cell(points[i].bestReduction, 1)});
     }
     table.print(std::cout);
 

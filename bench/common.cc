@@ -8,9 +8,20 @@
 #include "sched/coolest_first.h"
 #include "sched/round_robin.h"
 #include "sim/result_io.h"
+#include "util/flags.h"
 #include "util/logging.h"
 
 namespace vmt::bench {
+
+void
+configureThreadsFromArgs(int argc, const char *const *argv)
+{
+    const Flags flags(argc, argv);
+    const long long threads = flags.getInt("threads", 0);
+    if (threads < 0)
+        fatal("--threads must be >= 0 (0 = auto)");
+    setGlobalThreadCount(static_cast<std::size_t>(threads));
+}
 
 SimConfig
 studyConfig(std::size_t num_servers)

@@ -11,13 +11,60 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/vmt_ta.h"
 #include "core/vmt_wa.h"
 #include "sim/simulation.h"
+#include "util/thread_pool.h"
 #include "util/time_series.h"
 
 namespace vmt::bench {
+
+/**
+ * Parse the shared bench flags (--threads N, default VMT_THREADS /
+ * hardware concurrency) and size the global pool accordingly. Call
+ * first thing in a bench main(); unknown flags are left alone for the
+ * bench's own parsing.
+ */
+void configureThreadsFromArgs(int argc, const char *const *argv);
+
+/**
+ * Fans independent sweep points out across the thread pool. Points
+ * must not share mutable state (construct schedulers inside the
+ * callback — the run helpers below already do); results come back in
+ * input order, so tables print exactly as the serial loop would.
+ */
+class SweepRunner
+{
+  public:
+    /** Uses the global (--threads / VMT_THREADS) pool. */
+    SweepRunner() : pool_(globalPool()) {}
+
+    explicit SweepRunner(ThreadPool &pool) : pool_(pool) {}
+
+    /** Evaluate fn(i) for i in [0, count) concurrently. */
+    template <typename R, typename Fn>
+    std::vector<R> map(std::size_t count, Fn &&fn) const
+    {
+        return parallelMap<R>(pool_, count, 1,
+                              std::forward<Fn>(fn));
+    }
+
+    /** Evaluate fn(point) over explicit sweep points. */
+    template <typename R, typename Point, typename Fn>
+    std::vector<R> mapPoints(const std::vector<Point> &points,
+                             Fn &&fn) const
+    {
+        return map<R>(points.size(), [&](std::size_t i) {
+            return fn(points[i]);
+        });
+    }
+
+  private:
+    ThreadPool &pool_;
+};
 
 /** The calibrated study configuration (see DESIGN.md section 5). */
 SimConfig studyConfig(std::size_t num_servers);

@@ -13,6 +13,9 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common.h"
 #include "util/table.h"
@@ -55,13 +58,14 @@ regionFor(const PowerModel &power, const ServerThermalParams &thermal,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreadsFromArgs(argc, argv);
     const SimConfig config = bench::studyConfig(100);
     const PowerModel power(config.spec, config.powerScale);
     const double peak_util = 0.95;
 
-    const std::pair<WorkloadType, WorkloadType> mixes[] = {
+    const std::vector<std::pair<WorkloadType, WorkloadType>> mixes = {
         {WorkloadType::DataCaching, WorkloadType::WebSearch},
         {WorkloadType::VirusScan, WorkloadType::Clustering},
         {WorkloadType::Clustering, WorkloadType::VideoEncoding},
@@ -70,29 +74,44 @@ main()
         {WorkloadType::WebSearch, WorkloadType::Clustering},
     };
 
-    for (const auto &[a, b] : mixes) {
+    // One sweep point per mix: compute the full row set off the main
+    // thread, print the tables in mix order afterwards.
+    using Rows = std::vector<std::vector<std::string>>;
+    const bench::SweepRunner sweep;
+    const std::vector<Rows> mix_rows = sweep.mapPoints<Rows>(
+        mixes, [&](const std::pair<WorkloadType, WorkloadType> &mix) {
+            const auto &[a, b] = mix;
+            Rows rows;
+            for (int pct = 0; pct <= 100; pct += 10) {
+                const double ratio = pct / 100.0;
+                const double cores =
+                    static_cast<double>(power.spec().cores());
+                const Watts mixed =
+                    config.spec.idlePower +
+                    peak_util * cores *
+                        (ratio * power.corePower(a) +
+                         (1.0 - ratio) * power.corePower(b));
+                const Celsius exhaust =
+                    config.thermal.inletTemp +
+                    config.thermal.exhaustRisePerWatt * mixed;
+                rows.push_back(
+                    {Table::cell(static_cast<long long>(pct)),
+                     Table::cell(exhaust, 1),
+                     regionFor(power, config.thermal, a, b, ratio,
+                               peak_util)});
+            }
+            return rows;
+        });
+
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const auto &[a, b] = mixes[m];
         Table table(workloadName(a) + "-" + workloadName(b) +
                     " Mix (work ratio = % of busy cores running " +
                     workloadName(a) + ")");
         table.setHeader(
             {"Work Ratio (%)", "Exhaust Temp (C)", "Region"});
-        for (int pct = 0; pct <= 100; pct += 10) {
-            const double ratio = pct / 100.0;
-            const double cores =
-                static_cast<double>(power.spec().cores());
-            const Watts mixed =
-                config.spec.idlePower +
-                peak_util * cores *
-                    (ratio * power.corePower(a) +
-                     (1.0 - ratio) * power.corePower(b));
-            const Celsius exhaust =
-                config.thermal.inletTemp +
-                config.thermal.exhaustRisePerWatt * mixed;
-            table.addRow({Table::cell(static_cast<long long>(pct)),
-                          Table::cell(exhaust, 1),
-                          regionFor(power, config.thermal, a, b,
-                                    ratio, peak_util)});
-        }
+        for (const std::vector<std::string> &row : mix_rows[m])
+            table.addRow(row);
         table.print(std::cout);
         std::cout << '\n';
     }

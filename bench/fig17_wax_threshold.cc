@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "common.h"
 #include "util/table.h"
@@ -14,19 +15,27 @@
 using namespace vmt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreadsFromArgs(argc, argv);
     const SimConfig config = bench::studyConfig(100);
     const SimResult rr = bench::runRoundRobin(config);
+
+    const std::vector<double> thresholds = {0.85, 0.90, 0.95,
+                                            0.98, 0.99, 1.00};
+    const bench::SweepRunner sweep;
+    const std::vector<double> reductions =
+        sweep.mapPoints<double>(thresholds, [&](double threshold) {
+            return peakReductionPercent(
+                rr, bench::runVmtWa(config, 22.0, threshold));
+        });
 
     Table table("Peak Cooling Load Reduction vs Wax Threshold "
                 "(VMT-WA, GV=22, 100 servers)");
     table.setHeader({"Wax Threshold", "Reduction (%)"});
-    for (double threshold : {0.85, 0.90, 0.95, 0.98, 0.99, 1.00}) {
-        const SimResult wa =
-            bench::runVmtWa(config, 22.0, threshold);
-        table.addRow({Table::cell(threshold, 2),
-                      Table::cell(peakReductionPercent(rr, wa), 1)});
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        table.addRow({Table::cell(thresholds[i], 2),
+                      Table::cell(reductions[i], 1)});
     }
     table.print(std::cout);
 

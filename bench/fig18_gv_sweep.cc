@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "common.h"
 #include "util/table.h"
@@ -15,31 +16,48 @@
 using namespace vmt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreadsFromArgs(argc, argv);
     const SimConfig config = bench::studyConfig(100);
     const SimResult rr = bench::runRoundRobin(config);
+
+    std::vector<double> gvs;
+    for (double gv = 10.0; gv <= 30.0; gv += 2.0)
+        gvs.push_back(gv);
+
+    struct Point
+    {
+        double ta;
+        double wa;
+    };
+    const bench::SweepRunner sweep;
+    const std::vector<Point> points =
+        sweep.mapPoints<Point>(gvs, [&](double gv) {
+            return Point{
+                peakReductionPercent(rr,
+                                     bench::runVmtTa(config, gv)),
+                peakReductionPercent(rr,
+                                     bench::runVmtWa(config, gv))};
+        });
 
     Table table("Peak Cooling Load Reduction vs GV "
                 "(100 servers, %)");
     table.setHeader({"GV", "VMT-TA", "VMT-WA"});
     double best_ta = 0.0, best_wa = 0.0, best_ta_gv = 0.0,
            best_wa_gv = 0.0;
-    for (double gv = 10.0; gv <= 30.0; gv += 2.0) {
-        const double ta = peakReductionPercent(
-            rr, bench::runVmtTa(config, gv));
-        const double wa = peakReductionPercent(
-            rr, bench::runVmtWa(config, gv));
-        if (ta > best_ta) {
-            best_ta = ta;
-            best_ta_gv = gv;
+    for (std::size_t i = 0; i < gvs.size(); ++i) {
+        if (points[i].ta > best_ta) {
+            best_ta = points[i].ta;
+            best_ta_gv = gvs[i];
         }
-        if (wa > best_wa) {
-            best_wa = wa;
-            best_wa_gv = gv;
+        if (points[i].wa > best_wa) {
+            best_wa = points[i].wa;
+            best_wa_gv = gvs[i];
         }
-        table.addRow({Table::cell(gv, 0), Table::cell(ta, 1),
-                      Table::cell(wa, 1)});
+        table.addRow({Table::cell(gvs[i], 0),
+                      Table::cell(points[i].ta, 1),
+                      Table::cell(points[i].wa, 1)});
     }
     table.print(std::cout);
 

@@ -3,15 +3,34 @@
  * google-benchmark microbenchmarks of the simulation substrate: PCM
  * stepping, scheduler placement throughput, and end-to-end simulated
  * hours per second at both study scales.
+ *
+ * Before the microbenchmarks run, a threads-scaling study times the
+ * headline runs (the 1,000-server two-day cluster and the 8-cluster
+ * datacenter) at 1/2/4/N threads and writes a machine-readable
+ * BENCH_sim.json so the perf trajectory is tracked PR over PR.
+ * Environment knobs:
+ *   VMT_PERF_SCALING=0   skip the scaling study
+ *   VMT_PERF_HOURS=H     trace length for the study (default 48)
+ *   VMT_PERF_JSON=PATH   output path (default ./BENCH_sim.json)
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common.h"
 #include "core/vmt_ta.h"
 #include "core/vmt_wa.h"
 #include "sched/round_robin.h"
+#include "sim/datacenter_sim.h"
 #include "sim/simulation.h"
+#include "util/thread_pool.h"
 
 using namespace vmt;
 
@@ -111,6 +130,144 @@ BM_FullSimulation(benchmark::State &state)
 BENCHMARK(BM_FullSimulation)->Arg(100)->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
+struct ScalingRow
+{
+    std::string name;
+    std::size_t threads;
+    double wallSeconds;
+    double intervalsPerSec;
+    double speedup;
+};
+
+double
+wallSeconds(const std::function<void()> &fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+/** 1/2/4/N-thread timings of one workload; serial run is first. */
+void
+scaleWorkload(const std::string &name, double sim_intervals,
+              const std::vector<std::size_t> &thread_counts,
+              const std::function<void()> &run,
+              std::vector<ScalingRow> &rows)
+{
+    double serial_seconds = 0.0;
+    for (const std::size_t threads : thread_counts) {
+        setGlobalThreadCount(threads);
+        const double seconds = wallSeconds(run);
+        if (threads == 1)
+            serial_seconds = seconds;
+        rows.push_back({name, threads, seconds,
+                        sim_intervals / seconds,
+                        serial_seconds > 0.0
+                            ? serial_seconds / seconds
+                            : 1.0});
+        std::printf("[scaling] %-18s threads=%zu  %7.2f s  "
+                    "%9.0f intervals/s  speedup %.2fx\n",
+                    name.c_str(), threads, seconds,
+                    sim_intervals / seconds,
+                    rows.back().speedup);
+        std::fflush(stdout);
+    }
+    setGlobalThreadCount(0);
+}
+
+void
+writeScalingJson(const std::string &path, double hours,
+                 const std::vector<ScalingRow> &rows)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "[scaling] cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    // host_cpus qualifies the speedup column: on a one-core host the
+    // expected speedup is ~1.0 at every thread count.
+    out << "{\n  \"benchmark\": \"vmt_parallel_scaling\",\n"
+        << "  \"host_cpus\": " << defaultThreadCount() << ",\n"
+        << "  \"trace_hours\": " << hours << ",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ScalingRow &r = rows[i];
+        out << "    {\"name\": \"" << r.name
+            << "\", \"threads\": " << r.threads
+            << ", \"wall_seconds\": " << r.wallSeconds
+            << ", \"intervals_per_sec\": " << r.intervalsPerSec
+            << ", \"speedup\": " << r.speedup << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("[scaling] wrote %s\n", path.c_str());
+}
+
+void
+runScalingStudy()
+{
+    double hours = 48.0;
+    if (const char *env = std::getenv("VMT_PERF_HOURS"))
+        hours = std::atof(env);
+    std::string json_path = "BENCH_sim.json";
+    if (const char *env = std::getenv("VMT_PERF_JSON"))
+        json_path = env;
+
+    std::vector<std::size_t> thread_counts = {1, 2, 4};
+    const std::size_t hw = defaultThreadCount();
+    if (hw > 4)
+        thread_counts.push_back(hw);
+
+    std::vector<ScalingRow> rows;
+
+    // Headline single-cluster run: 1,000 servers, two days. Scales
+    // through the chunked thermal path only (placement stays serial).
+    SimConfig cluster_cfg = bench::studyConfig(1000);
+    cluster_cfg.trace.duration = hours;
+    scaleWorkload(
+        "cluster1000", hours * 60.0, thread_counts,
+        [&] {
+            VmtWaScheduler sched(bench::studyVmt(22.0),
+                                 hotMaskFromPaper());
+            benchmark::DoNotOptimize(
+                runSimulation(cluster_cfg, sched));
+        },
+        rows);
+
+    // 8-cluster datacenter run: embarrassingly parallel cluster
+    // fan-out (the >= 3x at 4 threads acceptance target).
+    DatacenterSimConfig dc_cfg;
+    dc_cfg.numClusters = 8;
+    dc_cfg.cluster = bench::studyConfig(100);
+    dc_cfg.cluster.trace.duration = hours;
+    scaleWorkload(
+        "datacenter8x100", 8.0 * hours * 60.0, thread_counts,
+        [&] {
+            benchmark::DoNotOptimize(
+                runDatacenter(dc_cfg, [](std::size_t) {
+                    return std::make_unique<VmtWaScheduler>(
+                        bench::studyVmt(22.0), hotMaskFromPaper());
+                }));
+        },
+        rows);
+
+    writeScalingJson(json_path, hours, rows);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const char *scaling = std::getenv("VMT_PERF_SCALING");
+    if (!scaling || std::string(scaling) != "0")
+        runScalingStudy();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

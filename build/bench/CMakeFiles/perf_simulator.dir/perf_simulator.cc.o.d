@@ -183,31 +183,11 @@ bench/CMakeFiles/perf_simulator.dir/perf_simulator.cc.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/bench/common.h /root/repo/src/core/vmt_ta.h \
- /usr/include/c++/12/array /root/repo/src/core/balanced_group.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/server/cluster.h \
- /root/repo/src/server/power_model.h /root/repo/src/server/server_spec.h \
- /root/repo/src/util/units.h /root/repo/src/workload/workload.h \
- /root/repo/src/server/server.h /root/repo/src/thermal/server_thermal.h \
- /root/repo/src/thermal/pcm.h /root/repo/src/thermal/thermal_params.h \
- /root/repo/src/thermal/rc_node.h \
- /root/repo/src/thermal/wax_state_estimator.h \
- /root/repo/src/core/classification.h /root/repo/src/core/vmt_config.h \
- /root/repo/src/sched/scheduler.h /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/workload/job.h /root/repo/src/core/vmt_wa.h \
- /root/repo/src/sim/simulation.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
- /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
  /usr/include/c++/12/bits/locale_classes.h \
@@ -220,8 +200,17 @@ bench/CMakeFiles/perf_simulator.dir/perf_simulator.cc.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -230,9 +219,38 @@ bench/CMakeFiles/perf_simulator.dir/perf_simulator.cc.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/bench/common.h \
+ /root/repo/src/core/vmt_ta.h /usr/include/c++/12/array \
+ /root/repo/src/core/balanced_group.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/server/cluster.h /root/repo/src/server/power_model.h \
+ /root/repo/src/server/server_spec.h /root/repo/src/util/units.h \
+ /root/repo/src/workload/workload.h /root/repo/src/server/server.h \
+ /root/repo/src/thermal/server_thermal.h /root/repo/src/thermal/pcm.h \
+ /root/repo/src/thermal/thermal_params.h /root/repo/src/thermal/rc_node.h \
+ /root/repo/src/thermal/wax_state_estimator.h \
+ /root/repo/src/core/classification.h /root/repo/src/core/vmt_config.h \
+ /root/repo/src/sched/scheduler.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/workload/job.h /root/repo/src/core/vmt_wa.h \
+ /root/repo/src/sim/simulation.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/cooling/recirculation.h /root/repo/src/util/heatmap.h \
  /root/repo/src/util/time_series.h \
  /root/repo/src/workload/diurnal_trace.h \
  /root/repo/src/workload/job_generator.h /root/repo/src/util/rng.h \
- /root/repo/src/sched/round_robin.h
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /root/repo/src/sched/round_robin.h /root/repo/src/sim/datacenter_sim.h

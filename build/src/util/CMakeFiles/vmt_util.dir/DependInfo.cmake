@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/vmt_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/vmt_util.dir/rng.cc.o.d"
   "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/vmt_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/vmt_util.dir/stats.cc.o.d"
   "/root/repo/src/util/table.cc" "src/util/CMakeFiles/vmt_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/vmt_util.dir/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/vmt_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/vmt_util.dir/thread_pool.cc.o.d"
   "/root/repo/src/util/time_series.cc" "src/util/CMakeFiles/vmt_util.dir/time_series.cc.o" "gcc" "src/util/CMakeFiles/vmt_util.dir/time_series.cc.o.d"
   )
 

@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/vmt_util.dir/stats.cc.o.d"
   "CMakeFiles/vmt_util.dir/table.cc.o"
   "CMakeFiles/vmt_util.dir/table.cc.o.d"
+  "CMakeFiles/vmt_util.dir/thread_pool.cc.o"
+  "CMakeFiles/vmt_util.dir/thread_pool.cc.o.d"
   "CMakeFiles/vmt_util.dir/time_series.cc.o"
   "CMakeFiles/vmt_util.dir/time_series.cc.o.d"
   "libvmt_util.a"

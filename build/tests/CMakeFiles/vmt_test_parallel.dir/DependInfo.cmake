@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_parallel_determinism.cc" "tests/CMakeFiles/vmt_test_parallel.dir/sim/test_parallel_determinism.cc.o" "gcc" "tests/CMakeFiles/vmt_test_parallel.dir/sim/test_parallel_determinism.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cooling/CMakeFiles/vmt_cooling.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/vmt_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/vmt_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/tco/CMakeFiles/vmt_tco.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vmt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/vmt_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vmt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/vmt_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmt_test_parallel.dir/sim/test_parallel_determinism.cc.o"
+  "CMakeFiles/vmt_test_parallel.dir/sim/test_parallel_determinism.cc.o.d"
+  "vmt_test_parallel"
+  "vmt_test_parallel.pdb"
+  "vmt_test_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmt_test_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/util/test_rng.cc" "tests/CMakeFiles/vmt_test_util.dir/util/test_rng.cc.o" "gcc" "tests/CMakeFiles/vmt_test_util.dir/util/test_rng.cc.o.d"
   "/root/repo/tests/util/test_stats.cc" "tests/CMakeFiles/vmt_test_util.dir/util/test_stats.cc.o" "gcc" "tests/CMakeFiles/vmt_test_util.dir/util/test_stats.cc.o.d"
   "/root/repo/tests/util/test_table.cc" "tests/CMakeFiles/vmt_test_util.dir/util/test_table.cc.o" "gcc" "tests/CMakeFiles/vmt_test_util.dir/util/test_table.cc.o.d"
+  "/root/repo/tests/util/test_thread_pool.cc" "tests/CMakeFiles/vmt_test_util.dir/util/test_thread_pool.cc.o" "gcc" "tests/CMakeFiles/vmt_test_util.dir/util/test_thread_pool.cc.o.d"
   "/root/repo/tests/util/test_time_series.cc" "tests/CMakeFiles/vmt_test_util.dir/util/test_time_series.cc.o" "gcc" "tests/CMakeFiles/vmt_test_util.dir/util/test_time_series.cc.o.d"
   )
 

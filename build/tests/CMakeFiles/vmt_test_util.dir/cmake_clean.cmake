@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/vmt_test_util.dir/util/test_stats.cc.o.d"
   "CMakeFiles/vmt_test_util.dir/util/test_table.cc.o"
   "CMakeFiles/vmt_test_util.dir/util/test_table.cc.o.d"
+  "CMakeFiles/vmt_test_util.dir/util/test_thread_pool.cc.o"
+  "CMakeFiles/vmt_test_util.dir/util/test_thread_pool.cc.o.d"
   "CMakeFiles/vmt_test_util.dir/util/test_time_series.cc.o"
   "CMakeFiles/vmt_test_util.dir/util/test_time_series.cc.o.d"
   "vmt_test_util"

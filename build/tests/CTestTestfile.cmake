@@ -11,6 +11,7 @@ include("/root/repo/build/tests/vmt_test_server[1]_include.cmake")
 include("/root/repo/build/tests/vmt_test_sched[1]_include.cmake")
 include("/root/repo/build/tests/vmt_test_core[1]_include.cmake")
 include("/root/repo/build/tests/vmt_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/vmt_test_parallel[1]_include.cmake")
 include("/root/repo/build/tests/vmt_test_qos[1]_include.cmake")
 include("/root/repo/build/tests/vmt_test_models[1]_include.cmake")
 include("/root/repo/build/tests/vmt_test_integration[1]_include.cmake")

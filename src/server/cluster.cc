@@ -1,8 +1,28 @@
 #include "server/cluster.h"
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace vmt {
+
+namespace {
+
+/**
+ * Chunk size for the parallel thermal path. Fixed (never derived from
+ * the thread count) so chunk boundaries — and therefore every
+ * per-chunk computation — are reproducible across pool sizes.
+ */
+constexpr std::size_t kThermalGrain = 64;
+
+/** Parallelize per-server work for this many servers? */
+bool
+useParallelPath(std::size_t num_servers)
+{
+    return num_servers >= kThermalParallelThreshold &&
+           globalPool().size() > 1;
+}
+
+} // namespace
 
 Cluster::Cluster(std::size_t num_servers, const ServerSpec &spec,
                  const ServerThermalParams &thermal,
@@ -63,8 +83,22 @@ Watts
 Cluster::totalPower() const
 {
     Watts total = 0.0;
-    for (const Server &srv : servers_)
-        total += srv.power(power_);
+    if (useParallelPath(servers_.size())) {
+        std::vector<Watts> per_server(servers_.size());
+        parallelFor(globalPool(), 0, servers_.size(), kThermalGrain,
+                    [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i)
+                            per_server[i] =
+                                servers_[i].power(power_);
+                    });
+        // Reduce serially in index order: bitwise identical to the
+        // serial loop below at any thread count.
+        for (const Watts watts : per_server)
+            total += watts;
+    } else {
+        for (const Server &srv : servers_)
+            total += srv.power(power_);
+    }
     return total;
 }
 
@@ -73,8 +107,8 @@ Cluster::stepThermal(Seconds dt, Celsius hot_threshold)
 {
     ClusterSample agg;
     bool first = true;
-    for (Server &srv : servers_) {
-        const ThermalSample s = srv.stepThermal(power_, dt);
+    const auto accumulate = [&](const ThermalSample &s,
+                                const Server &srv) {
         agg.totalPower += s.rejectedPower + s.waxHeatFlow;
         agg.coolingLoad += s.rejectedPower;
         agg.waxHeatFlow += s.waxHeatFlow;
@@ -87,6 +121,26 @@ Cluster::stepThermal(Seconds dt, Celsius hot_threshold)
             ++agg.serversAboveThreshold;
         if (srv.throttled())
             ++agg.throttledServers;
+    };
+
+    if (useParallelPath(servers_.size())) {
+        // Servers are thermally independent within a step, so the
+        // expensive part (RC/PCM integration) fans out; the
+        // floating-point reduction stays serial and in server-index
+        // order so the sample is bitwise identical to the serial
+        // path.
+        stepScratch_.resize(servers_.size());
+        parallelFor(globalPool(), 0, servers_.size(), kThermalGrain,
+                    [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i)
+                            stepScratch_[i] =
+                                servers_[i].stepThermal(power_, dt);
+                    });
+        for (std::size_t i = 0; i < servers_.size(); ++i)
+            accumulate(stepScratch_[i], servers_[i]);
+    } else {
+        for (Server &srv : servers_)
+            accumulate(srv.stepThermal(power_, dt), srv);
     }
     const auto n = static_cast<double>(servers_.size());
     agg.meanAirTemp /= n;

@@ -42,6 +42,15 @@ struct ClusterSample
     std::size_t throttledServers = 0;
 };
 
+/**
+ * Servers at or above this count make stepThermal()/totalPower() use
+ * the chunked parallel path (when the global pool has more than one
+ * thread). The 100-server sweep configurations stay on the fused
+ * serial loop, which is faster at that scale; the 1,000-server
+ * headline runs fan out.
+ */
+inline constexpr std::size_t kThermalParallelThreshold = 256;
+
 /** Owns the servers and the aggregate job bookkeeping. */
 class Cluster
 {
@@ -84,6 +93,13 @@ class Cluster
 
     /**
      * Advance every server's thermal state by dt and aggregate.
+     *
+     * Above kThermalParallelThreshold servers the per-server steps
+     * (independent of each other) run on the global thread pool; the
+     * ClusterSample reduction always happens serially in server-index
+     * order, so the result is bitwise identical to the serial path at
+     * any thread count.
+     *
      * @param dt Step length (seconds).
      * @param hot_threshold Air temperature counted as overheating in
      *        ClusterSample::serversAboveThreshold.
@@ -114,6 +130,9 @@ class Cluster
     std::size_t totalCores_ = 0;
     std::size_t busyCores_ = 0;
     CoreCounts active_{};
+    /** Per-server samples from the parallel stepThermal path (kept
+     *  across steps to avoid a per-interval allocation). */
+    std::vector<ThermalSample> stepScratch_;
 };
 
 } // namespace vmt

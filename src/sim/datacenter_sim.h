@@ -53,6 +53,11 @@ struct DatacenterSimResult
     Watts sumOfClusterPeaks = 0.0;
     /** Per-cluster results. */
     std::vector<SimResult> clusters;
+    /** Seed each cluster ran with (drawn serially up front, so they
+     *  are identical at any thread count). */
+    std::vector<std::uint64_t> clusterSeeds;
+    /** Peak-time phase offset each cluster ran with (hours). */
+    std::vector<Hours> clusterPhaseOffsets;
 
     DatacenterSimResult();
 };
@@ -63,8 +68,16 @@ using SchedulerFactory =
 
 /**
  * Run every cluster and aggregate.
+ *
+ * Cluster runs are independent, so they fan out across the global
+ * thread pool (--threads / VMT_THREADS). Per-cluster seeds, phase
+ * offsets and scheduler instances are drawn serially up front in
+ * cluster order, so the result is bitwise identical at any thread
+ * count.
+ *
  * @param config Facility parameters.
- * @param factory Scheduler factory (one instance per cluster).
+ * @param factory Scheduler factory (one instance per cluster; called
+ *        on the calling thread, in cluster order).
  */
 DatacenterSimResult runDatacenter(const DatacenterSimConfig &config,
                                   const SchedulerFactory &factory);

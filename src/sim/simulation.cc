@@ -193,10 +193,10 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
             for (std::size_t id = 0; id < config.numServers; ++id)
                 rejected[id] =
                     cluster.server(id).power(cluster.powerModel());
-            const std::vector<Kelvin> offsets =
+            const std::vector<Kelvin> recirc_offsets =
                 recirc->inletOffsets(rejected);
             for (std::size_t id = 0; id < config.numServers; ++id)
-                cluster.setBaseInlet(id, inlet + offsets[id]);
+                cluster.setBaseInlet(id, inlet + recirc_offsets[id]);
         }
         result.inletTemp.add(inlet);
 

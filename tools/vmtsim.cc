@@ -14,6 +14,8 @@
  *   --servers N          cluster size               (default 100)
  *   --hours H            trace length               (default 48)
  *   --seed X             run seed                   (default 7)
+ *   --threads N          worker threads; 0 = auto from VMT_THREADS
+ *                        or hardware concurrency    (default 0)
  *   --inlet-stddev S     inlet variation sigma in K (default 0)
  *   --cooling-capacity W cooling plant capacity in watts (0 = inf)
  *   --trace FILE         load utilization trace CSV (hour,utilization)
@@ -51,6 +53,7 @@
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "workload/trace_io.h"
 #include "workload/trace_stats.h"
 
@@ -293,6 +296,11 @@ main(int argc, char **argv)
     const std::string command = flags.positional().front();
 
     try {
+        const long long threads = flags.getInt("threads", 0);
+        if (threads < 0)
+            fatal("vmtsim: --threads must be >= 0 (0 = auto)");
+        setGlobalThreadCount(static_cast<std::size_t>(threads));
+
         int rc;
         if (command == "run")
             rc = cmdRun(flags);
