@@ -8,6 +8,7 @@
 #include "sched/coolest_first.h"
 #include "sched/round_robin.h"
 #include "sim/result_io.h"
+#include "thermal/pcm.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
@@ -21,6 +22,11 @@ configureThreadsFromArgs(int argc, const char *const *argv)
     if (threads < 0)
         fatal("--threads must be >= 0 (0 = auto)");
     setGlobalThreadCount(static_cast<std::size_t>(threads));
+    // Shared PCM-integrator override; absent flag leaves the
+    // VMT_PCM_INTEGRATOR / built-in default in place.
+    if (flags.has("pcm-integrator"))
+        setGlobalPcmIntegrator(pcmIntegratorFromString(
+            flags.getString("pcm-integrator")));
 }
 
 SimConfig

@@ -24,9 +24,10 @@ namespace vmt::bench {
 
 /**
  * Parse the shared bench flags (--threads N, default VMT_THREADS /
- * hardware concurrency) and size the global pool accordingly. Call
- * first thing in a bench main(); unknown flags are left alone for the
- * bench's own parsing.
+ * hardware concurrency; --pcm-integrator closed|substep, default
+ * VMT_PCM_INTEGRATOR) and configure the global pool and PCM
+ * integrator accordingly. Call first thing in a bench main();
+ * unknown flags are left alone for the bench's own parsing.
  */
 void configureThreadsFromArgs(int argc, const char *const *argv);
 

@@ -6,11 +6,14 @@
  *
  * Before the microbenchmarks run, a threads-scaling study times the
  * headline runs (the 1,000-server two-day cluster and the 8-cluster
- * datacenter) at 1/2/4/N threads and writes a machine-readable
- * BENCH_sim.json so the perf trajectory is tracked PR over PR.
+ * datacenter) at 1/2/4/N threads, then a single-thread hot-path
+ * study times the cluster run with each PCM integrator
+ * (substep/closed) at threads=1 and records the closed-form
+ * hotpath_speedup. Both write into a machine-readable BENCH_sim.json
+ * so the perf trajectory is tracked PR over PR.
  * Environment knobs:
- *   VMT_PERF_SCALING=0   skip the scaling study
- *   VMT_PERF_HOURS=H     trace length for the study (default 48)
+ *   VMT_PERF_SCALING=0   skip the scaling + hot-path studies
+ *   VMT_PERF_HOURS=H     trace length for the studies (default 48)
  *   VMT_PERF_JSON=PATH   output path (default ./BENCH_sim.json)
  */
 
@@ -177,9 +180,60 @@ scaleWorkload(const std::string &name, double sim_intervals,
     setGlobalThreadCount(0);
 }
 
+/** One single-thread timing of the headline run per PCM integrator. */
+struct HotpathRow
+{
+    std::string integrator;
+    double wallSeconds;
+    double intervalsPerSec;
+    /** intervals/s relative to the substep integrator's run. */
+    double hotpathSpeedup;
+};
+
+/**
+ * Single-thread hot-path study: the 1,000-server headline run with
+ * the substep and closed-form PCM integrators, both at threads=1, so
+ * BENCH_sim.json tracks the single-core engine speedup separately
+ * from thread scaling.
+ */
+void
+runHotpathStudy(double hours, std::vector<HotpathRow> &rows)
+{
+    SimConfig config = bench::studyConfig(1000);
+    config.trace.duration = hours;
+    const PcmIntegrator before = globalPcmIntegrator();
+    setGlobalThreadCount(1);
+    double substep_seconds = 0.0;
+    for (const PcmIntegrator integ :
+         {PcmIntegrator::Substep, PcmIntegrator::Closed}) {
+        setGlobalPcmIntegrator(integ);
+        const double seconds = wallSeconds([&] {
+            VmtWaScheduler sched(bench::studyVmt(22.0),
+                                 hotMaskFromPaper());
+            benchmark::DoNotOptimize(runSimulation(config, sched));
+        });
+        if (integ == PcmIntegrator::Substep)
+            substep_seconds = seconds;
+        rows.push_back({pcmIntegratorName(integ), seconds,
+                        hours * 60.0 / seconds,
+                        substep_seconds > 0.0 ? substep_seconds / seconds
+                                              : 1.0});
+        std::printf("[hotpath] cluster1000 threads=1 "
+                    "integrator=%-7s  %7.2f s  %9.0f intervals/s  "
+                    "hotpath_speedup %.2fx\n",
+                    rows.back().integrator.c_str(), seconds,
+                    rows.back().intervalsPerSec,
+                    rows.back().hotpathSpeedup);
+        std::fflush(stdout);
+    }
+    setGlobalPcmIntegrator(before);
+    setGlobalThreadCount(0);
+}
+
 void
 writeScalingJson(const std::string &path, double hours,
-                 const std::vector<ScalingRow> &rows)
+                 const std::vector<ScalingRow> &rows,
+                 const std::vector<HotpathRow> &hotpath)
 {
     std::ofstream out(path);
     if (!out) {
@@ -200,6 +254,16 @@ writeScalingJson(const std::string &path, double hours,
             << ", \"intervals_per_sec\": " << r.intervalsPerSec
             << ", \"speedup\": " << r.speedup << "}"
             << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"hotpath\": [\n";
+    for (std::size_t i = 0; i < hotpath.size(); ++i) {
+        const HotpathRow &r = hotpath[i];
+        out << "    {\"name\": \"cluster1000\", \"threads\": 1"
+            << ", \"integrator\": \"" << r.integrator << "\""
+            << ", \"wall_seconds\": " << r.wallSeconds
+            << ", \"intervals_per_sec\": " << r.intervalsPerSec
+            << ", \"hotpath_speedup\": " << r.hotpathSpeedup << "}"
+            << (i + 1 < hotpath.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::printf("[scaling] wrote %s\n", path.c_str());
@@ -253,7 +317,10 @@ runScalingStudy()
         },
         rows);
 
-    writeScalingJson(json_path, hours, rows);
+    std::vector<HotpathRow> hotpath;
+    runHotpathStudy(hours, hotpath);
+
+    writeScalingJson(json_path, hours, rows, hotpath);
 }
 
 } // namespace

@@ -17,6 +17,20 @@ RecirculationModel::RecirculationModel(std::size_t num_servers,
     numRacks_ =
         (num_servers + params.serversPerRack - 1) /
         params.serversPerRack;
+
+    serverRack_.resize(num_servers);
+    std::vector<std::size_t> counts(numRacks_, 0);
+    for (std::size_t id = 0; id < num_servers; ++id) {
+        const std::size_t rack =
+            params.assignment == RackAssignment::Contiguous
+                ? id / params.serversPerRack
+                : id % numRacks_;
+        serverRack_[id] = rack;
+        ++counts[rack];
+    }
+    rackCount_.resize(numRacks_);
+    for (std::size_t rack = 0; rack < numRacks_; ++rack)
+        rackCount_[rack] = static_cast<double>(counts[rack]);
 }
 
 std::size_t
@@ -24,35 +38,36 @@ RecirculationModel::rackOf(std::size_t server_id) const
 {
     if (server_id >= numServers_)
         panic("RecirculationModel::rackOf out of range");
-    if (params_.assignment == RackAssignment::Contiguous)
-        return server_id / params_.serversPerRack;
-    return server_id % numRacks_;
+    return serverRack_[server_id];
 }
 
 std::vector<Kelvin>
 RecirculationModel::inletOffsets(
     const std::vector<Watts> &rejected) const
 {
+    std::vector<Kelvin> offsets;
+    inletOffsets(rejected, offsets);
+    return offsets;
+}
+
+void
+RecirculationModel::inletOffsets(const std::vector<Watts> &rejected,
+                                 std::vector<Kelvin> &offsets) const
+{
     if (rejected.size() != numServers_)
         fatal("RecirculationModel: need one rejected-power entry per "
               "server");
 
-    std::vector<Watts> rack_sum(numRacks_, 0.0);
-    std::vector<std::size_t> rack_count(numRacks_, 0);
-    for (std::size_t id = 0; id < numServers_; ++id) {
-        const std::size_t rack = rackOf(id);
-        rack_sum[rack] += rejected[id];
-        ++rack_count[rack];
-    }
+    rackSumScratch_.assign(numRacks_, 0.0);
+    for (std::size_t id = 0; id < numServers_; ++id)
+        rackSumScratch_[serverRack_[id]] += rejected[id];
 
-    std::vector<Kelvin> offsets(numServers_, 0.0);
+    offsets.resize(numServers_);
     for (std::size_t id = 0; id < numServers_; ++id) {
-        const std::size_t rack = rackOf(id);
-        const double avg =
-            rack_sum[rack] / static_cast<double>(rack_count[rack]);
+        const std::size_t rack = serverRack_[id];
+        const double avg = rackSumScratch_[rack] / rackCount_[rack];
         offsets[id] = params_.risePerRackWatt * avg;
     }
-    return offsets;
 }
 
 } // namespace vmt

@@ -69,12 +69,28 @@ class RecirculationModel
     std::vector<Kelvin>
     inletOffsets(const std::vector<Watts> &rejected) const;
 
+    /**
+     * Allocation-free variant for per-interval callers: writes the
+     * offsets into @p offsets (resized to one entry per server) and
+     * reuses an internal rack-sum scratch buffer. Produces exactly
+     * the same values as the returning overload.
+     */
+    void inletOffsets(const std::vector<Watts> &rejected,
+                      std::vector<Kelvin> &offsets) const;
+
     const RecirculationParams &params() const { return params_; }
 
   private:
     std::size_t numServers_;
     std::size_t numRacks_;
     RecirculationParams params_;
+    /** rackOf(id), precomputed (the div/mod per server per interval
+     *  showed up in profiles). */
+    std::vector<std::size_t> serverRack_;
+    /** Per-rack server count as a double, ready for the average. */
+    std::vector<double> rackCount_;
+    /** Per-rack rejected-power accumulator, reused across calls. */
+    mutable std::vector<Watts> rackSumScratch_;
 };
 
 } // namespace vmt

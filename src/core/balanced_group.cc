@@ -1,5 +1,8 @@
 #include "core/balanced_group.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "sched/scheduler.h"
 
 namespace vmt {
@@ -7,7 +10,8 @@ namespace vmt {
 void
 BalancedGroup::clear()
 {
-    heap_ = {};
+    heap_.clear();
+    dirty_ = false;
 }
 
 void
@@ -18,21 +22,76 @@ BalancedGroup::add(const Cluster &cluster, std::size_t id)
         srv.thermal().inletTemp() +
         cluster.thermalParams().airRisePerWatt *
             srv.power(cluster.powerModel());
-    heap_.push(Entry{projected, id});
+    heap_.push_back(Entry{projected, id});
+    dirty_ = true;
+}
+
+void
+BalancedGroup::ensureHeap()
+{
+    if (dirty_) {
+        // Floyd heapify: sift every internal node down, last first.
+        const std::size_t n = heap_.size();
+        if (n > 1) {
+            for (std::size_t i = (n - 2) / 4 + 1; i-- > 0;)
+                siftDown(i);
+        }
+        dirty_ = false;
+    }
+}
+
+void
+BalancedGroup::siftDown(std::size_t i)
+{
+    // 4-ary layout: children of i are 4i+1..4i+4. Half the depth of
+    // a binary heap, and the four children share a cache line pair.
+    // Pop order only depends on the (temp, id) total order, so the
+    // arity is free to choose.
+    const std::size_t n = heap_.size();
+    const Entry moving = heap_[i];
+    while (true) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= n)
+            break;
+        const std::size_t last = std::min(first + 4, n);
+        std::size_t child = first;
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (heap_[c] < heap_[child])
+                child = c;
+        }
+        if (!(heap_[child] < moving))
+            break;
+        heap_[i] = heap_[child];
+        i = child;
+    }
+    heap_[i] = moving;
+}
+
+void
+BalancedGroup::popRoot()
+{
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
 }
 
 std::size_t
 BalancedGroup::place(Cluster &cluster, Watts added_watts)
 {
     const KelvinPerWatt rise = cluster.thermalParams().airRisePerWatt;
+    ensureHeap();
     while (!heap_.empty()) {
-        Entry entry = heap_.top();
-        heap_.pop();
-        if (!cluster.server(entry.id).hasCapacity())
-            continue; // Full until the next interval rebuild.
-        entry.temp += rise * added_watts;
-        heap_.push(entry);
-        return entry.id;
+        if (!std::as_const(cluster)
+                 .server(heap_[0].id)
+                 .hasCapacity()) {
+            popRoot(); // Full until the next interval rebuild.
+            continue;
+        }
+        const std::size_t id = heap_[0].id;
+        heap_[0].temp += rise * added_watts;
+        siftDown(0);
+        return id;
     }
     return kNoServer;
 }
@@ -46,16 +105,20 @@ BalancedGroup::placeIfBelow(Cluster &cluster, Watts added_watts,
     // The limit is expressed as a power against the nominal inlet;
     // convert to the equivalent projected temperature.
     const Celsius temp_limit = thermal.inletTemp + rise * limit;
+    ensureHeap();
     while (!heap_.empty()) {
-        Entry entry = heap_.top();
-        if (entry.temp >= temp_limit)
+        if (heap_[0].temp >= temp_limit)
             return kNoServer; // Everyone is warm enough already.
-        heap_.pop();
-        if (!cluster.server(entry.id).hasCapacity())
+        if (!std::as_const(cluster)
+                 .server(heap_[0].id)
+                 .hasCapacity()) {
+            popRoot();
             continue;
-        entry.temp += rise * added_watts;
-        heap_.push(entry);
-        return entry.id;
+        }
+        const std::size_t id = heap_[0].id;
+        heap_[0].temp += rise * added_watts;
+        siftDown(0);
+        return id;
     }
     return kNoServer;
 }

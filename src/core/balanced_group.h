@@ -19,7 +19,6 @@
 #define VMT_CORE_BALANCED_GROUP_H
 
 #include <cstddef>
-#include <queue>
 #include <vector>
 
 #include "server/cluster.h"
@@ -27,8 +26,19 @@
 
 namespace vmt {
 
-/** Min-heap of (projected temperature, server id) with capacity
- *  checks. */
+/**
+ * Min-heap of (projected temperature, server id) with capacity
+ * checks.
+ *
+ * The heap is hand-rolled rather than a std::priority_queue for the
+ * placement hot path: members are added in bulk at the interval
+ * rebuild (lazy O(n) heapify instead of n sift-ups), and place()
+ * bumps the winner's key in place with a single root sift-down
+ * instead of a pop + push pair. The (temp, id) comparator is a
+ * strict total order (ids are unique), so the pop sequence — and
+ * therefore every placement decision — is identical to any
+ * conforming min-heap's, including the previous priority_queue.
+ */
 class BalancedGroup
 {
   public:
@@ -70,16 +80,23 @@ class BalancedGroup
         /** Projected steady-state air temperature (C). */
         Celsius temp;
         std::size_t id;
-        bool operator>(const Entry &o) const
+        bool operator<(const Entry &o) const
         {
             if (temp != o.temp)
-                return temp > o.temp;
-            return id > o.id;
+                return temp < o.temp;
+            return id < o.id;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
-        heap_;
+    /** Heapify heap_ if adds arrived since the last ordered access. */
+    void ensureHeap();
+    /** Restore the heap property downward from node i. */
+    void siftDown(std::size_t i);
+    /** Remove the root (capacity-exhausted member). */
+    void popRoot();
+
+    std::vector<Entry> heap_;
+    bool dirty_ = false;
 };
 
 } // namespace vmt

@@ -49,6 +49,9 @@ Cluster::server(std::size_t id)
 {
     if (id >= servers_.size())
         panic("Cluster::server out of range");
+    // Mutable access can change a server's job mix behind the
+    // cluster's back; conservatively drop the aggregate cache.
+    totalPowerCache_.reset();
     return servers_[id];
 }
 
@@ -63,7 +66,10 @@ Cluster::server(std::size_t id) const
 void
 Cluster::addJob(std::size_t server_id, WorkloadType type)
 {
-    server(server_id).addJob(type);
+    if (server_id >= servers_.size())
+        panic("Cluster::addJob out of range");
+    totalPowerCache_.reset();
+    servers_[server_id].addJob(type);
     ++active_[workloadIndex(type)];
     ++busyCores_;
 }
@@ -71,7 +77,10 @@ Cluster::addJob(std::size_t server_id, WorkloadType type)
 void
 Cluster::removeJob(std::size_t server_id, WorkloadType type)
 {
-    server(server_id).removeJob(type);
+    if (server_id >= servers_.size())
+        panic("Cluster::removeJob out of range");
+    totalPowerCache_.reset();
+    servers_[server_id].removeJob(type);
     auto &count = active_[workloadIndex(type)];
     if (count == 0)
         panic("Cluster::removeJob underflow");
@@ -82,29 +91,26 @@ Cluster::removeJob(std::size_t server_id, WorkloadType type)
 Watts
 Cluster::totalPower() const
 {
+    if (totalPowerCache_)
+        return *totalPowerCache_;
+    // Per-server powers are cached in the servers themselves, so this
+    // is a pure serial index-order reduction over cached loads —
+    // bitwise identical to the historical serial recompute path (the
+    // old parallel fan-out reduced in the same order over the same
+    // values, so dropping it changes nothing).
     Watts total = 0.0;
-    if (useParallelPath(servers_.size())) {
-        std::vector<Watts> per_server(servers_.size());
-        parallelFor(globalPool(), 0, servers_.size(), kThermalGrain,
-                    [&](std::size_t begin, std::size_t end) {
-                        for (std::size_t i = begin; i < end; ++i)
-                            per_server[i] =
-                                servers_[i].power(power_);
-                    });
-        // Reduce serially in index order: bitwise identical to the
-        // serial loop below at any thread count.
-        for (const Watts watts : per_server)
-            total += watts;
-    } else {
-        for (const Server &srv : servers_)
-            total += srv.power(power_);
-    }
+    for (const Server &srv : servers_)
+        total += srv.power(power_);
+    totalPowerCache_ = total;
     return total;
 }
 
 ClusterSample
 Cluster::stepThermal(Seconds dt, Celsius hot_threshold)
 {
+    // Stepping can flip per-server throttle states, which changes
+    // power draws.
+    totalPowerCache_.reset();
     ClusterSample agg;
     bool first = true;
     const auto accumulate = [&](const ThermalSample &s,

@@ -9,6 +9,7 @@
 #define VMT_SERVER_CLUSTER_H
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "server/power_model.h"
@@ -88,7 +89,14 @@ class Cluster
     /** Release a core on a server; updates cluster aggregates. */
     void removeJob(std::size_t server_id, WorkloadType type);
 
-    /** Instantaneous total electrical power. */
+    /**
+     * Instantaneous total electrical power.
+     *
+     * Reads the per-server power caches and reduces serially in
+     * server-index order (bitwise identical to the historical serial
+     * recompute); the reduction itself is cached until the next job
+     * change, thermal step, or mutable server access.
+     */
     Watts totalPower() const;
 
     /**
@@ -133,6 +141,8 @@ class Cluster
     /** Per-server samples from the parallel stepThermal path (kept
      *  across steps to avoid a per-interval allocation). */
     std::vector<ThermalSample> stepScratch_;
+    /** Cached totalPower() reduction; nullopt when stale. */
+    mutable std::optional<Watts> totalPowerCache_;
 };
 
 } // namespace vmt

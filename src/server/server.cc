@@ -20,6 +20,7 @@ Server::addJob(WorkloadType type)
         panic("Server::addJob on a full server");
     ++counts_[workloadIndex(type)];
     ++busyCores_;
+    powerCacheModel_ = nullptr;
 }
 
 void
@@ -30,18 +31,30 @@ Server::removeJob(WorkloadType type)
         panic("Server::removeJob with no such job running");
     --count;
     --busyCores_;
+    powerCacheModel_ = nullptr;
 }
 
 Watts
 Server::power(const PowerModel &model) const
 {
+    if (&model != powerCacheModel_)
+        refreshPowerCache(model);
+    return powerCache_;
+}
+
+void
+Server::refreshPowerCache(const PowerModel &model) const
+{
     const Watts nominal = model.serverPower(counts_);
-    if (!throttled_)
-        return nominal;
-    // DVFS trims the dynamic part only; idle power is unaffected.
-    const Watts idle = model.spec().idlePower;
-    return idle +
-           (nominal - idle) * thermal_.params().throttleFactor;
+    if (!throttled_) {
+        powerCache_ = nominal;
+    } else {
+        // DVFS trims the dynamic part only; idle power is unaffected.
+        const Watts idle = model.spec().idlePower;
+        powerCache_ =
+            idle + (nominal - idle) * thermal_.params().throttleFactor;
+    }
+    powerCacheModel_ = &model;
 }
 
 Celsius
@@ -64,10 +77,12 @@ Server::stepThermal(const PowerModel &model, Seconds dt)
     if (!throttled_ && sample.cpuTemp >= tp.cpuLimit &&
         tp.throttleFactor < 1.0) {
         throttled_ = true;
+        powerCacheModel_ = nullptr;
     } else if (throttled_ &&
                sample.cpuTemp <
                    tp.cpuLimit - tp.throttleHysteresis) {
         throttled_ = false;
+        powerCacheModel_ = nullptr;
     }
     return sample;
 }

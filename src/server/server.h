@@ -57,8 +57,18 @@ class Server
     /** Release one core of the given type. */
     void removeJob(WorkloadType type);
 
-    /** Instantaneous power under the given model, including any
-     *  active thermal throttling. */
+    /**
+     * Instantaneous power under the given model, including any
+     * active thermal throttling.
+     *
+     * The value is cached and invalidated only on addJob/removeJob
+     * and throttle transitions, so the steady-state cost is one load
+     * instead of a per-workload multiply-add reduction. The cache is
+     * keyed on the model's address (the cluster passes its one shared
+     * model on every call); passing a different model recomputes. The
+     * cached value is produced by exactly the same expression as the
+     * uncached computation, so results are bitwise identical.
+     */
     Watts power(const PowerModel &model) const;
 
     /** True while the server is thermally throttled (DVFS
@@ -96,6 +106,9 @@ class Server
     void setBaseInlet(Celsius inlet) { thermal_.setBaseInlet(inlet); }
 
   private:
+    /** Recompute the power cache against the given model. */
+    void refreshPowerCache(const PowerModel &model) const;
+
     std::size_t id_;
     ServerSpec spec_;
     ServerThermal thermal_;
@@ -103,6 +116,15 @@ class Server
     CoreCounts counts_{};
     std::size_t busyCores_ = 0;
     bool throttled_ = false;
+
+    // Power cache (see power()). nullptr means stale. Mutable so the
+    // logically-const power() can fill it; safe under the chunked
+    // parallel thermal path because each server is touched by exactly
+    // one thread per fan-out (verified by the TSan'd ctest -L
+    // parallel suite).
+    mutable const PowerModel *powerCacheModel_ = nullptr;
+    /** Power including any active throttling (what power() returns). */
+    mutable Watts powerCache_ = 0.0;
 };
 
 } // namespace vmt

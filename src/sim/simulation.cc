@@ -1,10 +1,11 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cstdint>
+#include <utility>
 
 #include "cooling/cooling_system.h"
-#include "sim/event_queue.h"
+#include "sim/interval_queue.h"
 #include "thermal/inlet_model.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -19,6 +20,9 @@ struct ActiveJob
 {
     std::size_t serverId;
     WorkloadType type;
+    /** Index of this job's slot within its jobs_at list, so removal
+     *  is O(1) instead of a scan. */
+    std::uint32_t pos;
 };
 
 } // namespace
@@ -79,24 +83,32 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
         result.meltMap.emplace(config.numServers, trace.size());
     }
 
-    // Departures carry the job id; the home table follows migrations.
-    EventQueue<std::uint64_t> departures;
-    std::unordered_map<std::uint64_t, ActiveJob> active_jobs;
-    // Per-(server, type) id index so migrations find a victim in O(1).
-    std::vector<std::array<std::vector<std::uint64_t>, kNumWorkloads>>
+    // Running jobs live in a slot table (vector + freelist) rather
+    // than a hash map: departures are the hottest part of the driver
+    // loop, and resolving a slot is one indexed load where the map
+    // cost a hash, a probe and an erase per job. Slots are unique
+    // among live jobs (freed only at departure, reused only after),
+    // so they identify jobs exactly as the old global ids did and
+    // every bookkeeping structure below sees the same sequence of
+    // operations — simulation results are unchanged.
+    IntervalQueue<std::uint32_t> departures(config.interval);
+    std::vector<ActiveJob> slots;
+    std::vector<std::uint32_t> free_slots;
+    // Per-(server, type) slot index so migrations find a victim in
+    // O(1).
+    std::vector<std::array<std::vector<std::uint32_t>, kNumWorkloads>>
         jobs_at(config.numServers);
     const auto index_remove = [&](std::size_t server,
                                   WorkloadType type,
-                                  std::uint64_t job_id) {
+                                  std::uint32_t slot) {
         auto &ids = jobs_at[server][workloadIndex(type)];
-        for (auto &id : ids) {
-            if (id == job_id) {
-                id = ids.back();
-                ids.pop_back();
-                return;
-            }
-        }
-        panic("job missing from server index");
+        const std::uint32_t pos = slots[slot].pos;
+        if (pos >= ids.size() || ids[pos] != slot)
+            panic("job missing from server index");
+        const std::uint32_t moved = ids.back();
+        ids[pos] = moved;
+        slots[moved].pos = pos;
+        ids.pop_back();
     };
 
     std::optional<CoolingSystem> plant;
@@ -110,6 +122,14 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
     std::optional<RecirculationModel> recirc;
     if (config.modelRecirculation)
         recirc.emplace(config.numServers, config.recirculation);
+    // Recirculation work buffers, hoisted out of the interval loop
+    // (two vector allocations per interval otherwise).
+    std::vector<Watts> rejected;
+    std::vector<Kelvin> recirc_offsets;
+    if (recirc)
+        rejected.resize(config.numServers, 0.0);
+    // Arrival buffer, likewise hoisted and reused.
+    std::vector<Job> arrivals;
 
     for (std::size_t interval = 0; interval < trace.size(); ++interval) {
         const Seconds now =
@@ -117,14 +137,11 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
 
         // 1. Complete jobs due by now.
         while (departures.hasEventDue(now)) {
-            const std::uint64_t job_id = departures.pop();
-            const auto it = active_jobs.find(job_id);
-            if (it == active_jobs.end())
-                panic("departure for unknown job");
-            cluster.removeJob(it->second.serverId, it->second.type);
-            index_remove(it->second.serverId, it->second.type,
-                         job_id);
-            active_jobs.erase(it);
+            const std::uint32_t slot = departures.pop();
+            const ActiveJob &job = slots[slot];
+            cluster.removeJob(job.serverId, job.type);
+            index_remove(job.serverId, job.type, slot);
+            free_slots.push_back(slot);
         }
 
         // 2. Refresh per-interval scheduler state (wax scans etc.)
@@ -148,13 +165,16 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
                     jobs_at[req.fromServer][workloadIndex(req.type)];
                 if (ids.empty())
                     continue;
-                const std::uint64_t job_id = ids.back();
+                const std::uint32_t slot = ids.back();
                 ids.pop_back();
-                jobs_at[req.toServer][workloadIndex(req.type)]
-                    .push_back(job_id);
+                auto &dest =
+                    jobs_at[req.toServer][workloadIndex(req.type)];
+                slots[slot].pos =
+                    static_cast<std::uint32_t>(dest.size());
+                dest.push_back(slot);
                 cluster.removeJob(req.fromServer, req.type);
                 cluster.addJob(req.toServer, req.type);
-                active_jobs[job_id].serverId = req.toServer;
+                slots[slot].serverId = req.toServer;
                 ++result.migrations;
                 --budget;
             }
@@ -165,16 +185,27 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
         for (WorkloadType type : kAllWorkloads)
             active[workloadIndex(type)] =
                 cluster.activeCounts()[workloadIndex(type)];
-        for (const Job &job : generator.arrivalsFor(interval, active)) {
+        generator.arrivalsFor(interval, active, arrivals);
+        for (const Job &job : arrivals) {
             const std::size_t id = scheduler.placeJob(cluster, job);
             if (id == kNoServer) {
                 ++result.droppedJobs;
                 continue;
             }
             cluster.addJob(id, job.type);
-            active_jobs.emplace(job.id, ActiveJob{id, job.type});
-            jobs_at[id][workloadIndex(job.type)].push_back(job.id);
-            departures.schedule(now + job.duration, job.id);
+            auto &ids = jobs_at[id][workloadIndex(job.type)];
+            const auto pos = static_cast<std::uint32_t>(ids.size());
+            std::uint32_t slot;
+            if (!free_slots.empty()) {
+                slot = free_slots.back();
+                free_slots.pop_back();
+                slots[slot] = ActiveJob{id, job.type, pos};
+            } else {
+                slot = static_cast<std::uint32_t>(slots.size());
+                slots.push_back(ActiveJob{id, job.type, pos});
+            }
+            ids.push_back(slot);
+            departures.schedule(now + job.duration, slot);
             ++result.placedJobs;
         }
 
@@ -189,12 +220,14 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
         // 4b. Rack recirculation: each rack's exhaust warms its own
         // inlets in proportion to the rack's heat.
         if (recirc) {
-            std::vector<Watts> rejected(config.numServers, 0.0);
+            // Read-only access (std::as_const) so the per-server
+            // power caches are consulted without invalidating the
+            // cluster aggregate.
+            const Cluster &cc = std::as_const(cluster);
             for (std::size_t id = 0; id < config.numServers; ++id)
                 rejected[id] =
-                    cluster.server(id).power(cluster.powerModel());
-            const std::vector<Kelvin> recirc_offsets =
-                recirc->inletOffsets(rejected);
+                    cc.server(id).power(cluster.powerModel());
+            recirc->inletOffsets(rejected, recirc_offsets);
             for (std::size_t id = 0; id < config.numServers; ++id)
                 cluster.setBaseInlet(id, inlet + recirc_offsets[id]);
         }

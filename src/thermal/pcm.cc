@@ -2,21 +2,85 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <optional>
 
 #include "util/logging.h"
 
 namespace vmt {
 
+namespace {
+
+/** --pcm-integrator override; unset falls back to the environment. */
+std::optional<PcmIntegrator> g_integrator_override;
+
+/** VMT_PCM_INTEGRATOR, parsed lazily once (like VMT_THREADS). */
+PcmIntegrator
+envIntegrator()
+{
+    static const PcmIntegrator parsed = [] {
+        if (const char *env = std::getenv("VMT_PCM_INTEGRATOR"))
+            return pcmIntegratorFromString(env);
+        return PcmIntegrator::Closed;
+    }();
+    return parsed;
+}
+
+} // namespace
+
+PcmIntegrator
+globalPcmIntegrator()
+{
+    return g_integrator_override ? *g_integrator_override
+                                 : envIntegrator();
+}
+
+void
+setGlobalPcmIntegrator(PcmIntegrator integrator)
+{
+    g_integrator_override = integrator;
+}
+
+PcmIntegrator
+pcmIntegratorFromString(const std::string &name)
+{
+    if (name == "closed")
+        return PcmIntegrator::Closed;
+    if (name == "substep")
+        return PcmIntegrator::Substep;
+    fatal("pcm-integrator must be 'closed' or 'substep', got '" +
+          name + "'");
+}
+
+const char *
+pcmIntegratorName(PcmIntegrator integrator)
+{
+    return integrator == PcmIntegrator::Closed ? "closed" : "substep";
+}
+
 Pcm::Pcm(const PcmParams &params, Celsius initial_temp)
-    : params_(params)
+    : params_(params), integrator_(globalPcmIntegrator())
 {
     if (params.volume <= 0.0 || params.densityKgPerL <= 0.0 ||
         params.latentHeat <= 0.0 || params.conductance <= 0.0 ||
         params.specificHeatSolid <= 0.0 || params.specificHeatLiquid <= 0.0)
         fatal("PcmParams must be positive");
+
+    // Same expressions as PcmParams::mass()/latentCapacity() and the
+    // legacy per-call computations, evaluated once.
+    mass_ = params.volume * params.densityKgPerL;
+    latentCap_ = mass_ * params.latentHeat;
+    heatCapSolid_ = mass_ * params.specificHeatSolid;
+    heatCapLiquid_ = mass_ * params.specificHeatLiquid;
+    tauSolid_ = heatCapSolid_ / params.conductance;
+    tauLiquid_ = heatCapLiquid_ / params.conductance;
+    sensibleTau_ = mass_ *
+                   std::min(params.specificHeatSolid,
+                            params.specificHeatLiquid) /
+                   params.conductance;
+
     const Celsius t = std::min(initial_temp, params.meltTemp);
-    enthalpy_ = params.mass() * params.specificHeatSolid *
-                (t - params.meltTemp);
+    enthalpy_ = heatCapSolid_ * (t - params.meltTemp);
 }
 
 Joules
@@ -24,21 +88,108 @@ Pcm::step(Celsius air_temp, Seconds dt)
 {
     if (dt <= 0.0)
         fatal("Pcm::step requires dt > 0");
+    return integrator_ == PcmIntegrator::Closed
+               ? stepClosed(air_temp, dt)
+               : stepSubstep(air_temp, dt);
+}
 
+/**
+ * Analytic step. Against a constant air temperature the enthalpy ODE
+ * dH/dt = G (T_air - T(H)) is piecewise linear in H, so each regime
+ * has an exact solution:
+ *
+ *   sensible (solid/liquid): H relaxes exponentially toward the
+ *     regime equilibrium H_eq with time constant m c / G;
+ *   latent plateau: T is pinned at Tm, so H accumulates linearly at
+ *     G (T_air - Tm).
+ *
+ * H moves monotonically toward the overall equilibrium, so regime
+ * crossings are walked in drive order (at most two per step:
+ * solid->melting->liquid or the reverse). Each segment either
+ * consumes the remaining time or advances exactly to the boundary
+ * with the crossing time solved in closed form.
+ */
+Joules
+Pcm::stepClosed(Celsius air_temp, Seconds dt)
+{
+    const Joules before = enthalpy_;
+    const Celsius melt = params_.meltTemp;
+    double h = enthalpy_;
+    Seconds remaining = dt;
+
+    while (remaining > 0.0) {
+        if (h < 0.0 || (h == 0.0 && air_temp <= melt)) {
+            // Solid sensible regime; upper boundary H = 0.
+            const Joules h_eq = heatCapSolid_ * (air_temp - melt);
+            if (h_eq <= 0.0) {
+                // Equilibrium inside the regime: never crosses.
+                h = h_eq + (h - h_eq) * std::exp(-remaining / tauSolid_);
+                break;
+            }
+            const Seconds t_cross =
+                tauSolid_ * std::log((h_eq - h) / h_eq);
+            if (t_cross >= remaining) {
+                h = h_eq + (h - h_eq) * std::exp(-remaining / tauSolid_);
+                break;
+            }
+            h = 0.0;
+            remaining -= t_cross;
+        } else if (h < latentCap_ ||
+                   (h == latentCap_ && air_temp < melt)) {
+            // Latent plateau: constant flow at the pinned temperature.
+            const Watts flow = params_.conductance * (air_temp - melt);
+            if (flow == 0.0)
+                break; // No drive: the plateau holds indefinitely.
+            const Joules boundary = flow > 0.0 ? latentCap_ : 0.0;
+            const Seconds t_cross = (boundary - h) / flow;
+            if (t_cross >= remaining) {
+                h += flow * remaining;
+                break;
+            }
+            h = boundary;
+            remaining -= t_cross;
+        } else {
+            // Liquid sensible regime; lower boundary H = m L.
+            const Joules h_eq =
+                latentCap_ + heatCapLiquid_ * (air_temp - melt);
+            if (h_eq >= latentCap_) {
+                h = h_eq + (h - h_eq) * std::exp(-remaining / tauLiquid_);
+                break;
+            }
+            const Seconds t_cross =
+                tauLiquid_ * std::log((h - h_eq) / (latentCap_ - h_eq));
+            if (t_cross >= remaining) {
+                h = h_eq + (h - h_eq) * std::exp(-remaining / tauLiquid_);
+                break;
+            }
+            h = latentCap_;
+            remaining -= t_cross;
+        }
+    }
+
+    enthalpy_ = h;
+    return enthalpy_ - before;
+}
+
+Joules
+Pcm::stepSubstep(Celsius air_temp, Seconds dt)
+{
     // Sub-step so explicit integration stays well inside the sensible
     // regime's time constant (m c / G, ~4-5 minutes with defaults).
-    const double sensible_tau =
-        params_.mass() *
-        std::min(params_.specificHeatSolid, params_.specificHeatLiquid) /
-        params_.conductance;
-    const auto substeps = static_cast<int>(
-        std::ceil(dt / std::max(1.0, sensible_tau / 5.0)));
-    const Seconds sub_dt = dt / substeps;
+    // dt is constant for a whole run, so the substep layout is cached
+    // keyed on it (same values as recomputing every call).
+    if (dt != substepForDt_) {
+        substepForDt_ = dt;
+        substepCount_ = static_cast<int>(
+            std::ceil(dt / std::max(1.0, sensibleTau_ / 5.0)));
+        substepLen_ = dt / substepCount_;
+    }
 
     Joules absorbed = 0.0;
-    for (int i = 0; i < substeps; ++i) {
-        const Watts flow = params_.conductance * (air_temp - temperature());
-        const Joules dq = flow * sub_dt;
+    for (int i = 0; i < substepCount_; ++i) {
+        const Watts flow =
+            params_.conductance * (air_temp - temperature());
+        const Joules dq = flow * substepLen_;
         enthalpy_ += dq;
         absorbed += dq;
     }
@@ -48,29 +199,23 @@ Pcm::step(Celsius air_temp, Seconds dt)
 Celsius
 Pcm::temperature() const
 {
-    const Joules latent = params_.latentCapacity();
-    if (enthalpy_ < 0.0) {
-        return params_.meltTemp +
-               enthalpy_ / (params_.mass() * params_.specificHeatSolid);
-    }
-    if (enthalpy_ <= latent)
+    if (enthalpy_ < 0.0)
+        return params_.meltTemp + enthalpy_ / heatCapSolid_;
+    if (enthalpy_ <= latentCap_)
         return params_.meltTemp;
-    return params_.meltTemp + (enthalpy_ - latent) /
-                                  (params_.mass() *
-                                   params_.specificHeatLiquid);
+    return params_.meltTemp + (enthalpy_ - latentCap_) / heatCapLiquid_;
 }
 
 double
 Pcm::meltFraction() const
 {
-    const Joules latent = params_.latentCapacity();
-    return std::clamp(enthalpy_ / latent, 0.0, 1.0);
+    return std::clamp(enthalpy_ / latentCap_, 0.0, 1.0);
 }
 
 Joules
 Pcm::latentEnergyStored() const
 {
-    return meltFraction() * params_.latentCapacity();
+    return meltFraction() * latentCap_;
 }
 
 } // namespace vmt

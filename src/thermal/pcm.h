@@ -14,15 +14,59 @@
  * This reproduces the latent "plateau" TTS relies on: while melting or
  * freezing the wax temperature is pinned at the melting point and all
  * exchanged heat moves the melt fraction.
+ *
+ * Two integrators advance the model against a constant air temperature
+ * (see DESIGN.md, "Single-core hot-path engine"):
+ *
+ *  - Closed (default): the piecewise-linear enthalpy ODE is solved
+ *    analytically per regime — exponential relaxation toward the
+ *    regime equilibrium in the sensible (solid/liquid) regimes, linear
+ *    enthalpy accumulation on the latent plateau — walking regime
+ *    crossings (at most solid->melting->liquid or the reverse) in
+ *    closed form. Exact for any dt; a handful of multiply-adds plus at
+ *    most two exp/log calls per step.
+ *  - Substep: the original explicit sub-stepped integrator, kept
+ *    bit-for-bit as the reference (--pcm-integrator=substep).
  */
 
 #ifndef VMT_THERMAL_PCM_H
 #define VMT_THERMAL_PCM_H
 
+#include <string>
+
 #include "thermal/thermal_params.h"
 #include "util/units.h"
 
 namespace vmt {
+
+/** How Pcm::step integrates the enthalpy ODE. */
+enum class PcmIntegrator
+{
+    /** Analytic per-regime solution (exact, the default). */
+    Closed,
+    /** Explicit sub-stepped integration (the legacy reference). */
+    Substep,
+};
+
+/**
+ * Integrator newly-constructed Pcm instances use. Resolved, in
+ * priority order, from setGlobalPcmIntegrator() (the --pcm-integrator
+ * flag), the VMT_PCM_INTEGRATOR environment variable ("closed" or
+ * "substep"), then PcmIntegrator::Closed.
+ */
+PcmIntegrator globalPcmIntegrator();
+
+/** Override the process-wide default (the --pcm-integrator knob). */
+void setGlobalPcmIntegrator(PcmIntegrator integrator);
+
+/**
+ * Parse "closed" / "substep".
+ * @throws FatalError on anything else.
+ */
+PcmIntegrator pcmIntegratorFromString(const std::string &name);
+
+/** Canonical flag spelling of an integrator. */
+const char *pcmIntegratorName(PcmIntegrator integrator);
 
 /** Lumped phase-change thermal store (one server's wax load). */
 class Pcm
@@ -42,6 +86,7 @@ class Pcm
      * @param dt Time step in seconds (> 0).
      * @return Heat absorbed by the wax over the step in joules;
      *         negative when the wax is releasing heat back to the air.
+     *         Always exactly the enthalpy change of the step.
      */
     Joules step(Celsius air_temp, Seconds dt);
 
@@ -66,9 +111,41 @@ class Pcm
     /** Material properties in use. */
     const PcmParams &params() const { return params_; }
 
+    /** Integrator this instance advances with (snapshotted from the
+     *  global default at construction). */
+    PcmIntegrator integrator() const { return integrator_; }
+
+    /** Switch this instance's integrator (tests / A-B studies). */
+    void setIntegrator(PcmIntegrator integrator)
+    {
+        integrator_ = integrator;
+    }
+
   private:
+    Joules stepClosed(Celsius air_temp, Seconds dt);
+    Joules stepSubstep(Celsius air_temp, Seconds dt);
+
     PcmParams params_;
     Joules enthalpy_;
+    PcmIntegrator integrator_;
+
+    // Constants derived from params_ once at construction so the hot
+    // step/readback paths are pure multiply-adds. The expressions
+    // mirror PcmParams::mass()/latentCapacity() exactly, so cached
+    // readbacks are bit-for-bit what recomputing would produce.
+    Kilograms mass_;
+    Joules latentCap_;
+    double heatCapSolid_;  // m c_s, J/K
+    double heatCapLiquid_; // m c_l, J/K
+    Seconds tauSolid_;     // m c_s / G
+    Seconds tauLiquid_;    // m c_l / G
+    Seconds sensibleTau_;  // m min(c_s, c_l) / G (substep pacing)
+
+    // Substep layout cache: dt is constant across a run, so the
+    // substep count and length are computed once per distinct dt.
+    Seconds substepForDt_ = -1.0;
+    int substepCount_ = 0;
+    Seconds substepLen_ = 0.0;
 };
 
 } // namespace vmt

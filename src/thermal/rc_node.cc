@@ -18,7 +18,11 @@ RcNode::step(Celsius target, Seconds dt)
 {
     if (dt <= 0.0)
         fatal("RcNode::step requires dt > 0");
-    temp_ += (target - temp_) * (1.0 - std::exp(-dt / tau_));
+    if (dt != gainForDt_) {
+        gainForDt_ = dt;
+        gain_ = 1.0 - std::exp(-dt / tau_);
+    }
+    temp_ += (target - temp_) * gain_;
     return temp_;
 }
 

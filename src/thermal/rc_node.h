@@ -26,6 +26,13 @@ class RcNode
     /**
      * Advance by dt toward the target (exact solution of the linear
      * ODE for a constant target over the step).
+     *
+     * The step gain 1 - exp(-dt/tau) is cached keyed on dt: the
+     * driver uses one fixed interval for a whole run, so the
+     * transcendental is paid once, not once per server per interval.
+     * The cached value is the same double the direct computation
+     * yields, so results are bitwise identical to the uncached path.
+     *
      * @return The temperature after the step.
      */
     Celsius step(Celsius target, Seconds dt);
@@ -43,6 +50,10 @@ class RcNode
   private:
     Seconds tau_;
     Celsius temp_;
+    /** dt the cached gain was computed for (-1 = none yet). */
+    Seconds gainForDt_ = -1.0;
+    /** Cached 1 - exp(-dt/tau) for gainForDt_. */
+    double gain_ = 0.0;
 };
 
 } // namespace vmt

@@ -61,6 +61,16 @@ std::vector<Job>
 JobGenerator::arrivalsFor(std::size_t interval, const ActiveCounts &active)
 {
     std::vector<Job> arrivals;
+    arrivalsFor(interval, active, arrivals);
+    return arrivals;
+}
+
+void
+JobGenerator::arrivalsFor(std::size_t interval,
+                          const ActiveCounts &active,
+                          std::vector<Job> &arrivals)
+{
+    arrivals.clear();
     const WorkloadShares &shares = sharesAt(interval);
     for (WorkloadType type : kAllWorkloads) {
         const double share = trace_.utilization(interval) *
@@ -83,7 +93,6 @@ JobGenerator::arrivalsFor(std::size_t interval, const ActiveCounts &active)
             arrivals.push_back(job);
         }
     }
-    return arrivals;
 }
 
 } // namespace vmt

@@ -75,6 +75,11 @@ class JobGenerator
     std::vector<Job> arrivalsFor(std::size_t interval,
                                  const ActiveCounts &active);
 
+    /** Allocation-free variant for per-interval callers: clears and
+     *  refills @p out (same jobs as the returning overload). */
+    void arrivalsFor(std::size_t interval, const ActiveCounts &active,
+                     std::vector<Job> &out);
+
     /** Total jobs emitted so far. */
     std::uint64_t jobsEmitted() const { return nextId_; }
 

@@ -12,12 +12,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sched/round_robin.h"
 #include "server/cluster.h"
 #include "sim/datacenter_sim.h"
+#include "thermal/pcm.h"
+#include "thermal/rc_node.h"
 #include "util/thread_pool.h"
 
 namespace vmt {
@@ -29,6 +33,20 @@ class ThreadCountGuard
   public:
     ~ThreadCountGuard() { setGlobalThreadCount(0); }
 };
+
+/** Restores the process-wide PCM integrator when a test exits. */
+class IntegratorGuard
+{
+  public:
+    IntegratorGuard() : saved_(globalPcmIntegrator()) {}
+    ~IntegratorGuard() { setGlobalPcmIntegrator(saved_); }
+
+  private:
+    PcmIntegrator saved_;
+};
+
+constexpr PcmIntegrator kBothIntegrators[] = {PcmIntegrator::Closed,
+                                              PcmIntegrator::Substep};
 
 DatacenterSimConfig
 smallDc(std::size_t clusters = 4)
@@ -162,6 +180,168 @@ TEST(ParallelDeterminism, StepThermalParallelMatchesSerialBitwise)
                   parallel_cluster.server(id).waxMeltFraction())
             << "server " << id;
     }
+}
+
+TEST(ParallelDeterminism, DatacenterThreadInvariantBothIntegrators)
+{
+    ThreadCountGuard guard;
+    IntegratorGuard integ_guard;
+    DatacenterSimConfig config = smallDc(2);
+    config.cluster.numServers = 10;
+    for (const PcmIntegrator integrator : kBothIntegrators) {
+        SCOPED_TRACE(pcmIntegratorName(integrator));
+        setGlobalPcmIntegrator(integrator);
+        const DatacenterSimResult serial = runWithThreads(1, config);
+        const DatacenterSimResult parallel = runWithThreads(4, config);
+        EXPECT_EQ(serial.peakCoolingLoad, parallel.peakCoolingLoad);
+        EXPECT_EQ(serial.sumOfClusterPeaks,
+                  parallel.sumOfClusterPeaks);
+        expectSeriesIdentical(serial.coolingLoad,
+                              parallel.coolingLoad);
+        expectSeriesIdentical(serial.totalPower, parallel.totalPower);
+    }
+}
+
+TEST(ParallelDeterminism, StepThermalThreadInvariantBothIntegrators)
+{
+    ThreadCountGuard guard;
+    IntegratorGuard integ_guard;
+    for (const PcmIntegrator integrator : kBothIntegrators) {
+        SCOPED_TRACE(pcmIntegratorName(integrator));
+        setGlobalPcmIntegrator(integrator);
+
+        setGlobalThreadCount(1);
+        Cluster serial_cluster = bigCluster();
+        std::vector<ClusterSample> serial_samples;
+        for (int step = 0; step < 10; ++step)
+            serial_samples.push_back(
+                serial_cluster.stepThermal(60.0, 35.0));
+
+        setGlobalThreadCount(4);
+        Cluster parallel_cluster = bigCluster();
+        for (int step = 0; step < 10; ++step) {
+            const ClusterSample s =
+                parallel_cluster.stepThermal(60.0, 35.0);
+            const ClusterSample &ref =
+                serial_samples[static_cast<std::size_t>(step)];
+            ASSERT_EQ(ref.waxHeatFlow, s.waxHeatFlow)
+                << "step " << step;
+            ASSERT_EQ(ref.meanAirTemp, s.meanAirTemp)
+                << "step " << step;
+            ASSERT_EQ(ref.meanMeltFraction, s.meanMeltFraction)
+                << "step " << step;
+        }
+        for (std::size_t id = 0; id < serial_cluster.numServers();
+             ++id) {
+            ASSERT_EQ(serial_cluster.server(id).waxMeltFraction(),
+                      parallel_cluster.server(id).waxMeltFraction())
+                << "server " << id;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache regression tests: the hot-path caches (RcNode step gain,
+// per-server power, cluster aggregate power) must reproduce the
+// pre-cache computations bit for bit. Each test recomputes the
+// historical expression inline and compares with EXPECT_EQ.
+// ---------------------------------------------------------------------
+
+TEST(CacheRegression, RcNodeStepMatchesDirectFormula)
+{
+    const Seconds tau = 120.0;
+    RcNode node(tau, 25.0);
+    Celsius reference = 25.0;
+    // Varying targets at a fixed dt (the cached regime), then a dt
+    // change mid-run to force a gain recompute, then the original dt
+    // again.
+    const Seconds dts[] = {60.0, 60.0, 60.0, 15.0, 15.0, 60.0, 60.0};
+    Celsius target = 55.0;
+    for (const Seconds dt : dts) {
+        node.step(target, dt);
+        reference += (target - reference) *
+                     (1.0 - std::exp(-dt / tau));
+        ASSERT_EQ(reference, node.temperature()) << "dt " << dt;
+        target += 7.5; // Exercise distinct targets per step.
+    }
+}
+
+TEST(CacheRegression, ServerPowerMatchesUncachedFormula)
+{
+    const ServerSpec spec;
+    const ServerThermalParams thermal;
+    const PowerModel model(spec, 1.77);
+    Cluster cluster(1, spec, thermal, model);
+    const Server &srv = std::as_const(cluster).server(0);
+
+    const auto uncached = [&]() {
+        // The historical per-call computation, written out in full.
+        const Watts nominal = model.serverPower(srv.coreCounts());
+        if (!srv.throttled())
+            return nominal;
+        const Watts idle = model.spec().idlePower;
+        return idle +
+               (nominal - idle) * thermal.throttleFactor;
+    };
+
+    EXPECT_EQ(uncached(), srv.power(model));
+    cluster.addJob(0, WorkloadType::WebSearch);
+    EXPECT_EQ(uncached(), srv.power(model));
+    cluster.addJob(0, WorkloadType::VideoEncoding);
+    EXPECT_EQ(uncached(), srv.power(model));
+    // Repeated reads serve the cache; the value must not drift.
+    EXPECT_EQ(srv.power(model), srv.power(model));
+    cluster.removeJob(0, WorkloadType::WebSearch);
+    EXPECT_EQ(uncached(), srv.power(model));
+}
+
+TEST(CacheRegression, ThrottledServerPowerMatchesUncachedFormula)
+{
+    // A junction limit below ambient guarantees the first thermal
+    // step flips the server into the throttled state.
+    const ServerSpec spec;
+    ServerThermalParams thermal;
+    thermal.cpuLimit = 1.0;
+    const PowerModel model(spec, 1.77);
+    Cluster cluster(1, spec, thermal, model);
+    for (std::size_t core = 0; core < spec.cores(); ++core)
+        cluster.addJob(0, WorkloadType::WebSearch);
+    cluster.stepThermal(60.0);
+
+    const Server &srv = std::as_const(cluster).server(0);
+    ASSERT_TRUE(srv.throttled());
+    const Watts nominal = model.serverPower(srv.coreCounts());
+    const Watts idle = model.spec().idlePower;
+    const Watts expected =
+        idle + (nominal - idle) * thermal.throttleFactor;
+    EXPECT_EQ(expected, srv.power(model));
+}
+
+TEST(CacheRegression, TotalPowerMatchesSerialRecompute)
+{
+    ThreadCountGuard guard;
+    setGlobalThreadCount(1);
+    Cluster cluster = bigCluster();
+    const PowerModel &model = cluster.powerModel();
+
+    const auto serial_recompute = [&]() {
+        Watts total = 0.0;
+        for (std::size_t id = 0; id < cluster.numServers(); ++id)
+            total +=
+                std::as_const(cluster).server(id).power(model);
+        return total;
+    };
+
+    EXPECT_EQ(serial_recompute(), cluster.totalPower());
+    // Cached read must equal the first.
+    EXPECT_EQ(serial_recompute(), cluster.totalPower());
+
+    cluster.addJob(0, WorkloadType::WebSearch);
+    EXPECT_EQ(serial_recompute(), cluster.totalPower());
+    cluster.removeJob(3, WorkloadType::VideoEncoding);
+    EXPECT_EQ(serial_recompute(), cluster.totalPower());
+    cluster.stepThermal(60.0);
+    EXPECT_EQ(serial_recompute(), cluster.totalPower());
 }
 
 TEST(ParallelDeterminism, SmallClusterStaysOnSerialPath)

@@ -167,6 +167,120 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(-10.0, 10.0, 35.7, 36.0, 80.0),
                        ::testing::Values(1.0, 60.0, 600.0)));
 
+// ---- Closed-form integrator (single-core hot-path engine) ----
+
+TEST(PcmIntegratorKnob, GlobalOverrideAndParsing)
+{
+    const PcmIntegrator before = globalPcmIntegrator();
+    EXPECT_EQ(pcmIntegratorFromString("closed"),
+              PcmIntegrator::Closed);
+    EXPECT_EQ(pcmIntegratorFromString("substep"),
+              PcmIntegrator::Substep);
+    EXPECT_THROW(pcmIntegratorFromString("euler"), FatalError);
+    EXPECT_STREQ(pcmIntegratorName(PcmIntegrator::Closed), "closed");
+    EXPECT_STREQ(pcmIntegratorName(PcmIntegrator::Substep),
+                 "substep");
+    setGlobalPcmIntegrator(PcmIntegrator::Substep);
+    EXPECT_EQ(Pcm(testWax()).integrator(), PcmIntegrator::Substep);
+    setGlobalPcmIntegrator(before);
+    EXPECT_EQ(globalPcmIntegrator(), before);
+}
+
+/** One long step must walk solid -> melting -> liquid in closed form,
+ *  conserving energy exactly (absorbed == enthalpy delta). */
+TEST(PcmClosed, OneStepCrossesSolidMeltingLiquid)
+{
+    Pcm pcm(testWax(), 22.0);
+    pcm.setIntegrator(PcmIntegrator::Closed);
+    const Joules before = pcm.enthalpy();
+    const Joules absorbed = pcm.step(80.0, 6.0 * 3600.0);
+    EXPECT_TRUE(pcm.fullyMelted());
+    EXPECT_GT(pcm.temperature(), 35.7);
+    EXPECT_GT(pcm.enthalpy(), pcm.params().latentCapacity());
+    EXPECT_DOUBLE_EQ(absorbed, pcm.enthalpy() - before);
+}
+
+/** And the reverse walk, liquid -> freezing -> solid, in one step. */
+TEST(PcmClosed, OneStepCrossesLiquidFreezingSolid)
+{
+    Pcm pcm(testWax(), 22.0);
+    pcm.setIntegrator(PcmIntegrator::Closed);
+    pcm.step(80.0, 6.0 * 3600.0);
+    ASSERT_TRUE(pcm.fullyMelted());
+    const Joules before = pcm.enthalpy();
+    const Joules absorbed = pcm.step(5.0, 12.0 * 3600.0);
+    EXPECT_TRUE(pcm.fullySolid());
+    EXPECT_LT(pcm.temperature(), 35.7);
+    EXPECT_LT(absorbed, 0.0);
+    EXPECT_DOUBLE_EQ(absorbed, pcm.enthalpy() - before);
+}
+
+/** Energy conservation holds exactly under both integrators. */
+TEST(Pcm, AbsorbedMatchesEnthalpyDeltaBothIntegrators)
+{
+    for (const PcmIntegrator integ :
+         {PcmIntegrator::Closed, PcmIntegrator::Substep}) {
+        Pcm pcm(testWax(), 22.0);
+        pcm.setIntegrator(integ);
+        const Joules before = pcm.enthalpy();
+        Joules absorbed = pcm.step(80.0, 6.0 * 3600.0);
+        absorbed += pcm.step(10.0, 12.0 * 3600.0);
+        EXPECT_DOUBLE_EQ(absorbed, pcm.enthalpy() - before)
+            << pcmIntegratorName(integ);
+    }
+}
+
+/**
+ * The documented closed-vs-substep tolerance at the study's
+ * one-minute interval: per-interval melt fractions within 0.02,
+ * temperatures within 0.7 C during sensible transients (the substep
+ * integrator is first-order explicit, so it lags the exact closed
+ * form most where the temperature moves fastest) tightening to 0.2 C
+ * once on the plateau, and total absorbed energy within 1% of the
+ * latent capacity over a full melt.
+ */
+TEST(PcmClosed, MatchesSubstepAcrossRegimes)
+{
+    Pcm closed(testWax(), 22.0);
+    closed.setIntegrator(PcmIntegrator::Closed);
+    Pcm substep(testWax(), 22.0);
+    substep.setIntegrator(PcmIntegrator::Substep);
+    Joules closed_abs = 0.0;
+    Joules substep_abs = 0.0;
+    for (int i = 0; i < 600; ++i) {
+        closed_abs += closed.step(42.0, 60.0);
+        substep_abs += substep.step(42.0, 60.0);
+        EXPECT_NEAR(closed.meltFraction(), substep.meltFraction(),
+                    0.02);
+        const bool on_plateau = closed.meltFraction() > 0.0 &&
+                                closed.meltFraction() < 1.0 &&
+                                substep.meltFraction() > 0.0 &&
+                                substep.meltFraction() < 1.0;
+        const double temp_tol = on_plateau ? 0.2 : 0.7;
+        EXPECT_NEAR(closed.temperature(), substep.temperature(),
+                    temp_tol)
+            << "step " << i;
+    }
+    EXPECT_TRUE(closed.fullyMelted());
+    EXPECT_TRUE(substep.fullyMelted());
+    EXPECT_NEAR(closed_abs, substep_abs,
+                testWax().latentCapacity() * 0.01);
+}
+
+/** The closed form is exact, so splitting a step must not change the
+ *  trajectory beyond rounding. */
+TEST(PcmClosed, StepSizeInvariant)
+{
+    Pcm one(testWax(), 22.0);
+    one.setIntegrator(PcmIntegrator::Closed);
+    Pcm many(testWax(), 22.0);
+    many.setIntegrator(PcmIntegrator::Closed);
+    one.step(40.0, 3600.0);
+    for (int i = 0; i < 60; ++i)
+        many.step(40.0, 60.0);
+    EXPECT_NEAR(one.enthalpy(), many.enthalpy(), 1.0);
+}
+
 /** Finer sub-stepping must not change the result materially. */
 TEST(Pcm, SubSteppingConverges)
 {

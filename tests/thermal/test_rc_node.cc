@@ -48,6 +48,21 @@ TEST(RcNode, StepSizeInvariance)
     EXPECT_NEAR(coarse.temperature(), fine.temperature(), 1e-9);
 }
 
+TEST(RcNode, CachedGainSurvivesDtChange)
+{
+    // The gain cache is keyed on dt; alternating step sizes must
+    // still produce the exact per-step exponential each time.
+    RcNode node(150.0, 20.0);
+    double reference = 20.0;
+    const double dts[] = {60.0, 60.0, 10.0, 60.0, 10.0, 10.0, 60.0};
+    for (const double dt : dts) {
+        node.step(50.0, dt);
+        reference += (50.0 - reference) *
+                     (1.0 - std::exp(-dt / 150.0));
+        ASSERT_EQ(node.temperature(), reference) << "dt " << dt;
+    }
+}
+
 TEST(RcNode, ConvergesToTarget)
 {
     RcNode node(60.0, 20.0);

@@ -16,6 +16,8 @@
  *   --seed X             run seed                   (default 7)
  *   --threads N          worker threads; 0 = auto from VMT_THREADS
  *                        or hardware concurrency    (default 0)
+ *   --pcm-integrator I   closed | substep PCM integration; default
+ *                        from VMT_PCM_INTEGRATOR, else closed
  *   --inlet-stddev S     inlet variation sigma in K (default 0)
  *   --cooling-capacity W cooling plant capacity in watts (0 = inf)
  *   --trace FILE         load utilization trace CSV (hour,utilization)
@@ -50,6 +52,7 @@
 #include "sched/round_robin.h"
 #include "sim/result_io.h"
 #include "sim/simulation.h"
+#include "thermal/pcm.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -300,6 +303,9 @@ main(int argc, char **argv)
         if (threads < 0)
             fatal("vmtsim: --threads must be >= 0 (0 = auto)");
         setGlobalThreadCount(static_cast<std::size_t>(threads));
+        if (flags.has("pcm-integrator"))
+            setGlobalPcmIntegrator(pcmIntegratorFromString(
+                flags.getString("pcm-integrator")));
 
         int rc;
         if (command == "run")
