@@ -14,6 +14,13 @@
 
 namespace vmt::bench {
 
+std::string
+manifestPathFromEnv()
+{
+    const char *path = std::getenv("VMT_SWEEP_MANIFEST");
+    return (path && *path) ? std::string(path) : std::string();
+}
+
 void
 configureThreadsFromArgs(int argc, const char *const *argv)
 {

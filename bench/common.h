@@ -10,13 +10,16 @@
 #define VMT_BENCH_COMMON_H
 
 #include <cstddef>
+#include <cstring>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "core/vmt_ta.h"
 #include "core/vmt_wa.h"
 #include "sim/simulation.h"
+#include "state/sweep_manifest.h"
 #include "util/thread_pool.h"
 #include "util/time_series.h"
 
@@ -32,23 +35,45 @@ namespace vmt::bench {
 void configureThreadsFromArgs(int argc, const char *const *argv);
 
 /**
+ * The sweep-manifest base path from VMT_SWEEP_MANIFEST (crash
+ * resilience, see state/sweep_manifest.h); empty when unset.
+ */
+std::string manifestPathFromEnv();
+
+/**
  * Fans independent sweep points out across the thread pool. Points
  * must not share mutable state (construct schedulers inside the
  * callback — the run helpers below already do); results come back in
  * input order, so tables print exactly as the serial loop would.
+ *
+ * When VMT_SWEEP_MANIFEST is set (or a base path is passed
+ * explicitly), completed points of trivially-copyable result types
+ * are persisted to a per-sweep manifest file after each completion;
+ * rerunning after a crash serves recorded points from the manifest
+ * and recomputes only the remainder. Non-trivially-copyable result
+ * types always recompute (their bytes are not relocatable).
  */
 class SweepRunner
 {
   public:
-    /** Uses the global (--threads / VMT_THREADS) pool. */
-    SweepRunner() : pool_(globalPool()) {}
+    /** Uses the global (--threads / VMT_THREADS) pool and the
+     *  VMT_SWEEP_MANIFEST resilience setting. */
+    SweepRunner() : pool_(globalPool()), manifestBase_(manifestPathFromEnv())
+    {}
 
-    explicit SweepRunner(ThreadPool &pool) : pool_(pool) {}
+    explicit SweepRunner(ThreadPool &pool,
+                         std::string manifest_base = manifestPathFromEnv())
+        : pool_(pool), manifestBase_(std::move(manifest_base))
+    {}
 
     /** Evaluate fn(i) for i in [0, count) concurrently. */
     template <typename R, typename Fn>
     std::vector<R> map(std::size_t count, Fn &&fn) const
     {
+        if constexpr (std::is_trivially_copyable_v<R>) {
+            if (!manifestBase_.empty())
+                return mapWithManifest<R>(count, std::forward<Fn>(fn));
+        }
         return parallelMap<R>(pool_, count, 1,
                               std::forward<Fn>(fn));
     }
@@ -64,7 +89,26 @@ class SweepRunner
     }
 
   private:
+    template <typename R, typename Fn>
+    std::vector<R> mapWithManifest(std::size_t count, Fn &&fn) const
+    {
+        SweepManifest manifest(nextSweepManifestPath(manifestBase_),
+                               count, sizeof(R));
+        return parallelMap<R>(pool_, count, 1, [&](std::size_t i) {
+            if (const std::vector<std::uint8_t> *bytes =
+                    manifest.completed(i)) {
+                R result;
+                std::memcpy(&result, bytes->data(), sizeof(R));
+                return result;
+            }
+            R result = fn(i);
+            manifest.record(i, &result, sizeof(R));
+            return result;
+        });
+    }
+
     ThreadPool &pool_;
+    std::string manifestBase_;
 };
 
 /** The calibrated study configuration (see DESIGN.md section 5). */

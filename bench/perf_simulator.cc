@@ -9,8 +9,10 @@
  * datacenter) at 1/2/4/N threads, then a single-thread hot-path
  * study times the cluster run with each PCM integrator
  * (substep/closed) at threads=1 and records the closed-form
- * hotpath_speedup. Both write into a machine-readable BENCH_sim.json
- * so the perf trajectory is tracked PR over PR.
+ * hotpath_speedup, and a checkpoint study times the same run with a
+ * snapshot every 1,000 intervals to pin the checkpointing overhead.
+ * All write into a machine-readable BENCH_sim.json so the perf
+ * trajectory is tracked PR over PR.
  * Environment knobs:
  *   VMT_PERF_SCALING=0   skip the scaling + hot-path studies
  *   VMT_PERF_HOURS=H     trace length for the studies (default 48)
@@ -33,6 +35,7 @@
 #include "sched/round_robin.h"
 #include "sim/datacenter_sim.h"
 #include "sim/simulation.h"
+#include "state/sim_snapshot.h"
 #include "util/thread_pool.h"
 
 using namespace vmt;
@@ -230,10 +233,65 @@ runHotpathStudy(double hours, std::vector<HotpathRow> &rows)
     setGlobalThreadCount(0);
 }
 
+/** One single-thread timing of the headline run per checkpoint
+ *  cadence (0 = checkpointing off). */
+struct CheckpointRow
+{
+    std::size_t every;
+    double wallSeconds;
+    double intervalsPerSec;
+    /** Wall-time increase over the every=0 baseline, percent. */
+    double overheadPct;
+};
+
+/**
+ * Checkpoint-overhead study: the 1,000-server headline run at
+ * threads=1 with checkpointing off and with a snapshot every 1,000
+ * completed intervals (the cadence the acceptance bar holds to <= 5%
+ * overhead). Snapshots go to a scratch file that is removed after.
+ */
+void
+runCheckpointStudy(double hours, std::vector<CheckpointRow> &rows)
+{
+    const std::string snap_path = "BENCH_ckpt.snap";
+    setGlobalThreadCount(1);
+    double baseline_seconds = 0.0;
+    for (const std::size_t every : {std::size_t{0}, std::size_t{1000}}) {
+        SimConfig config = bench::studyConfig(1000);
+        config.trace.duration = hours;
+        CheckpointOptions ckpt;
+        ckpt.every = every;
+        ckpt.path = snap_path;
+        attachCheckpointing(config, ckpt);
+        const double seconds = wallSeconds([&] {
+            VmtWaScheduler sched(bench::studyVmt(22.0),
+                                 hotMaskFromPaper());
+            benchmark::DoNotOptimize(runSimulation(config, sched));
+        });
+        if (every == 0)
+            baseline_seconds = seconds;
+        const double overhead =
+            baseline_seconds > 0.0
+                ? 100.0 * (seconds - baseline_seconds) / baseline_seconds
+                : 0.0;
+        rows.push_back(
+            {every, seconds, hours * 60.0 / seconds, overhead});
+        std::printf("[checkpoint] cluster1000 threads=1 every=%-5zu "
+                    "%7.2f s  %9.0f intervals/s  overhead %+.2f%%\n",
+                    every, seconds, rows.back().intervalsPerSec,
+                    overhead);
+        std::fflush(stdout);
+    }
+    std::remove(snap_path.c_str());
+    std::remove((snap_path + ".tmp").c_str());
+    setGlobalThreadCount(0);
+}
+
 void
 writeScalingJson(const std::string &path, double hours,
                  const std::vector<ScalingRow> &rows,
-                 const std::vector<HotpathRow> &hotpath)
+                 const std::vector<HotpathRow> &hotpath,
+                 const std::vector<CheckpointRow> &checkpoint)
 {
     std::ofstream out(path);
     if (!out) {
@@ -264,6 +322,16 @@ writeScalingJson(const std::string &path, double hours,
             << ", \"intervals_per_sec\": " << r.intervalsPerSec
             << ", \"hotpath_speedup\": " << r.hotpathSpeedup << "}"
             << (i + 1 < hotpath.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"checkpoint\": [\n";
+    for (std::size_t i = 0; i < checkpoint.size(); ++i) {
+        const CheckpointRow &r = checkpoint[i];
+        out << "    {\"name\": \"cluster1000\", \"threads\": 1"
+            << ", \"every\": " << r.every
+            << ", \"wall_seconds\": " << r.wallSeconds
+            << ", \"intervals_per_sec\": " << r.intervalsPerSec
+            << ", \"overhead_pct\": " << r.overheadPct << "}"
+            << (i + 1 < checkpoint.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::printf("[scaling] wrote %s\n", path.c_str());
@@ -320,7 +388,10 @@ runScalingStudy()
     std::vector<HotpathRow> hotpath;
     runHotpathStudy(hours, hotpath);
 
-    writeScalingJson(json_path, hours, rows, hotpath);
+    std::vector<CheckpointRow> checkpoint;
+    runCheckpointStudy(hours, checkpoint);
+
+    writeScalingJson(json_path, hours, rows, hotpath, checkpoint);
 }
 
 } // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "state/serializer.h"
 #include "util/logging.h"
 
 namespace vmt {
@@ -96,6 +97,24 @@ std::vector<MigrationRequest>
 AdaptiveVmtScheduler::proposeMigrations(Cluster &cluster, Seconds now)
 {
     return inner_.proposeMigrations(cluster, now);
+}
+
+void
+AdaptiveVmtScheduler::saveState(Serializer &out) const
+{
+    inner_.saveState(out);
+    out.putBool(wasBusy_);
+    out.putDouble(upBudget_);
+    out.putDouble(downBudget_);
+}
+
+void
+AdaptiveVmtScheduler::loadState(Deserializer &in)
+{
+    inner_.loadState(in);
+    wasBusy_ = in.getBool();
+    upBudget_ = in.getDouble();
+    downBudget_ = in.getDouble();
 }
 
 } // namespace vmt

@@ -85,6 +85,11 @@ class AdaptiveVmtScheduler : public Scheduler
     /** GV currently in force. */
     double currentGv() const { return inner_.groupingValue(); }
 
+    /** Saves the wrapped VMT-WA state plus the controller's busy
+     *  latch and remaining daily budgets. */
+    void saveState(Serializer &out) const override;
+    void loadState(Deserializer &in) override;
+
   private:
     VmtWaScheduler inner_;
     AdaptiveVmtParams params_;

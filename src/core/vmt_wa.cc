@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "state/serializer.h"
 #include "util/logging.h"
 
 namespace vmt {
@@ -265,6 +266,34 @@ VmtWaScheduler::setGroupingValue(double gv)
     if (gv <= 0.0)
         fatal("setGroupingValue requires gv > 0");
     config_.groupingValue = gv;
+}
+
+void
+VmtWaScheduler::saveState(Serializer &out) const
+{
+    out.putDouble(config_.groupingValue);
+    out.putBool(initialized_);
+    out.putSize(baseHotSize_);
+    out.putSize(hotSize_);
+    out.putSize(meltedCount_);
+    out.putSize(domainCap_);
+    out.putDouble(keepWarmPower_);
+    out.putSize(meltedCursor_);
+    out.putSize(anyCursor_);
+}
+
+void
+VmtWaScheduler::loadState(Deserializer &in)
+{
+    config_.groupingValue = in.getDouble();
+    initialized_ = in.getBool();
+    baseHotSize_ = in.getSize();
+    hotSize_ = in.getSize();
+    meltedCount_ = in.getSize();
+    domainCap_ = in.getSize();
+    keepWarmPower_ = in.getDouble();
+    meltedCursor_ = in.getSize();
+    anyCursor_ = in.getSize();
 }
 
 } // namespace vmt

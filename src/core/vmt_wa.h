@@ -74,6 +74,17 @@ class VmtWaScheduler : public Scheduler
      *  used by the adaptive controller and day-to-day re-tuning). */
     void setGroupingValue(double gv);
 
+    /**
+     * Checkpoint the scalar state that crosses intervals: the learned
+     * grouping value, the group-size/melt scan results (read by the
+     * adaptive controller *before* the next beginInterval refreshes
+     * them) and the placement cursors. The BalancedGroup heaps are
+     * deliberately not saved — beginInterval rebuilds them from the
+     * cluster, and every input to that rebuild is itself restored.
+     */
+    void saveState(Serializer &out) const override;
+    void loadState(Deserializer &in) override;
+
   private:
     std::size_t placeHot(Cluster &cluster, Watts watts);
     std::size_t placeCold(Cluster &cluster, Watts watts);

@@ -1,5 +1,7 @@
 #include "sched/round_robin.h"
 
+#include "state/serializer.h"
+
 namespace vmt {
 
 std::size_t
@@ -13,6 +15,18 @@ RoundRobinScheduler::placeJob(Cluster &cluster, const Job &)
             return id;
     }
     return kNoServer;
+}
+
+void
+RoundRobinScheduler::saveState(Serializer &out) const
+{
+    out.putSize(cursor_);
+}
+
+void
+RoundRobinScheduler::loadState(Deserializer &in)
+{
+    cursor_ = in.getSize();
 }
 
 } // namespace vmt

@@ -22,6 +22,9 @@ class RoundRobinScheduler : public Scheduler
 
     std::size_t placeJob(Cluster &cluster, const Job &job) override;
 
+    void saveState(Serializer &out) const override;
+    void loadState(Deserializer &in) override;
+
   private:
     std::size_t cursor_ = 0;
 };

@@ -18,4 +18,12 @@ Scheduler::proposeMigrations(Cluster &, Seconds)
     return {};
 }
 
+void
+Scheduler::saveState(Serializer &) const
+{}
+
+void
+Scheduler::loadState(Deserializer &)
+{}
+
 } // namespace vmt

@@ -19,6 +19,9 @@
 
 namespace vmt {
 
+class Serializer;
+class Deserializer;
+
 /** Returned by placeJob when no server has a free core. */
 inline constexpr std::size_t kNoServer =
     std::numeric_limits<std::size_t>::max();
@@ -83,6 +86,18 @@ class Scheduler
      */
     virtual std::vector<MigrationRequest>
     proposeMigrations(Cluster &cluster, Seconds now);
+
+    /**
+     * Append policy state that must survive a checkpoint: cursors,
+     * learned knobs — anything carried across intervals that the next
+     * beginInterval() does not rebuild from the cluster. Policies
+     * that rebuild everything per interval keep the default no-op.
+     * See state/sim_snapshot.h.
+     */
+    virtual void saveState(Serializer &out) const;
+
+    /** Restore exactly what saveState() wrote, in the same order. */
+    virtual void loadState(Deserializer &in);
 };
 
 } // namespace vmt

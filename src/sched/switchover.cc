@@ -1,5 +1,6 @@
 #include "sched/switchover.h"
 
+#include "state/serializer.h"
 #include "util/logging.h"
 
 namespace vmt {
@@ -43,6 +44,22 @@ std::vector<MigrationRequest>
 SwitchoverScheduler::proposeMigrations(Cluster &cluster, Seconds now)
 {
     return active().proposeMigrations(cluster, now);
+}
+
+void
+SwitchoverScheduler::saveState(Serializer &out) const
+{
+    out.putBool(switched_);
+    before_.saveState(out);
+    after_.saveState(out);
+}
+
+void
+SwitchoverScheduler::loadState(Deserializer &in)
+{
+    switched_ = in.getBool();
+    before_.loadState(in);
+    after_.loadState(in);
 }
 
 } // namespace vmt

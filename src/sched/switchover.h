@@ -40,6 +40,10 @@ class SwitchoverScheduler : public Scheduler
     /** True once the handover happened. */
     bool switched() const { return switched_; }
 
+    /** Saves the switch flag and both delegates' state. */
+    void saveState(Serializer &out) const override;
+    void loadState(Deserializer &in) override;
+
   private:
     Scheduler &active() { return switched_ ? after_ : before_; }
     const Scheduler &active() const

@@ -1,5 +1,6 @@
 #include "server/cluster.h"
 
+#include "state/serializer.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -166,6 +167,35 @@ void
 Cluster::setBaseInlet(std::size_t server_id, Celsius inlet)
 {
     server(server_id).setBaseInlet(inlet);
+}
+
+void
+Cluster::saveState(Serializer &out) const
+{
+    out.putSize(servers_.size());
+    out.putSize(busyCores_);
+    for (std::size_t count : active_)
+        out.putSize(count);
+    out.putDouble(thermal_.inletTemp);
+    for (const Server &srv : servers_)
+        srv.saveState(out);
+}
+
+void
+Cluster::loadState(Deserializer &in)
+{
+    const std::size_t num_servers = in.getSize();
+    if (num_servers != servers_.size())
+        fatal("Cluster::loadState: snapshot has " +
+              std::to_string(num_servers) + " servers, cluster has " +
+              std::to_string(servers_.size()));
+    busyCores_ = in.getSize();
+    for (std::size_t &count : active_)
+        count = in.getSize();
+    thermal_.inletTemp = in.getDouble();
+    for (Server &srv : servers_)
+        srv.loadState(in);
+    totalPowerCache_.reset();
 }
 
 Celsius

@@ -130,6 +130,16 @@ class Cluster
     /** Mean air temperature over servers [0, count). */
     Celsius meanAirTemp(std::size_t count) const;
 
+    /**
+     * Checkpoint the cluster's dynamic state: job aggregates, the
+     * base cold-aisle inlet (thermalParams().inletTemp tracks cooling
+     * feedback and schedulers read it) and every server's state.
+     * loadState requires a cluster constructed with the same server
+     * count and invalidates the total-power cache.
+     */
+    void saveState(Serializer &out) const;
+    void loadState(Deserializer &in);
+
   private:
     ServerSpec spec_;
     ServerThermalParams thermal_;

@@ -1,5 +1,6 @@
 #include "server/server.h"
 
+#include "state/serializer.h"
 #include "util/logging.h"
 
 namespace vmt {
@@ -85,6 +86,34 @@ Server::stepThermal(const PowerModel &model, Seconds dt)
         powerCacheModel_ = nullptr;
     }
     return sample;
+}
+
+void
+Server::saveState(Serializer &out) const
+{
+    for (std::size_t count : counts_)
+        out.putSize(count);
+    out.putSize(busyCores_);
+    out.putBool(throttled_);
+    out.putDouble(thermal_.params().inletTemp);
+    out.putDouble(thermal_.airTemp());
+    out.putDouble(thermal_.pcm().enthalpy());
+    out.putDouble(estimator_.estimatedEnthalpy());
+}
+
+void
+Server::loadState(Deserializer &in)
+{
+    for (std::size_t &count : counts_)
+        count = in.getSize();
+    busyCores_ = in.getSize();
+    throttled_ = in.getBool();
+    thermal_.setBaseInlet(in.getDouble());
+    const Celsius air_temp = in.getDouble();
+    const Joules wax_enthalpy = in.getDouble();
+    thermal_.restoreState(air_temp, wax_enthalpy);
+    estimator_.restoreEnthalpy(in.getDouble());
+    powerCacheModel_ = nullptr;
 }
 
 } // namespace vmt

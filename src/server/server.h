@@ -19,6 +19,9 @@
 
 namespace vmt {
 
+class Serializer;
+class Deserializer;
+
 /** A single simulated server. */
 class Server
 {
@@ -104,6 +107,15 @@ class Server
 
     /** Propagate a cold-aisle inlet change (cooling feedback). */
     void setBaseInlet(Celsius inlet) { thermal_.setBaseInlet(inlet); }
+
+    /**
+     * Checkpoint the server's dynamic state: job mix, throttle latch,
+     * base inlet, air temperature, wax enthalpy and the estimator's
+     * drift state. The power cache is not saved — loadState
+     * invalidates it and the recompute is bitwise identical.
+     */
+    void saveState(Serializer &out) const;
+    void loadState(Deserializer &in);
 
   private:
     /** Recompute the power cache against the given model. */

@@ -119,6 +119,50 @@ class IntervalQueue
         return payload;
     }
 
+    /**
+     * Visit every pending event as fn(time, payload) in pop order
+     * (checkpoint save). The queue itself is not modified; feeding
+     * the visited sequence back through restoreFront() + schedule()
+     * on a fresh queue reproduces this queue's pop order exactly —
+     * (time, seq) sorting preserves the relative tie-break order even
+     * though the fresh queue assigns new sequence numbers.
+     */
+    template <typename Fn>
+    void
+    visitPending(Fn &&fn) const
+    {
+        std::vector<Entry> pending;
+        pending.reserve(size_);
+        for (std::size_t bi = 0; bi < buckets_.size(); ++bi) {
+            const auto &bucket = buckets_[bi];
+            for (std::size_t i = (bi == 0 ? cursor_ : 0);
+                 i < bucket.size(); ++i)
+                pending.push_back(bucket[i]);
+        }
+        std::sort(pending.begin(), pending.end(), orderBefore);
+        for (const Entry &entry : pending)
+            fn(entry.time, entry.payload);
+    }
+
+    /**
+     * Pin an empty queue's drain front to the bucket of `now` before
+     * re-filling it from a checkpoint. Without this, the rebuilt
+     * queue's front would sit at the earliest *pending* event, and an
+     * event scheduled later for an earlier (now empty) bucket would
+     * be misfiled into it. Must be called on a freshly constructed
+     * queue.
+     */
+    void
+    restoreFront(Seconds now)
+    {
+        if (!buckets_.empty() || size_ != 0)
+            panic("IntervalQueue::restoreFront on non-empty queue");
+        base_ = bucketOf(now);
+        cursor_ = 0;
+        frontSorted_ = false;
+        buckets_.push_back(takeSpare());
+    }
+
   private:
     struct Entry
     {

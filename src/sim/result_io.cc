@@ -1,5 +1,6 @@
 #include "sim/result_io.h"
 
+#include "util/atomic_file.h"
 #include "util/csv.h"
 #include "util/logging.h"
 
@@ -8,7 +9,10 @@ namespace vmt {
 void
 saveResultCsv(const SimResult &result, const std::string &path)
 {
-    CsvWriter csv(path);
+    // Write to a temp file and rename into place, so a crash (or a
+    // full disk) mid-write never leaves a truncated CSV under the
+    // final name — the file a plotting pipeline would silently accept.
+    CsvWriter csv(atomicTempPath(path));
     csv.writeRow(std::vector<std::string>{
         "hour", "cooling_load_w", "total_power_w", "wax_heat_flow_w",
         "mean_air_temp_c", "hot_group_temp_c", "hot_group_size",
@@ -27,6 +31,8 @@ saveResultCsv(const SimResult &result, const std::string &path)
             result.inletTemp.at(i),
         });
     }
+    csv.close();
+    atomicCommit(atomicTempPath(path), path);
 }
 
 void
@@ -45,7 +51,7 @@ saveHeatmapCsv(const SimResult &result, const std::string &which,
         fatal("saveHeatmapCsv: heatmaps were not recorded "
               "(set SimConfig::recordHeatmaps)");
 
-    CsvWriter csv(path);
+    CsvWriter csv(atomicTempPath(path));
     for (std::size_t row = 0; row < map->rows(); ++row) {
         std::vector<double> cells;
         cells.reserve(map->cols());
@@ -53,6 +59,8 @@ saveHeatmapCsv(const SimResult &result, const std::string &which,
             cells.push_back(map->at(row, col));
         csv.writeRow(cells);
     }
+    csv.close();
+    atomicCommit(atomicTempPath(path), path);
 }
 
 } // namespace vmt

@@ -13,20 +13,6 @@
 
 namespace vmt {
 
-namespace {
-
-/** Where each running job currently lives (jobs can migrate). */
-struct ActiveJob
-{
-    std::size_t serverId;
-    WorkloadType type;
-    /** Index of this job's slot within its jobs_at list, so removal
-     *  is O(1) instead of a scan. */
-    std::uint32_t pos;
-};
-
-} // namespace
-
 SimResult::SimResult()
     : coolingLoad(kMinute),
       totalPower(kMinute),
@@ -92,7 +78,7 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
     // every bookkeeping structure below sees the same sequence of
     // operations — simulation results are unchanged.
     IntervalQueue<std::uint32_t> departures(config.interval);
-    std::vector<ActiveJob> slots;
+    std::vector<SimActiveJob> slots;
     std::vector<std::uint32_t> free_slots;
     // Per-(server, type) slot index so migrations find a victim in
     // O(1).
@@ -131,14 +117,30 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
     // Arrival buffer, likewise hoisted and reused.
     std::vector<Job> arrivals;
 
-    for (std::size_t interval = 0; interval < trace.size(); ++interval) {
+    SimState state{config,       trace.size(), cluster,   generator,
+                   scheduler,    departures,   slots,     free_slots,
+                   jobs_at,      result,       prev_cooling_load};
+
+    // Resume: skip intervals a snapshot already covers. The hook
+    // rebuilds every structure above in place; everything not restored
+    // (plant, recirc model, trace) is a pure function of the config.
+    std::size_t first_interval = 0;
+    if (config.restoreHook) {
+        first_interval = config.restoreHook(state);
+        if (first_interval > trace.size())
+            fatal("snapshot has more completed intervals than the "
+                  "configured run length");
+    }
+
+    for (std::size_t interval = first_interval;
+         interval < trace.size(); ++interval) {
         const Seconds now =
             static_cast<double>(interval) * config.interval;
 
         // 1. Complete jobs due by now.
         while (departures.hasEventDue(now)) {
             const std::uint32_t slot = departures.pop();
-            const ActiveJob &job = slots[slot];
+            const SimActiveJob &job = slots[slot];
             cluster.removeJob(job.serverId, job.type);
             index_remove(job.serverId, job.type, slot);
             free_slots.push_back(slot);
@@ -199,10 +201,10 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
             if (!free_slots.empty()) {
                 slot = free_slots.back();
                 free_slots.pop_back();
-                slots[slot] = ActiveJob{id, job.type, pos};
+                slots[slot] = SimActiveJob{id, job.type, pos};
             } else {
                 slot = static_cast<std::uint32_t>(slots.size());
-                slots.push_back(ActiveJob{id, job.type, pos});
+                slots.push_back(SimActiveJob{id, job.type, pos});
             }
             ids.push_back(slot);
             departures.schedule(now + job.duration, slot);
@@ -269,6 +271,9 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
 
         if (observer)
             observer(cluster, interval);
+
+        if (config.checkpointHook)
+            config.checkpointHook(state, interval + 1);
     }
 
     result.peakCoolingLoad =

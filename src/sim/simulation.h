@@ -13,6 +13,7 @@
 #ifndef VMT_SIM_SIMULATION_H
 #define VMT_SIM_SIMULATION_H
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "sched/scheduler.h"
 #include "server/cluster.h"
 #include "server/server_spec.h"
+#include "sim/interval_queue.h"
 #include "thermal/thermal_params.h"
 #include "util/heatmap.h"
 #include "util/time_series.h"
@@ -31,6 +33,8 @@
 #include "workload/job_generator.h"
 
 namespace vmt {
+
+struct SimState;
 
 /** Everything needed to reproduce one scale-out run. */
 struct SimConfig
@@ -83,6 +87,22 @@ struct SimConfig
     bool modelRecirculation = false;
     /** Recirculation layout/coupling when enabled. */
     RecirculationParams recirculation{};
+
+    /**
+     * Checkpoint hook: called at the end of every completed interval
+     * with the live driver state and the number of completed
+     * intervals. Install via attachCheckpointing()
+     * (state/sim_snapshot.h); empty = no checkpointing.
+     */
+    std::function<void(const SimState &, std::size_t completed)>
+        checkpointHook;
+
+    /**
+     * Restore hook: called once after driver setup, before the first
+     * interval; returns the number of already-completed intervals to
+     * skip. Install via attachCheckpointing(); empty = start at 0.
+     */
+    std::function<std::size_t(SimState &)> restoreHook;
 };
 
 /** Series and aggregates from one run. */
@@ -137,6 +157,47 @@ struct SimResult
     std::uint64_t placedJobs = 0;
 
     SimResult();
+};
+
+/** Where each running job currently lives (jobs can migrate).
+ *  Exposed for checkpointing; see SimState. */
+struct SimActiveJob
+{
+    std::size_t serverId;
+    WorkloadType type;
+    /** Index of this job's slot within its jobs_at list, so removal
+     *  is O(1) instead of a scan. */
+    std::uint32_t pos;
+};
+
+/**
+ * The complete mutable driver state of one in-flight runSimulation
+ * call, exposed to the checkpoint/restore hooks. References point at
+ * the driver's own locals and stay valid only inside a hook
+ * invocation. See state/sim_snapshot.h for the save/load entry points
+ * that serialize this bundle.
+ */
+struct SimState
+{
+    const SimConfig &config;
+    /** Total intervals in the trace (the run length). */
+    std::size_t numIntervals;
+    Cluster &cluster;
+    JobGenerator &generator;
+    Scheduler &scheduler;
+    /** Pending departures, payload = job slot index. */
+    IntervalQueue<std::uint32_t> &departures;
+    /** The job slot table (freed slots keep stale entries that are
+     *  never read before reuse; serialized verbatim). */
+    std::vector<SimActiveJob> &slots;
+    /** Freelist of reusable slots; reuse order is back() first. */
+    std::vector<std::uint32_t> &freeSlots;
+    /** Per-(server, workload) lists of resident job slots. */
+    std::vector<std::array<std::vector<std::uint32_t>,
+                           kNumWorkloads>> &jobsAt;
+    SimResult &result;
+    /** Previous interval's cooling load (plant feedback input). */
+    Watts &prevCoolingLoad;
 };
 
 /**

@@ -1,0 +1,170 @@
+#include "state/serializer.h"
+
+#include <array>
+#include <bit>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+void
+Serializer::putU8(std::uint8_t value)
+{
+    buf_.push_back(value);
+}
+
+void
+Serializer::putBool(bool value)
+{
+    putU8(value ? 1 : 0);
+}
+
+void
+Serializer::putU32(std::uint32_t value)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        buf_.push_back(static_cast<std::uint8_t>(value >> shift));
+}
+
+void
+Serializer::putU64(std::uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        buf_.push_back(static_cast<std::uint8_t>(value >> shift));
+}
+
+void
+Serializer::putSize(std::size_t value)
+{
+    putU64(static_cast<std::uint64_t>(value));
+}
+
+void
+Serializer::putDouble(double value)
+{
+    putU64(std::bit_cast<std::uint64_t>(value));
+}
+
+void
+Serializer::putString(const std::string &value)
+{
+    putU64(value.size());
+    putBytes(value.data(), value.size());
+}
+
+void
+Serializer::putBytes(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    buf_.insert(buf_.end(), bytes, bytes + size);
+}
+
+void
+Deserializer::need(std::size_t n) const
+{
+    if (size_ - pos_ < n)
+        fatal("snapshot payload truncated: need " +
+              std::to_string(n) + " bytes, " +
+              std::to_string(size_ - pos_) + " remain");
+}
+
+std::uint8_t
+Deserializer::getU8()
+{
+    need(1);
+    return data_[pos_++];
+}
+
+bool
+Deserializer::getBool()
+{
+    const std::uint8_t byte = getU8();
+    if (byte > 1)
+        fatal("snapshot payload corrupt: bool byte is " +
+              std::to_string(byte));
+    return byte != 0;
+}
+
+std::uint32_t
+Deserializer::getU32()
+{
+    need(4);
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+        value |= static_cast<std::uint32_t>(data_[pos_++]) << shift;
+    return value;
+}
+
+std::uint64_t
+Deserializer::getU64()
+{
+    need(8);
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+        value |= static_cast<std::uint64_t>(data_[pos_++]) << shift;
+    return value;
+}
+
+std::size_t
+Deserializer::getSize()
+{
+    const std::uint64_t value = getU64();
+    if (value > static_cast<std::uint64_t>(SIZE_MAX))
+        fatal("snapshot payload corrupt: size overflows size_t");
+    return static_cast<std::size_t>(value);
+}
+
+double
+Deserializer::getDouble()
+{
+    return std::bit_cast<double>(getU64());
+}
+
+std::string
+Deserializer::getString()
+{
+    const std::size_t size = getSize();
+    need(size);
+    std::string value(reinterpret_cast<const char *>(data_ + pos_),
+                      size);
+    pos_ += size;
+    return value;
+}
+
+void
+Deserializer::expectEnd() const
+{
+    if (pos_ != size_)
+        fatal("snapshot payload corrupt: " +
+              std::to_string(size_ - pos_) + " trailing bytes");
+}
+
+namespace {
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+        table[i] = crc;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table =
+        makeCrcTable();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFFu];
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace vmt

@@ -1,0 +1,352 @@
+#include "state/sim_snapshot.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "state/snapshot.h"
+#include "thermal/pcm.h"
+#include "util/logging.h"
+
+namespace vmt {
+
+namespace {
+
+/** Fatal with a consistent prefix for config/snapshot disagreements. */
+[[noreturn]] void
+mismatch(const std::string &what)
+{
+    fatal("snapshot does not match the configured run (" + what +
+          "); resume requires the exact configuration that produced "
+          "the checkpoint");
+}
+
+void
+checkU64(const char *what, std::uint64_t snap, std::uint64_t now)
+{
+    if (snap != now)
+        mismatch(std::string(what) + ": snapshot " +
+                 std::to_string(snap) + ", run " + std::to_string(now));
+}
+
+void
+checkDouble(const char *what, double snap, double now)
+{
+    // Exact comparison on purpose: bitwise-identical resume needs the
+    // exact same constants, not merely close ones.
+    if (!(snap == now))
+        mismatch(std::string(what) + ": snapshot " +
+                 std::to_string(snap) + ", run " + std::to_string(now));
+}
+
+void
+saveSeries(Serializer &out, const TimeSeries &series)
+{
+    out.putSize(series.size());
+    for (double value : series.values())
+        out.putDouble(value);
+}
+
+void
+loadSeries(Deserializer &in, TimeSeries &series, std::size_t expected,
+           const char *what)
+{
+    const std::size_t count = in.getSize();
+    if (count != expected)
+        fatal("snapshot series '" + std::string(what) + "' has " +
+              std::to_string(count) + " samples, expected " +
+              std::to_string(expected));
+    for (std::size_t i = 0; i < count; ++i)
+        series.add(in.getDouble());
+}
+
+void
+saveHeatmap(Serializer &out, const std::optional<Heatmap> &map)
+{
+    out.putBool(map.has_value());
+    if (!map)
+        return;
+    out.putSize(map->rows());
+    out.putSize(map->cols());
+    for (std::size_t row = 0; row < map->rows(); ++row)
+        for (std::size_t col = 0; col < map->cols(); ++col)
+            out.putDouble(map->at(row, col));
+}
+
+void
+loadHeatmap(Deserializer &in, std::optional<Heatmap> &map,
+            const char *what)
+{
+    const bool present = in.getBool();
+    if (present != map.has_value())
+        mismatch(std::string(what) +
+                 " heatmap recording on/off differs");
+    if (!present)
+        return;
+    const std::size_t rows = in.getSize();
+    const std::size_t cols = in.getSize();
+    if (rows != map->rows() || cols != map->cols())
+        mismatch(std::string(what) + " heatmap dimensions differ");
+    for (std::size_t row = 0; row < rows; ++row)
+        for (std::size_t col = 0; col < cols; ++col)
+            map->at(row, col) = in.getDouble();
+}
+
+} // namespace
+
+void
+saveSnapshot(const SimState &state, std::size_t completed,
+             const std::string &path)
+{
+    const SimConfig &config = state.config;
+    SnapshotWriter writer;
+
+    // CONF: everything needed to refuse a resume under a different
+    // configuration. The values are reconstruction *parameters*
+    // (verified on load), not restored state.
+    Serializer &conf = writer.section("CONF");
+    conf.putSize(completed);
+    conf.putSize(state.numIntervals);
+    conf.putSize(config.numServers);
+    conf.putU64(config.seed);
+    conf.putDouble(config.interval);
+    conf.putDouble(config.powerScale);
+    conf.putDouble(config.inletStddev);
+    conf.putDouble(config.coolingCapacity);
+    conf.putDouble(config.coolingOverloadRise);
+    conf.putDouble(config.overheatTemp);
+    conf.putSize(config.migrationBudget);
+    conf.putSize(config.peakWindow);
+    conf.putBool(config.modelRecirculation);
+    conf.putBool(config.recordHeatmaps);
+    const Cluster &cluster = state.cluster;
+    conf.putU8(static_cast<std::uint8_t>(
+        cluster.server(0).thermal().pcm().integrator()));
+    conf.putString(state.scheduler.name());
+
+    state.generator.saveState(writer.section("GENR"));
+    cluster.saveState(writer.section("CLUS"));
+
+    // QUEU: the job slot table (verbatim, including stale freed
+    // entries — they are never read before reuse but keep slot indices
+    // stable), the freelist, the per-(server, workload) residency
+    // lists and the pending departures in pop order.
+    Serializer &queue = writer.section("QUEU");
+    queue.putSize(state.slots.size());
+    for (const SimActiveJob &job : state.slots) {
+        queue.putSize(job.serverId);
+        queue.putU8(static_cast<std::uint8_t>(job.type));
+        queue.putU32(job.pos);
+    }
+    queue.putSize(state.freeSlots.size());
+    for (std::uint32_t slot : state.freeSlots)
+        queue.putU32(slot);
+    for (const auto &per_server : state.jobsAt) {
+        for (const auto &ids : per_server) {
+            queue.putSize(ids.size());
+            for (std::uint32_t slot : ids)
+                queue.putU32(slot);
+        }
+    }
+    queue.putSize(state.departures.size());
+    state.departures.visitPending(
+        [&queue](Seconds time, std::uint32_t slot) {
+            queue.putDouble(time);
+            queue.putU32(slot);
+        });
+
+    state.scheduler.saveState(writer.section("SCHD"));
+
+    // RSLT: the series and aggregates accumulated so far, plus the
+    // cooling-plant feedback input for the next interval.
+    Serializer &res = writer.section("RSLT");
+    const SimResult &result = state.result;
+    saveSeries(res, result.coolingLoad);
+    saveSeries(res, result.totalPower);
+    saveSeries(res, result.waxHeatFlow);
+    saveSeries(res, result.meanAirTemp);
+    saveSeries(res, result.hotGroupTemp);
+    saveSeries(res, result.hotGroupSizeSeries);
+    saveSeries(res, result.meanMeltFraction);
+    saveSeries(res, result.utilization);
+    saveSeries(res, result.inletTemp);
+    res.putDouble(result.maxAirTemp);
+    res.putU64(result.overheatedServerIntervals);
+    res.putU64(result.throttledServerIntervals);
+    res.putU64(result.droppedJobs);
+    res.putU64(result.migrations);
+    res.putU64(result.placedJobs);
+    res.putDouble(state.prevCoolingLoad);
+    saveHeatmap(res, result.airTempMap);
+    saveHeatmap(res, result.meltMap);
+
+    writer.write(path);
+}
+
+std::size_t
+loadSnapshot(SimState &state, const std::string &path)
+{
+    const SimConfig &config = state.config;
+    const SnapshotReader reader(path);
+
+    Deserializer conf = reader.section("CONF");
+    const std::size_t completed = conf.getSize();
+    checkU64("run length", conf.getSize(), state.numIntervals);
+    if (completed > state.numIntervals)
+        fatal("snapshot claims " + std::to_string(completed) +
+              " completed intervals of " +
+              std::to_string(state.numIntervals));
+    checkU64("server count", conf.getSize(), config.numServers);
+    checkU64("seed", conf.getU64(), config.seed);
+    checkDouble("interval", conf.getDouble(), config.interval);
+    checkDouble("power scale", conf.getDouble(), config.powerScale);
+    checkDouble("inlet stddev", conf.getDouble(), config.inletStddev);
+    checkDouble("cooling capacity", conf.getDouble(),
+                config.coolingCapacity);
+    checkDouble("cooling overload rise", conf.getDouble(),
+                config.coolingOverloadRise);
+    checkDouble("overheat temp", conf.getDouble(), config.overheatTemp);
+    checkU64("migration budget", conf.getSize(),
+             config.migrationBudget);
+    checkU64("peak window", conf.getSize(), config.peakWindow);
+    if (conf.getBool() != config.modelRecirculation)
+        mismatch("recirculation modelling on/off differs");
+    if (conf.getBool() != config.recordHeatmaps)
+        mismatch("heatmap recording on/off differs");
+    const auto integrator = static_cast<PcmIntegrator>(conf.getU8());
+    const PcmIntegrator current =
+        state.cluster.server(0).thermal().pcm().integrator();
+    if (integrator != current)
+        mismatch(std::string("PCM integrator: snapshot ") +
+                 pcmIntegratorName(integrator) + ", run " +
+                 pcmIntegratorName(current));
+    const std::string scheduler_name = conf.getString();
+    if (scheduler_name != state.scheduler.name())
+        mismatch("scheduler: snapshot '" + scheduler_name +
+                 "', run '" + state.scheduler.name() + "'");
+    conf.expectEnd();
+
+    Deserializer genr = reader.section("GENR");
+    state.generator.loadState(genr);
+    genr.expectEnd();
+
+    Deserializer clus = reader.section("CLUS");
+    state.cluster.loadState(clus);
+    clus.expectEnd();
+
+    Deserializer queue = reader.section("QUEU");
+    const std::size_t slot_count = queue.getSize();
+    state.slots.clear();
+    state.slots.reserve(slot_count);
+    for (std::size_t i = 0; i < slot_count; ++i) {
+        SimActiveJob job;
+        job.serverId = queue.getSize();
+        const std::uint8_t type = queue.getU8();
+        if (type >= kNumWorkloads)
+            fatal("snapshot job slot has invalid workload type");
+        job.type = static_cast<WorkloadType>(type);
+        job.pos = queue.getU32();
+        state.slots.push_back(job);
+    }
+    const std::size_t free_count = queue.getSize();
+    state.freeSlots.clear();
+    state.freeSlots.reserve(free_count);
+    for (std::size_t i = 0; i < free_count; ++i)
+        state.freeSlots.push_back(queue.getU32());
+    for (auto &per_server : state.jobsAt) {
+        for (auto &ids : per_server) {
+            const std::size_t count = queue.getSize();
+            ids.clear();
+            ids.reserve(count);
+            for (std::size_t i = 0; i < count; ++i)
+                ids.push_back(queue.getU32());
+        }
+    }
+    const std::size_t pending = queue.getSize();
+    // Pin the rebuilt queue's drain front to the resume point, then
+    // re-schedule in saved pop order: (time, seq) sorting makes the
+    // fresh sequence numbers reproduce the original tie-breaks.
+    state.departures.restoreFront(static_cast<double>(completed) *
+                                  config.interval);
+    for (std::size_t i = 0; i < pending; ++i) {
+        const Seconds time = queue.getDouble();
+        const std::uint32_t slot = queue.getU32();
+        if (slot >= state.slots.size())
+            fatal("snapshot departure references an invalid job slot");
+        state.departures.schedule(time, slot);
+    }
+    queue.expectEnd();
+
+    Deserializer sched = reader.section("SCHD");
+    state.scheduler.loadState(sched);
+    sched.expectEnd();
+
+    Deserializer res = reader.section("RSLT");
+    SimResult &result = state.result;
+    loadSeries(res, result.coolingLoad, completed, "coolingLoad");
+    loadSeries(res, result.totalPower, completed, "totalPower");
+    loadSeries(res, result.waxHeatFlow, completed, "waxHeatFlow");
+    loadSeries(res, result.meanAirTemp, completed, "meanAirTemp");
+    loadSeries(res, result.hotGroupTemp, completed, "hotGroupTemp");
+    loadSeries(res, result.hotGroupSizeSeries, completed,
+               "hotGroupSize");
+    loadSeries(res, result.meanMeltFraction, completed,
+               "meanMeltFraction");
+    loadSeries(res, result.utilization, completed, "utilization");
+    loadSeries(res, result.inletTemp, completed, "inletTemp");
+    result.maxAirTemp = res.getDouble();
+    result.overheatedServerIntervals = res.getU64();
+    result.throttledServerIntervals = res.getU64();
+    result.droppedJobs = res.getU64();
+    result.migrations = res.getU64();
+    result.placedJobs = res.getU64();
+    state.prevCoolingLoad = res.getDouble();
+    loadHeatmap(res, result.airTempMap, "air-temperature");
+    loadHeatmap(res, result.meltMap, "melt-fraction");
+    res.expectEnd();
+
+    return completed;
+}
+
+CheckpointOptions
+checkpointOptionsFromEnv()
+{
+    CheckpointOptions options;
+    if (const char *every = std::getenv("VMT_CHECKPOINT_EVERY")) {
+        char *end = nullptr;
+        const unsigned long long value = std::strtoull(every, &end, 10);
+        if (end == every || *end != '\0')
+            fatal(std::string("VMT_CHECKPOINT_EVERY is not a number: ") +
+                  every);
+        options.every = static_cast<std::size_t>(value);
+    }
+    if (const char *path = std::getenv("VMT_CHECKPOINT_PATH"))
+        options.path = path;
+    if (const char *resume = std::getenv("VMT_CHECKPOINT_RESUME"))
+        options.resumeFrom = resume;
+    return options;
+}
+
+void
+attachCheckpointing(SimConfig &config, const CheckpointOptions &options)
+{
+    if (!options.resumeFrom.empty()) {
+        const std::string from = options.resumeFrom;
+        config.restoreHook = [from](SimState &state) {
+            return loadSnapshot(state, from);
+        };
+    }
+    if (options.every > 0) {
+        const std::size_t every = options.every;
+        const std::string path =
+            options.path.empty() ? kDefaultCheckpointPath : options.path;
+        config.checkpointHook = [every, path](const SimState &state,
+                                              std::size_t completed) {
+            // Skip the last interval: the run is finished, a snapshot
+            // would only be dead weight on disk.
+            if (completed % every == 0 && completed < state.numIntervals)
+                saveSnapshot(state, completed, path);
+        };
+    }
+}
+
+} // namespace vmt

@@ -1,0 +1,113 @@
+#include "state/sweep_manifest.h"
+
+#include <atomic>
+#include <fstream>
+#include <utility>
+
+#include "state/snapshot.h"
+#include "util/logging.h"
+
+namespace vmt {
+
+namespace {
+
+constexpr char kHeaderTag[] = "SWPH";
+constexpr char kPointsTag[] = "PNTS";
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+} // namespace
+
+SweepManifest::SweepManifest(std::string path,
+                             std::size_t point_count,
+                             std::size_t point_bytes)
+    : path_(std::move(path)), pointCount_(point_count),
+      pointBytes_(point_bytes)
+{
+    if (path_.empty() || !fileExists(path_))
+        return;
+    const SnapshotReader reader(path_);
+    Deserializer header = reader.section(kHeaderTag);
+    const std::uint64_t count = header.getU64();
+    const std::uint64_t bytes = header.getU64();
+    header.expectEnd();
+    if (count != pointCount_ || bytes != pointBytes_)
+        fatal("sweep manifest " + path_ +
+              " was written for a different sweep (" +
+              std::to_string(count) + " points of " +
+              std::to_string(bytes) + " bytes; this sweep has " +
+              std::to_string(pointCount_) + " points of " +
+              std::to_string(pointBytes_) +
+              " bytes) — delete it to start over");
+    Deserializer points = reader.section(kPointsTag);
+    const std::uint64_t recorded = points.getU64();
+    for (std::uint64_t i = 0; i < recorded; ++i) {
+        const std::size_t index = points.getSize();
+        if (index >= pointCount_)
+            fatal("sweep manifest " + path_ +
+                  ": point index out of range");
+        std::vector<std::uint8_t> value(pointBytes_);
+        for (std::size_t b = 0; b < pointBytes_; ++b)
+            value[b] = points.getU8();
+        done_[index] = std::move(value);
+    }
+    points.expectEnd();
+}
+
+const std::vector<std::uint8_t> *
+SweepManifest::completed(std::size_t index) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = done_.find(index);
+    return it == done_.end() ? nullptr : &it->second;
+}
+
+std::size_t
+SweepManifest::completedCount() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return done_.size();
+}
+
+void
+SweepManifest::record(std::size_t index, const void *data,
+                      std::size_t size)
+{
+    if (index >= pointCount_)
+        fatal("SweepManifest::record: index out of range");
+    if (size != pointBytes_)
+        fatal("SweepManifest::record: point size mismatch");
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    done_[index].assign(bytes, bytes + size);
+    persistLocked();
+}
+
+void
+SweepManifest::persistLocked() const
+{
+    SnapshotWriter writer;
+    Serializer &header = writer.section(kHeaderTag);
+    header.putU64(pointCount_);
+    header.putU64(pointBytes_);
+    Serializer &points = writer.section(kPointsTag);
+    points.putU64(done_.size());
+    for (const auto &[index, value] : done_) {
+        points.putSize(index);
+        points.putBytes(value.data(), value.size());
+    }
+    writer.write(path_);
+}
+
+std::string
+nextSweepManifestPath(const std::string &base)
+{
+    static std::atomic<unsigned> ordinal{0};
+    return base + "." + std::to_string(ordinal++);
+}
+
+} // namespace vmt

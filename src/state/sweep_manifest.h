@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Crash-resilient completed-point manifest for sweeps.
+ *
+ * A sweep evaluates fn(i) for i in [0, count); each point can take
+ * minutes at cluster scale, so losing a half-finished fig18-style
+ * sweep to a preemption is expensive. The manifest records each
+ * completed point's result bytes and is rewritten atomically after
+ * every completion; on restart, recorded points are returned from the
+ * manifest and only the remainder is recomputed.
+ *
+ * The file reuses the snapshot container (magic, version, CRC, atomic
+ * replace), with a header section pinning the sweep shape
+ * (point count + per-point byte size); a manifest whose shape does
+ * not match the sweep being run is rejected with FatalError rather
+ * than silently serving wrong results.
+ */
+
+#ifndef VMT_STATE_SWEEP_MANIFEST_H
+#define VMT_STATE_SWEEP_MANIFEST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vmt {
+
+/** Persistent set of completed sweep points (thread-safe). */
+class SweepManifest
+{
+  public:
+    /**
+     * Open or create a manifest.
+     * @param path Manifest file; loaded when it already exists.
+     * @param point_count Number of points in the sweep.
+     * @param point_bytes Serialized size of one point result.
+     * @throws FatalError when an existing file is corrupt or was
+     *         written for a different sweep shape.
+     */
+    SweepManifest(std::string path, std::size_t point_count,
+                  std::size_t point_bytes);
+
+    /** Result bytes of a completed point, or nullptr when the point
+     *  still needs computing. */
+    const std::vector<std::uint8_t> *completed(std::size_t index) const;
+
+    /** Number of points already recorded. */
+    std::size_t completedCount() const;
+
+    /**
+     * Record one completed point and persist the manifest atomically.
+     * @param size Must equal the constructor's point_bytes.
+     */
+    void record(std::size_t index, const void *data,
+                std::size_t size);
+
+  private:
+    void persistLocked() const;
+
+    std::string path_;
+    std::size_t pointCount_;
+    std::size_t pointBytes_;
+    std::map<std::size_t, std::vector<std::uint8_t>> done_;
+    mutable std::mutex mutex_;
+};
+
+/**
+ * Distinct manifest path per sweep within one process: appends a
+ * process-global ordinal (".0", ".1", ...) to the base path in call
+ * order. Sweep call order is deterministic in the benches, so a rerun
+ * after a crash maps each sweep back to its own file.
+ */
+std::string nextSweepManifestPath(const std::string &base);
+
+} // namespace vmt
+
+#endif // VMT_STATE_SWEEP_MANIFEST_H

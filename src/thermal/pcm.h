@@ -105,6 +105,11 @@ class Pcm
     /** Enthalpy above the solid-at-melting-point reference, joules. */
     Joules enthalpy() const { return enthalpy_; }
 
+    /** Jump the enthalpy state (checkpoint restore). Temperature and
+     *  melt fraction follow from the enthalpy, so this restores the
+     *  complete dynamic state. */
+    void restoreEnthalpy(Joules enthalpy) { enthalpy_ = enthalpy; }
+
     /** Latent energy currently stored (melt fraction x capacity). */
     Joules latentEnergyStored() const;
 

@@ -76,6 +76,16 @@ class ServerThermal
     /** The wax model (read-only). */
     const Pcm &pcm() const { return pcm_; }
 
+    /** Jump the air-node temperature and wax enthalpy (checkpoint
+     *  restore). These are the model's only dynamic state; the step
+     *  caches are pure functions of (params, dt) and refill
+     *  identically. */
+    void restoreState(Celsius air_temp, Joules wax_enthalpy)
+    {
+        airNode_.reset(air_temp);
+        pcm_.restoreEnthalpy(wax_enthalpy);
+    }
+
     /** Thermal constants in effect (inletTemp reflects setBaseInlet). */
     const ServerThermalParams &params() const { return params_; }
 

@@ -53,6 +53,18 @@ class WaxStateEstimator
     /** Reset to fully solid (e.g., after a wax swap). */
     void reset();
 
+    /** Integrated enthalpy estimate (checkpoint save); this is the
+     *  estimator's only dynamic state — the lookup table is derived
+     *  from the construction parameters. */
+    Joules estimatedEnthalpy() const { return estimatedEnthalpy_; }
+
+    /** Jump the integrated estimate (checkpoint restore), preserving
+     *  any accumulated quantization drift exactly. */
+    void restoreEnthalpy(Joules enthalpy)
+    {
+        estimatedEnthalpy_ = enthalpy;
+    }
+
     /** Number of table buckets (for introspection/tests). */
     std::size_t tableSize() const { return table_.size(); }
 

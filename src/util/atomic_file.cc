@@ -1,0 +1,46 @@
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+std::string
+atomicTempPath(const std::string &path)
+{
+    return path + ".tmp";
+}
+
+void
+atomicCommit(const std::string &temp_path, const std::string &path)
+{
+    if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+        std::remove(temp_path.c_str());
+        fatal("atomicCommit: cannot rename " + temp_path + " to " +
+              path);
+    }
+}
+
+void
+atomicWriteFile(const std::string &path, const void *data,
+                std::size_t size)
+{
+    const std::string temp = atomicTempPath(path);
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("atomicWriteFile: cannot open " + temp);
+        out.write(static_cast<const char *>(data),
+                  static_cast<std::streamsize>(size));
+        out.flush();
+        if (!out) {
+            std::remove(temp.c_str());
+            fatal("atomicWriteFile: write failed for " + temp);
+        }
+    }
+    atomicCommit(temp, path);
+}
+
+} // namespace vmt

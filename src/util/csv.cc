@@ -26,10 +26,21 @@ escape(const std::string &cell)
 } // namespace
 
 CsvWriter::CsvWriter(const std::string &path)
-    : out_(path)
+    : path_(path), out_(path)
 {
     if (!out_)
         fatal("CsvWriter: cannot open " + path);
+}
+
+void
+CsvWriter::close()
+{
+    out_.flush();
+    if (!out_)
+        fatal("CsvWriter: write failed for " + path_);
+    out_.close();
+    if (out_.fail())
+        fatal("CsvWriter: close failed for " + path_);
 }
 
 void

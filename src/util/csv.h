@@ -29,7 +29,17 @@ class CsvWriter
     /** Convenience: write a row of doubles with full precision. */
     void writeRow(const std::vector<double> &cells);
 
+    /**
+     * Flush and close, verifying every byte reached the file.
+     * @throws FatalError when the stream is in a failed state — a
+     *         destructor-closed stream swallows write errors (full
+     *         disk, dead NFS handle), so callers that must not
+     *         publish a truncated file call this explicitly.
+     */
+    void close();
+
   private:
+    std::string path_;
     std::ofstream out_;
 };
 

@@ -112,4 +112,24 @@ Rng::split()
     return Rng(next());
 }
 
+RngState
+Rng::state() const
+{
+    RngState state;
+    for (int i = 0; i < 4; ++i)
+        state.s[i] = s_[i];
+    state.hasSpare = hasSpare_;
+    state.spare = spare_;
+    return state;
+}
+
+void
+Rng::setState(const RngState &state)
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = state.s[i];
+    hasSpare_ = state.hasSpare;
+    spare_ = state.spare;
+}
+
 } // namespace vmt

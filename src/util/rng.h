@@ -16,6 +16,18 @@
 namespace vmt {
 
 /**
+ * Complete Rng state for checkpointing: the xoshiro256** words plus
+ * the Box-Muller spare. Restoring it reproduces the exact remaining
+ * draw sequence, including a normal() pair split across the snapshot.
+ */
+struct RngState
+{
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool hasSpare = false;
+    double spare = 0.0;
+};
+
+/**
  * Small deterministic PRNG (xoshiro256**) with the distribution
  * helpers the simulator needs.
  */
@@ -48,6 +60,13 @@ class Rng
 
     /** Split off an independent generator (for per-run streams). */
     Rng split();
+
+    /** Snapshot the complete generator state. */
+    RngState state() const;
+
+    /** Restore a snapshotted state; subsequent draws continue the
+     *  captured stream exactly. */
+    void setState(const RngState &state);
 
   private:
     std::uint64_t s_[4];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "state/serializer.h"
 #include "util/logging.h"
 
 namespace vmt {
@@ -93,6 +94,29 @@ JobGenerator::arrivalsFor(std::size_t interval,
             arrivals.push_back(job);
         }
     }
+}
+
+void
+JobGenerator::saveState(Serializer &out) const
+{
+    const RngState rng = rng_.state();
+    for (std::uint64_t word : rng.s)
+        out.putU64(word);
+    out.putBool(rng.hasSpare);
+    out.putDouble(rng.spare);
+    out.putU64(nextId_);
+}
+
+void
+JobGenerator::loadState(Deserializer &in)
+{
+    RngState rng;
+    for (std::uint64_t &word : rng.s)
+        word = in.getU64();
+    rng.hasSpare = in.getBool();
+    rng.spare = in.getDouble();
+    rng_.setState(rng);
+    nextId_ = in.getU64();
 }
 
 } // namespace vmt

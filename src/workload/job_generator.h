@@ -23,6 +23,9 @@
 
 namespace vmt {
 
+class Serializer;
+class Deserializer;
+
 /** Per-workload count of currently running jobs. */
 using ActiveCounts = std::array<std::size_t, kNumWorkloads>;
 
@@ -82,6 +85,13 @@ class JobGenerator
 
     /** Total jobs emitted so far. */
     std::uint64_t jobsEmitted() const { return nextId_; }
+
+    /** Checkpoint the generator position: duration-draw RNG state
+     *  (including the Box-Muller spare) and the next job id. The
+     *  trace and mix schedule are reconstruction parameters, not
+     *  state. */
+    void saveState(Serializer &out) const;
+    void loadState(Deserializer &in);
 
   private:
     const DiurnalTrace &trace_;

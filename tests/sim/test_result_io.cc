@@ -11,6 +11,7 @@
 
 #include "sched/round_robin.h"
 #include "sim/result_io.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace vmt {
@@ -79,10 +80,33 @@ TEST_F(ResultIoTest, HeatmapRejectsUnknownName)
     EXPECT_THROW(saveHeatmapCsv(r, "bogus", path_), FatalError);
 }
 
+TEST_F(ResultIoTest, SaveIsAtomicAndLeavesNoTempFile)
+{
+    const SimResult r = shortRun(true);
+    saveResultCsv(r, path_);
+    EXPECT_FALSE(std::ifstream(atomicTempPath(path_)).good());
+    // Overwriting an existing file also goes through the temp path.
+    saveResultCsv(r, path_);
+    EXPECT_FALSE(std::ifstream(atomicTempPath(path_)).good());
+    saveHeatmapCsv(r, "melt", path_);
+    EXPECT_FALSE(std::ifstream(atomicTempPath(path_)).good());
+}
+
 TEST(ResultIo, UnwritablePathIsFatal)
 {
     SimResult r;
     EXPECT_THROW(saveResultCsv(r, "/nonexistent/x.csv"), FatalError);
+    // The failed save must not leave a stray temp file either.
+    EXPECT_FALSE(
+        std::ifstream(atomicTempPath("/nonexistent/x.csv")).good());
+}
+
+TEST(ResultIo, UnwritableHeatmapPathIsFatal)
+{
+    SimResult r;
+    r.airTempMap.emplace(2, 2);
+    EXPECT_THROW(saveHeatmapCsv(r, "airtemp", "/nonexistent/x.csv"),
+                 FatalError);
 }
 
 } // namespace

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Byte-level contract of Serializer/Deserializer: the on-disk
+ * encoding is little-endian and field-exact, doubles round-trip
+ * bitwise, and every malformed read path throws FatalError instead of
+ * returning garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "state/serializer.h"
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+TEST(Serializer, EncodesLittleEndian)
+{
+    Serializer out;
+    out.putU32(0x01020304u);
+    const std::vector<std::uint8_t> expected = {0x04, 0x03, 0x02,
+                                                0x01};
+    EXPECT_EQ(out.bytes(), expected);
+}
+
+TEST(Serializer, EncodesU64LittleEndian)
+{
+    Serializer out;
+    out.putU64(0x0102030405060708ull);
+    const std::vector<std::uint8_t> expected = {
+        0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01};
+    EXPECT_EQ(out.bytes(), expected);
+}
+
+TEST(Serializer, EncodesDoubleAsIeeeBits)
+{
+    Serializer out;
+    out.putDouble(1.0); // 0x3FF0000000000000
+    const std::vector<std::uint8_t> expected = {
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F};
+    EXPECT_EQ(out.bytes(), expected);
+}
+
+TEST(Serializer, SizeWidensTo64Bits)
+{
+    Serializer out;
+    out.putSize(7);
+    EXPECT_EQ(out.size(), 8u);
+}
+
+TEST(Serializer, RoundTripsEveryFieldType)
+{
+    Serializer out;
+    out.putU8(0xAB);
+    out.putBool(true);
+    out.putBool(false);
+    out.putU32(0xDEADBEEFu);
+    out.putU64(0x1122334455667788ull);
+    out.putSize(12345);
+    out.putDouble(-0.0);
+    out.putDouble(std::numeric_limits<double>::denorm_min());
+    out.putDouble(std::numeric_limits<double>::infinity());
+    out.putString("hello, \"csv\"\nworld");
+    out.putString("");
+
+    Deserializer in(out.bytes());
+    EXPECT_EQ(in.getU8(), 0xAB);
+    EXPECT_TRUE(in.getBool());
+    EXPECT_FALSE(in.getBool());
+    EXPECT_EQ(in.getU32(), 0xDEADBEEFu);
+    EXPECT_EQ(in.getU64(), 0x1122334455667788ull);
+    EXPECT_EQ(in.getSize(), 12345u);
+    const double neg_zero = in.getDouble();
+    EXPECT_EQ(neg_zero, 0.0);
+    EXPECT_TRUE(std::signbit(neg_zero));
+    EXPECT_EQ(in.getDouble(),
+              std::numeric_limits<double>::denorm_min());
+    EXPECT_EQ(in.getDouble(),
+              std::numeric_limits<double>::infinity());
+    EXPECT_EQ(in.getString(), "hello, \"csv\"\nworld");
+    EXPECT_EQ(in.getString(), "");
+    EXPECT_TRUE(in.atEnd());
+    EXPECT_NO_THROW(in.expectEnd());
+}
+
+TEST(Serializer, NanPayloadRoundTripsBitwise)
+{
+    const double nan = std::nan("0x12345");
+    Serializer out;
+    out.putDouble(nan);
+    Deserializer in(out.bytes());
+    const double back = in.getDouble();
+    EXPECT_TRUE(std::isnan(back));
+    // Bit pattern, not value, is what must survive.
+    EXPECT_EQ(out.bytes(), [&] {
+        Serializer again;
+        again.putDouble(back);
+        return again.bytes();
+    }());
+}
+
+TEST(Deserializer, OverrunThrows)
+{
+    Serializer out;
+    out.putU32(1);
+    Deserializer in(out.bytes());
+    in.getU32();
+    EXPECT_THROW(in.getU8(), FatalError);
+}
+
+TEST(Deserializer, TruncatedDoubleThrows)
+{
+    const std::uint8_t bytes[4] = {1, 2, 3, 4};
+    Deserializer in(bytes, sizeof(bytes));
+    EXPECT_THROW(in.getDouble(), FatalError);
+}
+
+TEST(Deserializer, NonCanonicalBoolThrows)
+{
+    Serializer out;
+    out.putU8(2);
+    Deserializer in(out.bytes());
+    EXPECT_THROW(in.getBool(), FatalError);
+}
+
+TEST(Deserializer, StringLengthBeyondBufferThrows)
+{
+    Serializer out;
+    out.putU64(1u << 20); // Claims a 1 MiB string with no bytes.
+    Deserializer in(out.bytes());
+    EXPECT_THROW(in.getString(), FatalError);
+}
+
+TEST(Deserializer, TrailingBytesFailExpectEnd)
+{
+    Serializer out;
+    out.putU32(1);
+    out.putU8(0);
+    Deserializer in(out.bytes());
+    in.getU32();
+    EXPECT_THROW(in.expectEnd(), FatalError);
+}
+
+TEST(Crc32, MatchesKnownAnswer)
+{
+    // The canonical CRC-32 check value (IEEE 802.3, reflected,
+    // init/xorout 0xFFFFFFFF).
+    const char *data = "123456789";
+    EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t *>(data), 9),
+              0xCBF43926u);
+}
+
+TEST(Crc32, EmptyBufferIsZero)
+{
+    EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip)
+{
+    std::vector<std::uint8_t> data(64, 0x5A);
+    const std::uint32_t clean = crc32(data.data(), data.size());
+    data[17] ^= 0x01;
+    EXPECT_NE(crc32(data.data(), data.size()), clean);
+}
+
+} // namespace
+} // namespace vmt

@@ -29,6 +29,13 @@
  *   --threshold T        wax threshold               (default 0.98)
  *   --out FILE           write per-interval series CSV
  *   --heatmaps PREFIX    write PREFIX_airtemp.csv / PREFIX_melt.csv
+ *   --checkpoint-every N snapshot every N completed intervals
+ *                        (default from VMT_CHECKPOINT_EVERY, else off)
+ *   --checkpoint-path F  snapshot file (default VMT_CHECKPOINT_PATH,
+ *                        else vmt.ckpt)
+ *   --resume-from F      resume from a snapshot written by an earlier
+ *                        run with the same configuration (default
+ *                        from VMT_CHECKPOINT_RESUME)
  *
  * sweep flags: --policy, --gv-from, --gv-to, --gv-step
  * trace flags: --out FILE
@@ -52,6 +59,7 @@
 #include "sched/round_robin.h"
 #include "sim/result_io.h"
 #include "sim/simulation.h"
+#include "state/sim_snapshot.h"
 #include "thermal/pcm.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -139,6 +147,20 @@ cmdRun(const Flags &flags)
     config.recordHeatmaps = flags.has("heatmaps");
     const std::string heatmaps = flags.getString("heatmaps", "");
     const std::string out = flags.getString("out", "");
+
+    // Environment supplies the defaults; explicit flags win.
+    CheckpointOptions ckpt = checkpointOptionsFromEnv();
+    if (flags.has("checkpoint-every")) {
+        const long long every = flags.getInt("checkpoint-every", 0);
+        if (every < 0)
+            fatal("vmtsim: --checkpoint-every must be >= 0");
+        ckpt.every = static_cast<std::size_t>(every);
+    }
+    if (flags.has("checkpoint-path"))
+        ckpt.path = flags.getString("checkpoint-path");
+    if (flags.has("resume-from"))
+        ckpt.resumeFrom = flags.getString("resume-from");
+    attachCheckpointing(config, ckpt);
 
     auto sched = makePolicy(flags.getString("policy", "wa"),
                             flags.getDouble("gv", 22.0),
