@@ -9,8 +9,11 @@
  * datacenter) at 1/2/4/N threads, then a single-thread hot-path
  * study times the cluster run with each PCM integrator
  * (substep/closed) at threads=1 and records the closed-form
- * hotpath_speedup, and a checkpoint study times the same run with a
- * snapshot every 1,000 intervals to pin the checkpointing overhead.
+ * hotpath_speedup, a checkpoint study times the same run with a
+ * snapshot every 1,000 intervals to pin the checkpointing overhead,
+ * and a fault study times the same run with the fault engine enabled
+ * on an empty plan vs disabled to pin the per-interval fault
+ * bookkeeping overhead (budget: <= 3%).
  * All write into a machine-readable BENCH_sim.json so the perf
  * trajectory is tracked PR over PR.
  * Environment knobs:
@@ -287,11 +290,61 @@ runCheckpointStudy(double hours, std::vector<CheckpointRow> &rows)
     setGlobalThreadCount(0);
 }
 
+/** One single-thread timing of the headline run with the fault
+ *  engine off or on (empty plan: pure bookkeeping overhead). */
+struct FaultRow
+{
+    bool enabled;
+    double wallSeconds;
+    double intervalsPerSec;
+    /** Wall-time increase over the disabled baseline, percent. */
+    double overheadPct;
+};
+
+/**
+ * Fault-layer overhead study: the 1,000-server headline run at
+ * threads=1 with the fault layer disabled versus enabled with an
+ * empty plan, no stochastic rates and no critical threshold — the
+ * configuration where the engine runs every interval but changes
+ * nothing. The acceptance budget for that bookkeeping is <= 3%.
+ */
+void
+runFaultStudy(double hours, std::vector<FaultRow> &rows)
+{
+    setGlobalThreadCount(1);
+    double baseline_seconds = 0.0;
+    for (const bool enabled : {false, true}) {
+        SimConfig config = bench::studyConfig(1000);
+        config.trace.duration = hours;
+        config.faults.enable = enabled;
+        const double seconds = wallSeconds([&] {
+            VmtWaScheduler sched(bench::studyVmt(22.0),
+                                 hotMaskFromPaper());
+            benchmark::DoNotOptimize(runSimulation(config, sched));
+        });
+        if (!enabled)
+            baseline_seconds = seconds;
+        const double overhead =
+            baseline_seconds > 0.0
+                ? 100.0 * (seconds - baseline_seconds) / baseline_seconds
+                : 0.0;
+        rows.push_back(
+            {enabled, seconds, hours * 60.0 / seconds, overhead});
+        std::printf("[fault] cluster1000 threads=1 engine=%-8s "
+                    "%7.2f s  %9.0f intervals/s  overhead %+.2f%%\n",
+                    enabled ? "empty" : "disabled", seconds,
+                    rows.back().intervalsPerSec, overhead);
+        std::fflush(stdout);
+    }
+    setGlobalThreadCount(0);
+}
+
 void
 writeScalingJson(const std::string &path, double hours,
                  const std::vector<ScalingRow> &rows,
                  const std::vector<HotpathRow> &hotpath,
-                 const std::vector<CheckpointRow> &checkpoint)
+                 const std::vector<CheckpointRow> &checkpoint,
+                 const std::vector<FaultRow> &fault)
 {
     std::ofstream out(path);
     if (!out) {
@@ -332,6 +385,16 @@ writeScalingJson(const std::string &path, double hours,
             << ", \"intervals_per_sec\": " << r.intervalsPerSec
             << ", \"overhead_pct\": " << r.overheadPct << "}"
             << (i + 1 < checkpoint.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"fault\": [\n";
+    for (std::size_t i = 0; i < fault.size(); ++i) {
+        const FaultRow &r = fault[i];
+        out << "    {\"name\": \"cluster1000\", \"threads\": 1"
+            << ", \"engine\": \"" << (r.enabled ? "empty" : "disabled")
+            << "\", \"wall_seconds\": " << r.wallSeconds
+            << ", \"intervals_per_sec\": " << r.intervalsPerSec
+            << ", \"overhead_pct\": " << r.overheadPct << "}"
+            << (i + 1 < fault.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::printf("[scaling] wrote %s\n", path.c_str());
@@ -391,7 +454,11 @@ runScalingStudy()
     std::vector<CheckpointRow> checkpoint;
     runCheckpointStudy(hours, checkpoint);
 
-    writeScalingJson(json_path, hours, rows, hotpath, checkpoint);
+    std::vector<FaultRow> fault;
+    runFaultStudy(hours, fault);
+
+    writeScalingJson(json_path, hours, rows, hotpath, checkpoint,
+                     fault);
 }
 
 } // namespace

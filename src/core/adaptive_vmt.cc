@@ -28,9 +28,7 @@ AdaptiveVmtScheduler::AdaptiveVmtScheduler(
 void
 AdaptiveVmtScheduler::beginInterval(Cluster &cluster, Seconds now)
 {
-    const double utilization =
-        static_cast<double>(cluster.busyCores()) /
-        static_cast<double>(cluster.totalCores());
+    const double utilization = cluster.aliveUtilization();
 
     double gv = inner_.groupingValue();
     const bool busy = utilization >= params_.minUtilization;

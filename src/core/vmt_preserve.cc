@@ -11,7 +11,8 @@ void
 VmtPreserveScheduler::beginInterval(Cluster &cluster, Seconds)
 {
     const std::size_t n = cluster.numServers();
-    hotSize_ = hotGroupSizeFor(config_, n);
+    // Eq. 1 over the *alive* fleet (identical while nothing failed).
+    hotSize_ = hotGroupSizeFor(config_, cluster.aliveServers());
 
     const KelvinPerWatt rise = cluster.thermalParams().airRisePerWatt;
     melted_ = {};

@@ -31,7 +31,9 @@ void
 VmtTaScheduler::beginInterval(Cluster &cluster, Seconds)
 {
     const std::size_t n = cluster.numServers();
-    hotSize_ = hotGroupSizeFor(config_, n);
+    // Eq. 1 sizes the group over servers that can actually take load;
+    // under the fault layer the alive set (and the group) shrinks.
+    hotSize_ = hotGroupSizeFor(config_, cluster.aliveServers());
 
     hotGroup_.clear();
     coldGroup_.clear();

@@ -23,7 +23,8 @@ void
 VmtWaScheduler::beginInterval(Cluster &cluster, Seconds)
 {
     const std::size_t n = cluster.numServers();
-    baseHotSize_ = hotGroupSizeFor(config_, n);
+    // Eq. 1 over the *alive* fleet (identical while nothing failed).
+    baseHotSize_ = hotGroupSizeFor(config_, cluster.aliveServers());
 
     // Scan the fleet's estimated wax state (the per-server model
     // reports once per minute, Section IV-A).
@@ -76,9 +77,7 @@ VmtWaScheduler::beginInterval(Cluster &cluster, Seconds)
 
     // Keep-warm only matters while load is high: off-peak the wax is
     // supposed to refreeze and release its heat (that is TTS).
-    const double utilization =
-        static_cast<double>(cluster.busyCores()) /
-        static_cast<double>(cluster.totalCores());
+    const double utilization = cluster.aliveUtilization();
     const bool keep_warm_active =
         utilization >= config_.keepWarmUtilization;
 
@@ -205,9 +204,7 @@ std::vector<MigrationRequest>
 VmtWaScheduler::proposeMigrations(Cluster &cluster, Seconds)
 {
     std::vector<MigrationRequest> requests;
-    const double utilization =
-        static_cast<double>(cluster.busyCores()) /
-        static_cast<double>(cluster.totalCores());
+    const double utilization = cluster.aliveUtilization();
     if (utilization < config_.keepWarmUtilization)
         return requests; // Off-peak rebalancing has no thermal value.
 

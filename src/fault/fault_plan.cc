@@ -1,0 +1,136 @@
+#include "fault/fault_plan.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+const char *
+faultEventTypeName(FaultEventType type)
+{
+    switch (type) {
+      case FaultEventType::ServerDown:
+        return "server-down";
+      case FaultEventType::ServerUp:
+        return "server-up";
+      case FaultEventType::CoolingDerate:
+        return "cooling-derate";
+      case FaultEventType::CoolingRestore:
+        return "cooling-restore";
+    }
+    panic("faultEventTypeName: unknown event type");
+}
+
+namespace {
+
+void
+requireSorted(const std::vector<FaultEvent> &events)
+{
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        if (events[i].time < events[i - 1].time)
+            fatal("FaultPlan events must be sorted by time (event " +
+                  std::to_string(i) + " at " +
+                  std::to_string(events[i].time) +
+                  " s precedes its predecessor)");
+    }
+}
+
+[[noreturn]] void
+badLine(const std::string &origin, std::size_t line,
+        const std::string &why)
+{
+    fatal("fault plan " + origin + ":" + std::to_string(line) + ": " +
+          why);
+}
+
+} // namespace
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events)
+    : events_(std::move(events))
+{
+    requireSorted(events_);
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &text, const std::string &origin)
+{
+    std::vector<FaultEvent> events;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue; // Blank or comment-only line.
+        std::istringstream row(line);
+        double hours = 0.0;
+        std::string keyword;
+        if (!(row >> hours))
+            badLine(origin, lineno,
+                    "expected '<hours> <event> ...', got '" + line +
+                        "'");
+        if (!std::isfinite(hours) || hours < 0.0)
+            badLine(origin, lineno,
+                    "event time must be a finite non-negative "
+                    "hour count");
+        if (!(row >> keyword))
+            badLine(origin, lineno, "missing event keyword");
+
+        FaultEvent event;
+        event.time = hoursToSeconds(hours);
+        if (keyword == "server-down" || keyword == "server-up") {
+            event.type = keyword == "server-down"
+                             ? FaultEventType::ServerDown
+                             : FaultEventType::ServerUp;
+            long long id = -1;
+            if (!(row >> id) || id < 0)
+                badLine(origin, lineno,
+                        keyword + " needs a non-negative server id");
+            event.serverId = static_cast<std::size_t>(id);
+        } else if (keyword == "cooling-derate") {
+            event.type = FaultEventType::CoolingDerate;
+            if (!(row >> event.supplyRise) ||
+                !std::isfinite(event.supplyRise) ||
+                event.supplyRise < 0.0)
+                badLine(origin, lineno,
+                        "cooling-derate needs a finite non-negative "
+                        "supply rise in kelvin");
+        } else if (keyword == "cooling-restore") {
+            event.type = FaultEventType::CoolingRestore;
+        } else {
+            badLine(origin, lineno,
+                    "unknown event '" + keyword +
+                        "' (expected server-down, server-up, "
+                        "cooling-derate or cooling-restore)");
+        }
+        std::string trailing;
+        if (row >> trailing)
+            badLine(origin, lineno,
+                    "trailing token '" + trailing + "'");
+        if (!events.empty() && event.time < events.back().time)
+            badLine(origin, lineno,
+                    "event times must be non-decreasing");
+        events.push_back(event);
+    }
+    requireSorted(events);
+    return FaultPlan(std::move(events));
+}
+
+FaultPlan
+FaultPlan::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open fault plan '" + path + "'");
+    std::ostringstream body;
+    body << in.rdbuf();
+    return parse(body.str(), path);
+}
+
+} // namespace vmt

@@ -43,6 +43,24 @@ Cluster::Cluster(std::size_t num_servers, const ServerSpec &spec,
         servers_.emplace_back(i, spec, thermal, offset);
     }
     totalCores_ = num_servers * spec.cores();
+    aliveServers_ = num_servers;
+}
+
+void
+Cluster::setHealth(std::size_t server_id, ServerHealth health)
+{
+    if (server_id >= servers_.size())
+        panic("Cluster::setHealth out of range");
+    Server &srv = servers_[server_id];
+    const bool was_alive = srv.alive();
+    srv.setHealth(health);
+    const bool is_alive = srv.alive();
+    if (was_alive && !is_alive)
+        --aliveServers_;
+    else if (!was_alive && is_alive)
+        ++aliveServers_;
+    // A health flip changes the server's power draw (Failed = 0 W).
+    totalPowerCache_.reset();
 }
 
 Server &

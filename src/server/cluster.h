@@ -80,6 +80,37 @@ class Cluster
     /** Cluster-wide running jobs per workload. */
     const CoreCounts &activeCounts() const { return active_; }
 
+    /** Servers not currently Failed (Quarantined counts as alive). */
+    std::size_t aliveServers() const { return aliveServers_; }
+
+    /** Schedulable cores on alive servers (homogeneous cluster). */
+    std::size_t aliveCores() const
+    {
+        return aliveServers_ * spec_.cores();
+    }
+
+    /**
+     * Busy cores over alive cores — the load the surviving fleet
+     * actually carries (identical to busyCores()/totalCores() while
+     * nothing is failed). 0 when every server is down.
+     */
+    double aliveUtilization() const
+    {
+        const std::size_t cores = aliveCores();
+        if (cores == 0)
+            return 0.0;
+        return static_cast<double>(busyCores_) /
+               static_cast<double>(cores);
+    }
+
+    /**
+     * Change one server's operational state, keeping the alive-server
+     * aggregate and power cache consistent. The fault engine is the
+     * only caller; taking a server down does NOT evacuate its jobs —
+     * the driver drains them through the active scheduler first.
+     */
+    void setHealth(std::size_t server_id, ServerHealth health);
+
     Server &server(std::size_t id);
     const Server &server(std::size_t id) const;
 
@@ -147,6 +178,9 @@ class Cluster
     std::vector<Server> servers_;
     std::size_t totalCores_ = 0;
     std::size_t busyCores_ = 0;
+    /** Servers whose health is not Failed (see aliveServers()). Not
+     *  serialized here — health lives in the snapshot FALT section. */
+    std::size_t aliveServers_ = 0;
     CoreCounts active_{};
     /** Per-server samples from the parallel stepThermal path (kept
      *  across steps to avoid a per-interval allocation). */

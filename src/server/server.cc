@@ -46,6 +46,13 @@ Server::power(const PowerModel &model) const
 void
 Server::refreshPowerCache(const PowerModel &model) const
 {
+    if (health_ == ServerHealth::Failed) {
+        // Powered off: no idle draw, no dynamic draw. The thermal
+        // step then lets air decay toward inlet and wax refreeze.
+        powerCache_ = 0.0;
+        powerCacheModel_ = &model;
+        return;
+    }
     const Watts nominal = model.serverPower(counts_);
     if (!throttled_) {
         powerCache_ = nominal;

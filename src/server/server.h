@@ -9,6 +9,7 @@
 #define VMT_SERVER_SERVER_H
 
 #include <cstddef>
+#include <cstdint>
 
 #include "server/power_model.h"
 #include "server/server_spec.h"
@@ -21,6 +22,21 @@ namespace vmt {
 
 class Serializer;
 class Deserializer;
+
+/**
+ * Operational state of a server under the fault layer (src/fault/).
+ *
+ * Up          — powered and eligible for placement.
+ * Failed      — powered off (0 W); jobs evacuated, nothing placeable.
+ * Quarantined — thermal emergency: powered (idle + residual load
+ *               drains) but excluded from new placement until the air
+ *               temperature drops back below the release threshold.
+ */
+enum class ServerHealth : std::uint8_t {
+    Up = 0,
+    Failed = 1,
+    Quarantined = 2,
+};
 
 /** A single simulated server. */
 class Server
@@ -48,8 +64,33 @@ class Server
     /** Occupied core slots. */
     std::size_t busyCores() const { return busyCores_; }
 
-    /** True when at least one core is free. */
-    bool hasCapacity() const { return busyCores_ < cores(); }
+    /**
+     * True when at least one core is free AND the server accepts new
+     * work. Every placement policy gates on this, so Failed and
+     * Quarantined servers drop out of the eligible set without
+     * policy-specific handling.
+     */
+    bool hasCapacity() const
+    {
+        return health_ == ServerHealth::Up && busyCores_ < cores();
+    }
+
+    /** Operational state under the fault layer. */
+    ServerHealth health() const { return health_; }
+
+    /** True unless the server is Failed (Quarantined is still on). */
+    bool alive() const { return health_ != ServerHealth::Failed; }
+
+    /**
+     * Change operational state. A Failed server draws 0 W (the driver
+     * evacuates its jobs first); coming back Up re-enables placement.
+     * Invalidates the power cache.
+     */
+    void setHealth(ServerHealth health)
+    {
+        health_ = health;
+        powerCacheModel_ = nullptr;
+    }
 
     /** Running jobs per workload type. */
     const CoreCounts &coreCounts() const { return counts_; }
@@ -128,6 +169,10 @@ class Server
     CoreCounts counts_{};
     std::size_t busyCores_ = 0;
     bool throttled_ = false;
+    // Not serialized in saveState (that layout is pinned by snapshot
+    // v1 compatibility); the fault engine persists health in the FALT
+    // section instead.
+    ServerHealth health_ = ServerHealth::Up;
 
     // Power cache (see power()). nullptr means stale. Mutable so the
     // logically-const power() can fill it; safe under the chunked

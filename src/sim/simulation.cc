@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "cooling/cooling_system.h"
+#include "fault/fault_engine.h"
 #include "sim/interval_queue.h"
 #include "thermal/inlet_model.h"
 #include "util/logging.h"
@@ -22,7 +23,8 @@ SimResult::SimResult()
       hotGroupSizeSeries(kMinute),
       meanMeltFraction(kMinute),
       utilization(kMinute),
-      inletTemp(kMinute)
+      inletTemp(kMinute),
+      aliveServers(kMinute)
 {}
 
 SimResult
@@ -63,6 +65,7 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
     series_reset(result.meanMeltFraction);
     series_reset(result.utilization);
     series_reset(result.inletTemp);
+    series_reset(result.aliveServers);
 
     if (config.recordHeatmaps) {
         result.airTempMap.emplace(config.numServers, trace.size());
@@ -117,9 +120,17 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
     // Arrival buffer, likewise hoisted and reused.
     std::vector<Job> arrivals;
 
+    // Fault layer: scripted/stochastic outages and degraded-mode
+    // handling. Disabled (the default) leaves every code path below
+    // exactly as before.
+    std::optional<FaultEngine> faults;
+    if (config.faults.enabled())
+        faults.emplace(config.faults, config.numServers);
+
     SimState state{config,       trace.size(), cluster,   generator,
                    scheduler,    departures,   slots,     free_slots,
-                   jobs_at,      result,       prev_cooling_load};
+                   jobs_at,      result,       prev_cooling_load,
+                   faults ? &*faults : nullptr};
 
     // Resume: skip intervals a snapshot already covers. The hook
     // rebuilds every structure above in place; everything not restored
@@ -131,25 +142,74 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
             fatal("snapshot has more completed intervals than the "
                   "configured run length");
     }
+    // The cooling derate already pushed into per-server inlets; only
+    // a *change* re-pushes below (and per-server CLUS state restores
+    // the applied value on resume).
+    Kelvin applied_supply_rise = faults ? faults->supplyRise() : 0.0;
 
     for (std::size_t interval = first_interval;
          interval < trace.size(); ++interval) {
         const Seconds now =
             static_cast<double>(interval) * config.interval;
 
-        // 1. Complete jobs due by now.
+        // 1. Complete jobs due by now. Slots whose job was lost in an
+        // evacuation (serverId == kNoServer) are tombstones: the slot
+        // stays reserved until its departure fires, so slot ids stay
+        // unique among scheduled departures.
         while (departures.hasEventDue(now)) {
             const std::uint32_t slot = departures.pop();
             const SimActiveJob &job = slots[slot];
-            cluster.removeJob(job.serverId, job.type);
-            index_remove(job.serverId, job.type, slot);
+            if (job.serverId != kNoServer) {
+                cluster.removeJob(job.serverId, job.type);
+                index_remove(job.serverId, job.type, slot);
+            }
             free_slots.push_back(slot);
         }
+
+        // 1b. Apply fault events due at this boundary (server
+        // outages/repairs, cooling derates, stochastic draws,
+        // thermal-emergency quarantine).
+        std::vector<std::size_t> evacuating;
+        if (faults)
+            evacuating = faults->beginInterval(cluster, now,
+                                               config.interval);
 
         // 2. Refresh per-interval scheduler state (wax scans etc.)
         // and execute the policy's migration wishes, bounded by the
         // configured budget.
         scheduler.beginInterval(cluster, now);
+
+        // 2a. Evacuate newly failed servers: drain their resident
+        // jobs and re-place each through the active policy (which no
+        // longer sees the dead servers — hasCapacity() is false).
+        // Jobs with nowhere to go are lost; their slots become
+        // tombstones until the scheduled departure fires.
+        for (const std::size_t from : evacuating) {
+            for (const WorkloadType type : kAllWorkloads) {
+                auto &ids = jobs_at[from][workloadIndex(type)];
+                while (!ids.empty()) {
+                    const std::uint32_t slot = ids.back();
+                    ids.pop_back();
+                    cluster.removeJob(from, type);
+                    const Job refugee{0, type, 0.0};
+                    const std::size_t to =
+                        scheduler.placeJob(cluster, refugee);
+                    if (to == kNoServer) {
+                        slots[slot].serverId = kNoServer;
+                        ++result.lostJobs;
+                        continue;
+                    }
+                    auto &dest = jobs_at[to][workloadIndex(type)];
+                    slots[slot].serverId = to;
+                    slots[slot].pos =
+                        static_cast<std::uint32_t>(dest.size());
+                    dest.push_back(slot);
+                    cluster.addJob(to, type);
+                    ++result.evacuatedJobs;
+                }
+            }
+        }
+
         if (config.migrationBudget > 0) {
             std::size_t budget = config.migrationBudget;
             for (const MigrationRequest &req :
@@ -212,13 +272,20 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
         }
 
         // 4. Cooling-plant feedback: an overloaded plant cannot hold
-        // the cold-aisle setpoint.
+        // the cold-aisle setpoint. A fault-plan derate raises the
+        // supply on top of whatever the plant delivers.
         Celsius inlet = config.thermal.inletTemp;
-        if (plant) {
+        if (plant)
             inlet = plant->inletFor(prev_cooling_load);
-            if (!recirc)
+        if (faults) {
+            inlet += faults->supplyRise();
+            if (!plant && !recirc &&
+                faults->supplyRise() != applied_supply_rise)
                 cluster.setBaseInlet(inlet);
+            applied_supply_rise = faults->supplyRise();
         }
+        if (plant && !recirc)
+            cluster.setBaseInlet(inlet);
         // 4b. Rack recirculation: each rack's exhaust warms its own
         // inlets in proportion to the rack's heat.
         if (recirc) {
@@ -252,6 +319,15 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
         result.utilization.add(
             static_cast<double>(cluster.busyCores()) /
             static_cast<double>(cluster.totalCores()));
+        result.aliveServers.add(
+            static_cast<double>(cluster.aliveServers()));
+        if (faults && config.faults.criticalTemp > 0.0) {
+            const Cluster &cc = std::as_const(cluster);
+            for (std::size_t id = 0; id < config.numServers; ++id)
+                if (cc.server(id).airTemp() >=
+                    config.faults.criticalTemp)
+                    ++result.criticalServerIntervals;
+        }
 
         const std::optional<std::size_t> hot = scheduler.hotGroupSize();
         result.hotGroupSizeSeries.add(

@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "cooling/recirculation.h"
+#include "fault/fault_plan.h"
 #include "sched/scheduler.h"
 #include "server/cluster.h"
 #include "server/server_spec.h"
@@ -35,6 +36,7 @@
 namespace vmt {
 
 struct SimState;
+class FaultEngine;
 
 /** Everything needed to reproduce one scale-out run. */
 struct SimConfig
@@ -83,6 +85,14 @@ struct SimConfig
      *  live migration off; placement then relies on job churn). */
     std::size_t migrationBudget = 0;
 
+    /**
+     * Fault-injection layer (src/fault/): scripted server/cooling
+     * outages, stochastic failures and thermal-emergency handling.
+     * Default-constructed = disabled; the driver then runs the exact
+     * pre-fault code path.
+     */
+    FaultConfig faults;
+
     /** Model rack-level exhaust recirculation (hot aisles). */
     bool modelRecirculation = false;
     /** Recirculation layout/coupling when enabled. */
@@ -128,8 +138,12 @@ struct SimResult
     /** Realized cluster utilization per interval. */
     TimeSeries utilization;
     /** Cold-aisle inlet temperature per interval (constant at the
-     *  setpoint unless a finite cooling capacity is configured). */
+     *  setpoint unless a finite cooling capacity is configured or a
+     *  fault plan derates the cooling plant). */
     TimeSeries inletTemp;
+    /** Servers not Failed per interval (== numServers without
+     *  faults). */
+    TimeSeries aliveServers;
 
     /** Optional server-by-time heatmaps. */
     std::optional<Heatmap> airTempMap;
@@ -155,6 +169,15 @@ struct SimResult
     std::uint64_t migrations = 0;
     /** Total jobs placed. */
     std::uint64_t placedJobs = 0;
+    /** Jobs successfully re-placed off failed servers. */
+    std::uint64_t evacuatedJobs = 0;
+    /** Jobs lost because no alive server could absorb them when
+     *  their host failed. Unserved demand for the run is
+     *  droppedJobs + lostJobs. */
+    std::uint64_t lostJobs = 0;
+    /** Server-intervals spent at or above the fault layer's
+     *  critical temperature (time above critical). */
+    std::uint64_t criticalServerIntervals = 0;
 
     SimResult();
 };
@@ -198,6 +221,9 @@ struct SimState
     SimResult &result;
     /** Previous interval's cooling load (plant feedback input). */
     Watts &prevCoolingLoad;
+    /** Fault engine when SimConfig::faults is enabled, else null.
+     *  Serialized into the snapshot FALT section (format v2). */
+    FaultEngine *faults;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "fault/fault_engine.h"
 #include "state/snapshot.h"
 #include "thermal/pcm.h"
 #include "util/logging.h"
@@ -179,6 +180,36 @@ saveSnapshot(const SimState &state, std::size_t completed,
     saveHeatmap(res, result.airTempMap);
     saveHeatmap(res, result.meltMap);
 
+    // FALT (new in format v2): the fault-layer configuration echo
+    // (rejecting resume under different faults, like CONF does for
+    // the core parameters), the engine's dynamic state and the fault
+    // telemetry. Always written — a disabled layer round-trips as
+    // "inactive" — so every v2 snapshot has the same section set.
+    Serializer &falt = writer.section("FALT");
+    const FaultConfig &fc = config.faults;
+    falt.putBool(fc.enable);
+    falt.putU64(fc.seed);
+    falt.putDouble(fc.mtbf);
+    falt.putDouble(fc.mtbfRefTemp);
+    falt.putDouble(fc.mtbfDoublingDelta);
+    falt.putDouble(fc.repairTime);
+    falt.putDouble(fc.criticalTemp);
+    falt.putDouble(fc.criticalRelease);
+    falt.putSize(fc.plan.size());
+    for (const FaultEvent &event : fc.plan.events()) {
+        falt.putDouble(event.time);
+        falt.putU8(static_cast<std::uint8_t>(event.type));
+        falt.putSize(event.serverId);
+        falt.putDouble(event.supplyRise);
+    }
+    falt.putBool(state.faults != nullptr);
+    if (state.faults)
+        state.faults->saveState(falt, cluster);
+    saveSeries(falt, result.aliveServers);
+    falt.putU64(result.evacuatedJobs);
+    falt.putU64(result.lostJobs);
+    falt.putU64(result.criticalServerIntervals);
+
     writer.write(path);
 }
 
@@ -303,6 +334,63 @@ loadSnapshot(SimState &state, const std::string &path)
     loadHeatmap(res, result.airTempMap, "air-temperature");
     loadHeatmap(res, result.meltMap, "melt-fraction");
     res.expectEnd();
+
+    if (reader.has("FALT")) {
+        Deserializer falt = reader.section("FALT");
+        const FaultConfig &fc = config.faults;
+        if (falt.getBool() != fc.enable)
+            mismatch("fault layer enable flag differs");
+        checkU64("fault seed", falt.getU64(), fc.seed);
+        checkDouble("fault mtbf", falt.getDouble(), fc.mtbf);
+        checkDouble("fault mtbf reference temp", falt.getDouble(),
+                    fc.mtbfRefTemp);
+        checkDouble("fault mtbf doubling delta", falt.getDouble(),
+                    fc.mtbfDoublingDelta);
+        checkDouble("fault repair time", falt.getDouble(),
+                    fc.repairTime);
+        checkDouble("fault critical temp", falt.getDouble(),
+                    fc.criticalTemp);
+        checkDouble("fault critical release", falt.getDouble(),
+                    fc.criticalRelease);
+        checkU64("fault plan length", falt.getSize(),
+                 fc.plan.size());
+        for (std::size_t i = 0; i < fc.plan.size(); ++i) {
+            const FaultEvent &event = fc.plan.events()[i];
+            checkDouble("fault event time", falt.getDouble(),
+                        event.time);
+            checkU64("fault event type", falt.getU8(),
+                     static_cast<std::uint8_t>(event.type));
+            checkU64("fault event server", falt.getSize(),
+                     event.serverId);
+            checkDouble("fault event supply rise", falt.getDouble(),
+                        event.supplyRise);
+        }
+        const bool engine_active = falt.getBool();
+        if (engine_active != (state.faults != nullptr))
+            mismatch("fault engine active in one run but not the "
+                     "other");
+        if (state.faults)
+            state.faults->loadState(falt, state.cluster);
+        loadSeries(falt, result.aliveServers, completed,
+                   "aliveServers");
+        result.evacuatedJobs = falt.getU64();
+        result.lostJobs = falt.getU64();
+        result.criticalServerIntervals = falt.getU64();
+        falt.expectEnd();
+    } else {
+        // A v1 snapshot predates the fault layer: it can only resume
+        // a run with faults disabled, and the fault telemetry for
+        // the completed prefix is trivially known.
+        if (config.faults.enabled())
+            fatal("snapshot predates the fault layer (format v1); "
+                  "it cannot resume a run with faults configured");
+        for (std::size_t i = 0; i < completed; ++i)
+            result.aliveServers.add(
+                static_cast<double>(config.numServers));
+        result.evacuatedJobs = 0;
+        result.lostJobs = 0;
+        result.criticalServerIntervals = 0;
+    }
 
     return completed;
 }

@@ -99,9 +99,11 @@ SnapshotReader::parse(const std::string &origin)
     }
     Deserializer header(image_.data() + sizeof(kMagic), 8);
     version_ = header.getU32();
-    if (version_ != kSnapshotFormatVersion)
+    if (version_ < kSnapshotMinReadVersion ||
+        version_ > kSnapshotFormatVersion)
         fatal("snapshot " + origin + ": format version " +
               std::to_string(version_) + " unsupported (expected " +
+              std::to_string(kSnapshotMinReadVersion) + ".." +
               std::to_string(kSnapshotFormatVersion) + ")");
     const std::uint32_t count = header.getU32();
     sections_.reserve(count);

@@ -33,9 +33,17 @@
 
 namespace vmt {
 
-/** Bumped whenever the container layout or any section payload
- *  changes incompatibly; readers reject other versions. */
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/**
+ * Version written by SnapshotWriter. Bumped whenever the container
+ * layout or any section payload changes incompatibly. v2 added the
+ * FALT section (fault-engine state + fault telemetry); every v1
+ * section kept its layout, so v1 files remain loadable (see
+ * kSnapshotMinReadVersion).
+ */
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+
+/** Oldest format version readers still accept. */
+inline constexpr std::uint32_t kSnapshotMinReadVersion = 1;
 
 /** Builds a snapshot file section by section. */
 class SnapshotWriter

@@ -34,7 +34,9 @@ loadTraceCsv(const std::string &path)
     std::vector<double> hours;
     std::vector<double> samples;
     std::string line;
+    std::size_t lineno = 0;
     while (std::getline(in, line)) {
+        ++lineno;
         if (line.empty() || line[0] == '#')
             continue;
         if (line.rfind("hour", 0) == 0)
@@ -43,13 +45,31 @@ loadTraceCsv(const std::string &path)
         std::string hour_cell, util_cell;
         if (!std::getline(row, hour_cell, ',') ||
             !std::getline(row, util_cell, ','))
-            fatal("loadTraceCsv: malformed row '" + line + "'");
+            fatal("loadTraceCsv: " + path + ":" +
+                  std::to_string(lineno) + ": malformed row '" +
+                  line + "'");
+        double hour = 0.0, util = 0.0;
         try {
-            hours.push_back(std::stod(hour_cell));
-            samples.push_back(std::stod(util_cell));
+            hour = std::stod(hour_cell);
+            util = std::stod(util_cell);
         } catch (const std::exception &) {
-            fatal("loadTraceCsv: non-numeric row '" + line + "'");
+            fatal("loadTraceCsv: " + path + ":" +
+                  std::to_string(lineno) + ": non-numeric row '" +
+                  line + "'");
         }
+        // Validate here, where the offending file row is known —
+        // DiurnalTrace would reject the sample too, but without any
+        // way to tell the operator which line of their CSV is bad.
+        if (!std::isfinite(util) || util < 0.0 || util > 1.0)
+            fatal("loadTraceCsv: " + path + ":" +
+                  std::to_string(lineno) + ": utilization " +
+                  util_cell + " outside [0, 1]");
+        if (!std::isfinite(hour))
+            fatal("loadTraceCsv: " + path + ":" +
+                  std::to_string(lineno) + ": non-finite hour '" +
+                  hour_cell + "'");
+        hours.push_back(hour);
+        samples.push_back(util);
     }
     if (samples.size() < 2)
         fatal("loadTraceCsv: need at least two rows");

@@ -29,7 +29,49 @@ TEST(FailureModel, TenDegreesDoublesRate)
 TEST(FailureModel, Validates)
 {
     EXPECT_THROW(FailureModel(0.0), FatalError);
+    EXPECT_THROW(FailureModel(-500.0), FatalError);
     EXPECT_THROW(FailureModel(1000.0, 30.0, 0.0), FatalError);
+    EXPECT_THROW(FailureModel(1000.0, 30.0, -10.0), FatalError);
+}
+
+TEST(FailureModel, EmptyProfileMeansNoExposure)
+{
+    // Zero months of operation accumulate zero hazard: probability 0
+    // and an empty curve, not a crash.
+    const FailureModel model;
+    EXPECT_EQ(model.cumulativeFailure({}), 0.0);
+    EXPECT_TRUE(model.cumulativeFailureCurve({}).empty());
+}
+
+TEST(FailureModel, CurveIsMonotoneForArbitraryProfiles)
+{
+    // Property: cumulative failure can only grow month over month,
+    // whatever the temperature trajectory — including extremes. Each
+    // entry must also stay a probability and match the scalar
+    // cumulative for the profile prefix.
+    const FailureModel model;
+    const std::vector<std::vector<Celsius>> profiles = {
+        {30.0},
+        {10.0, 90.0, 10.0, 90.0},
+        {55.0, 54.0, 53.0, 52.0, 51.0, 50.0},
+        {-20.0, -20.0, 45.0, 0.0, 30.0, 30.0, 80.0},
+        std::vector<Celsius>(120, 35.0),
+    };
+    for (const auto &profile : profiles) {
+        const auto curve = model.cumulativeFailureCurve(profile);
+        ASSERT_EQ(curve.size(), profile.size());
+        double prev = 0.0;
+        for (std::size_t m = 0; m < curve.size(); ++m) {
+            EXPECT_GT(curve[m], prev) << "month " << m;
+            EXPECT_LT(curve[m], 1.0) << "month " << m;
+            prev = curve[m];
+            const std::vector<Celsius> prefix(
+                profile.begin(),
+                profile.begin() + static_cast<long>(m) + 1);
+            EXPECT_NEAR(curve[m], model.cumulativeFailure(prefix),
+                        1e-12);
+        }
+    }
 }
 
 TEST(FailureModel, SixMonthCumulativeMatchesPaperScale)

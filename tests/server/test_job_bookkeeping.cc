@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Randomized stress test of the job bookkeeping: thousands of
+ * interleaved addJob/removeJob/setHealth operations against a naive
+ * reference model (plain per-server count tables, no caches, no
+ * incremental aggregates). The cluster's counts, busy-core
+ * aggregates, alive-set aggregates and cached power reductions must
+ * track the reference exactly — this is the substrate the driver's
+ * slot table and the fault layer's evacuation path sit on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "server/cluster.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace vmt {
+namespace {
+
+constexpr std::size_t kServers = 12;
+
+/** The naive model: everything recomputed from first principles. */
+struct Reference
+{
+    std::vector<std::array<std::size_t, kNumWorkloads>> counts;
+    std::vector<ServerHealth> health;
+
+    explicit Reference(std::size_t n)
+        : counts(n, std::array<std::size_t, kNumWorkloads>{}),
+          health(n, ServerHealth::Up)
+    {}
+
+    std::size_t busyCores(std::size_t id) const
+    {
+        std::size_t busy = 0;
+        for (std::size_t count : counts[id])
+            busy += count;
+        return busy;
+    }
+
+    std::size_t totalBusy() const
+    {
+        std::size_t busy = 0;
+        for (std::size_t id = 0; id < counts.size(); ++id)
+            busy += busyCores(id);
+        return busy;
+    }
+
+    std::size_t alive() const
+    {
+        std::size_t n = 0;
+        for (ServerHealth h : health)
+            n += h != ServerHealth::Failed ? 1 : 0;
+        return n;
+    }
+
+    Watts power(std::size_t id, const PowerModel &model) const
+    {
+        if (health[id] == ServerHealth::Failed)
+            return 0.0;
+        CoreCounts cc{};
+        for (std::size_t w = 0; w < kNumWorkloads; ++w)
+            cc[w] = counts[id][w];
+        return model.serverPower(cc);
+    }
+};
+
+void
+expectMatchesReference(const Cluster &cluster, const Reference &ref)
+{
+    ASSERT_EQ(cluster.busyCores(), ref.totalBusy());
+    ASSERT_EQ(cluster.aliveServers(), ref.alive());
+    Watts total = 0.0;
+    for (std::size_t id = 0; id < cluster.numServers(); ++id) {
+        const Server &srv = cluster.server(id);
+        ASSERT_EQ(srv.busyCores(), ref.busyCores(id)) << "server "
+                                                      << id;
+        ASSERT_EQ(srv.health(), ref.health[id]) << "server " << id;
+        for (std::size_t w = 0; w < kNumWorkloads; ++w)
+            ASSERT_EQ(srv.coreCounts()[w], ref.counts[id][w])
+                << "server " << id << " workload " << w;
+        ASSERT_EQ(srv.hasCapacity(),
+                  ref.health[id] == ServerHealth::Up &&
+                      ref.busyCores(id) < srv.cores())
+            << "server " << id;
+        const Watts expected = ref.power(id, cluster.powerModel());
+        ASSERT_EQ(srv.power(cluster.powerModel()), expected)
+            << "server " << id;
+        total += expected;
+    }
+    // The cluster's cached reduction must equal the naive serial sum
+    // bitwise (same index order, same expression).
+    ASSERT_EQ(cluster.totalPower(), total);
+}
+
+TEST(JobBookkeeping, RandomizedOpsTrackTheNaiveModel)
+{
+    Cluster cluster(kServers, ServerSpec{}, ServerThermalParams{},
+                    PowerModel({}, 1.77));
+    Reference ref(kServers);
+    Rng rng(20260805);
+
+    for (int op = 0; op < 20000; ++op) {
+        const std::size_t id = rng.below(kServers);
+        const WorkloadType type =
+            kAllWorkloads[rng.below(kNumWorkloads)];
+        const std::size_t windex = workloadIndex(type);
+        const double dice = rng.uniform();
+
+        if (dice < 0.45) {
+            // Add, when the target can take it.
+            if (std::as_const(cluster).server(id).hasCapacity()) {
+                cluster.addJob(id, type);
+                ++ref.counts[id][windex];
+            }
+        } else if (dice < 0.90) {
+            // Remove a job of this type, when one exists.
+            if (ref.counts[id][windex] > 0) {
+                cluster.removeJob(id, type);
+                --ref.counts[id][windex];
+            }
+        } else {
+            // Health churn: cycle Up -> Failed -> Up and sprinkle
+            // quarantines, mirroring what the fault engine does. The
+            // driver evacuates jobs of failed servers; bookkeeping
+            // itself must stay exact even with jobs still resident.
+            const double pick = rng.uniform();
+            const ServerHealth next =
+                pick < 0.4 ? ServerHealth::Failed
+                : pick < 0.7 ? ServerHealth::Quarantined
+                             : ServerHealth::Up;
+            cluster.setHealth(id, next);
+            ref.health[id] = next;
+        }
+
+        if (op % 500 == 0)
+            expectMatchesReference(cluster, ref);
+    }
+    expectMatchesReference(cluster, ref);
+
+    // Drain everything and confirm the aggregates return to zero.
+    for (std::size_t id = 0; id < kServers; ++id) {
+        cluster.setHealth(id, ServerHealth::Up);
+        ref.health[id] = ServerHealth::Up;
+        for (std::size_t w = 0; w < kNumWorkloads; ++w) {
+            while (ref.counts[id][w] > 0) {
+                cluster.removeJob(id, kAllWorkloads[w]);
+                --ref.counts[id][w];
+            }
+        }
+    }
+    expectMatchesReference(cluster, ref);
+    EXPECT_EQ(cluster.busyCores(), 0u);
+    EXPECT_EQ(cluster.aliveServers(), kServers);
+}
+
+TEST(JobBookkeeping, MisuseStillPanics)
+{
+    // The randomized loop never exercises the guard rails; pin them
+    // explicitly so a refactor can't silently drop them.
+    Cluster cluster(2, ServerSpec{}, ServerThermalParams{},
+                    PowerModel({}, 1.0));
+    EXPECT_DEATH(cluster.removeJob(0, WorkloadType::WebSearch),
+                 "no such job");
+    EXPECT_DEATH(cluster.addJob(9, WorkloadType::WebSearch),
+                 "out of range");
+    EXPECT_DEATH(cluster.setHealth(9, ServerHealth::Failed),
+                 "out of range");
+
+    // A failed server rejects new work through hasCapacity; addJob
+    // on it is a driver bug and must trip the panic.
+    cluster.setHealth(0, ServerHealth::Failed);
+    EXPECT_DEATH(cluster.addJob(0, WorkloadType::WebSearch), "full");
+}
+
+} // namespace
+} // namespace vmt

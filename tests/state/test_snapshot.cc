@@ -206,27 +206,11 @@ TEST(Snapshot, MissingFileThrows)
     EXPECT_THROW(SnapshotReader("/nonexistent-vmt.snap"), FatalError);
 }
 
-/**
- * The checked-in golden fixture pins the on-disk format: today's
- * writer must produce its exact bytes, and today's reader must parse
- * it. If this test fails because the format deliberately changed,
- * bump kSnapshotFormatVersion and regenerate the fixture by writing
- * goldenWriter().encode() to tests/state/data/golden_v1.snap.
- */
-TEST(Snapshot, GoldenFixtureIsByteStable)
+/** Shared checks on the golden payloads (identical in v1 and v2 —
+ *  section layouts did not change across the bump). */
+void
+expectGoldenPayloads(const SnapshotReader &reader)
 {
-    const std::string path =
-        std::string(VMT_TEST_DATA_DIR) + "/golden_v1.snap";
-    ASSERT_TRUE(fileExists(path))
-        << "golden fixture missing: " << path;
-    EXPECT_EQ(readFile(path), goldenWriter().encode());
-}
-
-TEST(Snapshot, GoldenFixtureParses)
-{
-    const SnapshotReader reader(std::string(VMT_TEST_DATA_DIR) +
-                                "/golden_v1.snap");
-    EXPECT_EQ(reader.version(), 1u);
     Deserializer conf = reader.section("CONF");
     EXPECT_EQ(conf.getU32(), 42u);
     EXPECT_EQ(conf.getDouble(), 35.7);
@@ -236,6 +220,44 @@ TEST(Snapshot, GoldenFixtureParses)
     for (std::uint8_t b = 0; b < 16; ++b)
         EXPECT_EQ(data.getU8(), b);
     data.expectEnd();
+}
+
+/**
+ * The checked-in golden fixture pins the on-disk format: today's
+ * writer must produce its exact bytes, and today's reader must parse
+ * it. If this test fails because the format deliberately changed,
+ * bump kSnapshotFormatVersion and regenerate the fixture by writing
+ * goldenWriter().encode() to tests/state/data/golden_v2.snap.
+ */
+TEST(Snapshot, GoldenFixtureIsByteStable)
+{
+    const std::string path =
+        std::string(VMT_TEST_DATA_DIR) + "/golden_v2.snap";
+    ASSERT_TRUE(fileExists(path))
+        << "golden fixture missing: " << path;
+    EXPECT_EQ(readFile(path), goldenWriter().encode());
+}
+
+TEST(Snapshot, GoldenFixtureParses)
+{
+    const SnapshotReader reader(std::string(VMT_TEST_DATA_DIR) +
+                                "/golden_v2.snap");
+    EXPECT_EQ(reader.version(), 2u);
+    expectGoldenPayloads(reader);
+}
+
+/**
+ * Backward compatibility: files written by v1 builds (before the
+ * fault layer's FALT section) must keep parsing — the version gate
+ * accepts [kSnapshotMinReadVersion, kSnapshotFormatVersion] and no
+ * v1 section changed its layout.
+ */
+TEST(Snapshot, V1FixtureStillParses)
+{
+    const SnapshotReader reader(std::string(VMT_TEST_DATA_DIR) +
+                                "/golden_v1.snap");
+    EXPECT_EQ(reader.version(), 1u);
+    expectGoldenPayloads(reader);
 }
 
 } // namespace

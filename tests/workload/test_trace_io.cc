@@ -65,6 +65,51 @@ TEST_F(TraceIoTest, RejectsMalformedRows)
     EXPECT_THROW(loadTraceCsv(path_), FatalError);
 }
 
+TEST_F(TraceIoTest, RejectsOutOfRangeUtilizationNamingTheRow)
+{
+    {
+        std::ofstream out(path_);
+        out << "# comment line\n";
+        out << "hour,utilization\n";
+        out << "0,0.5\n0.5,1.5\n1.0,0.7\n";
+    }
+    // The bad sample sits on physical line 4 of the file.
+    try {
+        loadTraceCsv(path_);
+        FAIL() << "accepted utilization 1.5";
+    } catch (const FatalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find(path_ + ":4"), std::string::npos) << what;
+        EXPECT_NE(what.find("1.5"), std::string::npos) << what;
+    }
+}
+
+TEST_F(TraceIoTest, RejectsNegativeAndNanUtilization)
+{
+    {
+        std::ofstream out(path_);
+        out << "hour,utilization\n0,-0.1\n0.5,0.5\n";
+    }
+    EXPECT_THROW(loadTraceCsv(path_), FatalError);
+    {
+        std::ofstream out(path_);
+        out << "hour,utilization\n0,nan\n0.5,0.5\n";
+    }
+    EXPECT_THROW(loadTraceCsv(path_), FatalError);
+}
+
+TEST_F(TraceIoTest, AcceptsTheClosedUnitInterval)
+{
+    {
+        std::ofstream out(path_);
+        out << "hour,utilization\n0,0\n0.5,1\n1.0,1.0\n";
+    }
+    const DiurnalTrace trace = loadTraceCsv(path_);
+    EXPECT_EQ(trace.size(), 3u);
+    EXPECT_DOUBLE_EQ(trace.trough(), 0.0);
+    EXPECT_DOUBLE_EQ(trace.peak(), 1.0);
+}
+
 TEST_F(TraceIoTest, RejectsNonUniformSampling)
 {
     {

@@ -21,6 +21,18 @@
  *   --inlet-stddev S     inlet variation sigma in K (default 0)
  *   --cooling-capacity W cooling plant capacity in watts (0 = inf)
  *   --trace FILE         load utilization trace CSV (hour,utilization)
+ *   --fault-plan FILE    scripted fault events (see docs: lines of
+ *                        "<hours> server-down <id>" / "server-up <id>"
+ *                        / "cooling-derate <K>" / "cooling-restore")
+ *   --fault-seed X       seed of the fault layer's private Rng
+ *                        (default 1)
+ *   --fault-mtbf H       stochastic failures: MTBF in hours at the
+ *                        reference temperature (0 = off, default)
+ *   --fault-repair H     stochastic-failure repair time in hours
+ *                        (default 4)
+ *   --critical-temp C    thermal-emergency threshold in Celsius; a
+ *                        server at or above it stops taking new jobs
+ *                        until it cools off (0 = off, default)
  *
  * run flags:
  *   --policy P           rr | cf | ta | wa | preserve | adaptive
@@ -95,6 +107,19 @@ configFromFlags(const Flags &flags)
         for (std::size_t i = 0; i < loaded.size(); ++i)
             config.traceSamples.push_back(loaded.utilization(i));
     }
+    if (flags.has("fault-plan"))
+        config.faults.plan =
+            FaultPlan::loadFile(flags.getString("fault-plan"));
+    config.faults.seed = static_cast<std::uint64_t>(
+        flags.getInt("fault-seed", 1));
+    config.faults.mtbf = flags.getDouble("fault-mtbf", 0.0);
+    if (config.faults.mtbf < 0.0)
+        fatal("vmtsim: --fault-mtbf must be >= 0 (0 = off)");
+    config.faults.repairTime = flags.getDouble("fault-repair", 4.0);
+    config.faults.criticalTemp =
+        flags.getDouble("critical-temp", 0.0);
+    if (config.faults.criticalTemp < 0.0)
+        fatal("vmtsim: --critical-temp must be >= 0 (0 = off)");
     return config;
 }
 
@@ -138,6 +163,21 @@ printSummary(const SimResult &r)
     std::printf("jobs placed       %llu (dropped %llu)\n",
                 static_cast<unsigned long long>(r.placedJobs),
                 static_cast<unsigned long long>(r.droppedJobs));
+    // Fault telemetry prints only when the run saw degraded modes,
+    // keeping clean-run output unchanged.
+    if (!r.aliveServers.empty() &&
+        (r.evacuatedJobs > 0 || r.lostJobs > 0 ||
+         r.criticalServerIntervals > 0 ||
+         r.aliveServers.trough() < r.aliveServers.peak())) {
+        std::printf("min alive servers %.0f\n",
+                    r.aliveServers.trough());
+        std::printf("jobs evacuated    %llu (lost %llu)\n",
+                    static_cast<unsigned long long>(r.evacuatedJobs),
+                    static_cast<unsigned long long>(r.lostJobs));
+        std::printf("critical srv-min  %llu\n",
+                    static_cast<unsigned long long>(
+                        r.criticalServerIntervals));
+    }
 }
 
 int
