@@ -14,6 +14,21 @@
 
 namespace vmt::bench {
 
+SweepObsHandles
+sweepObsHandles()
+{
+    obs::Observability &o = obs::globalObservability();
+    SweepObsHandles handles;
+    handles.points = o.metrics().counter(
+        "sweep.points_total", "Sweep points completed");
+    handles.fromManifest = o.metrics().counter(
+        "sweep.points_from_manifest_total",
+        "Sweep points served from a crash-resume manifest");
+    handles.point = o.profiler().phase("sweep_point");
+    handles.profiler = &o.profiler();
+    return handles;
+}
+
 std::string
 manifestPathFromEnv()
 {

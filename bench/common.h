@@ -18,12 +18,30 @@
 
 #include "core/vmt_ta.h"
 #include "core/vmt_wa.h"
+#include "obs/observability.h"
 #include "sim/simulation.h"
 #include "state/sweep_manifest.h"
 #include "util/thread_pool.h"
 #include "util/time_series.h"
 
 namespace vmt::bench {
+
+/**
+ * SweepRunner's handles on the global observability bundle:
+ * `sweep.points_total`, `sweep.points_from_manifest_total` and the
+ * `profile.phase.sweep_point` timer. Registered once per process
+ * (registration is idempotent).
+ */
+struct SweepObsHandles
+{
+    obs::CounterHandle points;
+    obs::CounterHandle fromManifest;
+    obs::PhaseId point;
+    obs::PhaseProfiler *profiler = nullptr;
+};
+
+/** Register (or look up) the handles above. */
+SweepObsHandles sweepObsHandles();
 
 /**
  * Parse the shared bench flags (--threads N, default VMT_THREADS /
@@ -74,8 +92,13 @@ class SweepRunner
             if (!manifestBase_.empty())
                 return mapWithManifest<R>(count, std::forward<Fn>(fn));
         }
-        return parallelMap<R>(pool_, count, 1,
-                              std::forward<Fn>(fn));
+        const SweepObsHandles obs = sweepObsHandles();
+        return parallelMap<R>(pool_, count, 1, [&](std::size_t i) {
+            obs::ScopedPhase timer(obs.profiler, obs.point);
+            R result = fn(i);
+            obs::globalObservability().metrics().inc(obs.points);
+            return result;
+        });
     }
 
     /** Evaluate fn(point) over explicit sweep points. */
@@ -94,15 +117,22 @@ class SweepRunner
     {
         SweepManifest manifest(nextSweepManifestPath(manifestBase_),
                                count, sizeof(R));
+        const SweepObsHandles obs = sweepObsHandles();
+        obs::MetricsRegistry &metrics =
+            obs::globalObservability().metrics();
         return parallelMap<R>(pool_, count, 1, [&](std::size_t i) {
             if (const std::vector<std::uint8_t> *bytes =
                     manifest.completed(i)) {
                 R result;
                 std::memcpy(&result, bytes->data(), sizeof(R));
+                metrics.inc(obs.points);
+                metrics.inc(obs.fromManifest);
                 return result;
             }
+            obs::ScopedPhase timer(obs.profiler, obs.point);
             R result = fn(i);
             manifest.record(i, &result, sizeof(R));
+            metrics.inc(obs.points);
             return result;
         });
     }

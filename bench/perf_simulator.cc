@@ -11,9 +11,11 @@
  * (substep/closed) at threads=1 and records the closed-form
  * hotpath_speedup, a checkpoint study times the same run with a
  * snapshot every 1,000 intervals to pin the checkpointing overhead,
- * and a fault study times the same run with the fault engine enabled
+ * a fault study times the same run with the fault engine enabled
  * on an empty plan vs disabled to pin the per-interval fault
- * bookkeeping overhead (budget: <= 3%).
+ * bookkeeping overhead (budget: <= 3%), and an observability study
+ * times the same run with the obs layer detached vs attached
+ * (metrics + profiler + telemetry all recording; budget: <= 3%).
  * All write into a machine-readable BENCH_sim.json so the perf
  * trajectory is tracked PR over PR.
  * Environment knobs:
@@ -35,6 +37,7 @@
 #include "common.h"
 #include "core/vmt_ta.h"
 #include "core/vmt_wa.h"
+#include "obs/observability.h"
 #include "sched/round_robin.h"
 #include "sim/datacenter_sim.h"
 #include "sim/simulation.h"
@@ -339,12 +342,66 @@ runFaultStudy(double hours, std::vector<FaultRow> &rows)
     setGlobalThreadCount(0);
 }
 
+/** One single-thread timing of the headline run with observability
+ *  detached or attached. */
+struct ObsRow
+{
+    bool enabled;
+    double wallSeconds;
+    double intervalsPerSec;
+    /** Wall-time increase over the detached baseline, percent. */
+    double overheadPct;
+};
+
+/**
+ * Observability-overhead study: the 1,000-server headline run at
+ * threads=1 with SimConfig::obs null versus attached to a fresh
+ * Observability — per interval that is ~15 metric updates, five
+ * phase timers and one telemetry sample + JSONL event line, the
+ * full recording cost without the (end-of-process) export I/O. The
+ * acceptance budget is <= 3%; detached must be indistinguishable
+ * from the pre-obs driver.
+ */
+void
+runObsStudy(double hours, std::vector<ObsRow> &rows)
+{
+    setGlobalThreadCount(1);
+    double baseline_seconds = 0.0;
+    for (const bool enabled : {false, true}) {
+        SimConfig config = bench::studyConfig(1000);
+        config.trace.duration = hours;
+        obs::Observability obs;
+        if (enabled)
+            config.obs = &obs;
+        const double seconds = wallSeconds([&] {
+            VmtWaScheduler sched(bench::studyVmt(22.0),
+                                 hotMaskFromPaper());
+            benchmark::DoNotOptimize(runSimulation(config, sched));
+        });
+        if (!enabled)
+            baseline_seconds = seconds;
+        const double overhead =
+            baseline_seconds > 0.0
+                ? 100.0 * (seconds - baseline_seconds) / baseline_seconds
+                : 0.0;
+        rows.push_back(
+            {enabled, seconds, hours * 60.0 / seconds, overhead});
+        std::printf("[obs] cluster1000 threads=1 obs=%-8s "
+                    "%7.2f s  %9.0f intervals/s  overhead %+.2f%%\n",
+                    enabled ? "attached" : "detached", seconds,
+                    rows.back().intervalsPerSec, overhead);
+        std::fflush(stdout);
+    }
+    setGlobalThreadCount(0);
+}
+
 void
 writeScalingJson(const std::string &path, double hours,
                  const std::vector<ScalingRow> &rows,
                  const std::vector<HotpathRow> &hotpath,
                  const std::vector<CheckpointRow> &checkpoint,
-                 const std::vector<FaultRow> &fault)
+                 const std::vector<FaultRow> &fault,
+                 const std::vector<ObsRow> &obs)
 {
     std::ofstream out(path);
     if (!out) {
@@ -395,6 +452,16 @@ writeScalingJson(const std::string &path, double hours,
             << ", \"intervals_per_sec\": " << r.intervalsPerSec
             << ", \"overhead_pct\": " << r.overheadPct << "}"
             << (i + 1 < fault.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"obs\": [\n";
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+        const ObsRow &r = obs[i];
+        out << "    {\"name\": \"cluster1000\", \"threads\": 1"
+            << ", \"obs\": \"" << (r.enabled ? "attached" : "detached")
+            << "\", \"wall_seconds\": " << r.wallSeconds
+            << ", \"intervals_per_sec\": " << r.intervalsPerSec
+            << ", \"overhead_pct\": " << r.overheadPct << "}"
+            << (i + 1 < obs.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::printf("[scaling] wrote %s\n", path.c_str());
@@ -457,8 +524,11 @@ runScalingStudy()
     std::vector<FaultRow> fault;
     runFaultStudy(hours, fault);
 
+    std::vector<ObsRow> obs_rows;
+    runObsStudy(hours, obs_rows);
+
     writeScalingJson(json_path, hours, rows, hotpath, checkpoint,
-                     fault);
+                     fault, obs_rows);
 }
 
 } // namespace

@@ -1,0 +1,25 @@
+#include "obs/phase_profiler.h"
+
+namespace vmt::obs {
+
+PhaseId
+PhaseProfiler::phase(const std::string &name)
+{
+    PhaseId id;
+    id.seconds = registry_.gauge(
+        "profile.phase." + name + ".seconds",
+        "accumulated wall seconds in the " + name + " phase");
+    id.calls =
+        registry_.counter("profile.phase." + name + ".calls",
+                          "times the " + name + " phase ran");
+    return id;
+}
+
+void
+PhaseProfiler::record(PhaseId id, double seconds)
+{
+    registry_.add(id.seconds, seconds);
+    registry_.inc(id.calls);
+}
+
+} // namespace vmt::obs

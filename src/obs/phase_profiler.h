@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Wall-clock phase profiler for the simulation driver and the thread
+ * pool: RAII scope timers that accumulate seconds and call counts
+ * into `profile.phase.<name>.{seconds,calls}` registry metrics.
+ *
+ * Everything the profiler writes lives under the `profile.` metric
+ * namespace, which is explicitly excluded from the determinism
+ * guarantees (wall time is never reproducible); the accumulation
+ * itself is relaxed-atomic, so timing scopes may close on pool
+ * worker threads.
+ */
+
+#ifndef VMT_OBS_PHASE_PROFILER_H
+#define VMT_OBS_PHASE_PROFILER_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace vmt::obs {
+
+/** Handle to a registered phase. */
+struct PhaseId
+{
+    GaugeHandle seconds;
+    CounterHandle calls;
+    bool valid() const { return seconds.valid(); }
+};
+
+/** Registers phases and accumulates their wall time. */
+class PhaseProfiler
+{
+  public:
+    explicit PhaseProfiler(MetricsRegistry &registry)
+        : registry_(registry)
+    {}
+
+    /**
+     * Register (or look up) a phase. Creates the metric pair
+     * `profile.phase.<name>.seconds` / `profile.phase.<name>.calls`.
+     */
+    PhaseId phase(const std::string &name);
+
+    /** Fold one timed invocation into a phase. */
+    void record(PhaseId id, double seconds);
+
+    double seconds(PhaseId id) const
+    {
+        return registry_.gaugeValue(id.seconds);
+    }
+
+    std::uint64_t calls(PhaseId id) const
+    {
+        return registry_.counterValue(id.calls);
+    }
+
+    MetricsRegistry &registry() { return registry_; }
+
+  private:
+    MetricsRegistry &registry_;
+};
+
+/**
+ * RAII scope timer. Null-safe: constructed with a null profiler it
+ * does nothing and never reads the clock, which is what keeps the
+ * disabled-observability driver at zero overhead.
+ */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(PhaseProfiler *profiler, PhaseId id)
+        : profiler_(profiler), id_(id)
+    {
+        if (profiler_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedPhase()
+    {
+        if (!profiler_)
+            return;
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start_;
+        profiler_->record(id_, elapsed.count());
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    PhaseProfiler *profiler_;
+    PhaseId id_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace vmt::obs
+
+#endif // VMT_OBS_PHASE_PROFILER_H

@@ -1,0 +1,212 @@
+#include "obs/run_telemetry.h"
+
+#include "state/serializer.h"
+#include "util/atomic_file.h"
+#include "util/logging.h"
+
+namespace vmt::obs {
+
+namespace {
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::Counter:
+        return "counter";
+    case MetricKind::Gauge:
+        return "gauge";
+    case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "unknown";
+}
+
+std::string
+jsonString(const std::string &value)
+{
+    std::string out = "\"";
+    for (const char c : value) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+saveSeries(Serializer &out, const TimeSeries &series)
+{
+    out.putDouble(series.period());
+    out.putSize(series.size());
+    for (const double value : series.values())
+        out.putDouble(value);
+}
+
+void
+loadSeries(Deserializer &in, TimeSeries &series,
+           std::size_t expected, const char *what)
+{
+    const Seconds period = in.getDouble();
+    series = TimeSeries(period);
+    const std::size_t count = in.getSize();
+    if (count != expected)
+        fatal("snapshot telemetry series '" + std::string(what) +
+              "' has " + std::to_string(count) +
+              " samples, expected " + std::to_string(expected));
+    for (std::size_t i = 0; i < count; ++i)
+        series.add(in.getDouble());
+}
+
+} // namespace
+
+RunTelemetry::RunTelemetry()
+    : interval_(kMinute),
+      coolingLoad_(kMinute),
+      maxAirTemp_(kMinute),
+      meanAirTemp_(kMinute),
+      hotGroupSize_(kMinute),
+      meltFraction_(kMinute),
+      evacuatedJobs_(kMinute),
+      lostJobs_(kMinute)
+{}
+
+void
+RunTelemetry::beginRun(const std::string &scheduler,
+                       std::size_t servers, std::size_t intervals,
+                       Seconds interval)
+{
+    if (interval <= 0.0)
+        fatal("RunTelemetry: interval must be positive");
+    interval_ = interval;
+    coolingLoad_ = TimeSeries(interval);
+    maxAirTemp_ = TimeSeries(interval);
+    meanAirTemp_ = TimeSeries(interval);
+    hotGroupSize_ = TimeSeries(interval);
+    meltFraction_ = TimeSeries(interval);
+    evacuatedJobs_ = TimeSeries(interval);
+    lostJobs_ = TimeSeries(interval);
+    events_ += "{\"type\":\"run\",\"scheduler\":" +
+               jsonString(scheduler) +
+               ",\"servers\":" + std::to_string(servers) +
+               ",\"intervals\":" + std::to_string(intervals) +
+               ",\"interval_s\":" + formatMetricNumber(interval) +
+               "}\n";
+}
+
+void
+RunTelemetry::appendSeries(const IntervalSample &sample)
+{
+    coolingLoad_.add(sample.coolingLoad);
+    maxAirTemp_.add(sample.maxAirTemp);
+    meanAirTemp_.add(sample.meanAirTemp);
+    hotGroupSize_.add(sample.hotGroupSize);
+    meltFraction_.add(sample.meltFraction);
+    evacuatedJobs_.add(static_cast<double>(sample.evacuatedJobs));
+    lostJobs_.add(static_cast<double>(sample.lostJobs));
+}
+
+void
+RunTelemetry::record(const IntervalSample &sample)
+{
+    appendSeries(sample);
+    const double hours =
+        secondsToHours(static_cast<double>(sample.interval) *
+                       interval_);
+    events_ +=
+        "{\"type\":\"interval\",\"index\":" +
+        std::to_string(sample.interval) +
+        ",\"hours\":" + formatMetricNumber(hours) +
+        ",\"cooling_load_w\":" +
+        formatMetricNumber(sample.coolingLoad) +
+        ",\"max_air_temp_c\":" +
+        formatMetricNumber(sample.maxAirTemp) +
+        ",\"mean_air_temp_c\":" +
+        formatMetricNumber(sample.meanAirTemp) +
+        ",\"hot_group_size\":" +
+        formatMetricNumber(sample.hotGroupSize) +
+        ",\"melt_fraction\":" +
+        formatMetricNumber(sample.meltFraction) +
+        ",\"evacuated_jobs\":" + std::to_string(sample.evacuatedJobs) +
+        ",\"lost_jobs\":" + std::to_string(sample.lostJobs) + "}\n";
+}
+
+void
+RunTelemetry::endRun(const std::vector<MetricValue> &metrics)
+{
+    const auto seriesTotal = [](const TimeSeries &series) {
+        double total = 0.0;
+        for (const double value : series.values())
+            total += value;
+        return total;
+    };
+    events_ += "{\"type\":\"summary\",\"intervals\":" +
+               std::to_string(coolingLoad_.size()) +
+               ",\"peak_cooling_load_w\":" +
+               formatMetricNumber(coolingLoad_.peak()) +
+               ",\"max_air_temp_c\":" +
+               formatMetricNumber(maxAirTemp_.peak()) +
+               ",\"evacuated_jobs\":" +
+               formatMetricNumber(seriesTotal(evacuatedJobs_)) +
+               ",\"lost_jobs\":" +
+               formatMetricNumber(seriesTotal(lostJobs_)) + "}\n";
+    for (const MetricValue &metric : metrics) {
+        events_ += "{\"type\":\"metric\",\"name\":" +
+                   jsonString(metric.name) + ",\"kind\":\"" +
+                   metricKindName(metric.kind) + "\",\"values\":[";
+        for (std::size_t i = 0; i < metric.values.size(); ++i) {
+            if (i > 0)
+                events_ += ",";
+            events_ += formatMetricNumber(metric.values[i]);
+        }
+        events_ += "]}\n";
+    }
+}
+
+void
+RunTelemetry::writeJsonl(const std::string &path) const
+{
+    try {
+        atomicWriteFile(path, events_.data(), events_.size());
+    } catch (const FatalError &) {
+        fatal("RunTelemetry: cannot write trace events to " + path);
+    }
+}
+
+void
+RunTelemetry::saveState(Serializer &out) const
+{
+    saveSeries(out, coolingLoad_);
+    saveSeries(out, maxAirTemp_);
+    saveSeries(out, meanAirTemp_);
+    saveSeries(out, hotGroupSize_);
+    saveSeries(out, meltFraction_);
+    saveSeries(out, evacuatedJobs_);
+    saveSeries(out, lostJobs_);
+    out.putString(events_);
+}
+
+void
+RunTelemetry::loadState(Deserializer &in, std::size_t completed)
+{
+    loadSeries(in, coolingLoad_, completed, "coolingLoad");
+    loadSeries(in, maxAirTemp_, completed, "maxAirTemp");
+    loadSeries(in, meanAirTemp_, completed, "meanAirTemp");
+    loadSeries(in, hotGroupSize_, completed, "hotGroupSize");
+    loadSeries(in, meltFraction_, completed, "meltFraction");
+    loadSeries(in, evacuatedJobs_, completed, "evacuatedJobs");
+    loadSeries(in, lostJobs_, completed, "lostJobs");
+    interval_ = coolingLoad_.period();
+    events_ = in.getString();
+}
+
+void
+RunTelemetry::padMissing(std::size_t completed)
+{
+    IntervalSample zero;
+    for (std::size_t i = intervalsRecorded(); i < completed; ++i)
+        appendSeries(zero);
+}
+
+} // namespace vmt::obs

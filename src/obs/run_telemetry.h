@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Per-interval run telemetry: the mid-run window into a simulation
+ * that the final SimResult cannot give. Records the paper-style
+ * series (cooling load, peak/mean air temperature, hot-group size,
+ * melt fraction, evacuated/lost jobs) as TimeSeries, and appends one
+ * JSONL event line per interval to an in-memory event log that
+ * `--trace-events PATH` flushes through atomic_file at exit.
+ *
+ * Everything here is recorded on the driver thread and is bitwise
+ * deterministic across thread counts; the telemetry state (series
+ * and event log) round-trips through the snapshot OBSV section so a
+ * resumed run finishes with identical telemetry.
+ */
+
+#ifndef VMT_OBS_RUN_TELEMETRY_H
+#define VMT_OBS_RUN_TELEMETRY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "util/time_series.h"
+#include "util/units.h"
+
+namespace vmt {
+
+class Serializer;
+class Deserializer;
+
+namespace obs {
+
+/** One interval's telemetry, recorded after the thermal step. */
+struct IntervalSample
+{
+    /** Interval index within the run. */
+    std::size_t interval = 0;
+    /** Cluster cooling load (W). */
+    Watts coolingLoad = 0.0;
+    /** Hottest per-server air temperature this interval. */
+    Celsius maxAirTemp = 0.0;
+    /** Mean air-at-wax temperature. */
+    Celsius meanAirTemp = 0.0;
+    /** Hot group size (0 for group-less baselines). */
+    double hotGroupSize = 0.0;
+    /** Mean ground-truth melt fraction. */
+    double meltFraction = 0.0;
+    /** Jobs evacuated off failed servers *this interval*. */
+    std::uint64_t evacuatedJobs = 0;
+    /** Jobs lost to failed servers *this interval*. */
+    std::uint64_t lostJobs = 0;
+};
+
+/** Series recorder plus JSONL event log for one run at a time. */
+class RunTelemetry
+{
+  public:
+    RunTelemetry();
+
+    /**
+     * Start a new run: reset the per-run series to @p interval
+     * sampling and append a `run` event line. The event log itself
+     * persists across runs (it is a stream).
+     */
+    void beginRun(const std::string &scheduler, std::size_t servers,
+                  std::size_t intervals, Seconds interval);
+
+    /** Record one interval (appends series samples and one
+     *  `interval` event line). */
+    void record(const IntervalSample &sample);
+
+    /**
+     * Finish the run: append a `summary` event line and one `metric`
+     * line per entry of @p metrics (callers pass the non-`profile.`
+     * snapshot so the log stays deterministic).
+     */
+    void endRun(const std::vector<MetricValue> &metrics);
+
+    const TimeSeries &coolingLoad() const { return coolingLoad_; }
+    const TimeSeries &maxAirTemp() const { return maxAirTemp_; }
+    const TimeSeries &meanAirTemp() const { return meanAirTemp_; }
+    const TimeSeries &hotGroupSize() const { return hotGroupSize_; }
+    const TimeSeries &meltFraction() const { return meltFraction_; }
+    const TimeSeries &evacuatedJobs() const { return evacuatedJobs_; }
+    const TimeSeries &lostJobs() const { return lostJobs_; }
+
+    /** Number of intervals recorded in the current run. */
+    std::size_t intervalsRecorded() const
+    {
+        return coolingLoad_.size();
+    }
+
+    /** The JSONL event log accumulated so far. */
+    const std::string &eventLog() const { return events_; }
+
+    /** Atomic JSONL dump. @throws FatalError naming @p path when the
+     *  file cannot be written. */
+    void writeJsonl(const std::string &path) const;
+
+    /** Serialize the current run's series and the event log. */
+    void saveState(Serializer &out) const;
+
+    /** Restore state saved after @p completed intervals; series
+     *  lengths are verified against it. */
+    void loadState(Deserializer &in, std::size_t completed);
+
+    /**
+     * Resume fallback when the snapshot has no OBSV section: pad
+     * every series with zeros for the @p completed prefix so the
+     * series stay aligned with the interval index. The event log
+     * keeps only the current run header.
+     */
+    void padMissing(std::size_t completed);
+
+  private:
+    void appendSeries(const IntervalSample &sample);
+
+    Seconds interval_;
+    TimeSeries coolingLoad_;
+    TimeSeries maxAirTemp_;
+    TimeSeries meanAirTemp_;
+    TimeSeries hotGroupSize_;
+    TimeSeries meltFraction_;
+    TimeSeries evacuatedJobs_;
+    TimeSeries lostJobs_;
+    std::string events_;
+};
+
+} // namespace obs
+} // namespace vmt
+
+#endif // VMT_OBS_RUN_TELEMETRY_H

@@ -36,6 +36,10 @@ runDatacenter(const DatacenterSimConfig &config,
     result.clusterPhaseOffsets.reserve(config.numClusters);
     for (std::size_t c = 0; c < config.numClusters; ++c) {
         SimConfig cluster_cfg = config.cluster;
+        // One Observability cannot serve concurrent cluster runs
+        // (beginRun resets the shared telemetry); the fan-out always
+        // runs uninstrumented.
+        cluster_cfg.obs = nullptr;
         cluster_cfg.seed = config.cluster.seed + 1000 * (c + 1);
         cluster_cfg.trace.seed = config.cluster.trace.seed + c;
         cluster_cfg.trace.phaseOffset =

@@ -6,6 +6,7 @@
 
 #include "cooling/cooling_system.h"
 #include "fault/fault_engine.h"
+#include "obs/observability.h"
 #include "sim/interval_queue.h"
 #include "thermal/inlet_model.h"
 #include "util/logging.h"
@@ -13,6 +14,90 @@
 #include "workload/job_generator.h"
 
 namespace vmt {
+
+namespace {
+
+/**
+ * The driver's metric/phase handles, resolved once per run
+ * (registration is idempotent, so reusing an Observability across
+ * runs hands back the same slots). Default-constructed handles are
+ * invalid and never touched: the disabled path checks the
+ * Observability pointer before recording, and ScopedPhase with a null
+ * profiler never reads the clock.
+ */
+struct DriverObs
+{
+    obs::PhaseId phaseFault;
+    obs::PhaseId phaseArrivals;
+    obs::PhaseId phasePlacement;
+    obs::PhaseId phaseThermal;
+    obs::PhaseId phaseCheckpoint;
+    obs::CounterHandle intervals;
+    obs::CounterHandle placed;
+    obs::CounterHandle dropped;
+    obs::CounterHandle evacuated;
+    obs::CounterHandle lost;
+    obs::CounterHandle migrations;
+    obs::GaugeHandle coolingLoad;
+    obs::GaugeHandle totalPower;
+    obs::GaugeHandle meanAirTemp;
+    obs::GaugeHandle meltFraction;
+    obs::GaugeHandle aliveServers;
+    obs::GaugeHandle peakCoolingLoad;
+    obs::GaugeHandle peakPower;
+    obs::GaugeHandle maxAirTemp;
+    obs::HistogramHandle airTempHist;
+    obs::HistogramHandle utilizationHist;
+
+    void registerAll(obs::Observability &o)
+    {
+        obs::PhaseProfiler &prof = o.profiler();
+        phaseFault = prof.phase("fault");
+        phaseArrivals = prof.phase("arrivals");
+        phasePlacement = prof.phase("placement");
+        phaseThermal = prof.phase("thermal");
+        phaseCheckpoint = prof.phase("checkpoint");
+
+        obs::MetricsRegistry &m = o.metrics();
+        intervals = m.counter("sim.intervals_total",
+                              "Simulation intervals completed");
+        placed = m.counter("sim.jobs.placed_total", "Jobs placed");
+        dropped = m.counter("sim.jobs.dropped_total",
+                            "Jobs that could not be placed");
+        evacuated = m.counter("sim.jobs.evacuated_total",
+                              "Jobs re-placed off failed servers");
+        lost = m.counter("sim.jobs.lost_total",
+                         "Jobs lost to server failures");
+        migrations = m.counter("sim.jobs.migrations_total",
+                               "Live migrations executed");
+        coolingLoad = m.gauge("sim.cooling_load_watts",
+                              "Cooling load of the last interval (W)");
+        totalPower = m.gauge("sim.total_power_watts",
+                             "Cluster electrical power (W)");
+        meanAirTemp = m.gauge("sim.mean_air_temp_celsius",
+                              "Mean air-at-wax temperature (C)");
+        meltFraction = m.gauge("sim.melt_fraction",
+                               "Mean ground-truth melt fraction");
+        aliveServers = m.gauge("sim.alive_servers",
+                               "Servers not in the Failed state");
+        peakCoolingLoad =
+            m.gauge("sim.peak_cooling_load_watts",
+                    "Smoothed peak cooling load, set at end of run");
+        peakPower = m.gauge("sim.peak_power_watts",
+                            "Peak electrical power, set at end of run");
+        maxAirTemp =
+            m.gauge("sim.max_air_temp_celsius",
+                    "Hottest air temperature seen across the run");
+        airTempHist = m.histogram(
+            "sim.air_temp_celsius", {25.0, 30.0, 35.0, 40.0, 45.0, 50.0},
+            "Per-interval hottest air temperature (C)");
+        utilizationHist = m.histogram(
+            "sim.utilization", {0.25, 0.5, 0.75, 0.9},
+            "Per-interval realized cluster utilization");
+    }
+};
+
+} // namespace
 
 SimResult::SimResult()
     : coolingLoad(kMinute),
@@ -127,10 +212,25 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
     if (config.faults.enabled())
         faults.emplace(config.faults, config.numServers);
 
+    // Observability: register the driver's handles and open the run
+    // *before* the restore hook, so a snapshot OBSV section finds its
+    // registrations in place. A null config.obs leaves `prof` null and
+    // every recording site below compiled out to a pointer test.
+    obs::Observability *const o = config.obs;
+    DriverObs dobs;
+    obs::PhaseProfiler *prof = nullptr;
+    if (o) {
+        dobs.registerAll(*o);
+        prof = &o->profiler();
+        o->beginRun(scheduler.name(), config.numServers, trace.size(),
+                    config.interval);
+    }
+
     SimState state{config,       trace.size(), cluster,   generator,
                    scheduler,    departures,   slots,     free_slots,
                    jobs_at,      result,       prev_cooling_load,
-                   faults ? &*faults : nullptr};
+                   faults ? &*faults : nullptr,
+                   o};
 
     // Resume: skip intervals a snapshot already covers. The hook
     // rebuilds every structure above in place; everything not restored
@@ -146,6 +246,16 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
     // a *change* re-pushes below (and per-server CLUS state restores
     // the applied value on resume).
     Kelvin applied_supply_rise = faults ? faults->supplyRise() : 0.0;
+
+    // Job-accounting totals as of the last recorded interval, so the
+    // per-interval counters/telemetry record deltas. Read after the
+    // restore hook: on resume these start at the snapshot's totals
+    // and the (restored) metric counters carry the prefix.
+    std::uint64_t obs_prev_placed = result.placedJobs;
+    std::uint64_t obs_prev_dropped = result.droppedJobs;
+    std::uint64_t obs_prev_evacuated = result.evacuatedJobs;
+    std::uint64_t obs_prev_lost = result.lostJobs;
+    std::uint64_t obs_prev_migrations = result.migrations;
 
     for (std::size_t interval = first_interval;
          interval < trace.size(); ++interval) {
@@ -170,9 +280,11 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
         // outages/repairs, cooling derates, stochastic draws,
         // thermal-emergency quarantine).
         std::vector<std::size_t> evacuating;
-        if (faults)
+        if (faults) {
+            obs::ScopedPhase timer(prof, dobs.phaseFault);
             evacuating = faults->beginInterval(cluster, now,
                                                config.interval);
+        }
 
         // 2. Refresh per-interval scheduler state (wax scans etc.)
         // and execute the policy's migration wishes, bounded by the
@@ -247,28 +359,36 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
         for (WorkloadType type : kAllWorkloads)
             active[workloadIndex(type)] =
                 cluster.activeCounts()[workloadIndex(type)];
-        generator.arrivalsFor(interval, active, arrivals);
-        for (const Job &job : arrivals) {
-            const std::size_t id = scheduler.placeJob(cluster, job);
-            if (id == kNoServer) {
-                ++result.droppedJobs;
-                continue;
+        {
+            obs::ScopedPhase timer(prof, dobs.phaseArrivals);
+            generator.arrivalsFor(interval, active, arrivals);
+        }
+        {
+            obs::ScopedPhase timer(prof, dobs.phasePlacement);
+            for (const Job &job : arrivals) {
+                const std::size_t id =
+                    scheduler.placeJob(cluster, job);
+                if (id == kNoServer) {
+                    ++result.droppedJobs;
+                    continue;
+                }
+                cluster.addJob(id, job.type);
+                auto &ids = jobs_at[id][workloadIndex(job.type)];
+                const auto pos =
+                    static_cast<std::uint32_t>(ids.size());
+                std::uint32_t slot;
+                if (!free_slots.empty()) {
+                    slot = free_slots.back();
+                    free_slots.pop_back();
+                    slots[slot] = SimActiveJob{id, job.type, pos};
+                } else {
+                    slot = static_cast<std::uint32_t>(slots.size());
+                    slots.push_back(SimActiveJob{id, job.type, pos});
+                }
+                ids.push_back(slot);
+                departures.schedule(now + job.duration, slot);
+                ++result.placedJobs;
             }
-            cluster.addJob(id, job.type);
-            auto &ids = jobs_at[id][workloadIndex(job.type)];
-            const auto pos = static_cast<std::uint32_t>(ids.size());
-            std::uint32_t slot;
-            if (!free_slots.empty()) {
-                slot = free_slots.back();
-                free_slots.pop_back();
-                slots[slot] = SimActiveJob{id, job.type, pos};
-            } else {
-                slot = static_cast<std::uint32_t>(slots.size());
-                slots.push_back(SimActiveJob{id, job.type, pos});
-            }
-            ids.push_back(slot);
-            departures.schedule(now + job.duration, slot);
-            ++result.placedJobs;
         }
 
         // 4. Cooling-plant feedback: an overloaded plant cannot hold
@@ -303,8 +423,12 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
         result.inletTemp.add(inlet);
 
         // 5. Advance thermal state across the interval and record.
-        const ClusterSample sample = cluster.stepThermal(
-            config.interval, config.overheatTemp);
+        ClusterSample sample;
+        {
+            obs::ScopedPhase timer(prof, dobs.phaseThermal);
+            sample = cluster.stepThermal(config.interval,
+                                         config.overheatTemp);
+        }
         prev_cooling_load = sample.coolingLoad;
         result.maxAirTemp =
             std::max(result.maxAirTemp, sample.maxAirTemp);
@@ -316,9 +440,10 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
         result.waxHeatFlow.add(sample.waxHeatFlow);
         result.meanAirTemp.add(sample.meanAirTemp);
         result.meanMeltFraction.add(sample.meanMeltFraction);
-        result.utilization.add(
+        const double utilization_now =
             static_cast<double>(cluster.busyCores()) /
-            static_cast<double>(cluster.totalCores()));
+            static_cast<double>(cluster.totalCores());
+        result.utilization.add(utilization_now);
         result.aliveServers.add(
             static_cast<double>(cluster.aliveServers()));
         if (faults && config.faults.criticalTemp > 0.0) {
@@ -336,6 +461,49 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
             hot && *hot > 0 ? cluster.meanAirTemp(*hot)
                             : sample.meanAirTemp);
 
+        // Observability: fold this interval into the metrics and the
+        // telemetry series *before* the checkpoint hook runs, so a
+        // snapshot written at `interval + 1` carries it.
+        if (o) {
+            obs::MetricsRegistry &m = o->metrics();
+            m.inc(dobs.intervals);
+            m.inc(dobs.placed, result.placedJobs - obs_prev_placed);
+            m.inc(dobs.dropped,
+                  result.droppedJobs - obs_prev_dropped);
+            m.inc(dobs.evacuated,
+                  result.evacuatedJobs - obs_prev_evacuated);
+            m.inc(dobs.lost, result.lostJobs - obs_prev_lost);
+            m.inc(dobs.migrations,
+                  result.migrations - obs_prev_migrations);
+            m.set(dobs.coolingLoad, sample.coolingLoad);
+            m.set(dobs.totalPower, sample.totalPower);
+            m.set(dobs.meanAirTemp, sample.meanAirTemp);
+            m.set(dobs.meltFraction, sample.meanMeltFraction);
+            m.set(dobs.aliveServers,
+                  static_cast<double>(cluster.aliveServers()));
+            m.observe(dobs.airTempHist, sample.maxAirTemp);
+            m.observe(dobs.utilizationHist, utilization_now);
+
+            obs::IntervalSample telem;
+            telem.interval = interval;
+            telem.coolingLoad = sample.coolingLoad;
+            telem.maxAirTemp = sample.maxAirTemp;
+            telem.meanAirTemp = sample.meanAirTemp;
+            telem.hotGroupSize =
+                static_cast<double>(hot.value_or(0));
+            telem.meltFraction = sample.meanMeltFraction;
+            telem.evacuatedJobs =
+                result.evacuatedJobs - obs_prev_evacuated;
+            telem.lostJobs = result.lostJobs - obs_prev_lost;
+            o->telemetry().record(telem);
+
+            obs_prev_placed = result.placedJobs;
+            obs_prev_dropped = result.droppedJobs;
+            obs_prev_evacuated = result.evacuatedJobs;
+            obs_prev_lost = result.lostJobs;
+            obs_prev_migrations = result.migrations;
+        }
+
         if (config.recordHeatmaps) {
             for (std::size_t id = 0; id < config.numServers; ++id) {
                 const Server &srv = cluster.server(id);
@@ -348,14 +516,24 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
         if (observer)
             observer(cluster, interval);
 
-        if (config.checkpointHook)
+        if (config.checkpointHook) {
+            obs::ScopedPhase timer(prof, dobs.phaseCheckpoint);
             config.checkpointHook(state, interval + 1);
+        }
     }
 
     result.peakCoolingLoad =
         result.coolingLoad.smoothedPeak(config.peakWindow);
     result.peakPower = result.totalPower.smoothedPeak(config.peakWindow);
     result.maxMeltFraction = result.meanMeltFraction.peak();
+
+    if (o) {
+        obs::MetricsRegistry &m = o->metrics();
+        m.set(dobs.peakCoolingLoad, result.peakCoolingLoad);
+        m.set(dobs.peakPower, result.peakPower);
+        m.set(dobs.maxAirTemp, result.maxAirTemp);
+        o->endRun();
+    }
     return result;
 }
 

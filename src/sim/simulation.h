@@ -35,6 +35,10 @@
 
 namespace vmt {
 
+namespace obs {
+class Observability;
+} // namespace obs
+
 struct SimState;
 class FaultEngine;
 
@@ -113,6 +117,17 @@ struct SimConfig
      * skip. Install via attachCheckpointing(); empty = start at 0.
      */
     std::function<std::size_t(SimState &)> restoreHook;
+
+    /**
+     * Observability sink (src/obs/): metrics registry, phase profiler
+     * and per-interval run telemetry. Null (the default) runs the
+     * exact pre-observability code path — no clock reads, no metric
+     * updates. The driver calls beginRun()/endRun() itself; attach a
+     * long-lived instance (e.g. obs::globalObservability()) and export
+     * after the run. Serialized into the optional OBSV snapshot
+     * section when checkpointing is attached.
+     */
+    obs::Observability *obs = nullptr;
 };
 
 /** Series and aggregates from one run. */
@@ -224,6 +239,9 @@ struct SimState
     /** Fault engine when SimConfig::faults is enabled, else null.
      *  Serialized into the snapshot FALT section (format v2). */
     FaultEngine *faults;
+    /** Observability layer when SimConfig::obs is attached, else
+     *  null. Serialized into the optional OBSV snapshot section. */
+    obs::Observability *obs;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "fault/fault_engine.h"
+#include "obs/observability.h"
 #include "state/snapshot.h"
 #include "thermal/pcm.h"
 #include "util/logging.h"
@@ -210,6 +211,12 @@ saveSnapshot(const SimState &state, std::size_t completed,
     falt.putU64(result.lostJobs);
     falt.putU64(result.criticalServerIntervals);
 
+    // OBSV (optional): metric values + run telemetry, written only
+    // when the run carries an observability layer. Still format v2 —
+    // readers treat a missing section as "run without observability".
+    if (state.obs)
+        state.obs->saveState(writer.section("OBSV"));
+
     writer.write(path);
 }
 
@@ -390,6 +397,19 @@ loadSnapshot(SimState &state, const std::string &path)
         result.evacuatedJobs = 0;
         result.lostJobs = 0;
         result.criticalServerIntervals = 0;
+    }
+
+    if (state.obs) {
+        if (reader.has("OBSV")) {
+            Deserializer obsv = reader.section("OBSV");
+            state.obs->loadState(obsv, completed);
+            obsv.expectEnd();
+        } else {
+            // Snapshot written without observability attached (or
+            // predating the layer): resume anyway with a zero-filled
+            // telemetry prefix rather than refusing the restore.
+            state.obs->acceptMissingState(completed);
+        }
     }
 
     return completed;

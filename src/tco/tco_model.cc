@@ -32,8 +32,10 @@ TcoModel::baselineCoolingCost() const
 Dollars
 TcoModel::savingsFromReduction(double reduction) const
 {
-    if (reduction < 0.0 || reduction >= 1.0)
-        fatal("savingsFromReduction requires reduction in [0, 1)");
+    // Closed interval: a 100% reduction is a degenerate but valid
+    // input (the whole cooling budget saved), not an error.
+    if (reduction < 0.0 || reduction > 1.0)
+        fatal("savingsFromReduction requires reduction in [0, 1]");
     return baselineCoolingCost() * reduction;
 }
 

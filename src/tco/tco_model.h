@@ -46,7 +46,8 @@ class TcoModel
     /** Lifetime cost of the full-subscription cooling system. */
     Dollars baselineCoolingCost() const;
 
-    /** Gross lifetime savings from a fractional peak reduction. */
+    /** Gross lifetime savings from a fractional peak reduction in
+     *  the closed interval [0, 1]. */
     Dollars savingsFromReduction(double reduction) const;
 
     /** One server's commercial-wax fill cost. */

@@ -1,12 +1,14 @@
 #include "util/flags.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/logging.h"
 
 namespace vmt {
 
-Flags::Flags(int argc, const char *const *argv)
+Flags::Flags(int argc, const char *const *argv,
+             const std::set<std::string> &boolean_names)
 {
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -20,8 +22,10 @@ Flags::Flags(int argc, const char *const *argv)
         if (eq != std::string::npos) {
             value = name.substr(eq + 1);
             name = name.substr(0, eq);
-        } else if (i + 1 < argc &&
+        } else if (boolean_names.count(name) == 0 && i + 1 < argc &&
                    std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            // Registered booleans never take a separate value token:
+            // `--verbose trace.csv` must leave trace.csv positional.
             value = argv[++i];
         } else {
             value = "true"; // Bare boolean flag.
@@ -72,12 +76,24 @@ Flags::getDouble(const std::string &name, double fallback) const
 long long
 Flags::getInt(const std::string &name, long long fallback) const
 {
-    const double value =
-        getDouble(name, static_cast<double>(fallback));
-    const auto integral = static_cast<long long>(value);
-    if (static_cast<double>(integral) != value)
-        fatal("Flags: --" + name + " expects an integer");
-    return integral;
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    read_[name] = true;
+    // strtoll, not strtod: parsing through double would accept
+    // scientific notation ('1e3') and silently round values above
+    // 2^53.
+    char *end = nullptr;
+    errno = 0;
+    const long long value =
+        std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("Flags: --" + name + " expects an integer, got '" +
+              it->second + "'");
+    if (errno == ERANGE)
+        fatal("Flags: --" + name + " is out of integer range: '" +
+              it->second + "'");
+    return value;
 }
 
 bool

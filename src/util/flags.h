@@ -9,6 +9,7 @@
 #define VMT_UTIL_FLAGS_H
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -19,11 +20,20 @@ class Flags
 {
   public:
     /**
-     * Parse argv. Flags start with "--"; a flag followed by another
-     * flag or nothing is treated as boolean true.
+     * Parse argv. Flags start with "--" and take their value from
+     * `--name=value`, or from the next token when that token is not
+     * itself a flag; otherwise the flag is boolean true.
+     *
+     * @param boolean_names Flags known to take no value. These never
+     *        consume the next token, so `--verbose trace.csv` leaves
+     *        `trace.csv` positional instead of swallowing it as the
+     *        value of --verbose (`--verbose=false` still works).
+     *        Tokens like `-5` are values, not flags — only a leading
+     *        "--" marks a flag, so `--offset -5` parses as expected.
      * @throws FatalError on malformed input (e.g. empty flag name).
      */
-    Flags(int argc, const char *const *argv);
+    Flags(int argc, const char *const *argv,
+          const std::set<std::string> &boolean_names = {});
 
     /** True when the flag appeared at all. */
     bool has(const std::string &name) const;
@@ -38,7 +48,13 @@ class Flags
      */
     double getDouble(const std::string &name, double fallback) const;
 
-    /** Integer value (rejects fractional input). */
+    /**
+     * Integer value, parsed as an integer (not via double, so values
+     * above 2^53 are exact and scientific notation like `1e3` is
+     * rejected).
+     * @throws FatalError when present but not a decimal integer, or
+     *         out of long long range.
+     */
     long long getInt(const std::string &name,
                      long long fallback) const;
 

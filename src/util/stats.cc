@@ -38,6 +38,20 @@ RunningStats::stddev() const
 }
 
 double
+RunningStats::sampleVariance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::sampleStddev() const
+{
+    return std::sqrt(sampleVariance());
+}
+
+double
 percentile(std::vector<double> values, double p)
 {
     if (values.empty())

@@ -33,11 +33,24 @@ class RunningStats
     /** Largest sample (0 when empty). */
     double max() const { return count_ ? max_ : 0.0; }
 
-    /** Population variance (0 for fewer than two samples). */
+    /**
+     * Population variance, i.e. M2 / n (0 for fewer than two
+     * samples). This treats the samples as the whole population —
+     * the right choice for the simulator's use, where a series *is*
+     * the complete run. Use sampleVariance() for the unbiased
+     * estimator when the samples are a draw from something larger.
+     */
     double variance() const;
 
-    /** Population standard deviation. */
+    /** Population standard deviation, sqrt(variance()). */
     double stddev() const;
+
+    /** Unbiased sample variance, M2 / (n - 1) (0 for fewer than two
+     *  samples). */
+    double sampleVariance() const;
+
+    /** Sample standard deviation, sqrt(sampleVariance()). */
+    double sampleStddev() const;
 
   private:
     std::size_t count_ = 0;

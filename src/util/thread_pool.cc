@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -14,6 +15,11 @@ namespace {
 
 /** Set while a thread is executing a pool task. */
 thread_local bool tls_inside_worker = false;
+
+/** Process-wide task telemetry (see ThreadPool::taskStats). Stored
+ *  in integer nanoseconds so accumulation is a plain atomic add. */
+std::atomic<std::uint64_t> g_tasks_run{0};
+std::atomic<std::uint64_t> g_task_busy_ns{0};
 
 } // namespace
 
@@ -58,6 +64,18 @@ ThreadPool::insideWorker()
     return tls_inside_worker;
 }
 
+ThreadPool::TaskStats
+ThreadPool::taskStats()
+{
+    TaskStats stats;
+    stats.tasks = g_tasks_run.load(std::memory_order_relaxed);
+    stats.busySeconds =
+        static_cast<double>(
+            g_task_busy_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    return stats;
+}
+
 void
 ThreadPool::workerLoop()
 {
@@ -73,7 +91,17 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        const auto start = std::chrono::steady_clock::now();
         task(); // Exceptions land in the task's future.
+        const auto elapsed =
+            std::chrono::steady_clock::now() - start;
+        g_tasks_run.fetch_add(1, std::memory_order_relaxed);
+        g_task_busy_ns.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    elapsed)
+                    .count()),
+            std::memory_order_relaxed);
     }
 }
 

@@ -32,6 +32,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -71,6 +72,20 @@ class ThreadPool
 
     /** True on a thread currently executing a pool task (any pool). */
     static bool insideWorker();
+
+    /**
+     * Process-wide task-execution telemetry (all pools): tasks run
+     * and wall seconds spent inside them. Maintained with relaxed
+     * atomics; the observability layer publishes deltas of these
+     * under `profile.pool.*` — like every `profile.` metric they are
+     * wall-clock derived and carry no determinism guarantee.
+     */
+    struct TaskStats
+    {
+        std::uint64_t tasks = 0;
+        double busySeconds = 0.0;
+    };
+    static TaskStats taskStats();
 
   private:
     void workerLoop();

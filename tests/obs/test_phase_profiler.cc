@@ -1,0 +1,81 @@
+/**
+ * @file
+ * PhaseProfiler unit tests: phase registration creates the
+ * `profile.phase.<name>.{seconds,calls}` pair, ScopedPhase
+ * accumulates, and the null-profiler scope is a strict no-op.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+#include "obs/phase_profiler.h"
+
+namespace vmt::obs {
+namespace {
+
+TEST(PhaseProfiler, PhaseRegistersProfileMetricPair)
+{
+    MetricsRegistry registry;
+    PhaseProfiler profiler(registry);
+    const PhaseId id = profiler.phase("thermal");
+    ASSERT_TRUE(id.valid());
+
+    // The same metrics must be reachable by name.
+    const GaugeHandle seconds =
+        registry.gauge("profile.phase.thermal.seconds");
+    const CounterHandle calls =
+        registry.counter("profile.phase.thermal.calls");
+    EXPECT_EQ(seconds.index, id.seconds.index);
+    EXPECT_EQ(calls.index, id.calls.index);
+
+    // Registering the phase again returns the same handles.
+    const PhaseId again = profiler.phase("thermal");
+    EXPECT_EQ(again.seconds.index, id.seconds.index);
+    EXPECT_EQ(again.calls.index, id.calls.index);
+}
+
+TEST(PhaseProfiler, RecordAccumulatesSecondsAndCalls)
+{
+    MetricsRegistry registry;
+    PhaseProfiler profiler(registry);
+    const PhaseId id = profiler.phase("arrivals");
+
+    profiler.record(id, 0.25);
+    profiler.record(id, 0.5);
+    EXPECT_DOUBLE_EQ(profiler.seconds(id), 0.75);
+    EXPECT_EQ(profiler.calls(id), 2u);
+}
+
+TEST(PhaseProfiler, ScopedPhaseTimesTheScope)
+{
+    MetricsRegistry registry;
+    PhaseProfiler profiler(registry);
+    const PhaseId id = profiler.phase("checkpoint");
+
+    {
+        ScopedPhase timer(&profiler, id);
+    }
+    {
+        ScopedPhase timer(&profiler, id);
+    }
+    EXPECT_EQ(profiler.calls(id), 2u);
+    EXPECT_GE(profiler.seconds(id), 0.0);
+}
+
+TEST(PhaseProfiler, NullProfilerScopeIsNoOp)
+{
+    MetricsRegistry registry;
+    PhaseProfiler profiler(registry);
+    const PhaseId id = profiler.phase("fault");
+
+    {
+        // The disabled-observability driver passes a null profiler;
+        // the scope must not touch the metrics (or the clock).
+        ScopedPhase timer(nullptr, id);
+    }
+    EXPECT_EQ(profiler.calls(id), 0u);
+    EXPECT_DOUBLE_EQ(profiler.seconds(id), 0.0);
+}
+
+} // namespace
+} // namespace vmt::obs

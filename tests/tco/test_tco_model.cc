@@ -67,6 +67,25 @@ TEST(Tco, ExtraServersDelegatesToCoolingModel)
                 7339.0, 5.0);
 }
 
+TEST(Tco, ExtraServersZeroReductionIsZero)
+{
+    // No cooling reduction frees no capacity.
+    EXPECT_EQ(study().extraServers(0.0), 0u);
+}
+
+TEST(Tco, SavingsDomainIsClosedOnBothEnds)
+{
+    const TcoModel tco = study();
+    // The domain is the closed interval [0, 1]: eliminating cooling
+    // entirely (reduction = 1) saves exactly the baseline cost, and
+    // reduction = 0 saves nothing. Only values outside are rejected.
+    EXPECT_DOUBLE_EQ(tco.savingsFromReduction(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(tco.savingsFromReduction(1.0),
+                     tco.baselineCoolingCost());
+    EXPECT_THROW(tco.savingsFromReduction(1.0000001), FatalError);
+    EXPECT_THROW(tco.savingsFromReduction(-0.0000001), FatalError);
+}
+
 TEST(Tco, CoolingSystemCostScalesLinearly)
 {
     const TcoModel tco = study();
@@ -78,7 +97,7 @@ TEST(Tco, Validates)
 {
     const TcoModel tco = study();
     EXPECT_THROW(tco.coolingSystemCost(-1.0), FatalError);
-    EXPECT_THROW(tco.savingsFromReduction(1.0), FatalError);
+    EXPECT_THROW(tco.savingsFromReduction(1.1), FatalError);
     TcoParams bad;
     bad.coolingCostPerKwMonth = 0.0;
     EXPECT_THROW(TcoModel(DatacenterSpec{}, bad), FatalError);

@@ -85,6 +85,86 @@ TEST(Flags, EmptyFlagNameIsFatal)
     EXPECT_THROW(parse({"--=5"}), FatalError);
 }
 
+Flags
+parseWithBooleans(std::initializer_list<const char *> args,
+                  const std::set<std::string> &booleans)
+{
+    std::vector<const char *> argv = {"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return Flags(static_cast<int>(argv.size()), argv.data(),
+                 booleans);
+}
+
+TEST(Flags, RegisteredBooleanNeverConsumesThePositional)
+{
+    // The historical bug: `vmtsim --verbose trace.csv` parsed
+    // "trace.csv" as the value of --verbose, losing the positional.
+    const Flags f =
+        parseWithBooleans({"--verbose", "trace.csv"}, {"verbose"});
+    EXPECT_TRUE(f.getBool("verbose", false));
+    EXPECT_EQ(f.positional(),
+              (std::vector<std::string>{"trace.csv"}));
+}
+
+TEST(Flags, RegisteredBooleanStillAcceptsEqualsValue)
+{
+    const Flags f =
+        parseWithBooleans({"--verbose=no", "run"}, {"verbose"});
+    EXPECT_FALSE(f.getBool("verbose", true));
+    EXPECT_EQ(f.positional(), (std::vector<std::string>{"run"}));
+}
+
+TEST(Flags, UnregisteredFlagStillTakesTheNextToken)
+{
+    const Flags f =
+        parseWithBooleans({"--out", "trace.csv"}, {"verbose"});
+    EXPECT_EQ(f.getString("out"), "trace.csv");
+}
+
+TEST(Flags, NegativeValueAfterFlagIsItsValue)
+{
+    // "-5" starts with '-' but not "--": it is a value, not a flag.
+    const Flags f = parse({"--offset", "-5"});
+    EXPECT_EQ(f.getInt("offset", 0), -5);
+}
+
+TEST(Flags, GetIntRejectsScientificNotation)
+{
+    // strtod-based parsing accepted "1e3" as 1000; integers must be
+    // written as integers.
+    EXPECT_THROW(parse({"--n=1e3"}).getInt("n", 0), FatalError);
+}
+
+TEST(Flags, GetIntIsExactAboveDoublePrecision)
+{
+    // 2^53 + 1 is not representable as a double; a strtod round-trip
+    // would silently land on 9007199254740992.
+    const Flags f = parse({"--n=9007199254740993"});
+    EXPECT_EQ(f.getInt("n", 0), 9007199254740993LL);
+}
+
+TEST(Flags, GetIntRejectsOverflowNamingTheFlag)
+{
+    try {
+        parse({"--servers=99999999999999999999"}).getInt("servers", 0);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("servers"),
+                  std::string::npos);
+    }
+}
+
+TEST(Flags, GetIntErrorNamesTheFlag)
+{
+    try {
+        parse({"--servers=abc"}).getInt("servers", 0);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("servers"),
+                  std::string::npos);
+    }
+}
+
 TEST(Flags, LastValueWins)
 {
     const Flags f = parse({"--gv=20", "--gv=24"});

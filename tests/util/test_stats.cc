@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -42,6 +44,33 @@ TEST(RunningStats, KnownSet)
     EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
     EXPECT_DOUBLE_EQ(s.min(), 2.0);
     EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, PopulationAndSampleVarianceDiffer)
+{
+    // variance() is the *population* variance (M2/n); the unbiased
+    // estimator is sampleVariance() (M2/(n-1)). On the classic set
+    // they are 4 and 32/7.
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 32.0 / 7.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.sampleStddev(), std::sqrt(32.0 / 7.0));
+}
+
+TEST(RunningStats, SampleVarianceNeedsTwoSamples)
+{
+    RunningStats s;
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 0.0);
+    s.add(4.5);
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sampleStddev(), 0.0);
+    s.add(5.5);
+    // Two samples: population variance 0.25, sample variance 0.5.
+    EXPECT_DOUBLE_EQ(s.variance(), 0.25);
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 0.5);
 }
 
 TEST(RunningStats, NegativeValues)

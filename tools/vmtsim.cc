@@ -33,6 +33,12 @@
  *   --critical-temp C    thermal-emergency threshold in Celsius; a
  *                        server at or above it stops taking new jobs
  *                        until it cools off (0 = off, default)
+ *   --metrics-out PATH   write end-of-run metrics: Prometheus text at
+ *                        PATH, CSV at PATH.csv (default from
+ *                        VMT_METRICS_OUT, else off)
+ *   --trace-events PATH  write the JSONL run/interval/summary event
+ *                        stream (default from VMT_TRACE_EVENTS, else
+ *                        off)
  *
  * run flags:
  *   --policy P           rr | cf | ta | wa | preserve | adaptive
@@ -64,6 +70,7 @@
 
 #include "core/adaptive_vmt.h"
 #include "core/gv_tuner.h"
+#include "obs/observability.h"
 #include "core/vmt_preserve.h"
 #include "core/vmt_ta.h"
 #include "core/vmt_wa.h"
@@ -83,6 +90,18 @@
 using namespace vmt;
 
 namespace {
+
+/** Export destinations: environment defaults, explicit flags win. */
+obs::ObsOptions
+obsOptionsFromFlags(const Flags &flags)
+{
+    obs::ObsOptions options = obs::obsOptionsFromEnv();
+    if (flags.has("metrics-out"))
+        options.metricsOut = flags.getString("metrics-out");
+    if (flags.has("trace-events"))
+        options.traceEvents = flags.getString("trace-events");
+    return options;
+}
 
 SimConfig
 configFromFlags(const Flags &flags)
@@ -120,6 +139,10 @@ configFromFlags(const Flags &flags)
         flags.getDouble("critical-temp", 0.0);
     if (config.faults.criticalTemp < 0.0)
         fatal("vmtsim: --critical-temp must be >= 0 (0 = off)");
+    // Every simulation this process runs shares the global
+    // observability bundle; main() exports it once at the end.
+    if (obsOptionsFromFlags(flags).enabled())
+        config.obs = &obs::globalObservability();
     return config;
 }
 
@@ -355,7 +378,9 @@ usage()
 int
 main(int argc, char **argv)
 {
-    const Flags flags(argc, argv);
+    // "analyze" is the one value-less flag; registering it keeps
+    // `vmtsim trace --analyze file.csv` from eating the positional.
+    const Flags flags(argc, argv, {"analyze"});
     if (flags.positional().empty())
         return usage();
     const std::string command = flags.positional().front();
@@ -382,6 +407,20 @@ main(int argc, char **argv)
             rc = cmdTrace(flags);
         else
             return usage();
+
+        const obs::ObsOptions obs_opts = obsOptionsFromFlags(flags);
+        if (!obs_opts.metricsOut.empty()) {
+            obs::globalObservability().writeMetrics(
+                obs_opts.metricsOut);
+            std::printf("metrics written   %s (+ .csv)\n",
+                        obs_opts.metricsOut.c_str());
+        }
+        if (!obs_opts.traceEvents.empty()) {
+            obs::globalObservability().writeTraceEvents(
+                obs_opts.traceEvents);
+            std::printf("events written    %s\n",
+                        obs_opts.traceEvents.c_str());
+        }
 
         const auto unread = flags.unreadFlags();
         if (!unread.empty()) {
