@@ -9,6 +9,7 @@
 #include "sched/round_robin.h"
 #include "sim/result_io.h"
 #include "thermal/pcm.h"
+#include "thermal/thermal_kernel.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
@@ -49,6 +50,17 @@ configureThreadsFromArgs(int argc, const char *const *argv)
     if (flags.has("pcm-integrator"))
         setGlobalPcmIntegrator(pcmIntegratorFromString(
             flags.getString("pcm-integrator")));
+    if (flags.has("thermal-kernel"))
+        setGlobalThermalKernel(thermalKernelFromString(
+            flags.getString("thermal-kernel")));
+    if (flags.has("thermal-parallel-threshold")) {
+        const long long threshold =
+            flags.getInt("thermal-parallel-threshold", 0);
+        if (threshold < 0)
+            fatal("--thermal-parallel-threshold must be >= 0");
+        setThermalParallelThreshold(
+            static_cast<std::size_t>(threshold));
+    }
 }
 
 SimConfig

@@ -46,8 +46,10 @@ SweepObsHandles sweepObsHandles();
 /**
  * Parse the shared bench flags (--threads N, default VMT_THREADS /
  * hardware concurrency; --pcm-integrator closed|substep, default
- * VMT_PCM_INTEGRATOR) and configure the global pool and PCM
- * integrator accordingly. Call first thing in a bench main();
+ * VMT_PCM_INTEGRATOR; --thermal-kernel soa|scalar, default
+ * VMT_THERMAL_KERNEL; --thermal-parallel-threshold N, default
+ * VMT_THERMAL_PARALLEL_THRESHOLD) and configure the global pool and
+ * thermal knobs accordingly. Call first thing in a bench main();
  * unknown flags are left alone for the bench's own parsing.
  */
 void configureThreadsFromArgs(int argc, const char *const *argv);

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Isolated thermal-kernel throughput: Cluster::stepThermal on a
+ * cluster with no placement churn, scalar versus SoA, across fleet
+ * sizes x starting PCM regimes x dt. This is the measurement behind
+ * the `kernel_micro` rows in BENCH_sim.json: the end-to-end runs
+ * (perf_simulator's `kernel` study) bundle the thermal step with
+ * placement and trace bookkeeping; this bench times the step itself.
+ *
+ * Scenarios pin the starting regime mix:
+ *   solid    idle fleet, wax frozen (one long solid run)
+ *   melting  loaded fleet warmed onto the latent plateau
+ *   liquid   loaded fleet warmed until fully melted
+ *   mixed    half loaded/melted, half idle/frozen (regime-run
+ *            boundary mid-fleet, exercises the partitioner)
+ * State evolves during timing (melting converges toward liquid);
+ * both kernels time the identical trajectory, so the ratio is fair.
+ *
+ * Flags: --check             exit non-zero if SoA is slower than
+ *                            scalar on the cluster1000 rows
+ *        --threads and the shared bench flags (bench/common.h)
+ * Environment: VMT_PERF_JSON  BENCH_sim.json path to splice
+ *              `kernel_micro` + `build` keys into (default
+ *              ./BENCH_sim.json; see spliceJson below).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "server/cluster.h"
+#include "thermal/thermal_kernel.h"
+#include "util/flags.h"
+
+using namespace vmt;
+
+namespace {
+
+constexpr Celsius kHotThreshold = 45.0;
+
+struct Scenario
+{
+    const char *name;
+    /** Fraction of servers loaded to full capacity (rest idle). */
+    double loadedShare;
+    /** Warm until the hottest server's melt fraction reaches this
+     *  (0 = no warm-up beyond settling the air node). */
+    double meltTarget;
+};
+
+constexpr Scenario kScenarios[] = {
+    {"solid", 0.0, 0.0},
+    {"melting", 1.0, 0.3},
+    {"liquid", 1.0, 1.0},
+    {"mixed", 0.5, 1.0},
+};
+
+struct Row
+{
+    std::string scenario;
+    std::size_t servers;
+    double dt;
+    std::string kernel;
+    double usPerStep;
+    double stepsPerSec;
+    /** steps/s relative to the scalar row of the same point. */
+    double speedup;
+};
+
+/** Build a cluster in the requested kernel and drive it into the
+ *  scenario's starting regime. Deterministic: both kernels produce
+ *  bitwise-identical state, so they time the same trajectory. */
+std::unique_ptr<Cluster>
+makeScenario(const Scenario &scenario, std::size_t servers,
+             Seconds dt, ThermalKernel kernel)
+{
+    const SimConfig config = vmt::bench::studyConfig(servers);
+    const ThermalKernel before = globalThermalKernel();
+    setGlobalThermalKernel(kernel);
+    auto cluster = std::make_unique<Cluster>(
+        servers, config.spec, config.thermal,
+        PowerModel(config.spec, config.powerScale));
+    setGlobalThermalKernel(before);
+
+    const auto loaded = static_cast<std::size_t>(
+        scenario.loadedShare * static_cast<double>(servers));
+    for (std::size_t id = 0; id < loaded; ++id)
+        for (std::size_t c = 0; c < config.spec.cores(); ++c)
+            cluster->addJob(id, WorkloadType::WebSearch);
+
+    // Settle the air node, then (for warmed scenarios) melt the
+    // loaded servers to the target fraction. Warm-up runs at the
+    // measurement dt so per-dt caches are hot when timing starts.
+    for (int i = 0; i < 30; ++i)
+        cluster->stepThermal(dt, kHotThreshold);
+    if (scenario.meltTarget > 0.0) {
+        for (int i = 0; i < 20000; ++i) {
+            if (std::as_const(*cluster).server(0).waxMeltFraction() >=
+                scenario.meltTarget)
+                break;
+            cluster->stepThermal(dt, kHotThreshold);
+        }
+    }
+    return cluster;
+}
+
+double
+timeSteps(Cluster &cluster, Seconds dt, std::size_t reps)
+{
+    double sink = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < reps; ++i)
+        sink += cluster.stepThermal(dt, kHotThreshold).totalPower;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    // Keep the accumulated samples observable so the loop cannot be
+    // elided.
+    static volatile double guard = 0.0;
+    guard = guard + sink;
+    return elapsed.count();
+}
+
+/**
+ * Splice `kernel_micro` + `build` into BENCH_sim.json as the
+ * always-last keys: perf_simulator rewrites the whole file without
+ * them; this bench truncates any previous splice (or the closing
+ * brace) and appends fresh rows. Missing file => standalone object.
+ */
+void
+spliceJson(const std::string &path, const std::vector<Row> &rows)
+{
+    std::string head;
+    {
+        std::ifstream in(path);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        head = buffer.str();
+    }
+    const std::string marker = ",\n  \"kernel_micro\"";
+    if (const auto at = head.find(marker); at != std::string::npos) {
+        head.erase(at);
+        head += ",\n";
+    } else if (const auto brace = head.rfind('}');
+               brace != std::string::npos) {
+        head.erase(brace);
+        while (!head.empty() &&
+               (head.back() == '\n' || head.back() == ' '))
+            head.pop_back();
+        head += ",\n";
+    } else {
+        head = "{\n";
+    }
+
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "[kernel_micro] cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    out << head << "  \"kernel_micro\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        out << "    {\"scenario\": \"" << r.scenario
+            << "\", \"servers\": " << r.servers
+            << ", \"dt\": " << r.dt
+            << ", \"kernel\": \"" << r.kernel
+            << "\", \"us_per_step\": " << r.usPerStep
+            << ", \"steps_per_sec\": " << r.stepsPerSec
+            << ", \"speedup\": " << r.speedup << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"build\": {\"compiler\": \"" << __VERSION__
+        << "\", \"flags\": \""
+#ifdef VMT_BUILD_FLAGS
+        << VMT_BUILD_FLAGS
+#else
+        << "unknown"
+#endif
+        << "\"}\n}\n";
+    std::printf("[kernel_micro] spliced %zu rows into %s\n",
+                rows.size(), path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    vmt::bench::configureThreadsFromArgs(argc, argv);
+    const Flags flags(argc, argv);
+    const bool check = flags.getBool("check", false);
+
+    std::string json_path = "BENCH_sim.json";
+    if (const char *env = std::getenv("VMT_PERF_JSON"))
+        json_path = env;
+
+    const std::vector<std::size_t> fleet_sizes =
+        check ? std::vector<std::size_t>{1000}
+              : std::vector<std::size_t>{250, 1000};
+    const std::vector<double> dts =
+        check ? std::vector<double>{60.0}
+              : std::vector<double>{60.0, 300.0};
+
+    std::vector<Row> rows;
+    bool gate_ok = true;
+    for (const Scenario &scenario : kScenarios) {
+        for (const std::size_t servers : fleet_sizes) {
+            for (const double dt : dts) {
+                // Fixed rep count per point so both kernels time the
+                // same number of identical steps.
+                const std::size_t reps = std::max<std::size_t>(
+                    200, 2000000 / servers);
+                double scalar_rate = 0.0;
+                for (const ThermalKernel kernel :
+                     {ThermalKernel::Scalar, ThermalKernel::Soa}) {
+                    auto cluster = makeScenario(scenario, servers,
+                                                dt, kernel);
+                    // Best of three: the minimum is the least
+                    // noise-contaminated estimate of the true cost.
+                    double seconds = timeSteps(*cluster, dt, reps);
+                    for (int rep = 0; rep < 2; ++rep)
+                        seconds = std::min(
+                            seconds,
+                            timeSteps(*cluster, dt, reps));
+                    const double rate =
+                        static_cast<double>(reps) / seconds;
+                    if (kernel == ThermalKernel::Scalar)
+                        scalar_rate = rate;
+                    const double speedup =
+                        scalar_rate > 0.0 ? rate / scalar_rate : 1.0;
+                    rows.push_back({scenario.name, servers, dt,
+                                    thermalKernelName(kernel),
+                                    1e6 * seconds /
+                                        static_cast<double>(reps),
+                                    rate, speedup});
+                    std::printf(
+                        "[kernel_micro] %-8s servers=%-5zu dt=%-4.0f "
+                        "kernel=%-6s %8.2f us/step %10.0f steps/s  "
+                        "speedup %.2fx\n",
+                        scenario.name, servers, dt,
+                        thermalKernelName(kernel),
+                        rows.back().usPerStep, rate, speedup);
+                    std::fflush(stdout);
+                    if (check && servers == 1000 &&
+                        kernel == ThermalKernel::Soa &&
+                        rate < scalar_rate)
+                        gate_ok = false;
+                }
+            }
+        }
+    }
+
+    if (!check)
+        spliceJson(json_path, rows);
+    if (check) {
+        std::printf("[kernel_micro] perf gate: %s\n",
+                    gate_ok ? "PASS (SoA >= scalar on cluster1000)"
+                            : "FAIL (SoA slower than scalar)");
+        return gate_ok ? 0 : 1;
+    }
+    return 0;
+}

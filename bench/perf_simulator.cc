@@ -13,9 +13,12 @@
  * snapshot every 1,000 intervals to pin the checkpointing overhead,
  * a fault study times the same run with the fault engine enabled
  * on an empty plan vs disabled to pin the per-interval fault
- * bookkeeping overhead (budget: <= 3%), and an observability study
+ * bookkeeping overhead (budget: <= 3%), an observability study
  * times the same run with the obs layer detached vs attached
- * (metrics + profiler + telemetry all recording; budget: <= 3%).
+ * (metrics + profiler + telemetry all recording; budget: <= 3%),
+ * and a kernel study times the same run with the scalar vs the SoA
+ * thermal kernel (end-to-end; the isolated stepThermal ratio lives
+ * in perf_kernel's kernel_micro rows).
  * All write into a machine-readable BENCH_sim.json so the perf
  * trajectory is tracked PR over PR.
  * Environment knobs:
@@ -42,6 +45,7 @@
 #include "sim/datacenter_sim.h"
 #include "sim/simulation.h"
 #include "state/sim_snapshot.h"
+#include "thermal/thermal_kernel.h"
 #include "util/thread_pool.h"
 
 using namespace vmt;
@@ -395,13 +399,66 @@ runObsStudy(double hours, std::vector<ObsRow> &rows)
     setGlobalThreadCount(0);
 }
 
+/** One single-thread timing of the headline run per thermal kernel. */
+struct KernelRow
+{
+    std::string kernel;
+    double wallSeconds;
+    double intervalsPerSec;
+    /** intervals/s relative to the scalar kernel's run. */
+    double kernelSpeedup;
+};
+
+/**
+ * Thermal-kernel study: the 1,000-server headline run with the scalar
+ * (per-object) and SoA (batched) kernels, both at threads=1. End to
+ * end the thermal phase shares the wall clock with placement and
+ * trace bookkeeping, so this ratio understates the kernel's own
+ * speedup — perf_kernel measures the isolated stepThermal ratio and
+ * splices it in as `kernel_micro`.
+ */
+void
+runKernelStudy(double hours, std::vector<KernelRow> &rows)
+{
+    SimConfig config = bench::studyConfig(1000);
+    config.trace.duration = hours;
+    const ThermalKernel before = globalThermalKernel();
+    setGlobalThreadCount(1);
+    double scalar_seconds = 0.0;
+    for (const ThermalKernel kernel :
+         {ThermalKernel::Scalar, ThermalKernel::Soa}) {
+        setGlobalThermalKernel(kernel);
+        const double seconds = wallSeconds([&] {
+            VmtWaScheduler sched(bench::studyVmt(22.0),
+                                 hotMaskFromPaper());
+            benchmark::DoNotOptimize(runSimulation(config, sched));
+        });
+        if (kernel == ThermalKernel::Scalar)
+            scalar_seconds = seconds;
+        rows.push_back({thermalKernelName(kernel), seconds,
+                        hours * 60.0 / seconds,
+                        scalar_seconds > 0.0 ? scalar_seconds / seconds
+                                             : 1.0});
+        std::printf("[kernel] cluster1000 threads=1 kernel=%-6s  "
+                    "%7.2f s  %9.0f intervals/s  kernel_speedup "
+                    "%.2fx\n",
+                    rows.back().kernel.c_str(), seconds,
+                    rows.back().intervalsPerSec,
+                    rows.back().kernelSpeedup);
+        std::fflush(stdout);
+    }
+    setGlobalThermalKernel(before);
+    setGlobalThreadCount(0);
+}
+
 void
 writeScalingJson(const std::string &path, double hours,
                  const std::vector<ScalingRow> &rows,
                  const std::vector<HotpathRow> &hotpath,
                  const std::vector<CheckpointRow> &checkpoint,
                  const std::vector<FaultRow> &fault,
-                 const std::vector<ObsRow> &obs)
+                 const std::vector<ObsRow> &obs,
+                 const std::vector<KernelRow> &kernel)
 {
     std::ofstream out(path);
     if (!out) {
@@ -462,6 +519,16 @@ writeScalingJson(const std::string &path, double hours,
             << ", \"intervals_per_sec\": " << r.intervalsPerSec
             << ", \"overhead_pct\": " << r.overheadPct << "}"
             << (i + 1 < obs.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"kernel\": [\n";
+    for (std::size_t i = 0; i < kernel.size(); ++i) {
+        const KernelRow &r = kernel[i];
+        out << "    {\"name\": \"cluster1000\", \"threads\": 1"
+            << ", \"kernel\": \"" << r.kernel
+            << "\", \"wall_seconds\": " << r.wallSeconds
+            << ", \"intervals_per_sec\": " << r.intervalsPerSec
+            << ", \"kernel_speedup\": " << r.kernelSpeedup << "}"
+            << (i + 1 < kernel.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::printf("[scaling] wrote %s\n", path.c_str());
@@ -527,8 +594,11 @@ runScalingStudy()
     std::vector<ObsRow> obs_rows;
     runObsStudy(hours, obs_rows);
 
+    std::vector<KernelRow> kernel_rows;
+    runKernelStudy(hours, kernel_rows);
+
     writeScalingJson(json_path, hours, rows, hotpath, checkpoint,
-                     fault, obs_rows);
+                     fault, obs_rows, kernel_rows);
 }
 
 } // namespace

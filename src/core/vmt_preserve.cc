@@ -1,5 +1,7 @@
 #include "core/vmt_preserve.h"
 
+#include <utility>
+
 namespace vmt {
 
 VmtPreserveScheduler::VmtPreserveScheduler(const VmtConfig &config,
@@ -23,7 +25,7 @@ VmtPreserveScheduler::beginInterval(Cluster &cluster, Seconds)
             coldGroup_.add(cluster, id);
             continue;
         }
-        const Server &srv = cluster.server(id);
+        const Server &srv = std::as_const(cluster).server(id);
         const Celsius projected =
             srv.thermal().inletTemp() +
             rise * srv.power(cluster.powerModel());
@@ -43,7 +45,7 @@ VmtPreserveScheduler::placeHot(Cluster &cluster, Watts watts)
     // costs no stored capacity.
     while (!melted_.empty()) {
         Entry entry = melted_.top();
-        if (!cluster.server(entry.id).hasCapacity()) {
+        if (!std::as_const(cluster).server(entry.id).hasCapacity()) {
             melted_.pop();
             continue;
         }
@@ -56,7 +58,7 @@ VmtPreserveScheduler::placeHot(Cluster &cluster, Watts watts)
     // few wax loads as possible are sacrificed.
     while (!packing_.empty()) {
         Entry entry = packing_.top();
-        if (!cluster.server(entry.id).hasCapacity()) {
+        if (!std::as_const(cluster).server(entry.id).hasCapacity()) {
             packing_.pop();
             continue;
         }

@@ -1,6 +1,7 @@
 #include "core/vmt_wa.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "state/serializer.h"
 #include "util/logging.h"
@@ -30,7 +31,7 @@ VmtWaScheduler::beginInterval(Cluster &cluster, Seconds)
     // reports once per minute, Section IV-A).
     meltedCount_ = 0;
     for (std::size_t id = 0; id < n; ++id) {
-        if (cluster.server(id).estimatedMeltFraction() >=
+        if (std::as_const(cluster).server(id).estimatedMeltFraction() >=
             config_.waxThreshold)
             ++meltedCount_;
     }
@@ -86,7 +87,7 @@ VmtWaScheduler::beginInterval(Cluster &cluster, Seconds)
     coldGroup_.clear();
     hotMelted_.clear();
     for (std::size_t id = 0; id < hotSize_; ++id) {
-        const Server &srv = cluster.server(id);
+        const Server &srv = std::as_const(cluster).server(id);
         const bool melted =
             srv.estimatedMeltFraction() >= config_.waxThreshold;
         if (melted && keep_warm_active)
@@ -125,7 +126,7 @@ VmtWaScheduler::placeHot(Cluster &cluster, Watts watts)
     // the current hot load can keep warm.
     while (hotSize_ < domainCap_) {
         const std::size_t added = hotSize_++;
-        const Server &srv = cluster.server(added);
+        const Server &srv = std::as_const(cluster).server(added);
         if (placeable(srv)) {
             hotPlaceable_.add(cluster, added);
             id = hotPlaceable_.place(cluster, watts);
@@ -140,7 +141,7 @@ VmtWaScheduler::placeHot(Cluster &cluster, Watts watts)
     for (std::size_t probes = 0; probes < n; ++probes) {
         const std::size_t cand = anyCursor_;
         anyCursor_ = (anyCursor_ + 1) % n;
-        const Server &srv = cluster.server(cand);
+        const Server &srv = std::as_const(cluster).server(cand);
         if (srv.hasCapacity() &&
             srv.estimatedMeltFraction() < config_.waxThreshold)
             return cand;
@@ -150,7 +151,7 @@ VmtWaScheduler::placeHot(Cluster &cluster, Watts watts)
     for (std::size_t probes = 0; probes < n; ++probes) {
         const std::size_t cand = anyCursor_;
         anyCursor_ = (anyCursor_ + 1) % n;
-        if (cluster.server(cand).hasCapacity())
+        if (std::as_const(cluster).server(cand).hasCapacity())
             return cand;
     }
     return kNoServer;
@@ -172,7 +173,7 @@ VmtWaScheduler::placeCold(Cluster &cluster, Watts watts)
             meltedCursor_ = 0;
         const std::size_t cand = hotMelted_[meltedCursor_];
         meltedCursor_ = (meltedCursor_ + 1) % melted;
-        if (cluster.server(cand).hasCapacity())
+        if (std::as_const(cluster).server(cand).hasCapacity())
             return cand;
     }
 
@@ -212,7 +213,7 @@ VmtWaScheduler::proposeMigrations(Cluster &cluster, Seconds)
     BalancedGroup targets;
     std::size_t target_slots = 0;
     for (std::size_t id = 0; id < hotSize_; ++id) {
-        const Server &srv = cluster.server(id);
+        const Server &srv = std::as_const(cluster).server(id);
         if (srv.estimatedMeltFraction() < config_.waxThreshold &&
             srv.hasCapacity()) {
             targets.add(cluster, id);
@@ -226,7 +227,7 @@ VmtWaScheduler::proposeMigrations(Cluster &cluster, Seconds)
     // excess, hottest jobs first.
     for (std::size_t id = 0; id < hotSize_ && target_slots > 0;
          ++id) {
-        const Server &srv = cluster.server(id);
+        const Server &srv = std::as_const(cluster).server(id);
         if (srv.estimatedMeltFraction() < config_.waxThreshold)
             continue;
         Watts power = srv.power(cluster.powerModel());

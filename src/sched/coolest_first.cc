@@ -1,5 +1,7 @@
 #include "sched/coolest_first.h"
 
+#include <utility>
+
 namespace vmt {
 
 void
@@ -7,7 +9,8 @@ CoolestFirstScheduler::beginInterval(Cluster &cluster, Seconds)
 {
     heap_ = {};
     for (std::size_t id = 0; id < cluster.numServers(); ++id)
-        heap_.push({cluster.server(id).airTemp(), id});
+        heap_.push(
+            {std::as_const(cluster).server(id).airTemp(), id});
 }
 
 std::size_t
@@ -18,7 +21,7 @@ CoolestFirstScheduler::placeJob(Cluster &cluster, const Job &job)
     while (!heap_.empty()) {
         Entry entry = heap_.top();
         heap_.pop();
-        Server &srv = cluster.server(entry.id);
+        const Server &srv = std::as_const(cluster).server(entry.id);
         if (!srv.hasCapacity())
             continue;
         // Re-insert with the virtual rise of the core we are adding so

@@ -1,5 +1,7 @@
 #include "sched/round_robin.h"
 
+#include <utility>
+
 #include "state/serializer.h"
 
 namespace vmt {
@@ -11,7 +13,7 @@ RoundRobinScheduler::placeJob(Cluster &cluster, const Job &)
     for (std::size_t probes = 0; probes < n; ++probes) {
         const std::size_t id = cursor_;
         cursor_ = (cursor_ + 1) % n;
-        if (cluster.server(id).hasCapacity())
+        if (std::as_const(cluster).server(id).hasCapacity())
             return id;
     }
     return kNoServer;

@@ -19,7 +19,7 @@ constexpr std::size_t kThermalGrain = 64;
 bool
 useParallelPath(std::size_t num_servers)
 {
-    return num_servers >= kThermalParallelThreshold &&
+    return num_servers >= thermalParallelThreshold() &&
            globalPool().size() > 1;
 }
 
@@ -29,7 +29,10 @@ Cluster::Cluster(std::size_t num_servers, const ServerSpec &spec,
                  const ServerThermalParams &thermal,
                  const PowerModel &power,
                  const std::vector<Kelvin> &inlet_offsets)
-    : spec_(spec), thermal_(thermal), power_(power)
+    : spec_(spec),
+      thermal_(thermal),
+      power_(power),
+      kernel_(globalThermalKernel())
 {
     if (num_servers == 0)
         fatal("Cluster requires at least one server");
@@ -44,6 +47,76 @@ Cluster::Cluster(std::size_t num_servers, const ServerSpec &spec,
     }
     totalCores_ = num_servers * spec.cores();
     aliveServers_ = num_servers;
+
+    if (kernel_ == ThermalKernel::Soa) {
+        soa_ = std::make_unique<ThermalSoA>(
+            thermal, servers_[0].thermal().pcm().integrator(),
+            num_servers);
+        for (std::size_t i = 0; i < num_servers; ++i)
+            servers_[i].bindSoa(soa_.get(), i);
+        powerDirty_.assign((num_servers + 63) / 64, 0);
+        markAllPowerDirty();
+    }
+}
+
+void
+Cluster::setThermalKernel(ThermalKernel kernel)
+{
+    if (kernel == kernel_)
+        return;
+    if (kernel == ThermalKernel::Scalar) {
+        for (Server &srv : servers_)
+            srv.unbindSoa();
+        soa_.reset();
+        powerDirty_.clear();
+    } else {
+        soa_ = std::make_unique<ThermalSoA>(
+            thermal_, servers_[0].thermal().pcm().integrator(),
+            servers_.size());
+        for (std::size_t i = 0; i < servers_.size(); ++i)
+            servers_[i].bindSoa(soa_.get(), i);
+        powerDirty_.assign((servers_.size() + 63) / 64, 0);
+        markAllPowerDirty();
+    }
+    kernel_ = kernel;
+}
+
+void
+Cluster::markPowerDirty(std::size_t id)
+{
+    if (soa_ != nullptr)
+        powerDirty_[id >> 6] |= std::uint64_t{1} << (id & 63);
+}
+
+void
+Cluster::markAllPowerDirty()
+{
+    for (std::uint64_t &word : powerDirty_)
+        word = ~std::uint64_t{0};
+}
+
+void
+Cluster::refreshPowerArray()
+{
+    // Walk set bits only: between steps, only servers whose draw
+    // could have changed (job churn, health, throttle, mutable
+    // access) are re-read. Failed servers get 0 W written directly —
+    // the same value Server::refreshPowerCache produces.
+    for (std::size_t w = 0; w < powerDirty_.size(); ++w) {
+        std::uint64_t word = powerDirty_[w];
+        powerDirty_[w] = 0;
+        while (word != 0) {
+            const auto bit = static_cast<std::size_t>(
+                __builtin_ctzll(word));
+            word &= word - 1;
+            const std::size_t id = (w << 6) + bit;
+            if (id >= servers_.size())
+                break;
+            soa_->setPower(id, soa_->failed(id)
+                                   ? 0.0
+                                   : servers_[id].power(power_));
+        }
+    }
 }
 
 void
@@ -59,8 +132,10 @@ Cluster::setHealth(std::size_t server_id, ServerHealth health)
         --aliveServers_;
     else if (!was_alive && is_alive)
         ++aliveServers_;
-    // A health flip changes the server's power draw (Failed = 0 W).
+    // A health flip changes the server's power draw (Failed = 0 W) —
+    // and only that server's, so only its gather entry goes stale.
     totalPowerCache_.reset();
+    markPowerDirty(server_id);
 }
 
 Server &
@@ -69,8 +144,11 @@ Cluster::server(std::size_t id)
     if (id >= servers_.size())
         panic("Cluster::server out of range");
     // Mutable access can change a server's job mix behind the
-    // cluster's back; conservatively drop the aggregate cache.
+    // cluster's back; conservatively drop the aggregate cache and the
+    // gathered power for this one server. (Read-only scans should use
+    // the const overload precisely to avoid this.)
     totalPowerCache_.reset();
+    markPowerDirty(id);
     return servers_[id];
 }
 
@@ -88,6 +166,7 @@ Cluster::addJob(std::size_t server_id, WorkloadType type)
     if (server_id >= servers_.size())
         panic("Cluster::addJob out of range");
     totalPowerCache_.reset();
+    markPowerDirty(server_id);
     servers_[server_id].addJob(type);
     ++active_[workloadIndex(type)];
     ++busyCores_;
@@ -99,6 +178,7 @@ Cluster::removeJob(std::size_t server_id, WorkloadType type)
     if (server_id >= servers_.size())
         panic("Cluster::removeJob out of range");
     totalPowerCache_.reset();
+    markPowerDirty(server_id);
     servers_[server_id].removeJob(type);
     auto &count = active_[workloadIndex(type)];
     if (count == 0)
@@ -126,6 +206,14 @@ Cluster::totalPower() const
 
 ClusterSample
 Cluster::stepThermal(Seconds dt, Celsius hot_threshold)
+{
+    return kernel_ == ThermalKernel::Soa
+               ? stepThermalSoa(dt, hot_threshold)
+               : stepThermalScalar(dt, hot_threshold);
+}
+
+ClusterSample
+Cluster::stepThermalScalar(Seconds dt, Celsius hot_threshold)
 {
     // Stepping can flip per-server throttle states, which changes
     // power draws.
@@ -173,6 +261,90 @@ Cluster::stepThermal(Seconds dt, Celsius hot_threshold)
     return agg;
 }
 
+ClusterSample
+Cluster::stepThermalSoa(Seconds dt, Celsius hot_threshold)
+{
+    totalPowerCache_.reset();
+    const std::size_t n = servers_.size();
+
+    // Gather stale power entries, then batch-step. The chunk
+    // boundaries use the same fixed grain as the scalar parallel
+    // path; per-server values are independent of them either way.
+    refreshPowerArray();
+    soa_->beginStep(dt);
+    if (useParallelPath(n)) {
+        parallelFor(globalPool(), 0, n, kThermalGrain,
+                    [&](std::size_t begin, std::size_t end) {
+                        soa_->stepChunk(begin, end);
+                    });
+    } else {
+        soa_->stepChunk(0, n);
+    }
+
+    // Serial index-order throttle sync + reduction: the identical
+    // expression shapes (and order) as the scalar accumulate lambda,
+    // so the sample is bitwise the same. The hysteresis test reads the
+    // SoA throttle mirror so the scan stays on contiguous memory;
+    // only actual flips (rare) touch the scattered Server objects.
+    ClusterSample agg;
+    const ThermalSoA &soa = *soa_;
+    // Pure reduction first, throttle scan second: the reduction body
+    // is then call-free straight-line code, so the accumulators live
+    // in registers for the whole sweep (applyThrottle in the same
+    // loop would clobber memory every iteration as far as the
+    // compiler knows). n >= 1 (ThermalSoA enforces it), so seeding
+    // the running max with server 0 matches the scalar path's
+    // first-iteration behaviour exactly.
+    agg.maxAirTemp = soa.airTemp(0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Watts wax_flow = soa.waxFlow(i);
+        const Watts rejected = soa.power(i) - wax_flow;
+        const Celsius air = soa.airTemp(i);
+        agg.totalPower += rejected + wax_flow;
+        agg.coolingLoad += rejected;
+        agg.waxHeatFlow += wax_flow;
+        agg.meanAirTemp += air;
+        agg.meanMeltFraction += soa.meltFraction(i);
+        if (air > agg.maxAirTemp)
+            agg.maxAirTemp = air;
+        if (air >= hot_threshold)
+            ++agg.serversAboveThreshold;
+    }
+
+    // Hysteresis scan over the contiguous CPU-temperature and
+    // throttle-mirror arrays; only actual flips (rare) touch the
+    // scattered Server objects. Skipped outright when no flip is
+    // possible: nobody is throttled (so no releases) and either
+    // throttling is disabled or no CPU reached the limit (so no
+    // onsets) — max is exact, so the gate is, too.
+    const Celsius cpu_limit = thermal_.cpuLimit;
+    const Celsius cpu_release =
+        thermal_.cpuLimit - thermal_.throttleHysteresis;
+    const bool can_throttle = thermal_.throttleFactor < 1.0;
+    if (soa.anyThrottled() ||
+        (can_throttle && soa.maxCpuTemp() >= cpu_limit)) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const bool was_throttled = soa.throttled(i);
+            const Celsius cpu = soa.cpuTemp(i);
+            const bool may_flip =
+                was_throttled ? cpu < cpu_release
+                              : (cpu >= cpu_limit && can_throttle);
+            bool now_throttled = was_throttled;
+            if (may_flip && servers_[i].applyThrottle(cpu)) {
+                now_throttled = !was_throttled;
+                soa_->setThrottled(i, now_throttled);
+                markPowerDirty(i);
+            }
+            if (now_throttled)
+                ++agg.throttledServers;
+        }
+    }
+    const auto count = static_cast<double>(n);
+    agg.meanAirTemp /= count;
+    agg.meanMeltFraction /= count;
+    return agg;
+}
+
 void
 Cluster::setBaseInlet(Celsius inlet)
 {
@@ -184,7 +356,14 @@ Cluster::setBaseInlet(Celsius inlet)
 void
 Cluster::setBaseInlet(std::size_t server_id, Celsius inlet)
 {
-    server(server_id).setBaseInlet(inlet);
+    if (server_id >= servers_.size())
+        panic("Cluster::setBaseInlet out of range");
+    // Direct access, not server(): an inlet change affects thermal
+    // state only, so neither the total-power cache nor the gathered
+    // power entry needs invalidating (previously this went through
+    // the mutable accessor and dropped the power cache every call —
+    // once per server per interval under recirculation modelling).
+    servers_[server_id].setBaseInlet(inlet);
 }
 
 void
@@ -214,6 +393,7 @@ Cluster::loadState(Deserializer &in)
     for (Server &srv : servers_)
         srv.loadState(in);
     totalPowerCache_.reset();
+    markAllPowerDirty();
 }
 
 Celsius

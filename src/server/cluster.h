@@ -9,13 +9,17 @@
 #define VMT_SERVER_CLUSTER_H
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "server/power_model.h"
 #include "server/server.h"
 #include "server/server_spec.h"
+#include "thermal/thermal_kernel.h"
 #include "thermal/thermal_params.h"
+#include "thermal/thermal_soa.h"
 #include "util/units.h"
 #include "workload/workload.h"
 
@@ -42,15 +46,6 @@ struct ClusterSample
     /** Servers currently thermally throttled (DVFS downclocked). */
     std::size_t throttledServers = 0;
 };
-
-/**
- * Servers at or above this count make stepThermal()/totalPower() use
- * the chunked parallel path (when the global pool has more than one
- * thread). The 100-server sweep configurations stay on the fused
- * serial loop, which is faster at that scale; the 1,000-server
- * headline runs fan out.
- */
-inline constexpr std::size_t kThermalParallelThreshold = 256;
 
 /** Owns the servers and the aggregate job bookkeeping. */
 class Cluster
@@ -146,11 +141,27 @@ class Cluster
     ClusterSample stepThermal(Seconds dt, Celsius hot_threshold = 1e9);
 
     /** Set every server's cold-aisle inlet (cooling feedback);
-     *  per-server offsets are preserved. */
+     *  per-server offsets are preserved. Inlet changes never affect
+     *  electrical power, so no power cache is invalidated. */
     void setBaseInlet(Celsius inlet);
 
     /** Set one server's cold-aisle inlet (recirculation modelling). */
     void setBaseInlet(std::size_t server_id, Celsius inlet);
+
+    /**
+     * Kernel stepThermal executes with (Soa by default, from
+     * globalThermalKernel() at construction). Both kernels are
+     * bitwise identical; see DESIGN.md §13.
+     */
+    ThermalKernel thermalKernel() const { return kernel_; }
+
+    /**
+     * Switch kernels mid-run (tests / A-B studies). State carries
+     * over exactly: switching to Scalar writes the SoA arrays back
+     * into the per-object models; switching to Soa seeds the arrays
+     * from them.
+     */
+    void setThermalKernel(ThermalKernel kernel);
 
     /** Power model shared by the servers. */
     const PowerModel &powerModel() const { return power_; }
@@ -172,6 +183,17 @@ class Cluster
     void loadState(Deserializer &in);
 
   private:
+    /** Scalar-kernel stepThermal (the historical per-object loop). */
+    ClusterSample stepThermalScalar(Seconds dt, Celsius hot_threshold);
+    /** SoA-kernel stepThermal (power gather, batched chunks, serial
+     *  throttle sync + reduction). */
+    ClusterSample stepThermalSoa(Seconds dt, Celsius hot_threshold);
+    /** Mark one server's gathered power stale (SoA kernel only). */
+    void markPowerDirty(std::size_t id);
+    void markAllPowerDirty();
+    /** Re-gather stale entries of the SoA power array. */
+    void refreshPowerArray();
+
     ServerSpec spec_;
     ServerThermalParams thermal_;
     PowerModel power_;
@@ -182,6 +204,14 @@ class Cluster
      *  serialized here — health lives in the snapshot FALT section. */
     std::size_t aliveServers_ = 0;
     CoreCounts active_{};
+    ThermalKernel kernel_;
+    /** Batched thermal state; non-null iff kernel_ == Soa. Heap-held
+     *  so bound Server pointers survive Cluster moves. */
+    std::unique_ptr<ThermalSoA> soa_;
+    /** Dirty bits for the SoA power gather: set on any event that can
+     *  change a server's draw (job churn, health flips, throttle
+     *  flips, mutable access), cleared by refreshPowerArray. */
+    std::vector<std::uint64_t> powerDirty_;
     /** Per-server samples from the parallel stepThermal path (kept
      *  across steps to avoid a per-interval allocation). */
     std::vector<ThermalSample> stepScratch_;

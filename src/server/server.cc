@@ -68,31 +68,72 @@ Server::refreshPowerCache(const PowerModel &model) const
 Celsius
 Server::cpuTemp(const PowerModel &model) const
 {
+    if (soa_ != nullptr) {
+        // Same expression as ServerThermal::cpuTemp against the SoA
+        // air temperature.
+        return soa_->airTemp(soaIndex_) +
+               thermal_.params().cpuRisePerWatt * power(model);
+    }
     return thermal_.cpuTemp(power(model));
 }
 
 ThermalSample
 Server::stepThermal(const PowerModel &model, Seconds dt)
 {
+    if (soa_ != nullptr)
+        panic("Server::stepThermal on a SoA-bound server; the "
+              "cluster drives the batched kernel");
     const ThermalSample sample = thermal_.step(power(model), dt);
     // The on-board model reads the container-exterior sensor once per
     // update (Section III-B, "Tracking Wax State").
     estimator_.update(sample.containerTemp, dt);
+    applyThrottle(sample.cpuTemp);
+    return sample;
+}
 
-    // Thermal-limit management with hysteresis: downclock when the
-    // junction hits the limit, recover once it cools off.
+bool
+Server::applyThrottle(Celsius cpu_temp)
+{
     const ServerThermalParams &tp = thermal_.params();
-    if (!throttled_ && sample.cpuTemp >= tp.cpuLimit &&
+    if (!throttled_ && cpu_temp >= tp.cpuLimit &&
         tp.throttleFactor < 1.0) {
         throttled_ = true;
         powerCacheModel_ = nullptr;
-    } else if (throttled_ &&
-               sample.cpuTemp <
-                   tp.cpuLimit - tp.throttleHysteresis) {
+        return true;
+    }
+    if (throttled_ &&
+        cpu_temp < tp.cpuLimit - tp.throttleHysteresis) {
         throttled_ = false;
         powerCacheModel_ = nullptr;
+        return true;
     }
-    return sample;
+    return false;
+}
+
+void
+Server::bindSoa(ThermalSoA *soa, std::size_t index)
+{
+    soa_ = soa;
+    soaIndex_ = index;
+    soa->setAirTemp(index, thermal_.airTemp());
+    soa->setEnthalpy(index, thermal_.pcm().enthalpy());
+    soa->setEstimatedEnthalpy(index, estimator_.estimatedEnthalpy());
+    soa->setBaseInlet(index, thermal_.params().inletTemp);
+    soa->setInletOffset(index, thermal_.inletOffset());
+    soa->setFailed(index, health_ == ServerHealth::Failed);
+    soa->setThrottled(index, throttled_);
+}
+
+void
+Server::unbindSoa()
+{
+    if (soa_ == nullptr)
+        return;
+    thermal_.restoreState(soa_->airTemp(soaIndex_),
+                          soa_->enthalpy(soaIndex_));
+    estimator_.restoreEnthalpy(soa_->estimatedEnthalpy(soaIndex_));
+    soa_ = nullptr;
+    soaIndex_ = 0;
 }
 
 void
@@ -103,9 +144,11 @@ Server::saveState(Serializer &out) const
     out.putSize(busyCores_);
     out.putBool(throttled_);
     out.putDouble(thermal_.params().inletTemp);
-    out.putDouble(thermal_.airTemp());
-    out.putDouble(thermal_.pcm().enthalpy());
-    out.putDouble(estimator_.estimatedEnthalpy());
+    // Accessors, not members: while SoA-bound they read the SoA
+    // arrays, so either kernel snapshots the same bytes.
+    out.putDouble(airTemp());
+    out.putDouble(waxEnthalpy());
+    out.putDouble(estimatedWaxEnthalpy());
 }
 
 void
@@ -115,11 +158,20 @@ Server::loadState(Deserializer &in)
         count = in.getSize();
     busyCores_ = in.getSize();
     throttled_ = in.getBool();
-    thermal_.setBaseInlet(in.getDouble());
+    setBaseInlet(in.getDouble());
     const Celsius air_temp = in.getDouble();
     const Joules wax_enthalpy = in.getDouble();
+    const Joules estimated = in.getDouble();
+    // Restore both representations: the per-object models (always)
+    // and, while bound, the authoritative SoA slot.
     thermal_.restoreState(air_temp, wax_enthalpy);
-    estimator_.restoreEnthalpy(in.getDouble());
+    estimator_.restoreEnthalpy(estimated);
+    if (soa_ != nullptr) {
+        soa_->setAirTemp(soaIndex_, air_temp);
+        soa_->setEnthalpy(soaIndex_, wax_enthalpy);
+        soa_->setEstimatedEnthalpy(soaIndex_, estimated);
+        soa_->setThrottled(soaIndex_, throttled_);
+    }
     powerCacheModel_ = nullptr;
 }
 

@@ -13,7 +13,9 @@
 
 #include "server/power_model.h"
 #include "server/server_spec.h"
+#include "thermal/pcm_kernel.h"
 #include "thermal/server_thermal.h"
+#include "thermal/thermal_soa.h"
 #include "thermal/wax_state_estimator.h"
 #include "util/units.h"
 #include "workload/workload.h"
@@ -90,6 +92,9 @@ class Server
     {
         health_ = health;
         powerCacheModel_ = nullptr;
+        if (soa_ != nullptr)
+            soa_->setFailed(soaIndex_,
+                            health_ == ServerHealth::Failed);
     }
 
     /** Running jobs per workload type. */
@@ -125,29 +130,98 @@ class Server
     /**
      * Advance thermal state by dt at the server's current power.
      * Also feeds the wax-state estimator with the container sensor.
+     * Panics while SoA-bound — the Cluster drives the batched kernel
+     * instead (use --thermal-kernel=scalar for this path).
      */
     ThermalSample stepThermal(const PowerModel &model, Seconds dt);
 
+    /**
+     * Apply the thermal-limit hysteresis for a step that produced the
+     * given CPU temperature: downclock when the junction hits the
+     * limit, recover once it cools off. Called by stepThermal and by
+     * the SoA reduction (the single source of the throttle logic).
+     * @return True when the throttle latch flipped (power changed).
+     */
+    bool applyThrottle(Celsius cpu_temp);
+
     /** Air temperature at the wax (the heatmap quantity). */
-    Celsius airTemp() const { return thermal_.airTemp(); }
+    Celsius airTemp() const
+    {
+        return soa_ != nullptr ? soa_->airTemp(soaIndex_)
+                               : thermal_.airTemp();
+    }
 
     /** Ground-truth melt fraction (the simulator's knowledge). */
-    double waxMeltFraction() const { return thermal_.pcm().meltFraction(); }
+    double waxMeltFraction() const
+    {
+        return soa_ != nullptr
+                   ? pcmMeltFraction(soa_->derived(),
+                                     soa_->enthalpy(soaIndex_))
+                   : thermal_.pcm().meltFraction();
+    }
 
     /** The melt-fraction estimate the scheduler is allowed to see. */
-    double estimatedMeltFraction() const { return estimator_.estimate(); }
+    double estimatedMeltFraction() const
+    {
+        return soa_ != nullptr
+                   ? soa_->estimatedEnthalpy(soaIndex_) /
+                         soa_->derived().latentCap
+                   : estimator_.estimate();
+    }
 
     /** Ground-truth latent energy stored in the wax. */
     Joules waxEnergyStored() const
     {
-        return thermal_.pcm().latentEnergyStored();
+        return soa_ != nullptr
+                   ? waxMeltFraction() * soa_->derived().latentCap
+                   : thermal_.pcm().latentEnergyStored();
     }
 
-    /** Thermal model (read-only). */
+    /** Ground-truth wax enthalpy (checkpoint quantity). */
+    Joules waxEnthalpy() const
+    {
+        return soa_ != nullptr ? soa_->enthalpy(soaIndex_)
+                               : thermal_.pcm().enthalpy();
+    }
+
+    /** The estimator's integrated enthalpy (checkpoint quantity). */
+    Joules estimatedWaxEnthalpy() const
+    {
+        return soa_ != nullptr ? soa_->estimatedEnthalpy(soaIndex_)
+                               : estimator_.estimatedEnthalpy();
+    }
+
+    /**
+     * Thermal model (read-only). While SoA-bound, the air node, wax
+     * enthalpy and estimator inside lag the SoA arrays — read dynamic
+     * state through the Server accessors above; static configuration
+     * (params(), inletTemp(), pcm().integrator()) stays authoritative
+     * here.
+     */
     const ServerThermal &thermal() const { return thermal_; }
 
     /** Propagate a cold-aisle inlet change (cooling feedback). */
-    void setBaseInlet(Celsius inlet) { thermal_.setBaseInlet(inlet); }
+    void setBaseInlet(Celsius inlet)
+    {
+        thermal_.setBaseInlet(inlet);
+        if (soa_ != nullptr)
+            soa_->setBaseInlet(soaIndex_, inlet);
+    }
+
+    /**
+     * Attach this server to slot `index` of a ThermalSoA, seeding the
+     * slot from the per-object state. While bound, the SoA arrays are
+     * authoritative for air temperature, wax enthalpy and the
+     * estimator state; the accessors above redirect.
+     */
+    void bindSoa(ThermalSoA *soa, std::size_t index);
+
+    /** Detach, writing the SoA state back into the per-object
+     *  models (kernel switch / teardown). */
+    void unbindSoa();
+
+    /** True while attached to a ThermalSoA. */
+    bool soaBound() const { return soa_ != nullptr; }
 
     /**
      * Checkpoint the server's dynamic state: job mix, throttle latch,
@@ -166,6 +240,10 @@ class Server
     ServerSpec spec_;
     ServerThermal thermal_;
     WaxStateEstimator estimator_;
+    /** Non-null while the cluster's SoA kernel owns the dynamic
+     *  thermal state (see bindSoa). */
+    ThermalSoA *soa_ = nullptr;
+    std::size_t soaIndex_ = 0;
     CoreCounts counts_{};
     std::size_t busyCores_ = 0;
     bool throttled_ = false;

@@ -332,7 +332,9 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
                     req.toServer >= config.numServers ||
                     req.fromServer == req.toServer)
                     continue;
-                if (!cluster.server(req.toServer).hasCapacity())
+                if (!std::as_const(cluster)
+                         .server(req.toServer)
+                         .hasCapacity())
                     continue;
                 // Any matching job on the source server will do.
                 auto &ids =

@@ -58,8 +58,8 @@ pcmIntegratorName(PcmIntegrator integrator)
     return integrator == PcmIntegrator::Closed ? "closed" : "substep";
 }
 
-Pcm::Pcm(const PcmParams &params, Celsius initial_temp)
-    : params_(params), integrator_(globalPcmIntegrator())
+PcmDerived
+derivePcm(const PcmParams &params)
 {
     if (params.volume <= 0.0 || params.densityKgPerL <= 0.0 ||
         params.latentHeat <= 0.0 || params.conductance <= 0.0 ||
@@ -68,19 +68,27 @@ Pcm::Pcm(const PcmParams &params, Celsius initial_temp)
 
     // Same expressions as PcmParams::mass()/latentCapacity() and the
     // legacy per-call computations, evaluated once.
-    mass_ = params.volume * params.densityKgPerL;
-    latentCap_ = mass_ * params.latentHeat;
-    heatCapSolid_ = mass_ * params.specificHeatSolid;
-    heatCapLiquid_ = mass_ * params.specificHeatLiquid;
-    tauSolid_ = heatCapSolid_ / params.conductance;
-    tauLiquid_ = heatCapLiquid_ / params.conductance;
-    sensibleTau_ = mass_ *
-                   std::min(params.specificHeatSolid,
-                            params.specificHeatLiquid) /
-                   params.conductance;
+    PcmDerived d;
+    d.mass = params.volume * params.densityKgPerL;
+    d.latentCap = d.mass * params.latentHeat;
+    d.heatCapSolid = d.mass * params.specificHeatSolid;
+    d.heatCapLiquid = d.mass * params.specificHeatLiquid;
+    d.tauSolid = d.heatCapSolid / params.conductance;
+    d.tauLiquid = d.heatCapLiquid / params.conductance;
+    d.sensibleTau = d.mass *
+                    std::min(params.specificHeatSolid,
+                             params.specificHeatLiquid) /
+                    params.conductance;
+    return d;
+}
 
+Pcm::Pcm(const PcmParams &params, Celsius initial_temp)
+    : params_(params),
+      integrator_(globalPcmIntegrator()),
+      derived_(derivePcm(params))
+{
     const Celsius t = std::min(initial_temp, params.meltTemp);
-    enthalpy_ = heatCapSolid_ * (t - params.meltTemp);
+    enthalpy_ = derived_.heatCapSolid * (t - params.meltTemp);
 }
 
 Joules
@@ -88,134 +96,43 @@ Pcm::step(Celsius air_temp, Seconds dt)
 {
     if (dt <= 0.0)
         fatal("Pcm::step requires dt > 0");
+    // The analytic walk lives in pcm_kernel.h (pcmClosedStep) so the
+    // batched SoA kernel's scalar-fixup path runs the *same code*.
     return integrator_ == PcmIntegrator::Closed
-               ? stepClosed(air_temp, dt)
+               ? pcmClosedStep(params_, derived_, enthalpy_, air_temp,
+                               dt)
                : stepSubstep(air_temp, dt);
-}
-
-/**
- * Analytic step. Against a constant air temperature the enthalpy ODE
- * dH/dt = G (T_air - T(H)) is piecewise linear in H, so each regime
- * has an exact solution:
- *
- *   sensible (solid/liquid): H relaxes exponentially toward the
- *     regime equilibrium H_eq with time constant m c / G;
- *   latent plateau: T is pinned at Tm, so H accumulates linearly at
- *     G (T_air - Tm).
- *
- * H moves monotonically toward the overall equilibrium, so regime
- * crossings are walked in drive order (at most two per step:
- * solid->melting->liquid or the reverse). Each segment either
- * consumes the remaining time or advances exactly to the boundary
- * with the crossing time solved in closed form.
- */
-Joules
-Pcm::stepClosed(Celsius air_temp, Seconds dt)
-{
-    const Joules before = enthalpy_;
-    const Celsius melt = params_.meltTemp;
-    double h = enthalpy_;
-    Seconds remaining = dt;
-
-    while (remaining > 0.0) {
-        if (h < 0.0 || (h == 0.0 && air_temp <= melt)) {
-            // Solid sensible regime; upper boundary H = 0.
-            const Joules h_eq = heatCapSolid_ * (air_temp - melt);
-            if (h_eq <= 0.0) {
-                // Equilibrium inside the regime: never crosses.
-                h = h_eq + (h - h_eq) * std::exp(-remaining / tauSolid_);
-                break;
-            }
-            const Seconds t_cross =
-                tauSolid_ * std::log((h_eq - h) / h_eq);
-            if (t_cross >= remaining) {
-                h = h_eq + (h - h_eq) * std::exp(-remaining / tauSolid_);
-                break;
-            }
-            h = 0.0;
-            remaining -= t_cross;
-        } else if (h < latentCap_ ||
-                   (h == latentCap_ && air_temp < melt)) {
-            // Latent plateau: constant flow at the pinned temperature.
-            const Watts flow = params_.conductance * (air_temp - melt);
-            if (flow == 0.0)
-                break; // No drive: the plateau holds indefinitely.
-            const Joules boundary = flow > 0.0 ? latentCap_ : 0.0;
-            const Seconds t_cross = (boundary - h) / flow;
-            if (t_cross >= remaining) {
-                h += flow * remaining;
-                break;
-            }
-            h = boundary;
-            remaining -= t_cross;
-        } else {
-            // Liquid sensible regime; lower boundary H = m L.
-            const Joules h_eq =
-                latentCap_ + heatCapLiquid_ * (air_temp - melt);
-            if (h_eq >= latentCap_) {
-                h = h_eq + (h - h_eq) * std::exp(-remaining / tauLiquid_);
-                break;
-            }
-            const Seconds t_cross =
-                tauLiquid_ * std::log((h - h_eq) / (latentCap_ - h_eq));
-            if (t_cross >= remaining) {
-                h = h_eq + (h - h_eq) * std::exp(-remaining / tauLiquid_);
-                break;
-            }
-            h = latentCap_;
-            remaining -= t_cross;
-        }
-    }
-
-    enthalpy_ = h;
-    return enthalpy_ - before;
 }
 
 Joules
 Pcm::stepSubstep(Celsius air_temp, Seconds dt)
 {
-    // Sub-step so explicit integration stays well inside the sensible
-    // regime's time constant (m c / G, ~4-5 minutes with defaults).
     // dt is constant for a whole run, so the substep layout is cached
     // keyed on it (same values as recomputing every call).
     if (dt != substepForDt_) {
         substepForDt_ = dt;
-        substepCount_ = static_cast<int>(
-            std::ceil(dt / std::max(1.0, sensibleTau_ / 5.0)));
-        substepLen_ = dt / substepCount_;
+        substepLayout_ = pcmSubstepLayout(derived_, dt);
     }
-
-    Joules absorbed = 0.0;
-    for (int i = 0; i < substepCount_; ++i) {
-        const Watts flow =
-            params_.conductance * (air_temp - temperature());
-        const Joules dq = flow * substepLen_;
-        enthalpy_ += dq;
-        absorbed += dq;
-    }
-    return absorbed;
+    return pcmSubstepStep(params_, derived_, enthalpy_, air_temp,
+                          substepLayout_);
 }
 
 Celsius
 Pcm::temperature() const
 {
-    if (enthalpy_ < 0.0)
-        return params_.meltTemp + enthalpy_ / heatCapSolid_;
-    if (enthalpy_ <= latentCap_)
-        return params_.meltTemp;
-    return params_.meltTemp + (enthalpy_ - latentCap_) / heatCapLiquid_;
+    return pcmTemperature(params_, derived_, enthalpy_);
 }
 
 double
 Pcm::meltFraction() const
 {
-    return std::clamp(enthalpy_ / latentCap_, 0.0, 1.0);
+    return pcmMeltFraction(derived_, enthalpy_);
 }
 
 Joules
 Pcm::latentEnergyStored() const
 {
-    return meltFraction() * latentCap_;
+    return meltFraction() * derived_.latentCap;
 }
 
 } // namespace vmt

@@ -34,6 +34,7 @@
 
 #include <string>
 
+#include "thermal/pcm_kernel.h"
 #include "thermal/thermal_params.h"
 #include "util/units.h"
 
@@ -126,31 +127,25 @@ class Pcm
         integrator_ = integrator;
     }
 
+    /** The derived constants (derivePcm of params()); shared with the
+     *  batched SoA kernel so both paths step identically. */
+    const PcmDerived &derived() const { return derived_; }
+
   private:
-    Joules stepClosed(Celsius air_temp, Seconds dt);
     Joules stepSubstep(Celsius air_temp, Seconds dt);
 
     PcmParams params_;
     Joules enthalpy_;
     PcmIntegrator integrator_;
 
-    // Constants derived from params_ once at construction so the hot
-    // step/readback paths are pure multiply-adds. The expressions
-    // mirror PcmParams::mass()/latentCapacity() exactly, so cached
-    // readbacks are bit-for-bit what recomputing would produce.
-    Kilograms mass_;
-    Joules latentCap_;
-    double heatCapSolid_;  // m c_s, J/K
-    double heatCapLiquid_; // m c_l, J/K
-    Seconds tauSolid_;     // m c_s / G
-    Seconds tauLiquid_;    // m c_l / G
-    Seconds sensibleTau_;  // m min(c_s, c_l) / G (substep pacing)
+    /** Constants derived from params_ once at construction (see
+     *  pcm_kernel.h) so the hot paths are pure multiply-adds. */
+    PcmDerived derived_;
 
     // Substep layout cache: dt is constant across a run, so the
     // substep count and length are computed once per distinct dt.
     Seconds substepForDt_ = -1.0;
-    int substepCount_ = 0;
-    Seconds substepLen_ = 0.0;
+    PcmSubstepLayout substepLayout_;
 };
 
 } // namespace vmt

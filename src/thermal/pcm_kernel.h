@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Shared PCM step kernels: the constant-derivation and per-step
+ * arithmetic used by both the per-object Pcm class (the scalar
+ * reference path) and the batched ThermalSoA kernel.
+ *
+ * Bitwise-identity contract: every helper here is the *single source*
+ * of the expression it computes. Pcm delegates to these functions, and
+ * ThermalSoA evaluates the same functions (or loop bodies with
+ * identical statement shapes), so both thermal kernels produce
+ * bit-for-bit equal doubles from equal inputs. Any change to a formula
+ * below changes both paths together; the `ctest -L kernel` equivalence
+ * suite pins the invariant.
+ */
+
+#ifndef VMT_THERMAL_PCM_KERNEL_H
+#define VMT_THERMAL_PCM_KERNEL_H
+
+#include <algorithm>
+#include <cmath>
+
+#include "thermal/thermal_params.h"
+#include "util/units.h"
+
+namespace vmt {
+
+/**
+ * Constants derived once from PcmParams so the hot step/readback paths
+ * are pure multiply-adds. The expressions mirror
+ * PcmParams::mass()/latentCapacity() exactly, so cached readbacks are
+ * bit-for-bit what recomputing would produce.
+ */
+struct PcmDerived
+{
+    Kilograms mass = 0.0;
+    Joules latentCap = 0.0;
+    double heatCapSolid = 0.0;  // m c_s, J/K
+    double heatCapLiquid = 0.0; // m c_l, J/K
+    Seconds tauSolid = 0.0;     // m c_s / G
+    Seconds tauLiquid = 0.0;    // m c_l / G
+    Seconds sensibleTau = 0.0;  // m min(c_s, c_l) / G (substep pacing)
+};
+
+/**
+ * Derive the constants above.
+ * @throws FatalError unless every parameter is positive.
+ */
+PcmDerived derivePcm(const PcmParams &params);
+
+/** Solid-regime predicate (upper boundary H = 0); the exact
+ *  classification the closed-form walk branches on. Bitwise, not
+ *  short-circuit, combinators: the operands are side-effect-free and
+ *  the SoA classify sweep only vectorizes without control flow. */
+inline bool
+pcmIsSolid(double h, Celsius air_temp, Celsius melt)
+{
+    return (h < 0.0) | ((h == 0.0) & (air_temp <= melt));
+}
+
+/** Latent-plateau predicate, evaluated after pcmIsSolid failed. */
+inline bool
+pcmIsMelting(double h, Celsius air_temp, Celsius melt,
+             Joules latent_cap)
+{
+    return (h < latent_cap) | ((h == latent_cap) & (air_temp < melt));
+}
+
+/**
+ * Analytic step of the enthalpy ODE dH/dt = G (T_air - T(H)) against
+ * a constant air temperature (see Pcm for the physics): exponential
+ * relaxation toward the regime equilibrium in the sensible regimes,
+ * linear accumulation on the latent plateau, regime crossings walked
+ * in drive order with the crossing time solved in closed form.
+ *
+ * @param h Enthalpy state, advanced in place.
+ * @return Heat absorbed over the step: exactly the enthalpy change.
+ */
+inline Joules
+pcmClosedStep(const PcmParams &p, const PcmDerived &d, double &h,
+              Celsius air_temp, Seconds dt)
+{
+    const Joules before = h;
+    const Celsius melt = p.meltTemp;
+    Seconds remaining = dt;
+
+    while (remaining > 0.0) {
+        if (pcmIsSolid(h, air_temp, melt)) {
+            // Solid sensible regime; upper boundary H = 0.
+            const Joules h_eq = d.heatCapSolid * (air_temp - melt);
+            if (h_eq <= 0.0) {
+                // Equilibrium inside the regime: never crosses.
+                h = h_eq + (h - h_eq) * std::exp(-remaining / d.tauSolid);
+                break;
+            }
+            const Seconds t_cross =
+                d.tauSolid * std::log((h_eq - h) / h_eq);
+            if (t_cross >= remaining) {
+                h = h_eq + (h - h_eq) * std::exp(-remaining / d.tauSolid);
+                break;
+            }
+            h = 0.0;
+            remaining -= t_cross;
+        } else if (pcmIsMelting(h, air_temp, melt, d.latentCap)) {
+            // Latent plateau: constant flow at the pinned temperature.
+            const Watts flow = p.conductance * (air_temp - melt);
+            if (flow == 0.0)
+                break; // No drive: the plateau holds indefinitely.
+            const Joules boundary = flow > 0.0 ? d.latentCap : 0.0;
+            const Seconds t_cross = (boundary - h) / flow;
+            if (t_cross >= remaining) {
+                h += flow * remaining;
+                break;
+            }
+            h = boundary;
+            remaining -= t_cross;
+        } else {
+            // Liquid sensible regime; lower boundary H = m L.
+            const Joules h_eq =
+                d.latentCap + d.heatCapLiquid * (air_temp - melt);
+            if (h_eq >= d.latentCap) {
+                h = h_eq + (h - h_eq) * std::exp(-remaining / d.tauLiquid);
+                break;
+            }
+            const Seconds t_cross =
+                d.tauLiquid * std::log((h - h_eq) / (d.latentCap - h_eq));
+            if (t_cross >= remaining) {
+                h = h_eq + (h - h_eq) * std::exp(-remaining / d.tauLiquid);
+                break;
+            }
+            h = d.latentCap;
+            remaining -= t_cross;
+        }
+    }
+
+    return h - before;
+}
+
+/** Wax temperature as a pure function of the enthalpy state. */
+inline Celsius
+pcmTemperature(const PcmParams &p, const PcmDerived &d, double h)
+{
+    if (h < 0.0)
+        return p.meltTemp + h / d.heatCapSolid;
+    if (h <= d.latentCap)
+        return p.meltTemp;
+    return p.meltTemp + (h - d.latentCap) / d.heatCapLiquid;
+}
+
+/** Melt fraction in [0, 1] as a pure function of the enthalpy. */
+inline double
+pcmMeltFraction(const PcmDerived &d, double h)
+{
+    return std::clamp(h / d.latentCap, 0.0, 1.0);
+}
+
+/** Substep count/length for the explicit reference integrator; a
+ *  pure function of (params, dt) so callers may cache it keyed on
+ *  dt. */
+struct PcmSubstepLayout
+{
+    int count = 0;
+    Seconds len = 0.0;
+};
+
+inline PcmSubstepLayout
+pcmSubstepLayout(const PcmDerived &d, Seconds dt)
+{
+    // Sub-step so explicit integration stays well inside the sensible
+    // regime's time constant (m c / G, ~4-5 minutes with defaults).
+    PcmSubstepLayout layout;
+    layout.count = static_cast<int>(
+        std::ceil(dt / std::max(1.0, d.sensibleTau / 5.0)));
+    layout.len = dt / layout.count;
+    return layout;
+}
+
+/**
+ * Explicit sub-stepped step (the legacy reference integrator).
+ *
+ * @param h Enthalpy state, advanced in place.
+ * @return Heat absorbed, accumulated substep by substep — the
+ *         historical convention, which is NOT always bitwise equal to
+ *         the net enthalpy change; callers must keep it.
+ */
+inline Joules
+pcmSubstepStep(const PcmParams &p, const PcmDerived &d, double &h,
+               Celsius air_temp, const PcmSubstepLayout &layout)
+{
+    Joules absorbed = 0.0;
+    for (int i = 0; i < layout.count; ++i) {
+        const Watts flow =
+            p.conductance * (air_temp - pcmTemperature(p, d, h));
+        const Joules dq = flow * layout.len;
+        h += dq;
+        absorbed += dq;
+    }
+    return absorbed;
+}
+
+} // namespace vmt
+
+#endif // VMT_THERMAL_PCM_KERNEL_H

@@ -20,7 +20,7 @@ RcNode::step(Celsius target, Seconds dt)
         fatal("RcNode::step requires dt > 0");
     if (dt != gainForDt_) {
         gainForDt_ = dt;
-        gain_ = 1.0 - std::exp(-dt / tau_);
+        gain_ = rcStepGain(tau_, dt);
     }
     temp_ += (target - temp_) * gain_;
     return temp_;

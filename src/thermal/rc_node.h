@@ -9,9 +9,21 @@
 #ifndef VMT_THERMAL_RC_NODE_H
 #define VMT_THERMAL_RC_NODE_H
 
+#include <cmath>
+
 #include "util/units.h"
 
 namespace vmt {
+
+/** Step gain 1 - exp(-dt/tau) of the exact first-order update. The
+ *  single source of this expression: RcNode caches it per dt, and the
+ *  batched ThermalSoA kernel precomputes it once per step, so both
+ *  paths advance temperatures with the identical double. */
+inline double
+rcStepGain(Seconds tau, Seconds dt)
+{
+    return 1.0 - std::exp(-dt / tau);
+}
 
 /** One thermal capacitance relaxing toward a driven temperature. */
 class RcNode

@@ -66,6 +66,9 @@ class ServerThermal
     /** Effective inlet temperature for this server. */
     Celsius inletTemp() const;
 
+    /** Per-server inlet deviation (fixed at construction). */
+    Kelvin inletOffset() const { return inletOffset_; }
+
     /**
      * Change the base (cold-aisle) inlet temperature, e.g. when an
      * overloaded cooling plant cannot hold its setpoint. The

@@ -1,0 +1,95 @@
+#include "thermal/thermal_kernel.h"
+
+#include <cstdlib>
+#include <optional>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+namespace {
+
+/** --thermal-kernel override; unset falls back to the environment. */
+std::optional<ThermalKernel> g_kernel_override;
+
+/** VMT_THERMAL_KERNEL, parsed lazily once (like VMT_THREADS). */
+ThermalKernel
+envKernel()
+{
+    static const ThermalKernel parsed = [] {
+        if (const char *env = std::getenv("VMT_THERMAL_KERNEL"))
+            return thermalKernelFromString(env);
+        return ThermalKernel::Soa;
+    }();
+    return parsed;
+}
+
+/** --thermal-parallel-threshold override. */
+std::optional<std::size_t> g_threshold_override;
+
+/** VMT_THERMAL_PARALLEL_THRESHOLD, parsed lazily once. */
+std::size_t
+envThreshold()
+{
+    static const std::size_t parsed = [] {
+        if (const char *env =
+                std::getenv("VMT_THERMAL_PARALLEL_THRESHOLD")) {
+            char *end = nullptr;
+            const unsigned long long value =
+                std::strtoull(env, &end, 10);
+            if (end == env || *end != '\0')
+                fatal("VMT_THERMAL_PARALLEL_THRESHOLD must be a "
+                      "non-negative integer, got '" +
+                      std::string(env) + "'");
+            return static_cast<std::size_t>(value);
+        }
+        return kThermalParallelThreshold;
+    }();
+    return parsed;
+}
+
+} // namespace
+
+ThermalKernel
+globalThermalKernel()
+{
+    return g_kernel_override ? *g_kernel_override : envKernel();
+}
+
+void
+setGlobalThermalKernel(ThermalKernel kernel)
+{
+    g_kernel_override = kernel;
+}
+
+ThermalKernel
+thermalKernelFromString(const std::string &name)
+{
+    if (name == "soa")
+        return ThermalKernel::Soa;
+    if (name == "scalar")
+        return ThermalKernel::Scalar;
+    fatal("thermal-kernel must be 'soa' or 'scalar', got '" + name +
+          "'");
+}
+
+const char *
+thermalKernelName(ThermalKernel kernel)
+{
+    return kernel == ThermalKernel::Soa ? "soa" : "scalar";
+}
+
+std::size_t
+thermalParallelThreshold()
+{
+    return g_threshold_override ? *g_threshold_override
+                                : envThreshold();
+}
+
+void
+setThermalParallelThreshold(std::size_t threshold)
+{
+    g_threshold_override = threshold;
+}
+
+} // namespace vmt

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Process-wide thermal-execution knobs (mirrors the --pcm-integrator
+ * pattern in pcm.h):
+ *
+ *  - ThermalKernel: how Cluster::stepThermal executes the per-server
+ *    thermal update. `Soa` (the default) runs the batched
+ *    structure-of-arrays kernel (thermal_soa.h); `Scalar` steps each
+ *    Server object individually (the historical reference path). The
+ *    two are bitwise identical — see DESIGN.md §13 — so the knob is a
+ *    performance/debugging choice, not a modelling one.
+ *  - Thermal parallel threshold: the cluster size at or above which
+ *    stepThermal fans out on the global thread pool (historically the
+ *    compile-time kThermalParallelThreshold).
+ */
+
+#ifndef VMT_THERMAL_THERMAL_KERNEL_H
+#define VMT_THERMAL_THERMAL_KERNEL_H
+
+#include <cstddef>
+#include <string>
+
+namespace vmt {
+
+/**
+ * Default parallel threshold: servers at or above this count make
+ * stepThermal()/totalPower() use the chunked parallel path (when the
+ * global pool has more than one thread). The 100-server sweep
+ * configurations stay on the fused serial loop, which is faster at
+ * that scale; the 1,000-server headline runs fan out.
+ */
+inline constexpr std::size_t kThermalParallelThreshold = 256;
+
+/** How Cluster::stepThermal executes the interval update. */
+enum class ThermalKernel
+{
+    /** Per-object Server::stepThermal loop (bitwise reference). */
+    Scalar,
+    /** Batched structure-of-arrays kernel (the default). */
+    Soa,
+};
+
+/**
+ * Kernel newly-constructed Cluster instances use. Resolved, in
+ * priority order, from setGlobalThermalKernel() (the --thermal-kernel
+ * flag), the VMT_THERMAL_KERNEL environment variable ("soa" or
+ * "scalar"), then ThermalKernel::Soa.
+ */
+ThermalKernel globalThermalKernel();
+
+/** Override the process-wide default (the --thermal-kernel knob). */
+void setGlobalThermalKernel(ThermalKernel kernel);
+
+/**
+ * Parse "soa" / "scalar".
+ * @throws FatalError on anything else.
+ */
+ThermalKernel thermalKernelFromString(const std::string &name);
+
+/** Canonical flag spelling of a kernel. */
+const char *thermalKernelName(ThermalKernel kernel);
+
+/**
+ * Cluster size at or above which stepThermal()/the SoA chunk loop use
+ * the thread pool (when it has more than one thread). Resolved, in
+ * priority order, from setThermalParallelThreshold() (the
+ * --thermal-parallel-threshold flag), VMT_THERMAL_PARALLEL_THRESHOLD,
+ * then kThermalParallelThreshold (cluster.h). The threshold affects
+ * scheduling only, never values: chunk boundaries and reductions are
+ * independent of where the crossover sits.
+ */
+std::size_t thermalParallelThreshold();
+
+/** Override the process-wide threshold (0 = parallelize always). */
+void setThermalParallelThreshold(std::size_t threshold);
+
+} // namespace vmt
+
+#endif // VMT_THERMAL_THERMAL_KERNEL_H

@@ -40,14 +40,10 @@ WaxStateEstimator::update(Celsius container_temp, Seconds dt)
     // container; while melting/freezing the wax side sits at the
     // melting temperature, so the delta to the melting point indexes
     // the flow table. Outside the transition the estimate saturates.
-    const Kelvin delta =
-        std::clamp(container_temp - params_.meltTemp, -span_, span_);
-    const auto idx = static_cast<std::size_t>(std::min(
-        static_cast<double>(table_.size() - 1),
-        std::floor((delta + span_) / bucketWidth_)));
-    estimatedEnthalpy_ += table_[idx] * dt;
-    estimatedEnthalpy_ =
-        std::clamp(estimatedEnthalpy_, 0.0, params_.latentCapacity());
+    waxEstimatorIntegrate(estimatedEnthalpy_, table_.data(),
+                          table_.size(), bucketWidth_, span_,
+                          params_.latentCapacity(), params_.meltTemp,
+                          container_temp, dt);
 }
 
 double

@@ -16,12 +16,72 @@
 #ifndef VMT_THERMAL_WAX_STATE_ESTIMATOR_H
 #define VMT_THERMAL_WAX_STATE_ESTIMATOR_H
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "thermal/thermal_params.h"
 #include "util/units.h"
 
 namespace vmt {
+
+/**
+ * One estimator update: quantize the sensor delta, integrate the
+ * table's flow estimate, clamp to the physical range. The single
+ * source of the update expression — WaxStateEstimator::update and the
+ * batched ThermalSoA kernel both evaluate this, so per-object and SoA
+ * estimates are bitwise identical. The table is a pure function of
+ * (PcmParams, bucket_width, span), so identical servers can share one
+ * table (the SoA kernel does; per-object estimators keep their own).
+ *
+ * @param estimated_enthalpy Integrated estimate, advanced in place.
+ */
+/** Quantize a sensor delta to its table bucket. Split from the
+ *  integration so the SoA kernel can run this pure-FP part as one
+ *  vectorized sweep into an index array; int, not size_t, because the
+ *  bucket position is small and non-negative (delta >= -span) and
+ *  packed double->int32 conversion vectorizes. */
+inline int
+waxEstimatorBucket(std::size_t table_size, Kelvin bucket_width,
+                   Kelvin span, Celsius melt_temp,
+                   Celsius container_temp)
+{
+    const Kelvin delta =
+        std::clamp(container_temp - melt_temp, -span, span);
+    // The int cast truncates toward zero, which on this non-negative
+    // position (delta >= -span, so delta + span >= 0) IS the floor —
+    // no std::floor call, which the vectorizer refuses outside
+    // fast-math. min on doubles first, so saturation at the top
+    // bucket is exact.
+    return static_cast<int>(std::min(
+        static_cast<double>(table_size - 1),
+        (delta + span) / bucket_width));
+}
+
+/** Integrate one looked-up flow estimate and clamp to the physical
+ *  range (the other half of the split update). */
+inline void
+waxEstimatorApply(double &estimated_enthalpy, Watts flow,
+                  Joules latent_capacity, Seconds dt)
+{
+    estimated_enthalpy += flow * dt;
+    estimated_enthalpy =
+        std::clamp(estimated_enthalpy, 0.0, latent_capacity);
+}
+
+inline void
+waxEstimatorIntegrate(double &estimated_enthalpy,
+                      const Watts *table, std::size_t table_size,
+                      Kelvin bucket_width, Kelvin span,
+                      Joules latent_capacity, Celsius melt_temp,
+                      Celsius container_temp, Seconds dt)
+{
+    const int idx = waxEstimatorBucket(table_size, bucket_width,
+                                       span, melt_temp,
+                                       container_temp);
+    waxEstimatorApply(estimated_enthalpy, table[idx],
+                      latent_capacity, dt);
+}
 
 /** Table-driven online estimate of a server's wax melt fraction. */
 class WaxStateEstimator
@@ -67,6 +127,16 @@ class WaxStateEstimator
 
     /** Number of table buckets (for introspection/tests). */
     std::size_t tableSize() const { return table_.size(); }
+
+    /** The flow table itself (shared-table construction in the SoA
+     *  kernel; see waxEstimatorIntegrate). */
+    const std::vector<Watts> &table() const { return table_; }
+
+    /** Quantization width the table was built with. */
+    Kelvin bucketWidth() const { return bucketWidth_; }
+
+    /** Saturation span the table was built with. */
+    Kelvin span() const { return span_; }
 
   private:
     PcmParams params_;
