@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "sched/coolest_first.h"
+#include "sched/placement_engine.h"
 #include "sched/round_robin.h"
 #include "sim/result_io.h"
 #include "thermal/pcm.h"
@@ -53,6 +54,9 @@ configureThreadsFromArgs(int argc, const char *const *argv)
     if (flags.has("thermal-kernel"))
         setGlobalThermalKernel(thermalKernelFromString(
             flags.getString("thermal-kernel")));
+    if (flags.has("placement-engine"))
+        setGlobalPlacementEngine(placementEngineFromString(
+            flags.getString("placement-engine")));
     if (flags.has("thermal-parallel-threshold")) {
         const long long threshold =
             flags.getInt("thermal-parallel-threshold", 0);

@@ -48,9 +48,11 @@ SweepObsHandles sweepObsHandles();
  * hardware concurrency; --pcm-integrator closed|substep, default
  * VMT_PCM_INTEGRATOR; --thermal-kernel soa|scalar, default
  * VMT_THERMAL_KERNEL; --thermal-parallel-threshold N, default
- * VMT_THERMAL_PARALLEL_THRESHOLD) and configure the global pool and
- * thermal knobs accordingly. Call first thing in a bench main();
- * unknown flags are left alone for the bench's own parsing.
+ * VMT_THERMAL_PARALLEL_THRESHOLD; --placement-engine batched|scalar,
+ * default VMT_PLACEMENT_ENGINE) and configure the global pool,
+ * thermal and scheduler knobs accordingly. Call first thing in a
+ * bench main(); unknown flags are left alone for the bench's own
+ * parsing.
  */
 void configureThreadsFromArgs(int argc, const char *const *argv);
 

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Isolated scheduler hot-path throughput: beginInterval + a batch of
+ * placeJobs decisions on a steady-state cluster, scalar versus
+ * batched placement engine, across policies x fleet sizes x arrival
+ * rates. This is the measurement behind the `placement_micro` rows in
+ * BENCH_sim.json: the end-to-end runs (perf_simulator's `placement`
+ * study) bundle placement with thermal stepping and driver
+ * bookkeeping; this bench times the scheduler alone.
+ *
+ * Every point drives both engines through the identical trajectory:
+ * the cluster starts in a warmed steady state with diverse inlet
+ * temperatures and melt fractions, each reset-to-steady-state rep
+ * times one interval refresh plus one arrival batch, and the jobs
+ * placed are removed again (untimed) before the next rep. The
+ * engines' decision sequences are asserted identical — a perf number
+ * from a diverged run would be meaningless.
+ *
+ * Flags: --check             exit non-zero unless the batched engine
+ *                            is >= 2.5x scalar (geomean over the
+ *                            cluster1000 rate-32 rows — the interval-
+ *                            refresh-dominated regime the batched
+ *                            engine targets; at high arrival rates
+ *                            both engines converge on the identical
+ *                            per-job decision loop, which would dilute
+ *                            the gate without measuring the rebuild)
+ *        --threads and the shared bench flags (bench/common.h)
+ * Environment: VMT_PERF_JSON  BENCH_sim.json path to splice
+ *              `placement_micro` rows into (default ./BENCH_sim.json;
+ *              inserted before the `kernel_micro`/`build` tail).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/vmt_preserve.h"
+#include "core/vmt_ta.h"
+#include "core/vmt_wa.h"
+#include "sched/coolest_first.h"
+#include "sched/placement_engine.h"
+#include "server/cluster.h"
+#include "util/flags.h"
+
+using namespace vmt;
+
+namespace {
+
+constexpr Celsius kHotThreshold = 45.0;
+
+struct Policy
+{
+    const char *name;
+    std::function<std::unique_ptr<Scheduler>()> make;
+};
+
+std::vector<Policy>
+policies()
+{
+    return {
+        {"cf",
+         [] { return std::make_unique<CoolestFirstScheduler>(); }},
+        {"ta",
+         [] {
+             return std::make_unique<VmtTaScheduler>(
+                 bench::studyVmt(22.0), hotMaskFromPaper());
+         }},
+        {"wa",
+         [] {
+             return std::make_unique<VmtWaScheduler>(
+                 bench::studyVmt(22.0), hotMaskFromPaper());
+         }},
+        {"preserve",
+         [] {
+             return std::make_unique<VmtPreserveScheduler>(
+                 bench::studyVmt(22.0), hotMaskFromPaper());
+         }},
+    };
+}
+
+struct Row
+{
+    std::string policy;
+    std::size_t servers;
+    std::size_t rate;
+    std::string engine;
+    double usPerInterval;
+    double jobsPerSec;
+    /** intervals/s relative to the scalar row of the same point. */
+    double speedup;
+};
+
+/**
+ * A steady-state cluster with placement-relevant diversity: a sawtooth
+ * load profile (some servers full, some idle), an inlet gradient, and
+ * enough warm-up that part of the fleet is melted and part frozen —
+ * so WA/Preserve exercise every partition branch. Deterministic, and
+ * independent of the placement engine (no scheduler involved).
+ */
+std::unique_ptr<Cluster>
+makeSteadyCluster(std::size_t servers)
+{
+    const SimConfig config = bench::studyConfig(servers);
+    auto cluster = std::make_unique<Cluster>(
+        servers, config.spec, config.thermal,
+        PowerModel(config.spec, config.powerScale));
+
+    const std::size_t cores = config.spec.cores();
+    for (std::size_t id = 0; id < servers; ++id) {
+        const std::size_t load = (id * 7 + 3) % (cores + 1);
+        for (std::size_t c = 0; c < load; ++c)
+            cluster->addJob(id, kAllWorkloads[c % kNumWorkloads]);
+        cluster->setBaseInlet(
+            id, 20.0 + 14.0 * static_cast<double>(id % 11) / 10.0);
+    }
+    // Warm until the load sawtooth translates into a melt sawtooth:
+    // heavily loaded hot-inlet servers melt, idle ones stay frozen.
+    for (int i = 0; i < 240; ++i)
+        cluster->stepThermal(60.0, kHotThreshold);
+    return cluster;
+}
+
+/** The deterministic arrival batch for one point (mixed hot/cold). */
+std::vector<Job>
+makeArrivals(std::size_t rate)
+{
+    std::vector<Job> jobs;
+    jobs.reserve(rate);
+    for (std::size_t k = 0; k < rate; ++k)
+        jobs.push_back(
+            Job{k, kAllWorkloads[(k * 5 + 1) % kNumWorkloads], 0.0});
+    return jobs;
+}
+
+/**
+ * Time `reps` intervals of (beginInterval + placeJobs) under one
+ * engine, un-placing the batch between reps so every rep — and both
+ * engines — sees the identical steady state. Appends each rep's
+ * placement decisions to `decisions` for cross-engine comparison.
+ */
+double
+timeIntervals(PlacementEngine engine, const Policy &policy,
+              Cluster &cluster, const std::vector<Job> &jobs,
+              std::size_t reps, std::vector<std::size_t> &decisions)
+{
+    const PlacementEngine before = globalPlacementEngine();
+    setGlobalPlacementEngine(engine);
+    std::unique_ptr<Scheduler> sched = policy.make();
+    setGlobalPlacementEngine(before);
+
+    std::vector<std::size_t> out;
+    std::chrono::steady_clock::duration elapsed{};
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        sched->beginInterval(cluster, 0.0);
+        sched->placeJobs(cluster, jobs, out);
+        elapsed += std::chrono::steady_clock::now() - start;
+        // Untimed restore: the next rep starts from the same state.
+        for (std::size_t k = 0; k < out.size(); ++k) {
+            if (out[k] != kNoServer)
+                cluster.removeJob(out[k], jobs[k].type);
+        }
+        decisions.insert(decisions.end(), out.begin(), out.end());
+    }
+    return std::chrono::duration<double>(elapsed).count();
+}
+
+/**
+ * Splice `placement_micro` into BENCH_sim.json *before* the
+ * `kernel_micro`/`build` tail that perf_kernel keeps as the
+ * always-last keys: any previous placement splice is truncated, the
+ * kernel tail (when present) is preserved verbatim. Missing file =>
+ * standalone object.
+ */
+void
+spliceJson(const std::string &path, const std::vector<Row> &rows)
+{
+    std::string head;
+    {
+        std::ifstream in(path);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        head = buffer.str();
+    }
+    const std::string marker = ",\n  \"placement_micro\"";
+    const std::string kernel_marker = ",\n  \"kernel_micro\"";
+
+    // Preserve perf_kernel's tail before truncating anything.
+    std::string tail;
+    if (const auto km = head.find(kernel_marker);
+        km != std::string::npos) {
+        tail = head.substr(km);
+        head.erase(km);
+    }
+    if (const auto at = head.find(marker); at != std::string::npos) {
+        head.erase(at);
+        head += ",\n";
+    } else if (const auto brace = head.rfind('}');
+               brace != std::string::npos) {
+        head.erase(brace);
+        while (!head.empty() &&
+               (head.back() == '\n' || head.back() == ' '))
+            head.pop_back();
+        head += ",\n";
+    } else {
+        head = "{\n";
+    }
+
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "[placement_micro] cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    out << head << "  \"placement_micro\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        out << "    {\"policy\": \"" << r.policy
+            << "\", \"servers\": " << r.servers
+            << ", \"rate\": " << r.rate
+            << ", \"engine\": \"" << r.engine
+            << "\", \"us_per_interval\": " << r.usPerInterval
+            << ", \"jobs_per_sec\": " << r.jobsPerSec
+            << ", \"speedup\": " << r.speedup << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]";
+    if (!tail.empty())
+        out << tail;
+    else
+        out << "\n}\n";
+    std::printf("[placement_micro] spliced %zu rows into %s\n",
+                rows.size(), path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    vmt::bench::configureThreadsFromArgs(argc, argv);
+    const Flags flags(argc, argv);
+    const bool check = flags.getBool("check", false);
+
+    std::string json_path = "BENCH_sim.json";
+    if (const char *env = std::getenv("VMT_PERF_JSON"))
+        json_path = env;
+
+    const std::vector<std::size_t> fleet_sizes =
+        check ? std::vector<std::size_t>{1000}
+              : std::vector<std::size_t>{250, 1000, 10000};
+    const std::vector<std::size_t> rates =
+        check ? std::vector<std::size_t>{32, 256}
+              : std::vector<std::size_t>{32, 256, 2048};
+
+    std::vector<Row> rows;
+    double gate_log_sum = 0.0;
+    std::size_t gate_points = 0;
+    for (const Policy &policy : policies()) {
+        for (const std::size_t servers : fleet_sizes) {
+            auto cluster = makeSteadyCluster(servers);
+            for (const std::size_t rate : rates) {
+                const std::vector<Job> jobs = makeArrivals(rate);
+                // Fixed rep count per point so both engines time the
+                // same number of identical intervals.
+                const std::size_t reps = std::max<std::size_t>(
+                    20, 400000 / (servers + 4 * rate));
+                double scalar_rate = 0.0;
+                std::vector<std::size_t> scalar_decisions;
+                for (const PlacementEngine engine :
+                     {PlacementEngine::Scalar,
+                      PlacementEngine::Batched}) {
+                    std::vector<std::size_t> decisions;
+                    // Best of three: the minimum is the least
+                    // noise-contaminated estimate of the true cost.
+                    double seconds =
+                        timeIntervals(engine, policy, *cluster, jobs,
+                                      reps, decisions);
+                    for (int rep = 0; rep < 2; ++rep) {
+                        decisions.clear();
+                        seconds = std::min(
+                            seconds,
+                            timeIntervals(engine, policy, *cluster,
+                                          jobs, reps, decisions));
+                    }
+                    if (engine == PlacementEngine::Scalar) {
+                        scalar_decisions = std::move(decisions);
+                    } else if (decisions != scalar_decisions) {
+                        std::fprintf(
+                            stderr,
+                            "[placement_micro] ENGINES DIVERGED: "
+                            "%s servers=%zu rate=%zu\n",
+                            policy.name, servers, rate);
+                        return 1;
+                    }
+                    const double interval_rate =
+                        static_cast<double>(reps) / seconds;
+                    if (engine == PlacementEngine::Scalar)
+                        scalar_rate = interval_rate;
+                    const double speedup =
+                        scalar_rate > 0.0
+                            ? interval_rate / scalar_rate
+                            : 1.0;
+                    rows.push_back(
+                        {policy.name, servers, rate,
+                         placementEngineName(engine),
+                         1e6 * seconds / static_cast<double>(reps),
+                         static_cast<double>(rate) * interval_rate,
+                         speedup});
+                    std::printf(
+                        "[placement_micro] %-8s servers=%-5zu "
+                        "rate=%-4zu engine=%-7s %9.2f us/interval  "
+                        "speedup %.2fx\n",
+                        policy.name, servers, rate,
+                        placementEngineName(engine),
+                        rows.back().usPerInterval, speedup);
+                    std::fflush(stdout);
+                    if (servers == 1000 && rate == 32 &&
+                        engine == PlacementEngine::Batched) {
+                        gate_log_sum += std::log(speedup);
+                        ++gate_points;
+                    }
+                }
+            }
+        }
+    }
+
+    if (!check)
+        spliceJson(json_path, rows);
+    if (check) {
+        const double geomean =
+            gate_points > 0
+                ? std::exp(gate_log_sum /
+                           static_cast<double>(gate_points))
+                : 0.0;
+        const bool gate_ok = geomean >= 2.5;
+        std::printf(
+            "[placement_micro] perf gate: %s (geomean %.2fx over "
+            "%zu cluster1000 rate-32 rows, need >= 2.50x)\n",
+            gate_ok ? "PASS" : "FAIL", geomean, gate_points);
+        return gate_ok ? 0 : 1;
+    }
+    return 0;
+}

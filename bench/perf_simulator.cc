@@ -16,9 +16,12 @@
  * bookkeeping overhead (budget: <= 3%), an observability study
  * times the same run with the obs layer detached vs attached
  * (metrics + profiler + telemetry all recording; budget: <= 3%),
- * and a kernel study times the same run with the scalar vs the SoA
+ * a kernel study times the same run with the scalar vs the SoA
  * thermal kernel (end-to-end; the isolated stepThermal ratio lives
- * in perf_kernel's kernel_micro rows).
+ * in perf_kernel's kernel_micro rows), and a placement study times
+ * the same run with the scalar vs the batched placement engine
+ * (end-to-end; the isolated interval ratio lives in
+ * perf_placement's placement_micro rows).
  * All write into a machine-readable BENCH_sim.json so the perf
  * trajectory is tracked PR over PR.
  * Environment knobs:
@@ -41,6 +44,7 @@
 #include "core/vmt_ta.h"
 #include "core/vmt_wa.h"
 #include "obs/observability.h"
+#include "sched/placement_engine.h"
 #include "sched/round_robin.h"
 #include "sim/datacenter_sim.h"
 #include "sim/simulation.h"
@@ -451,6 +455,60 @@ runKernelStudy(double hours, std::vector<KernelRow> &rows)
     setGlobalThreadCount(0);
 }
 
+/** One single-thread timing of the headline run per placement
+ *  engine. */
+struct PlacementRow
+{
+    std::string engine;
+    double wallSeconds;
+    double intervalsPerSec;
+    /** intervals/s relative to the scalar engine's run. */
+    double placementSpeedup;
+};
+
+/**
+ * Placement-engine study: the 1,000-server headline run with the
+ * scalar (heap rebuild) and batched (PlacementView + block-min)
+ * engines, both at threads=1. End to end the placement phase shares
+ * the wall clock with the thermal kernel and trace bookkeeping, so
+ * this ratio understates the engine's own speedup — perf_placement
+ * measures the isolated interval ratio and splices it in as
+ * `placement_micro`.
+ */
+void
+runPlacementStudy(double hours, std::vector<PlacementRow> &rows)
+{
+    SimConfig config = bench::studyConfig(1000);
+    config.trace.duration = hours;
+    const PlacementEngine before = globalPlacementEngine();
+    setGlobalThreadCount(1);
+    double scalar_seconds = 0.0;
+    for (const PlacementEngine engine :
+         {PlacementEngine::Scalar, PlacementEngine::Batched}) {
+        setGlobalPlacementEngine(engine);
+        const double seconds = wallSeconds([&] {
+            VmtWaScheduler sched(bench::studyVmt(22.0),
+                                 hotMaskFromPaper());
+            benchmark::DoNotOptimize(runSimulation(config, sched));
+        });
+        if (engine == PlacementEngine::Scalar)
+            scalar_seconds = seconds;
+        rows.push_back({placementEngineName(engine), seconds,
+                        hours * 60.0 / seconds,
+                        scalar_seconds > 0.0 ? scalar_seconds / seconds
+                                             : 1.0});
+        std::printf("[placement] cluster1000 threads=1 engine=%-7s "
+                    "%7.2f s  %9.0f intervals/s  placement_speedup "
+                    "%.2fx\n",
+                    rows.back().engine.c_str(), seconds,
+                    rows.back().intervalsPerSec,
+                    rows.back().placementSpeedup);
+        std::fflush(stdout);
+    }
+    setGlobalPlacementEngine(before);
+    setGlobalThreadCount(0);
+}
+
 void
 writeScalingJson(const std::string &path, double hours,
                  const std::vector<ScalingRow> &rows,
@@ -458,7 +516,8 @@ writeScalingJson(const std::string &path, double hours,
                  const std::vector<CheckpointRow> &checkpoint,
                  const std::vector<FaultRow> &fault,
                  const std::vector<ObsRow> &obs,
-                 const std::vector<KernelRow> &kernel)
+                 const std::vector<KernelRow> &kernel,
+                 const std::vector<PlacementRow> &placement)
 {
     std::ofstream out(path);
     if (!out) {
@@ -530,6 +589,16 @@ writeScalingJson(const std::string &path, double hours,
             << ", \"kernel_speedup\": " << r.kernelSpeedup << "}"
             << (i + 1 < kernel.size() ? "," : "") << "\n";
     }
+    out << "  ],\n  \"placement\": [\n";
+    for (std::size_t i = 0; i < placement.size(); ++i) {
+        const PlacementRow &r = placement[i];
+        out << "    {\"name\": \"cluster1000\", \"threads\": 1"
+            << ", \"engine\": \"" << r.engine
+            << "\", \"wall_seconds\": " << r.wallSeconds
+            << ", \"intervals_per_sec\": " << r.intervalsPerSec
+            << ", \"placement_speedup\": " << r.placementSpeedup
+            << "}" << (i + 1 < placement.size() ? "," : "") << "\n";
+    }
     out << "  ]\n}\n";
     std::printf("[scaling] wrote %s\n", path.c_str());
 }
@@ -597,8 +666,11 @@ runScalingStudy()
     std::vector<KernelRow> kernel_rows;
     runKernelStudy(hours, kernel_rows);
 
+    std::vector<PlacementRow> placement_rows;
+    runPlacementStudy(hours, placement_rows);
+
     writeScalingJson(json_path, hours, rows, hotpath, checkpoint,
-                     fault, obs_rows, kernel_rows);
+                     fault, obs_rows, kernel_rows, placement_rows);
 }
 
 } // namespace

@@ -16,10 +16,29 @@ VmtPreserveScheduler::beginInterval(Cluster &cluster, Seconds)
     // Eq. 1 over the *alive* fleet (identical while nothing failed).
     hotSize_ = hotGroupSizeFor(config_, cluster.aliveServers());
 
-    const KelvinPerWatt rise = cluster.thermalParams().airRisePerWatt;
-    melted_ = {};
-    packing_ = {};
+    if (engine_ == PlacementEngine::Batched) {
+        // Dense melt/key sweep; the per-heap live-key multisets match
+        // the scalar accessor walk below, so decisions are identical.
+        // The melted/packing split is two complementary masked fills
+        // (branchless selects) instead of a mispredicting partition.
+        view_.refreshProjectedMelt(cluster);
+        const double *est = view_.estMelt();
+        const Celsius *key = view_.projected();
+        melted_.assignKeysIf(key, 0, hotSize_, [&](std::size_t id) {
+            return est[id] >= config_.waxThreshold;
+        });
+        packing_.assignKeysIf(key, 0, hotSize_, [&](std::size_t id) {
+            return est[id] < config_.waxThreshold;
+        });
+        coldGroup_.assignKeys(key, hotSize_, n);
+        initialized_ = true;
+        return;
+    }
+
+    meltedPq_ = {};
+    packingPq_ = {};
     coldGroup_.clear();
+    const KelvinPerWatt rise = cluster.thermalParams().airRisePerWatt;
     for (std::size_t id = 0; id < n; ++id) {
         if (id >= hotSize_) {
             coldGroup_.add(cluster, id);
@@ -30,43 +49,46 @@ VmtPreserveScheduler::beginInterval(Cluster &cluster, Seconds)
             srv.thermal().inletTemp() +
             rise * srv.power(cluster.powerModel());
         if (srv.estimatedMeltFraction() >= config_.waxThreshold)
-            melted_.push(Entry{projected, id});
+            meltedPq_.push(Entry{projected, id});
         else
-            packing_.push(Entry{projected, id});
+            packingPq_.push(Entry{projected, id});
     }
     initialized_ = true;
 }
 
 std::size_t
-VmtPreserveScheduler::placeHot(Cluster &cluster, Watts watts)
+VmtPreserveScheduler::placePacked(std::priority_queue<Entry> &heap,
+                                  Cluster &cluster, Watts watts)
 {
     const KelvinPerWatt rise = cluster.thermalParams().airRisePerWatt;
+    while (!heap.empty()) {
+        Entry entry = heap.top();
+        heap.pop();
+        if (!std::as_const(cluster).server(entry.id).hasCapacity())
+            continue; // Full until the next interval rebuild.
+        entry.temp += rise * watts;
+        heap.push(entry);
+        return entry.id;
+    }
+    return kNoServer;
+}
+
+std::size_t
+VmtPreserveScheduler::placeHot(Cluster &cluster, Watts watts)
+{
+    const bool batched = engine_ == PlacementEngine::Batched;
     // (1) Servers whose wax is already melted: adding heat there
     // costs no stored capacity.
-    while (!melted_.empty()) {
-        Entry entry = melted_.top();
-        if (!std::as_const(cluster).server(entry.id).hasCapacity()) {
-            melted_.pop();
-            continue;
-        }
-        melted_.pop();
-        entry.temp += rise * watts;
-        melted_.push(entry);
-        return entry.id;
-    }
+    std::size_t id = batched ? melted_.place(cluster, watts)
+                             : placePacked(meltedPq_, cluster, watts);
+    if (id != kNoServer)
+        return id;
     // (2) Pack the projected-hottest unmelted hot-group server so as
     // few wax loads as possible are sacrificed.
-    while (!packing_.empty()) {
-        Entry entry = packing_.top();
-        if (!std::as_const(cluster).server(entry.id).hasCapacity()) {
-            packing_.pop();
-            continue;
-        }
-        packing_.pop();
-        entry.temp += rise * watts;
-        packing_.push(entry);
-        return entry.id;
-    }
+    id = batched ? packing_.place(cluster, watts)
+                 : placePacked(packingPq_, cluster, watts);
+    if (id != kNoServer)
+        return id;
     // (3) Overflow into the cold group.
     return coldGroup_.place(cluster, watts);
 }

@@ -23,8 +23,8 @@
 #include <queue>
 #include <vector>
 
-#include "core/balanced_group.h"
 #include "core/vmt_ta.h"
+#include "sched/block_min_group.h"
 
 namespace vmt {
 
@@ -44,7 +44,7 @@ class VmtPreserveScheduler : public Scheduler
     std::optional<std::size_t> hotGroupSize() const override;
 
   private:
-    /** Max-heap entry: hottest projected server first. */
+    /** (projected temperature, server id) max-heap entry (scalar). */
     struct Entry
     {
         Celsius temp;
@@ -58,18 +58,30 @@ class VmtPreserveScheduler : public Scheduler
     };
 
     std::size_t placeHot(Cluster &cluster, Watts watts);
+    std::size_t placePacked(std::priority_queue<Entry> &heap,
+                            Cluster &cluster, Watts watts);
 
     VmtConfig config_;
     HotMask hotMask_;
+    /** Captured at construction, like Cluster's thermal kernel. */
+    PlacementEngine engine_ = globalPlacementEngine();
+    PlacementView view_;
     bool initialized_ = false;
     std::size_t hotSize_ = 0;
 
-    /** Hot-group servers already melted (preferred hot targets). */
-    std::priority_queue<Entry> melted_;
-    /** Hot-group servers still solid, hottest first (packing order). */
-    std::priority_queue<Entry> packing_;
+    /** Batched engine: hot-group servers already melted (preferred
+     *  hot targets) and still-solid packing candidates, hottest
+     *  first. The scalar engine keeps the historical
+     *  std::priority_queue pair below; both use the same strict
+     *  (temp, id) total order, so the pop sequence — and every
+     *  decision — is identical across engines. */
+    BlockMinGroup<HotterFirst> melted_;
+    BlockMinGroup<HotterFirst> packing_;
+    /** Scalar-engine heaps (the historical implementation). */
+    std::priority_queue<Entry> meltedPq_;
+    std::priority_queue<Entry> packingPq_;
     /** Cold group, balanced as usual. */
-    BalancedGroup coldGroup_;
+    EngineBalancedGroup coldGroup_;
 };
 
 } // namespace vmt

@@ -35,6 +35,17 @@ VmtTaScheduler::beginInterval(Cluster &cluster, Seconds)
     // under the fault layer the alive set (and the group) shrinks.
     hotSize_ = hotGroupSizeFor(config_, cluster.aliveServers());
 
+    if (engine_ == PlacementEngine::Batched) {
+        // One contiguous key sweep + two bulk fills; same key
+        // multiset per group as the accessor walk below, so every
+        // placement decision is identical (DESIGN.md §14).
+        view_.refreshProjected(cluster);
+        hotGroup_.assignKeys(view_.projected(), 0, hotSize_);
+        coldGroup_.assignKeys(view_.projected(), hotSize_, n);
+        initialized_ = true;
+        return;
+    }
+
     hotGroup_.clear();
     coldGroup_.clear();
     for (std::size_t id = 0; id < n; ++id) {
@@ -55,8 +66,8 @@ VmtTaScheduler::placeJob(Cluster &cluster, const Job &job)
     const Watts watts = cluster.powerModel().corePower(job.type);
     const bool hot = hotMask_[workloadIndex(job.type)];
 
-    BalancedGroup &primary = hot ? hotGroup_ : coldGroup_;
-    BalancedGroup &fallback = hot ? coldGroup_ : hotGroup_;
+    EngineBalancedGroup &primary = hot ? hotGroup_ : coldGroup_;
+    EngineBalancedGroup &fallback = hot ? coldGroup_ : hotGroup_;
 
     const std::size_t id = primary.place(cluster, watts);
     if (id != kNoServer)

@@ -15,9 +15,11 @@
 
 #include <array>
 
-#include "core/balanced_group.h"
 #include "core/classification.h"
 #include "core/vmt_config.h"
+#include "sched/block_min_group.h"
+#include "sched/placement_engine.h"
+#include "sched/placement_view.h"
 #include "sched/scheduler.h"
 
 namespace vmt {
@@ -52,10 +54,13 @@ class VmtTaScheduler : public Scheduler
   private:
     VmtConfig config_;
     HotMask hotMask_;
+    /** Captured at construction, like Cluster's thermal kernel. */
+    PlacementEngine engine_ = globalPlacementEngine();
+    PlacementView view_;
     bool initialized_ = false;
     std::size_t hotSize_ = 0;
-    BalancedGroup hotGroup_;
-    BalancedGroup coldGroup_;
+    EngineBalancedGroup hotGroup_;
+    EngineBalancedGroup coldGroup_;
 };
 
 } // namespace vmt

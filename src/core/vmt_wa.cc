@@ -28,12 +28,30 @@ VmtWaScheduler::beginInterval(Cluster &cluster, Seconds)
     baseHotSize_ = hotGroupSizeFor(config_, cluster.aliveServers());
 
     // Scan the fleet's estimated wax state (the per-server model
-    // reports once per minute, Section IV-A).
+    // reports once per minute, Section IV-A). The batched engine
+    // refreshes the contiguous view once and scans its melt array;
+    // the values are bitwise what the accessors return (DESIGN.md
+    // §14), so the count — and every decision below — is identical.
+    const bool batched = engine_ == PlacementEngine::Batched;
+    if (batched)
+        view_.refresh(cluster);
     meltedCount_ = 0;
-    for (std::size_t id = 0; id < n; ++id) {
-        if (std::as_const(cluster).server(id).estimatedMeltFraction() >=
-            config_.waxThreshold)
-            ++meltedCount_;
+    if (batched) {
+        // Branchless count: the comparison result is summed directly
+        // so the scan never mispredicts on the melt pattern.
+        const double *est = view_.estMelt();
+        std::size_t count = 0;
+        for (std::size_t id = 0; id < n; ++id)
+            count += static_cast<std::size_t>(
+                est[id] >= config_.waxThreshold);
+        meltedCount_ = count;
+    } else {
+        for (std::size_t id = 0; id < n; ++id) {
+            if (std::as_const(cluster)
+                    .server(id)
+                    .estimatedMeltFraction() >= config_.waxThreshold)
+                ++meltedCount_;
+        }
     }
 
     // The server power that holds the air at the melting point; a
@@ -86,19 +104,46 @@ VmtWaScheduler::beginInterval(Cluster &cluster, Seconds)
     hotPlaceable_.clear();
     coldGroup_.clear();
     hotMelted_.clear();
-    for (std::size_t id = 0; id < hotSize_; ++id) {
-        const Server &srv = std::as_const(cluster).server(id);
-        const bool melted =
-            srv.estimatedMeltFraction() >= config_.waxThreshold;
-        if (melted && keep_warm_active)
-            keepWarm_.add(cluster, id);
-        if (placeable(srv))
-            hotPlaceable_.add(cluster, id);
-        else
-            hotMelted_.push_back(id);
+    if (batched) {
+        // Masked bulk fills over the dense view arrays + one bulk
+        // cold fill; per-group live-key multisets match the accessor
+        // walk, and the data-dependent membership tests become
+        // branchless selects instead of mispredicting appends.
+        const double *est = view_.estMelt();
+        const Celsius *air = view_.air();
+        const Celsius *key = view_.projected();
+        if (keep_warm_active) {
+            keepWarm_.assignKeysIf(
+                key, 0, hotSize_, [&](std::size_t id) {
+                    return est[id] >= config_.waxThreshold;
+                });
+        }
+        hotPlaceable_.assignKeysIf(
+            key, 0, hotSize_, [&](std::size_t id) {
+                return est[id] < config_.waxThreshold ||
+                       air[id] < config_.physicalMeltTemp;
+            });
+        for (std::size_t id = 0; id < hotSize_; ++id) {
+            if (est[id] >= config_.waxThreshold &&
+                air[id] >= config_.physicalMeltTemp)
+                hotMelted_.push_back(id);
+        }
+        coldGroup_.assignKeys(key, hotSize_, n);
+    } else {
+        for (std::size_t id = 0; id < hotSize_; ++id) {
+            const Server &srv = std::as_const(cluster).server(id);
+            const bool melted =
+                srv.estimatedMeltFraction() >= config_.waxThreshold;
+            if (melted && keep_warm_active)
+                keepWarm_.add(cluster, id);
+            if (placeable(srv))
+                hotPlaceable_.add(cluster, id);
+            else
+                hotMelted_.push_back(id);
+        }
+        for (std::size_t id = hotSize_; id < n; ++id)
+            coldGroup_.add(cluster, id);
     }
-    for (std::size_t id = hotSize_; id < n; ++id)
-        coldGroup_.add(cluster, id);
 
     meltedCursor_ = 0;
     initialized_ = true;

@@ -31,8 +31,8 @@
 
 #include <vector>
 
-#include "core/balanced_group.h"
 #include "core/vmt_ta.h"
+#include "sched/block_min_group.h"
 
 namespace vmt {
 
@@ -95,6 +95,9 @@ class VmtWaScheduler : public Scheduler
 
     VmtConfig config_;
     HotMask hotMask_;
+    /** Captured at construction, like Cluster's thermal kernel. */
+    PlacementEngine engine_ = globalPlacementEngine();
+    PlacementView view_;
     bool initialized_ = false;
     std::size_t baseHotSize_ = 0;
     std::size_t hotSize_ = 0;
@@ -108,11 +111,11 @@ class VmtWaScheduler : public Scheduler
 
     /** Melted servers currently below the keep-warm power,
      *  least-loaded first. */
-    BalancedGroup keepWarm_;
+    EngineBalancedGroup keepWarm_;
     /** Hot-group servers eligible for new hot jobs. */
-    BalancedGroup hotPlaceable_;
+    EngineBalancedGroup hotPlaceable_;
     /** Cold group. */
-    BalancedGroup coldGroup_;
+    EngineBalancedGroup coldGroup_;
     /** Hot-group servers above threshold and melting temperature
      *  (cold-job overflow targets). */
     std::vector<std::size_t> hotMelted_;

@@ -12,6 +12,9 @@
 #include <queue>
 #include <vector>
 
+#include "sched/block_min_group.h"
+#include "sched/placement_engine.h"
+#include "sched/placement_view.h"
 #include "sched/scheduler.h"
 
 namespace vmt {
@@ -26,6 +29,15 @@ namespace vmt {
  * added core, spreading same-interval placements across the coolest
  * set — which is what produces the paper's tight temperature band
  * (Fig. 10) versus round robin (Fig. 9).
+ *
+ * Two engines (DESIGN.md §14): the scalar reference keeps the
+ * historical shape — a per-interval `priority_queue` rebuild of n
+ * sift-ups over the per-object accessors, pop + push per placement —
+ * while the batched engine bulk-fills a BlockMinGroup (dense copy +
+ * fold pass, block-scan selection, in-place key bump) from a
+ * PlacementView's contiguous air-temperature array. Both orders are
+ * the strict (temp, id) total order, so every decision is identical;
+ * the `ctest -L sched` lockstep suite pins that.
  */
 class CoolestFirstScheduler : public Scheduler
 {
@@ -37,15 +49,26 @@ class CoolestFirstScheduler : public Scheduler
     std::size_t placeJob(Cluster &cluster, const Job &job) override;
 
   private:
-    /** (virtual temperature, server id) min-heap entry. */
+    /** (virtual temperature, server id) min-heap entry (scalar). */
     struct Entry
     {
         Celsius temp;
         std::size_t id;
-        bool operator>(const Entry &o) const { return temp > o.temp; }
+        bool operator>(const Entry &o) const
+        {
+            if (temp != o.temp)
+                return temp > o.temp;
+            return id > o.id;
+        }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    PlacementEngine engine_ = globalPlacementEngine();
+    PlacementView view_;
+    /** Batched-engine selection group. */
+    BlockMinGroup<CoolerFirst> heap_;
+    /** Scalar-engine heap (the historical implementation). */
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+        pq_;
 };
 
 } // namespace vmt

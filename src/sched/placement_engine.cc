@@ -1,0 +1,58 @@
+#include "sched/placement_engine.h"
+
+#include <cstdlib>
+#include <optional>
+
+#include "util/logging.h"
+
+namespace vmt {
+
+namespace {
+
+/** --placement-engine override; unset falls back to the environment. */
+std::optional<PlacementEngine> g_engine_override;
+
+/** VMT_PLACEMENT_ENGINE, parsed lazily once (like VMT_THREADS). */
+PlacementEngine
+envEngine()
+{
+    static const PlacementEngine parsed = [] {
+        if (const char *env = std::getenv("VMT_PLACEMENT_ENGINE"))
+            return placementEngineFromString(env);
+        return PlacementEngine::Batched;
+    }();
+    return parsed;
+}
+
+} // namespace
+
+PlacementEngine
+globalPlacementEngine()
+{
+    return g_engine_override ? *g_engine_override : envEngine();
+}
+
+void
+setGlobalPlacementEngine(PlacementEngine engine)
+{
+    g_engine_override = engine;
+}
+
+PlacementEngine
+placementEngineFromString(const std::string &name)
+{
+    if (name == "batched")
+        return PlacementEngine::Batched;
+    if (name == "scalar")
+        return PlacementEngine::Scalar;
+    fatal("placement-engine must be 'batched' or 'scalar', got '" +
+          name + "'");
+}
+
+const char *
+placementEngineName(PlacementEngine engine)
+{
+    return engine == PlacementEngine::Batched ? "batched" : "scalar";
+}
+
+} // namespace vmt

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Process-wide placement-engine knob (mirrors the --thermal-kernel
+ * pattern in thermal/thermal_kernel.h):
+ *
+ *  - PlacementEngine: how the group-based schedulers rebuild their
+ *    per-interval placement state. `Batched` (the default) refreshes a
+ *    contiguous PlacementView over the cluster once per interval and
+ *    bulk-fills the placement heaps from it; `Scalar` walks the
+ *    per-object Server accessors one member at a time (the historical
+ *    reference path). The two engines produce bitwise-identical
+ *    placement decisions — see DESIGN.md §14 — so the knob is a
+ *    performance/debugging choice, not a modelling one.
+ */
+
+#ifndef VMT_SCHED_PLACEMENT_ENGINE_H
+#define VMT_SCHED_PLACEMENT_ENGINE_H
+
+#include <string>
+
+namespace vmt {
+
+/** How the schedulers execute the per-interval placement rebuild. */
+enum class PlacementEngine
+{
+    /** Per-object accessor walk (bitwise reference). */
+    Scalar,
+    /** Contiguous PlacementView + bulk heap fill (the default). */
+    Batched,
+};
+
+/**
+ * Engine newly-constructed schedulers use. Resolved, in priority
+ * order, from setGlobalPlacementEngine() (the --placement-engine
+ * flag), the VMT_PLACEMENT_ENGINE environment variable ("batched" or
+ * "scalar"), then PlacementEngine::Batched.
+ */
+PlacementEngine globalPlacementEngine();
+
+/** Override the process-wide default (the --placement-engine knob). */
+void setGlobalPlacementEngine(PlacementEngine engine);
+
+/**
+ * Parse "batched" / "scalar".
+ * @throws FatalError on anything else.
+ */
+PlacementEngine placementEngineFromString(const std::string &name);
+
+/** Canonical flag spelling of an engine. */
+const char *placementEngineName(PlacementEngine engine);
+
+} // namespace vmt
+
+#endif // VMT_SCHED_PLACEMENT_ENGINE_H

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <limits>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,25 @@ class Scheduler
      * @return Server id with a free core, or kNoServer.
      */
     virtual std::size_t placeJob(Cluster &cluster, const Job &job) = 0;
+
+    /**
+     * Place a whole batch of jobs — the driver's arrival loop and
+     * the fault-evacuation refugee loop both buffer an interval's
+     * jobs, so one call serves the batch.
+     *
+     * Unlike placeJob, placeJobs *applies* each successful placement
+     * (Cluster::addJob) before deciding the next one, because later
+     * decisions depend on earlier capacity changes; the caller must
+     * not addJob again. `out` receives one entry per job, in order:
+     * the chosen server id, or kNoServer for jobs that could not be
+     * placed (those are not applied).
+     *
+     * The default walks placeJob + addJob per job, which is exactly
+     * the decision sequence the historical per-job driver loop
+     * produced.
+     */
+    virtual void placeJobs(Cluster &cluster, std::span<const Job> jobs,
+                           std::vector<std::size_t> &out);
 
     /**
      * Current hot-group size for group-based policies; disengaged for

@@ -163,6 +163,27 @@ class Cluster
      */
     void setThermalKernel(ThermalKernel kernel);
 
+    /**
+     * The batched thermal state, or null when the scalar kernel is
+     * active. Read-only window for the placement fast path
+     * (sched/placement_view.h): its per-server arrays mirror the
+     * Server accessors bitwise while bound.
+     */
+    const ThermalSoA *thermalSoa() const { return soa_.get(); }
+
+    /**
+     * Re-gather stale entries of the SoA power array (no-op under the
+     * scalar kernel). After this call ThermalSoA::power(i) equals
+     * server(i).power(powerModel()) bitwise for every server; the
+     * placement fast path calls it once per interval before reading
+     * the gathered powers.
+     */
+    void refreshGatheredPower()
+    {
+        if (soa_)
+            refreshPowerArray();
+    }
+
     /** Power model shared by the servers. */
     const PowerModel &powerModel() const { return power_; }
 

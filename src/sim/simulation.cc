@@ -29,6 +29,8 @@ struct DriverObs
 {
     obs::PhaseId phaseFault;
     obs::PhaseId phaseArrivals;
+    obs::PhaseId phasePlacementBegin;
+    obs::PhaseId phasePlacementEvac;
     obs::PhaseId phasePlacement;
     obs::PhaseId phaseThermal;
     obs::PhaseId phaseCheckpoint;
@@ -54,6 +56,8 @@ struct DriverObs
         obs::PhaseProfiler &prof = o.profiler();
         phaseFault = prof.phase("fault");
         phaseArrivals = prof.phase("arrivals");
+        phasePlacementBegin = prof.phase("placement.begin");
+        phasePlacementEvac = prof.phase("placement.evac");
         phasePlacement = prof.phase("placement");
         phaseThermal = prof.phase("thermal");
         phaseCheckpoint = prof.phase("checkpoint");
@@ -204,6 +208,11 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
         rejected.resize(config.numServers, 0.0);
     // Arrival buffer, likewise hoisted and reused.
     std::vector<Job> arrivals;
+    // Batch-placement buffers: one placement result per arrival, and
+    // the evacuation loop's refugee jobs + their slot ids.
+    std::vector<std::size_t> placements;
+    std::vector<Job> refugees;
+    std::vector<std::uint32_t> refugee_slots;
 
     // Fault layer: scripted/stochastic outages and degraded-mode
     // handling. Disabled (the default) leaves every code path below
@@ -289,36 +298,53 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
         // 2. Refresh per-interval scheduler state (wax scans etc.)
         // and execute the policy's migration wishes, bounded by the
         // configured budget.
-        scheduler.beginInterval(cluster, now);
+        {
+            obs::ScopedPhase timer(prof, dobs.phasePlacementBegin);
+            scheduler.beginInterval(cluster, now);
+        }
 
         // 2a. Evacuate newly failed servers: drain their resident
-        // jobs and re-place each through the active policy (which no
-        // longer sees the dead servers — hasCapacity() is false).
-        // Jobs with nowhere to go are lost; their slots become
-        // tombstones until the scheduled departure fires.
-        for (const std::size_t from : evacuating) {
-            for (const WorkloadType type : kAllWorkloads) {
-                auto &ids = jobs_at[from][workloadIndex(type)];
-                while (!ids.empty()) {
-                    const std::uint32_t slot = ids.back();
-                    ids.pop_back();
-                    cluster.removeJob(from, type);
-                    const Job refugee{0, type, 0.0};
-                    const std::size_t to =
-                        scheduler.placeJob(cluster, refugee);
-                    if (to == kNoServer) {
-                        slots[slot].serverId = kNoServer;
-                        ++result.lostJobs;
-                        continue;
+        // jobs, then re-place them as one batch through the active
+        // policy (which no longer sees the dead servers —
+        // hasCapacity() is false). Draining everything first is
+        // decision-identical to the historical interleaved loop: a
+        // Failed server reports no capacity regardless of its
+        // residual bookkeeping, and placement reads only frozen heap
+        // keys, thermal state and live capacity. Jobs with nowhere
+        // to go are lost; their slots become tombstones until the
+        // scheduled departure fires.
+        if (!evacuating.empty()) {
+            obs::ScopedPhase timer(prof, dobs.phasePlacementEvac);
+            refugees.clear();
+            refugee_slots.clear();
+            for (const std::size_t from : evacuating) {
+                for (const WorkloadType type : kAllWorkloads) {
+                    auto &ids = jobs_at[from][workloadIndex(type)];
+                    while (!ids.empty()) {
+                        const std::uint32_t slot = ids.back();
+                        ids.pop_back();
+                        cluster.removeJob(from, type);
+                        refugees.push_back(Job{0, type, 0.0});
+                        refugee_slots.push_back(slot);
                     }
-                    auto &dest = jobs_at[to][workloadIndex(type)];
-                    slots[slot].serverId = to;
-                    slots[slot].pos =
-                        static_cast<std::uint32_t>(dest.size());
-                    dest.push_back(slot);
-                    cluster.addJob(to, type);
-                    ++result.evacuatedJobs;
                 }
+            }
+            scheduler.placeJobs(cluster, refugees, placements);
+            for (std::size_t k = 0; k < refugees.size(); ++k) {
+                const std::uint32_t slot = refugee_slots[k];
+                const std::size_t to = placements[k];
+                if (to == kNoServer) {
+                    slots[slot].serverId = kNoServer;
+                    ++result.lostJobs;
+                    continue;
+                }
+                auto &dest =
+                    jobs_at[to][workloadIndex(refugees[k].type)];
+                slots[slot].serverId = to;
+                slots[slot].pos =
+                    static_cast<std::uint32_t>(dest.size());
+                dest.push_back(slot);
+                ++result.evacuatedJobs;
             }
         }
 
@@ -367,14 +393,17 @@ runSimulation(const SimConfig &config, Scheduler &scheduler,
         }
         {
             obs::ScopedPhase timer(prof, dobs.phasePlacement);
-            for (const Job &job : arrivals) {
-                const std::size_t id =
-                    scheduler.placeJob(cluster, job);
+            // One batch call decides (and applies) every placement;
+            // the slot/departure bookkeeping below is driver-local
+            // and cannot influence decisions.
+            scheduler.placeJobs(cluster, arrivals, placements);
+            for (std::size_t k = 0; k < arrivals.size(); ++k) {
+                const Job &job = arrivals[k];
+                const std::size_t id = placements[k];
                 if (id == kNoServer) {
                     ++result.droppedJobs;
                     continue;
                 }
-                cluster.addJob(id, job.type);
                 auto &ids = jobs_at[id][workloadIndex(job.type)];
                 const auto pos =
                     static_cast<std::uint32_t>(ids.size());

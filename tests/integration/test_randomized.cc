@@ -8,7 +8,7 @@
 
 #include <map>
 
-#include "core/balanced_group.h"
+#include "sched/balanced_group.h"
 #include "sched/scheduler.h"
 #include "sim/event_queue.h"
 #include "thermal/pcm.h"

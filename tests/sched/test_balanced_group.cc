@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/balanced_group.h"
+#include "sched/balanced_group.h"
 #include "sched/scheduler.h"
 
 namespace vmt {

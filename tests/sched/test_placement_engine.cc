@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the placement-engine knob (DESIGN.md §14): string
+ * parsing, names, and the process-wide override used by the CLI and
+ * the lockstep suite.
+ */
+
+#include "sched/placement_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace vmt {
+namespace {
+
+/** Restores the global engine override on scope exit so tests cannot
+ *  leak state into each other. */
+class EngineGuard
+{
+  public:
+    EngineGuard() : saved_(globalPlacementEngine()) {}
+    ~EngineGuard() { setGlobalPlacementEngine(saved_); }
+
+  private:
+    PlacementEngine saved_;
+};
+
+TEST(PlacementEngine, FromStringParsesBothNames)
+{
+    EXPECT_EQ(placementEngineFromString("batched"),
+              PlacementEngine::Batched);
+    EXPECT_EQ(placementEngineFromString("scalar"),
+              PlacementEngine::Scalar);
+}
+
+TEST(PlacementEngine, NamesRoundTrip)
+{
+    EXPECT_STREQ(placementEngineName(PlacementEngine::Batched),
+                 "batched");
+    EXPECT_STREQ(placementEngineName(PlacementEngine::Scalar),
+                 "scalar");
+    EXPECT_EQ(placementEngineFromString(
+                  placementEngineName(PlacementEngine::Batched)),
+              PlacementEngine::Batched);
+    EXPECT_EQ(placementEngineFromString(
+                  placementEngineName(PlacementEngine::Scalar)),
+              PlacementEngine::Scalar);
+}
+
+TEST(PlacementEngine, UnknownNameIsFatal)
+{
+    EXPECT_THROW(placementEngineFromString("vectorized"), FatalError);
+}
+
+TEST(PlacementEngine, OverrideWinsAndRestores)
+{
+    EngineGuard guard;
+    setGlobalPlacementEngine(PlacementEngine::Scalar);
+    EXPECT_EQ(globalPlacementEngine(), PlacementEngine::Scalar);
+    setGlobalPlacementEngine(PlacementEngine::Batched);
+    EXPECT_EQ(globalPlacementEngine(), PlacementEngine::Batched);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Randomized lockstep property suite for the scalar/batched placement
+ * engine pair (DESIGN.md §14). Two cluster+scheduler twins — one
+ * constructed under each engine — receive an identical seeded stream
+ * of mutations (job churn, health flips with fault-style drains,
+ * per-server and global inlet shifts, thermal steps of varying
+ * length) and must agree bitwise on every placement decision, on
+ * per-server cluster state at periodic deep checks, and on the
+ * serialized snapshots at the end. A second tier runs whole
+ * simulations (fault plan + migration budget, threads 1 and 4,
+ * checkpoint/resume) and requires byte-identical SimResults.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/adaptive_vmt.h"
+#include "core/vmt_preserve.h"
+#include "core/vmt_ta.h"
+#include "core/vmt_wa.h"
+#include "sched/coolest_first.h"
+#include "sched/placement_engine.h"
+#include "sched/round_robin.h"
+#include "sched/switchover.h"
+#include "sim/simulation.h"
+#include "state/serializer.h"
+#include "state/sim_snapshot.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace vmt {
+namespace {
+
+/** Restores every process-wide knob the suite touches. */
+class KnobGuard
+{
+  public:
+    KnobGuard() : engine_(globalPlacementEngine()) {}
+    ~KnobGuard()
+    {
+        setGlobalPlacementEngine(engine_);
+        setGlobalThreadCount(0);
+    }
+
+  private:
+    PlacementEngine engine_;
+};
+
+constexpr std::size_t kServers = 48;
+constexpr std::size_t kSteps = 5000;
+constexpr std::size_t kDeepCheckEvery = 250;
+
+Cluster
+makeCluster()
+{
+    return Cluster(kServers, ServerSpec{}, ServerThermalParams{},
+                   PowerModel({}, 1.0));
+}
+
+/** Drain every job off a server through the cluster bookkeeping (what
+ *  the fault driver does before marking it Failed). */
+void
+drainServer(Cluster &c, std::size_t id)
+{
+    for (const WorkloadType type : kAllWorkloads) {
+        const std::size_t idx = workloadIndex(type);
+        while (c.server(id).coreCounts()[idx] > 0)
+            c.removeJob(id, type);
+    }
+}
+
+void
+expectServersIdentical(const Cluster &a, const Cluster &b,
+                       std::size_t step)
+{
+    ASSERT_EQ(a.totalPower(), b.totalPower()) << "step " << step;
+    for (std::size_t i = 0; i < a.numServers(); ++i) {
+        SCOPED_TRACE("step " + std::to_string(step) + " server " +
+                     std::to_string(i));
+        const Server &sa = a.server(i);
+        const Server &sb = b.server(i);
+        ASSERT_EQ(sa.airTemp(), sb.airTemp());
+        ASSERT_EQ(sa.waxEnthalpy(), sb.waxEnthalpy());
+        ASSERT_EQ(sa.estimatedWaxEnthalpy(),
+                  sb.estimatedWaxEnthalpy());
+        ASSERT_EQ(sa.health(), sb.health());
+        ASSERT_EQ(sa.coreCounts(), sb.coreCounts());
+        ASSERT_EQ(sa.power(a.powerModel()), sb.power(b.powerModel()));
+    }
+}
+
+/**
+ * One randomized mutation applied identically to both twins. All
+ * decisions are drawn from the shared Rng plus const reads of the
+ * scalar twin (whose state the deep checks pin to the batched
+ * twin's). Placements themselves go through the schedulers below —
+ * this stream only provides churn, thermal drift and health chaos.
+ */
+void
+mutate(Rng &rng, Cluster &scalar, Cluster &batched)
+{
+    const Cluster &ref = scalar;
+    const std::uint64_t roll = rng.below(100);
+    const std::size_t id = rng.below(kServers);
+    if (roll < 35) {
+        // Departure churn: free cores so heaps go stale mid-interval
+        // and wax refreezes.
+        for (const WorkloadType type : kAllWorkloads) {
+            const std::size_t idx = workloadIndex(type);
+            if (ref.server(id).coreCounts()[idx] > 0) {
+                scalar.removeJob(id, type);
+                batched.removeJob(id, type);
+                break;
+            }
+        }
+    } else if (roll < 55) {
+        // Per-server inlet shift (recirculation modelling).
+        const Celsius t = rng.uniform(16.0, 40.0);
+        scalar.setBaseInlet(id, t);
+        batched.setBaseInlet(id, t);
+    } else if (roll < 70) {
+        // Global inlet swing spanning freeze<->melt regimes.
+        const Celsius t = rng.uniform(14.0, 42.0);
+        scalar.setBaseInlet(t);
+        batched.setBaseInlet(t);
+    } else {
+        // Health transition: Up -> Failed (drained first, like the
+        // fault driver) or Up -> Quarantined, and back Up.
+        const ServerHealth cur = ref.server(id).health();
+        ServerHealth next = ServerHealth::Up;
+        if (cur == ServerHealth::Up)
+            next = rng.uniform() < 0.5 ? ServerHealth::Failed
+                                       : ServerHealth::Quarantined;
+        if (next == ServerHealth::Failed) {
+            drainServer(scalar, id);
+            drainServer(batched, id);
+        }
+        scalar.setHealth(id, next);
+        batched.setHealth(id, next);
+    }
+}
+
+/** Scheduler twins built under opposite engines. */
+template <typename MakeSched>
+void
+runLockstep(MakeSched make, std::uint64_t seed,
+            std::size_t steps = kSteps)
+{
+    KnobGuard guard;
+    setGlobalThreadCount(1);
+    Cluster scalar_cluster = makeCluster();
+    Cluster batched_cluster = makeCluster();
+    setGlobalPlacementEngine(PlacementEngine::Scalar);
+    auto scalar_sched = make();
+    setGlobalPlacementEngine(PlacementEngine::Batched);
+    auto batched_sched = make();
+
+    Rng rng(seed);
+    const Seconds dts[3] = {30.0, 60.0, 300.0};
+    std::vector<Job> batch;
+    std::vector<std::size_t> scalar_out;
+    std::vector<std::size_t> batched_out;
+    Seconds now = 0.0;
+    for (std::size_t step = 0; step < steps; ++step) {
+        // Background churn between intervals (1-3 mutations).
+        const std::size_t churn = 1 + rng.below(3);
+        for (std::size_t k = 0; k < churn; ++k)
+            mutate(rng, scalar_cluster, batched_cluster);
+
+        scalar_sched.beginInterval(scalar_cluster, now);
+        batched_sched.beginInterval(batched_cluster, now);
+
+        // An arrival batch through the batch API (the driver's path);
+        // every decision must match, in order.
+        batch.clear();
+        const std::size_t arrivals = rng.below(6);
+        for (std::size_t k = 0; k < arrivals; ++k)
+            batch.push_back(Job{
+                step, kAllWorkloads[rng.below(kNumWorkloads)], 0.0});
+        scalar_sched.placeJobs(scalar_cluster, batch, scalar_out);
+        batched_sched.placeJobs(batched_cluster, batch, batched_out);
+        ASSERT_EQ(scalar_out, batched_out) << "step " << step;
+
+        // Plus a single-job placement (the legacy path stays wired).
+        const Job single{step, kAllWorkloads[rng.below(kNumWorkloads)],
+                         0.0};
+        const std::size_t a =
+            scalar_sched.placeJob(scalar_cluster, single);
+        const std::size_t b =
+            batched_sched.placeJob(batched_cluster, single);
+        ASSERT_EQ(a, b) << "step " << step;
+        if (a != kNoServer) {
+            scalar_cluster.addJob(a, single.type);
+            batched_cluster.addJob(b, single.type);
+        }
+
+        const Seconds dt = dts[rng.below(3)];
+        scalar_cluster.stepThermal(dt, 38.0);
+        batched_cluster.stepThermal(dt, 38.0);
+        now += dt;
+
+        if ((step + 1) % kDeepCheckEvery == 0) {
+            expectServersIdentical(scalar_cluster, batched_cluster,
+                                   step);
+            if (::testing::Test::HasFatalFailure())
+                return;
+        }
+    }
+
+    // Snapshots written under either engine are interchangeable.
+    Serializer sa;
+    Serializer sb;
+    scalar_cluster.saveState(sa);
+    batched_cluster.saveState(sb);
+    EXPECT_EQ(sa.bytes(), sb.bytes());
+    Serializer ssa;
+    Serializer ssb;
+    scalar_sched.saveState(ssa);
+    batched_sched.saveState(ssb);
+    EXPECT_EQ(ssa.bytes(), ssb.bytes());
+}
+
+TEST(PlacementLockstep, CoolestFirst)
+{
+    runLockstep([] { return CoolestFirstScheduler(); },
+                0xC001E57F1257ull);
+}
+
+TEST(PlacementLockstep, VmtTa)
+{
+    runLockstep(
+        [] {
+            return VmtTaScheduler(bench::studyVmt(22.0),
+                                  hotMaskFromPaper());
+        },
+        0x7A5EEDull);
+}
+
+TEST(PlacementLockstep, VmtWa)
+{
+    runLockstep(
+        [] {
+            return VmtWaScheduler(bench::studyVmt(22.0),
+                                  hotMaskFromPaper());
+        },
+        0x3A5EEDull);
+}
+
+TEST(PlacementLockstep, VmtPreserve)
+{
+    runLockstep(
+        [] {
+            return VmtPreserveScheduler(bench::studyVmt(22.0),
+                                        hotMaskFromPaper());
+        },
+        0x9E5EEDull);
+}
+
+TEST(PlacementLockstep, AdaptiveVmt)
+{
+    // The adaptive controller re-tunes GV from interval telemetry;
+    // shorter run, same contract.
+    runLockstep(
+        [] {
+            return AdaptiveVmtScheduler(bench::studyVmt(22.0),
+                                        hotMaskFromPaper());
+        },
+        0xADA7EEDull, 1500);
+}
+
+// ---------------------------------------------------------------------
+// Whole-simulation equivalence: the engines must agree through the
+// full driver — arrivals, departures, migrations, fault evacuation,
+// checkpoint/resume — at any thread count.
+// ---------------------------------------------------------------------
+
+void
+expectSeriesIdentical(const char *what, const TimeSeries &a,
+                      const TimeSeries &b)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a.at(i), b.at(i)) << what << " interval " << i;
+}
+
+void
+expectResultsIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.schedulerName, b.schedulerName);
+    expectSeriesIdentical("coolingLoad", a.coolingLoad, b.coolingLoad);
+    expectSeriesIdentical("totalPower", a.totalPower, b.totalPower);
+    expectSeriesIdentical("waxHeatFlow", a.waxHeatFlow, b.waxHeatFlow);
+    expectSeriesIdentical("meanAirTemp", a.meanAirTemp, b.meanAirTemp);
+    expectSeriesIdentical("hotGroupTemp", a.hotGroupTemp,
+                          b.hotGroupTemp);
+    expectSeriesIdentical("hotGroupSizeSeries", a.hotGroupSizeSeries,
+                          b.hotGroupSizeSeries);
+    expectSeriesIdentical("meanMeltFraction", a.meanMeltFraction,
+                          b.meanMeltFraction);
+    expectSeriesIdentical("utilization", a.utilization,
+                          b.utilization);
+    expectSeriesIdentical("inletTemp", a.inletTemp, b.inletTemp);
+    expectSeriesIdentical("aliveServers", a.aliveServers,
+                          b.aliveServers);
+    EXPECT_EQ(a.peakCoolingLoad, b.peakCoolingLoad);
+    EXPECT_EQ(a.peakPower, b.peakPower);
+    EXPECT_EQ(a.maxMeltFraction, b.maxMeltFraction);
+    EXPECT_EQ(a.maxAirTemp, b.maxAirTemp);
+    EXPECT_EQ(a.overheatedServerIntervals,
+              b.overheatedServerIntervals);
+    EXPECT_EQ(a.throttledServerIntervals, b.throttledServerIntervals);
+    EXPECT_EQ(a.droppedJobs, b.droppedJobs);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.placedJobs, b.placedJobs);
+    EXPECT_EQ(a.evacuatedJobs, b.evacuatedJobs);
+    EXPECT_EQ(a.lostJobs, b.lostJobs);
+}
+
+/** Faulted study config: half an aisle drops mid-run, one repair. */
+SimConfig
+faultedRun(std::size_t servers, double hours)
+{
+    SimConfig config = bench::studyConfig(servers);
+    config.trace.duration = hours;
+    std::string text;
+    for (int id = 0; id < 8; ++id)
+        text += "0.05 server-down " + std::to_string(id) + "\n";
+    text += "0.15 server-up 3\n";
+    config.faults.plan = FaultPlan::parse(text);
+    config.migrationBudget = 8;
+    return config;
+}
+
+struct NamedPolicy
+{
+    const char *name;
+    std::function<SimResult(const SimConfig &)> run;
+};
+
+std::vector<NamedPolicy>
+allPolicies()
+{
+    return {
+        {"rr",
+         [](const SimConfig &c) {
+             RoundRobinScheduler s;
+             return runSimulation(c, s);
+         }},
+        {"cf",
+         [](const SimConfig &c) {
+             CoolestFirstScheduler s;
+             return runSimulation(c, s);
+         }},
+        {"switchover",
+         [](const SimConfig &c) {
+             RoundRobinScheduler before;
+             CoolestFirstScheduler after;
+             SwitchoverScheduler s(before, after, 0.1 * kHour);
+             return runSimulation(c, s);
+         }},
+        {"ta",
+         [](const SimConfig &c) {
+             VmtTaScheduler s(bench::studyVmt(22.0),
+                              hotMaskFromPaper());
+             return runSimulation(c, s);
+         }},
+        {"wa",
+         [](const SimConfig &c) {
+             VmtWaScheduler s(bench::studyVmt(22.0),
+                              hotMaskFromPaper());
+             return runSimulation(c, s);
+         }},
+        {"preserve",
+         [](const SimConfig &c) {
+             VmtPreserveScheduler s(bench::studyVmt(22.0),
+                                    hotMaskFromPaper());
+             return runSimulation(c, s);
+         }},
+        {"adaptive",
+         [](const SimConfig &c) {
+             AdaptiveVmtScheduler s(bench::studyVmt(22.0),
+                                    hotMaskFromPaper());
+             return runSimulation(c, s);
+         }},
+    };
+}
+
+TEST(PlacementSimEquivalence, EveryPolicyFaultedBothThreadCounts)
+{
+    KnobGuard guard;
+    const SimConfig config = faultedRun(20, 0.2);
+    for (const NamedPolicy &policy : allPolicies()) {
+        setGlobalPlacementEngine(PlacementEngine::Scalar);
+        setGlobalThreadCount(1);
+        const SimResult reference = policy.run(config);
+        for (const std::size_t threads :
+             {std::size_t{1}, std::size_t{4}}) {
+            SCOPED_TRACE(std::string(policy.name) +
+                         " threads=" + std::to_string(threads));
+            setGlobalPlacementEngine(PlacementEngine::Batched);
+            setGlobalThreadCount(threads);
+            expectResultsIdentical(reference, policy.run(config));
+        }
+    }
+}
+
+TEST(PlacementSimEquivalence, CheckpointEngineDoesNotLeakIntoResume)
+{
+    KnobGuard guard;
+    setGlobalThreadCount(1);
+    const std::string path =
+        testing::TempDir() + "vmt_placement_resume.snap";
+    std::remove(path.c_str());
+    const SimConfig config = faultedRun(20, 0.2);
+
+    setGlobalPlacementEngine(PlacementEngine::Scalar);
+    VmtWaScheduler plain(bench::studyVmt(22.0), hotMaskFromPaper());
+    const SimResult reference = runSimulation(config, plain);
+
+    // Write the checkpoint from a scalar-engine run...
+    SimConfig saving = config;
+    saving.checkpointHook = [&path](const SimState &state,
+                                    std::size_t completed) {
+        if (completed == 6)
+            saveSnapshot(state, completed, path);
+    };
+    VmtWaScheduler interrupted(bench::studyVmt(22.0),
+                               hotMaskFromPaper());
+    runSimulation(saving, interrupted);
+
+    // ...and resume under the batched engine: bitwise identical.
+    setGlobalPlacementEngine(PlacementEngine::Batched);
+    SimConfig resuming = config;
+    CheckpointOptions options;
+    options.resumeFrom = path;
+    attachCheckpointing(resuming, options);
+    VmtWaScheduler resumed(bench::studyVmt(22.0),
+                           hotMaskFromPaper());
+    expectResultsIdentical(reference,
+                           runSimulation(resuming, resumed));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace vmt

@@ -26,6 +26,10 @@
  *                        cluster size at which stepThermal fans out
  *                        on the thread pool; default from
  *                        VMT_THERMAL_PARALLEL_THRESHOLD, else 256
+ *   --placement-engine E batched | scalar scheduler hot path
+ *                        (decision-identical; scalar is the
+ *                        per-object reference); default from
+ *                        VMT_PLACEMENT_ENGINE, else batched
  *   --inlet-stddev S     inlet variation sigma in K (default 0)
  *   --cooling-capacity W cooling plant capacity in watts (0 = inf)
  *   --trace FILE         load utilization trace CSV (hour,utilization)
@@ -83,6 +87,7 @@
 #include "core/vmt_ta.h"
 #include "core/vmt_wa.h"
 #include "sched/coolest_first.h"
+#include "sched/placement_engine.h"
 #include "sched/round_robin.h"
 #include "sim/result_io.h"
 #include "sim/simulation.h"
@@ -405,6 +410,9 @@ main(int argc, char **argv)
         if (flags.has("thermal-kernel"))
             setGlobalThermalKernel(thermalKernelFromString(
                 flags.getString("thermal-kernel")));
+        if (flags.has("placement-engine"))
+            setGlobalPlacementEngine(placementEngineFromString(
+                flags.getString("placement-engine")));
         if (flags.has("thermal-parallel-threshold")) {
             const long long threshold =
                 flags.getInt("thermal-parallel-threshold", 0);
