@@ -37,6 +37,7 @@
 #include "server/cluster.h"
 #include "thermal/thermal_kernel.h"
 #include "util/flags.h"
+#include "util/json_splice.h"
 
 using namespace vmt;
 
@@ -127,35 +128,47 @@ timeSteps(Cluster &cluster, Seconds dt, std::size_t reps)
 }
 
 /**
- * Splice `kernel_micro` + `build` into BENCH_sim.json as the
- * always-last keys: perf_simulator rewrites the whole file without
- * them; this bench truncates any previous splice (or the closing
- * brace) and appends fresh rows. Missing file => standalone object.
+ * Splice the `kernel_micro` + `build` keys into BENCH_sim.json,
+ * replacing this bench's previous rows in place and leaving every
+ * other tool's keys untouched (spliceTopLevelJson). Missing file =>
+ * standalone object.
  */
 void
 spliceJson(const std::string &path, const std::vector<Row> &rows)
 {
-    std::string head;
+    std::string doc;
     {
         std::ifstream in(path);
         std::stringstream buffer;
         buffer << in.rdbuf();
-        head = buffer.str();
+        doc = buffer.str();
     }
-    const std::string marker = ",\n  \"kernel_micro\"";
-    if (const auto at = head.find(marker); at != std::string::npos) {
-        head.erase(at);
-        head += ",\n";
-    } else if (const auto brace = head.rfind('}');
-               brace != std::string::npos) {
-        head.erase(brace);
-        while (!head.empty() &&
-               (head.back() == '\n' || head.back() == ' '))
-            head.pop_back();
-        head += ",\n";
-    } else {
-        head = "{\n";
+
+    std::ostringstream micro;
+    micro << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        micro << "    {\"scenario\": \"" << r.scenario
+              << "\", \"servers\": " << r.servers
+              << ", \"dt\": " << r.dt
+              << ", \"kernel\": \"" << r.kernel
+              << "\", \"us_per_step\": " << r.usPerStep
+              << ", \"steps_per_sec\": " << r.stepsPerSec
+              << ", \"speedup\": " << r.speedup << "}"
+              << (i + 1 < rows.size() ? "," : "") << "\n";
     }
+    micro << "  ]";
+    doc = spliceTopLevelJson(doc, "kernel_micro", micro.str());
+
+    std::ostringstream build;
+    build << "{\"compiler\": \"" << __VERSION__ << "\", \"flags\": \""
+#ifdef VMT_BUILD_FLAGS
+          << VMT_BUILD_FLAGS
+#else
+          << "unknown"
+#endif
+          << "\"}";
+    doc = spliceTopLevelJson(doc, "build", build.str());
 
     std::ofstream out(path);
     if (!out) {
@@ -163,26 +176,7 @@ spliceJson(const std::string &path, const std::vector<Row> &rows)
                      path.c_str());
         return;
     }
-    out << head << "  \"kernel_micro\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const Row &r = rows[i];
-        out << "    {\"scenario\": \"" << r.scenario
-            << "\", \"servers\": " << r.servers
-            << ", \"dt\": " << r.dt
-            << ", \"kernel\": \"" << r.kernel
-            << "\", \"us_per_step\": " << r.usPerStep
-            << ", \"steps_per_sec\": " << r.stepsPerSec
-            << ", \"speedup\": " << r.speedup << "}"
-            << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-    out << "  ],\n  \"build\": {\"compiler\": \"" << __VERSION__
-        << "\", \"flags\": \""
-#ifdef VMT_BUILD_FLAGS
-        << VMT_BUILD_FLAGS
-#else
-        << "unknown"
-#endif
-        << "\"}\n}\n";
+    out << doc;
     std::printf("[kernel_micro] spliced %zu rows into %s\n",
                 rows.size(), path.c_str());
 }

@@ -50,6 +50,7 @@
 #include "sched/placement_engine.h"
 #include "server/cluster.h"
 #include "util/flags.h"
+#include "util/json_splice.h"
 
 using namespace vmt;
 
@@ -175,45 +176,38 @@ timeIntervals(PlacementEngine engine, const Policy &policy,
 }
 
 /**
- * Splice `placement_micro` into BENCH_sim.json *before* the
- * `kernel_micro`/`build` tail that perf_kernel keeps as the
- * always-last keys: any previous placement splice is truncated, the
- * kernel tail (when present) is preserved verbatim. Missing file =>
+ * Splice the `placement_micro` key into BENCH_sim.json, replacing
+ * this bench's previous rows in place and leaving every other tool's
+ * keys (perf_kernel's `kernel_micro`/`build`, perf_simulator's run
+ * sections, perf_serve's `serve`) untouched. Missing file =>
  * standalone object.
  */
 void
 spliceJson(const std::string &path, const std::vector<Row> &rows)
 {
-    std::string head;
+    std::string doc;
     {
         std::ifstream in(path);
         std::stringstream buffer;
         buffer << in.rdbuf();
-        head = buffer.str();
+        doc = buffer.str();
     }
-    const std::string marker = ",\n  \"placement_micro\"";
-    const std::string kernel_marker = ",\n  \"kernel_micro\"";
 
-    // Preserve perf_kernel's tail before truncating anything.
-    std::string tail;
-    if (const auto km = head.find(kernel_marker);
-        km != std::string::npos) {
-        tail = head.substr(km);
-        head.erase(km);
+    std::ostringstream micro;
+    micro << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        micro << "    {\"policy\": \"" << r.policy
+              << "\", \"servers\": " << r.servers
+              << ", \"rate\": " << r.rate
+              << ", \"engine\": \"" << r.engine
+              << "\", \"us_per_interval\": " << r.usPerInterval
+              << ", \"jobs_per_sec\": " << r.jobsPerSec
+              << ", \"speedup\": " << r.speedup << "}"
+              << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    if (const auto at = head.find(marker); at != std::string::npos) {
-        head.erase(at);
-        head += ",\n";
-    } else if (const auto brace = head.rfind('}');
-               brace != std::string::npos) {
-        head.erase(brace);
-        while (!head.empty() &&
-               (head.back() == '\n' || head.back() == ' '))
-            head.pop_back();
-        head += ",\n";
-    } else {
-        head = "{\n";
-    }
+    micro << "  ]";
+    doc = spliceTopLevelJson(doc, "placement_micro", micro.str());
 
     std::ofstream out(path);
     if (!out) {
@@ -221,23 +215,7 @@ spliceJson(const std::string &path, const std::vector<Row> &rows)
                      path.c_str());
         return;
     }
-    out << head << "  \"placement_micro\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const Row &r = rows[i];
-        out << "    {\"policy\": \"" << r.policy
-            << "\", \"servers\": " << r.servers
-            << ", \"rate\": " << r.rate
-            << ", \"engine\": \"" << r.engine
-            << "\", \"us_per_interval\": " << r.usPerInterval
-            << ", \"jobs_per_sec\": " << r.jobsPerSec
-            << ", \"speedup\": " << r.speedup << "}"
-            << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-    out << "  ]";
-    if (!tail.empty())
-        out << tail;
-    else
-        out << "\n}\n";
+    out << doc;
     std::printf("[placement_micro] spliced %zu rows into %s\n",
                 rows.size(), path.c_str());
 }

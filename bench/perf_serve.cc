@@ -1,0 +1,161 @@
+/**
+ * @file
+ * perf_serve — sustained-throughput study of the sharded serving
+ * driver (vmtserve): for each fleet size, run a fixed number of
+ * serving intervals against the synthetic heavy-traffic feed and
+ * report sustained arrivals/sec of wall time plus p50/p99
+ * per-interval placement latency. These are the `serve` rows in
+ * BENCH_sim.json.
+ *
+ * Flags:  --quick   small fleets / short runs (CI smoke)
+ * Environment: VMT_PERF_JSON  BENCH_sim.json path to splice the
+ *              `serve` key into (default ./BENCH_sim.json).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "serve/job_feed.h"
+#include "serve/sharded_driver.h"
+#include "util/flags.h"
+#include "util/json_splice.h"
+
+using namespace vmt;
+using namespace vmt::serve;
+
+namespace {
+
+struct Row
+{
+    std::size_t servers;
+    std::size_t shards;
+    std::size_t intervals;
+    std::uint64_t arrivals;
+    double arrivalsPerSec; // Of wall time, the sustained-rate figure.
+    double p50PlacementUs;
+    double p99PlacementUs;
+};
+
+double
+percentileUs(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return 1e6 * sorted[std::min(rank, sorted.size() - 1)];
+}
+
+void
+spliceJson(const std::string &path, const std::vector<Row> &rows)
+{
+    std::string doc;
+    {
+        std::ifstream in(path);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        doc = buffer.str();
+    }
+    std::ostringstream value;
+    value << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        value << "    {\"servers\": " << r.servers
+              << ", \"shards\": " << r.shards
+              << ", \"intervals\": " << r.intervals
+              << ", \"arrivals\": " << r.arrivals
+              << ", \"arrivals_per_sec\": " << r.arrivalsPerSec
+              << ", \"p50_placement_us\": " << r.p50PlacementUs
+              << ", \"p99_placement_us\": " << r.p99PlacementUs
+              << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    value << "  ]";
+    doc = spliceTopLevelJson(doc, "serve", value.str());
+
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "[serve] cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    out << doc;
+    std::printf("[serve] spliced %zu rows into %s\n", rows.size(),
+                path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    vmt::bench::configureThreadsFromArgs(argc, argv);
+    const Flags flags(argc, argv, {"quick"});
+    const bool quick = flags.getBool("quick", false);
+
+    std::string json_path = "BENCH_sim.json";
+    if (const char *env = std::getenv("VMT_PERF_JSON"))
+        json_path = env;
+
+    const std::vector<std::size_t> fleets =
+        quick ? std::vector<std::size_t>{500}
+              : std::vector<std::size_t>{1000, 10000};
+    const std::size_t intervals = quick ? 20 : 60;
+
+    std::vector<Row> rows;
+    for (const std::size_t servers : fleets) {
+        ServeConfig config;
+        config.numServers = servers;
+        config.podSize = 256;
+        // Heavy traffic: scale the user population with the fleet so
+        // every size runs at a comparable utilization, with bursts.
+        SyntheticFeedParams params;
+        params.users = static_cast<double>(servers) * 400.0;
+        params.requestsPerUserHour = 0.75;
+        params.burstPeriodHours = 0.25;
+        params.burstFactor = 3.0;
+        params.burstMinutes = 3.0;
+        params.seed = config.seed;
+        config.maxIntervals = intervals;
+        config.recordPlacementLatency = true;
+
+        SyntheticFeed feed(params);
+        ShardedDriver driver(config);
+        const auto start = std::chrono::steady_clock::now();
+        const ServeResult result = driver.run(feed);
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+
+        Row row;
+        row.servers = servers;
+        row.shards = result.shards;
+        row.intervals = result.completedIntervals;
+        row.arrivals = result.arrivals;
+        row.arrivalsPerSec =
+            static_cast<double>(result.arrivals) / wall;
+        row.p50PlacementUs =
+            percentileUs(result.placementSeconds, 0.50);
+        row.p99PlacementUs =
+            percentileUs(result.placementSeconds, 0.99);
+        rows.push_back(row);
+        std::printf("[serve] servers=%-6zu shards=%-3zu "
+                    "intervals=%-3zu %10.0f arrivals/s  placement "
+                    "p50 %8.1f us  p99 %8.1f us\n",
+                    servers, row.shards, row.intervals,
+                    row.arrivalsPerSec, row.p50PlacementUs,
+                    row.p99PlacementUs);
+        std::fflush(stdout);
+    }
+
+    spliceJson(json_path, rows);
+    return 0;
+}

@@ -37,6 +37,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,7 @@
 #include "sim/simulation.h"
 #include "state/sim_snapshot.h"
 #include "thermal/thermal_kernel.h"
+#include "util/json_splice.h"
 #include "util/thread_pool.h"
 
 using namespace vmt;
@@ -519,87 +521,121 @@ writeScalingJson(const std::string &path, double hours,
                  const std::vector<KernelRow> &kernel,
                  const std::vector<PlacementRow> &placement)
 {
+    std::string doc;
+    {
+        std::ifstream in(path);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        doc = buffer.str();
+    }
+
+    // Key-level splices replace this tool's previous rows in place
+    // and leave the other perf tools' keys (kernel_micro,
+    // placement_micro, serve, build) untouched.
+    doc = spliceTopLevelJson(doc, "benchmark",
+                             "\"vmt_parallel_scaling\"");
+    // host_cpus qualifies the speedup column: on a one-core host the
+    // expected speedup is ~1.0 at every thread count.
+    doc = spliceTopLevelJson(doc, "host_cpus",
+                             std::to_string(defaultThreadCount()));
+    {
+        std::ostringstream value;
+        value << hours;
+        doc = spliceTopLevelJson(doc, "trace_hours", value.str());
+    }
+
+    const auto splice_rows = [&doc](const std::string &key,
+                                    const auto &items, auto &&emit) {
+        std::ostringstream value;
+        value << "[\n";
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            value << "    ";
+            emit(value, items[i]);
+            value << (i + 1 < items.size() ? "," : "") << "\n";
+        }
+        value << "  ]";
+        doc = spliceTopLevelJson(doc, key, value.str());
+    };
+
+    splice_rows("runs", rows,
+                [](std::ostream &out, const ScalingRow &r) {
+                    out << "{\"name\": \"" << r.name
+                        << "\", \"threads\": " << r.threads
+                        << ", \"wall_seconds\": " << r.wallSeconds
+                        << ", \"intervals_per_sec\": "
+                        << r.intervalsPerSec
+                        << ", \"speedup\": " << r.speedup << "}";
+                });
+    splice_rows("hotpath", hotpath,
+                [](std::ostream &out, const HotpathRow &r) {
+                    out << "{\"name\": \"cluster1000\", \"threads\": 1"
+                        << ", \"integrator\": \"" << r.integrator
+                        << "\", \"wall_seconds\": " << r.wallSeconds
+                        << ", \"intervals_per_sec\": "
+                        << r.intervalsPerSec
+                        << ", \"hotpath_speedup\": "
+                        << r.hotpathSpeedup << "}";
+                });
+    splice_rows("checkpoint", checkpoint,
+                [](std::ostream &out, const CheckpointRow &r) {
+                    out << "{\"name\": \"cluster1000\", \"threads\": 1"
+                        << ", \"every\": " << r.every
+                        << ", \"wall_seconds\": " << r.wallSeconds
+                        << ", \"intervals_per_sec\": "
+                        << r.intervalsPerSec
+                        << ", \"overhead_pct\": " << r.overheadPct
+                        << "}";
+                });
+    splice_rows("fault", fault,
+                [](std::ostream &out, const FaultRow &r) {
+                    out << "{\"name\": \"cluster1000\", \"threads\": 1"
+                        << ", \"engine\": \""
+                        << (r.enabled ? "empty" : "disabled")
+                        << "\", \"wall_seconds\": " << r.wallSeconds
+                        << ", \"intervals_per_sec\": "
+                        << r.intervalsPerSec
+                        << ", \"overhead_pct\": " << r.overheadPct
+                        << "}";
+                });
+    splice_rows("obs", obs,
+                [](std::ostream &out, const ObsRow &r) {
+                    out << "{\"name\": \"cluster1000\", \"threads\": 1"
+                        << ", \"obs\": \""
+                        << (r.enabled ? "attached" : "detached")
+                        << "\", \"wall_seconds\": " << r.wallSeconds
+                        << ", \"intervals_per_sec\": "
+                        << r.intervalsPerSec
+                        << ", \"overhead_pct\": " << r.overheadPct
+                        << "}";
+                });
+    splice_rows("kernel", kernel,
+                [](std::ostream &out, const KernelRow &r) {
+                    out << "{\"name\": \"cluster1000\", \"threads\": 1"
+                        << ", \"kernel\": \"" << r.kernel
+                        << "\", \"wall_seconds\": " << r.wallSeconds
+                        << ", \"intervals_per_sec\": "
+                        << r.intervalsPerSec
+                        << ", \"kernel_speedup\": " << r.kernelSpeedup
+                        << "}";
+                });
+    splice_rows("placement", placement,
+                [](std::ostream &out, const PlacementRow &r) {
+                    out << "{\"name\": \"cluster1000\", \"threads\": 1"
+                        << ", \"engine\": \"" << r.engine
+                        << "\", \"wall_seconds\": " << r.wallSeconds
+                        << ", \"intervals_per_sec\": "
+                        << r.intervalsPerSec
+                        << ", \"placement_speedup\": "
+                        << r.placementSpeedup << "}";
+                });
+
     std::ofstream out(path);
     if (!out) {
         std::fprintf(stderr, "[scaling] cannot write %s\n",
                      path.c_str());
         return;
     }
-    // host_cpus qualifies the speedup column: on a one-core host the
-    // expected speedup is ~1.0 at every thread count.
-    out << "{\n  \"benchmark\": \"vmt_parallel_scaling\",\n"
-        << "  \"host_cpus\": " << defaultThreadCount() << ",\n"
-        << "  \"trace_hours\": " << hours << ",\n  \"runs\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const ScalingRow &r = rows[i];
-        out << "    {\"name\": \"" << r.name
-            << "\", \"threads\": " << r.threads
-            << ", \"wall_seconds\": " << r.wallSeconds
-            << ", \"intervals_per_sec\": " << r.intervalsPerSec
-            << ", \"speedup\": " << r.speedup << "}"
-            << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-    out << "  ],\n  \"hotpath\": [\n";
-    for (std::size_t i = 0; i < hotpath.size(); ++i) {
-        const HotpathRow &r = hotpath[i];
-        out << "    {\"name\": \"cluster1000\", \"threads\": 1"
-            << ", \"integrator\": \"" << r.integrator << "\""
-            << ", \"wall_seconds\": " << r.wallSeconds
-            << ", \"intervals_per_sec\": " << r.intervalsPerSec
-            << ", \"hotpath_speedup\": " << r.hotpathSpeedup << "}"
-            << (i + 1 < hotpath.size() ? "," : "") << "\n";
-    }
-    out << "  ],\n  \"checkpoint\": [\n";
-    for (std::size_t i = 0; i < checkpoint.size(); ++i) {
-        const CheckpointRow &r = checkpoint[i];
-        out << "    {\"name\": \"cluster1000\", \"threads\": 1"
-            << ", \"every\": " << r.every
-            << ", \"wall_seconds\": " << r.wallSeconds
-            << ", \"intervals_per_sec\": " << r.intervalsPerSec
-            << ", \"overhead_pct\": " << r.overheadPct << "}"
-            << (i + 1 < checkpoint.size() ? "," : "") << "\n";
-    }
-    out << "  ],\n  \"fault\": [\n";
-    for (std::size_t i = 0; i < fault.size(); ++i) {
-        const FaultRow &r = fault[i];
-        out << "    {\"name\": \"cluster1000\", \"threads\": 1"
-            << ", \"engine\": \"" << (r.enabled ? "empty" : "disabled")
-            << "\", \"wall_seconds\": " << r.wallSeconds
-            << ", \"intervals_per_sec\": " << r.intervalsPerSec
-            << ", \"overhead_pct\": " << r.overheadPct << "}"
-            << (i + 1 < fault.size() ? "," : "") << "\n";
-    }
-    out << "  ],\n  \"obs\": [\n";
-    for (std::size_t i = 0; i < obs.size(); ++i) {
-        const ObsRow &r = obs[i];
-        out << "    {\"name\": \"cluster1000\", \"threads\": 1"
-            << ", \"obs\": \"" << (r.enabled ? "attached" : "detached")
-            << "\", \"wall_seconds\": " << r.wallSeconds
-            << ", \"intervals_per_sec\": " << r.intervalsPerSec
-            << ", \"overhead_pct\": " << r.overheadPct << "}"
-            << (i + 1 < obs.size() ? "," : "") << "\n";
-    }
-    out << "  ],\n  \"kernel\": [\n";
-    for (std::size_t i = 0; i < kernel.size(); ++i) {
-        const KernelRow &r = kernel[i];
-        out << "    {\"name\": \"cluster1000\", \"threads\": 1"
-            << ", \"kernel\": \"" << r.kernel
-            << "\", \"wall_seconds\": " << r.wallSeconds
-            << ", \"intervals_per_sec\": " << r.intervalsPerSec
-            << ", \"kernel_speedup\": " << r.kernelSpeedup << "}"
-            << (i + 1 < kernel.size() ? "," : "") << "\n";
-    }
-    out << "  ],\n  \"placement\": [\n";
-    for (std::size_t i = 0; i < placement.size(); ++i) {
-        const PlacementRow &r = placement[i];
-        out << "    {\"name\": \"cluster1000\", \"threads\": 1"
-            << ", \"engine\": \"" << r.engine
-            << "\", \"wall_seconds\": " << r.wallSeconds
-            << ", \"intervals_per_sec\": " << r.intervalsPerSec
-            << ", \"placement_speedup\": " << r.placementSpeedup
-            << "}" << (i + 1 < placement.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
+    out << doc;
     std::printf("[scaling] wrote %s\n", path.c_str());
 }
 

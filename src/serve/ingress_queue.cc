@@ -1,0 +1,88 @@
+#include "serve/ingress_queue.h"
+
+#include "state/serializer.h"
+#include "util/logging.h"
+
+namespace vmt::serve {
+
+IngressQueue::IngressQueue(std::size_t capacity) : ring_(capacity)
+{
+    if (capacity == 0)
+        fatal("IngressQueue requires a positive capacity");
+}
+
+bool
+IngressQueue::push(const FeedJob &job)
+{
+    if (count_ == ring_.size())
+        return false;
+    ring_[(head_ + count_) % ring_.size()] = job;
+    ++count_;
+    return true;
+}
+
+const FeedJob &
+IngressQueue::front() const
+{
+    if (count_ == 0)
+        panic("IngressQueue::front on empty queue");
+    return ring_[head_];
+}
+
+void
+IngressQueue::pop()
+{
+    if (count_ == 0)
+        panic("IngressQueue::pop on empty queue");
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+}
+
+std::size_t
+IngressQueue::clear()
+{
+    const std::size_t dropped = count_;
+    head_ = 0;
+    count_ = 0;
+    return dropped;
+}
+
+void
+IngressQueue::saveState(Serializer &out) const
+{
+    out.putSize(ring_.size());
+    out.putSize(count_);
+    for (std::size_t i = 0; i < count_; ++i) {
+        const FeedJob &job = ring_[(head_ + i) % ring_.size()];
+        out.putDouble(job.time);
+        out.putU8(static_cast<std::uint8_t>(job.type));
+        out.putDouble(job.duration);
+    }
+}
+
+void
+IngressQueue::loadState(Deserializer &in)
+{
+    const std::size_t capacity = in.getSize();
+    if (capacity != ring_.size())
+        fatal("serve snapshot ingress capacity " +
+              std::to_string(capacity) +
+              " does not match the configured " +
+              std::to_string(ring_.size()));
+    if (count_ != 0)
+        fatal("IngressQueue::loadState on a non-empty queue");
+    const std::size_t pending = in.getSize();
+    if (pending > capacity)
+        fatal("serve snapshot ingress depth exceeds its capacity");
+    head_ = 0;
+    count_ = pending;
+    for (std::size_t i = 0; i < pending; ++i) {
+        FeedJob job;
+        job.time = in.getDouble();
+        job.type = static_cast<WorkloadType>(in.getU8());
+        job.duration = in.getDouble();
+        ring_[i] = job;
+    }
+}
+
+} // namespace vmt::serve

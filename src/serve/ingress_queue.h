@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bounded FIFO ring buffer between a JobFeed and the serving driver's
+ * admission step. Fixed capacity: overload sheds arrivals instead of
+ * growing the slot table without bound (the backpressure half of the
+ * serving mode's admission control).
+ */
+
+#ifndef VMT_SERVE_INGRESS_QUEUE_H
+#define VMT_SERVE_INGRESS_QUEUE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/job_feed.h"
+
+namespace vmt {
+
+class Serializer;
+class Deserializer;
+
+namespace serve {
+
+/** Fixed-capacity FIFO of pending arrivals. */
+class IngressQueue
+{
+  public:
+    /** @throws FatalError on zero capacity. */
+    explicit IngressQueue(std::size_t capacity);
+
+    /** Enqueue; returns false (job dropped) when full. */
+    bool push(const FeedJob &job);
+
+    /** Oldest queued arrival; queue must not be empty. */
+    const FeedJob &front() const;
+
+    /** Drop the oldest queued arrival; queue must not be empty. */
+    void pop();
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Drop everything queued (the shed admission policy). Returns
+     *  the number of entries discarded. */
+    std::size_t clear();
+
+    /** Serialize the queued jobs in FIFO order. */
+    void saveState(Serializer &out) const;
+
+    /** Restore into an empty queue of the same capacity. */
+    void loadState(Deserializer &in);
+
+  private:
+    std::vector<FeedJob> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace serve
+} // namespace vmt
+
+#endif // VMT_SERVE_INGRESS_QUEUE_H

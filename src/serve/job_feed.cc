@@ -1,0 +1,375 @@
+#include "serve/job_feed.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "state/serializer.h"
+#include "util/logging.h"
+#include "workload/job_generator.h"
+
+namespace vmt::serve {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+[[noreturn]] void
+badLine(const std::string &origin, std::size_t line,
+        const std::string &why)
+{
+    fatal("serve feed " + origin + ":" + std::to_string(line) + ": " +
+          why);
+}
+
+/** Exact-equality config check for feed snapshots (resume must use
+ *  the configuration that produced the checkpoint). */
+void
+checkFeedDouble(const char *what, double snap, double now)
+{
+    if (!(snap == now))
+        fatal("serve feed snapshot does not match the configured "
+              "feed (" +
+              std::string(what) + ": snapshot " +
+              std::to_string(snap) + ", run " + std::to_string(now) +
+              ")");
+}
+
+void
+saveRng(Serializer &out, const Rng &rng)
+{
+    const RngState state = rng.state();
+    for (std::uint64_t word : state.s)
+        out.putU64(word);
+    out.putBool(state.hasSpare);
+    out.putDouble(state.spare);
+}
+
+void
+loadRng(Deserializer &in, Rng &rng)
+{
+    RngState state;
+    for (std::uint64_t &word : state.s)
+        word = in.getU64();
+    state.hasSpare = in.getBool();
+    state.spare = in.getDouble();
+    rng.setState(state);
+}
+
+} // namespace
+
+SyntheticFeed::SyntheticFeed(const SyntheticFeedParams &params)
+    : params_(params), rng_(params.seed)
+{
+    if (!(params.users > 0.0) ||
+        !(params.requestsPerUserHour > 0.0))
+        fatal("SyntheticFeed: users and requestsPerUserHour must be "
+              "positive");
+    if (params.diurnalTrough < 0.0 || params.diurnalTrough > 1.0)
+        fatal("SyntheticFeed: diurnalTrough must be in [0, 1]");
+    if (params.rampHours < 0.0)
+        fatal("SyntheticFeed: rampHours must be >= 0");
+    if (params.burstPeriodHours < 0.0)
+        fatal("SyntheticFeed: burstPeriodHours must be >= 0");
+    if (params.burstPeriodHours > 0.0) {
+        if (params.burstFactor < 1.0)
+            fatal("SyntheticFeed: burstFactor must be >= 1");
+        if (params.burstMinutes <= 0.0 ||
+            params.burstMinutes / 60.0 >= params.burstPeriodHours)
+            fatal("SyntheticFeed: burstMinutes must be positive and "
+                  "shorter than the burst period");
+    }
+    baseRate_ = params.users * params.requestsPerUserHour / 3600.0;
+    maxRate_ = baseRate_ * (params.burstPeriodHours > 0.0
+                                ? params.burstFactor
+                                : 1.0);
+}
+
+double
+SyntheticFeed::ratePerSecond(Seconds t) const
+{
+    if (t < 0.0)
+        return 0.0;
+    const double hours = secondsToHours(t);
+    // Sinusoidal day: trough at hour 0, peak at hour 12.
+    const double shape =
+        0.5 * (1.0 - std::cos(2.0 * kPi * hours / 24.0));
+    double rate =
+        baseRate_ *
+        (params_.diurnalTrough +
+         (1.0 - params_.diurnalTrough) * shape);
+    if (params_.rampHours > 0.0 && hours < params_.rampHours)
+        rate *= hours / params_.rampHours;
+    if (params_.burstPeriodHours > 0.0) {
+        const double phase =
+            std::fmod(hours, params_.burstPeriodHours);
+        if (phase < params_.burstMinutes / 60.0)
+            rate *= params_.burstFactor;
+    }
+    return rate;
+}
+
+void
+SyntheticFeed::generateNext()
+{
+    // Lewis–Shedler thinning at the constant envelope rate maxRate_:
+    // the candidate sequence (and every accept/reject draw) depends
+    // only on the seed, never on how callers segment their pulls.
+    while (true) {
+        candidateTime_ += rng_.exponential(1.0 / maxRate_);
+        const double keep = ratePerSecond(candidateTime_) / maxRate_;
+        if (rng_.uniform() >= keep)
+            continue;
+        // Type from the catalog CDF, then duration — one fixed draw
+        // order per accepted arrival.
+        const WorkloadShares shares = catalogShares();
+        const double u = rng_.uniform();
+        double cdf = 0.0;
+        WorkloadType type = kAllWorkloads.back();
+        for (WorkloadType candidate : kAllWorkloads) {
+            cdf += shares[workloadIndex(candidate)];
+            if (u < cdf) {
+                type = candidate;
+                break;
+            }
+        }
+        FeedJob job;
+        job.time = candidateTime_;
+        job.type = type;
+        job.duration =
+            rng_.exponential(workloadInfo(type).meanDuration);
+        pending_ = job;
+        return;
+    }
+}
+
+void
+SyntheticFeed::arrivalsUntil(Seconds end, std::vector<FeedJob> &out)
+{
+    while (true) {
+        if (!pending_)
+            generateNext();
+        if (pending_->time >= end)
+            return;
+        out.push_back(*pending_);
+        pending_.reset();
+        ++emitted_;
+    }
+}
+
+void
+SyntheticFeed::saveState(Serializer &out) const
+{
+    // Parameter echo: a resume under different shape parameters would
+    // silently change the remaining stream, so refuse it instead.
+    out.putDouble(params_.users);
+    out.putDouble(params_.requestsPerUserHour);
+    out.putDouble(params_.diurnalTrough);
+    out.putDouble(params_.rampHours);
+    out.putDouble(params_.burstPeriodHours);
+    out.putDouble(params_.burstFactor);
+    out.putDouble(params_.burstMinutes);
+    out.putU64(params_.seed);
+
+    saveRng(out, rng_);
+    out.putDouble(candidateTime_);
+    out.putBool(pending_.has_value());
+    if (pending_) {
+        out.putDouble(pending_->time);
+        out.putU8(static_cast<std::uint8_t>(pending_->type));
+        out.putDouble(pending_->duration);
+    }
+    out.putU64(emitted_);
+}
+
+void
+SyntheticFeed::loadState(Deserializer &in)
+{
+    checkFeedDouble("users", in.getDouble(), params_.users);
+    checkFeedDouble("requestsPerUserHour", in.getDouble(),
+                    params_.requestsPerUserHour);
+    checkFeedDouble("diurnalTrough", in.getDouble(),
+                    params_.diurnalTrough);
+    checkFeedDouble("rampHours", in.getDouble(), params_.rampHours);
+    checkFeedDouble("burstPeriodHours", in.getDouble(),
+                    params_.burstPeriodHours);
+    checkFeedDouble("burstFactor", in.getDouble(),
+                    params_.burstFactor);
+    checkFeedDouble("burstMinutes", in.getDouble(),
+                    params_.burstMinutes);
+    if (in.getU64() != params_.seed)
+        fatal("serve feed snapshot does not match the configured "
+              "feed (seed differs)");
+
+    loadRng(in, rng_);
+    candidateTime_ = in.getDouble();
+    pending_.reset();
+    if (in.getBool()) {
+        FeedJob job;
+        job.time = in.getDouble();
+        job.type = static_cast<WorkloadType>(in.getU8());
+        job.duration = in.getDouble();
+        pending_ = job;
+    }
+    emitted_ = in.getU64();
+}
+
+LineFeed::LineFeed(std::istream &in, std::string origin,
+                   std::size_t total_cores)
+    : in_(&in), origin_(std::move(origin)), totalCores_(total_cores)
+{
+    if (totalCores_ == 0)
+        fatal("LineFeed: totalCores must be positive");
+}
+
+LineFeed::LineFeed(const std::string &path, std::size_t total_cores)
+    : file_(path), in_(&file_), origin_(path),
+      totalCores_(total_cores)
+{
+    if (!file_)
+        fatal("cannot open serve feed '" + path + "'");
+    if (totalCores_ == 0)
+        fatal("LineFeed: totalCores must be positive");
+}
+
+std::optional<LineFeed::Event>
+LineFeed::parseNext()
+{
+    std::string line;
+    while (std::getline(*in_, line)) {
+        ++lineno_;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue; // Blank or comment-only line.
+        std::istringstream row(line);
+        std::string keyword;
+        row >> keyword;
+        if (keyword != "arrive")
+            badLine(origin_, lineno_,
+                    "unknown event '" + keyword +
+                        "' (expected arrive)");
+        Event event;
+        if (!(row >> event.time) || !std::isfinite(event.time) ||
+            event.time < 0.0)
+            badLine(origin_, lineno_,
+                    "arrive needs a finite non-negative time in "
+                    "seconds");
+        if (!(row >> event.util) || !std::isfinite(event.util) ||
+            event.util <= 0.0 || event.util > 1.0)
+            badLine(origin_, lineno_,
+                    "arrive needs a utilization fraction in (0, 1]");
+        if (!(row >> event.duration) ||
+            !std::isfinite(event.duration) || event.duration < 0.0)
+            badLine(origin_, lineno_,
+                    "arrive needs a finite non-negative duration in "
+                    "seconds");
+        std::string trailing;
+        if (row >> trailing)
+            badLine(origin_, lineno_,
+                    "trailing token '" + trailing + "'");
+        if (event.time < lastTime_)
+            badLine(origin_, lineno_,
+                    "event times must be non-decreasing");
+        lastTime_ = event.time;
+        return event;
+    }
+    eof_ = true;
+    return std::nullopt;
+}
+
+void
+LineFeed::expand(const Event &event, std::vector<FeedJob> &out)
+{
+    const auto total = static_cast<std::size_t>(std::llround(
+        event.util * static_cast<double>(totalCores_)));
+    if (total == 0)
+        return;
+    // Largest-remainder split across the catalog shares, ties broken
+    // by workload order — deterministic, no RNG.
+    const WorkloadShares shares = catalogShares();
+    std::array<std::size_t, kNumWorkloads> counts{};
+    std::array<double, kNumWorkloads> remainders{};
+    std::size_t assigned = 0;
+    for (WorkloadType type : kAllWorkloads) {
+        const std::size_t w = workloadIndex(type);
+        const double exact =
+            shares[w] * static_cast<double>(total);
+        counts[w] = static_cast<std::size_t>(exact);
+        remainders[w] = exact - static_cast<double>(counts[w]);
+        assigned += counts[w];
+    }
+    while (assigned < total) {
+        std::size_t best = 0;
+        for (std::size_t w = 1; w < kNumWorkloads; ++w)
+            if (remainders[w] > remainders[best])
+                best = w;
+        ++counts[best];
+        remainders[best] = -1.0;
+        ++assigned;
+    }
+    for (WorkloadType type : kAllWorkloads) {
+        const std::size_t w = workloadIndex(type);
+        for (std::size_t i = 0; i < counts[w]; ++i)
+            out.push_back(FeedJob{event.time, type, event.duration});
+    }
+}
+
+void
+LineFeed::arrivalsUntil(Seconds end, std::vector<FeedJob> &out)
+{
+    while (true) {
+        if (!pendingEvent_) {
+            std::optional<Event> event = parseNext();
+            // Replay cursor: a resumed feed discards the events the
+            // checkpointed run already emitted.
+            while (event && skipEvents_ > 0) {
+                --skipEvents_;
+                ++eventsConsumed_;
+                event = parseNext();
+            }
+            if (!event)
+                return;
+            pendingEvent_ = *event;
+        }
+        if (pendingEvent_->time >= end)
+            return;
+        expand(*pendingEvent_, out);
+        pendingEvent_.reset();
+        ++eventsConsumed_;
+    }
+}
+
+bool
+LineFeed::exhausted() const
+{
+    return eof_ && !pendingEvent_;
+}
+
+void
+LineFeed::saveState(Serializer &out) const
+{
+    out.putU64(static_cast<std::uint64_t>(totalCores_));
+    // The pending (parsed but not yet due) event is *not* consumed:
+    // the replay skips only fully emitted events, so the resumed feed
+    // re-parses it from the input.
+    out.putU64(eventsConsumed_);
+}
+
+void
+LineFeed::loadState(Deserializer &in)
+{
+    const std::uint64_t cores = in.getU64();
+    if (cores != static_cast<std::uint64_t>(totalCores_))
+        fatal("serve feed snapshot does not match the configured "
+              "feed (totalCores: snapshot " +
+              std::to_string(cores) + ", run " +
+              std::to_string(totalCores_) + ")");
+    skipEvents_ = in.getU64();
+    if (pendingEvent_ || eventsConsumed_ != 0)
+        fatal("LineFeed::loadState on a feed that already consumed "
+              "events");
+}
+
+} // namespace vmt::serve

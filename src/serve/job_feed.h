@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Streaming job feeds for the serving mode (vmtserve).
+ *
+ * A JobFeed produces a time-ordered stream of job arrivals with no
+ * fixed horizon — the serving driver pulls the arrivals due before
+ * each interval boundary and never looks further ahead. Two
+ * implementations:
+ *
+ *  - SyntheticFeed: a deterministic, seeded Poisson front-end
+ *    modelling millions of users behind a diurnal rate curve, with a
+ *    warm-up rate ramp and periodic burst spikes (thinning / the
+ *    Lewis–Shedler method, so the stream is independent of how the
+ *    driver segments its pulls);
+ *  - LineFeed: a line-oriented text feed (stdin, a file, or anything
+ *    piped in — e.g. a socket via `nc | vmtserve --feed -`) with the
+ *    grammar `arrive <t-seconds> <util> <duration-seconds>`,
+ *    rejecting malformed input with `origin:line` fatals exactly like
+ *    FaultPlan does.
+ *
+ * Both feeds checkpoint their cursor (saveState/loadState), so a
+ * killed serving run resumes mid-stream bitwise.
+ */
+
+#ifndef VMT_SERVE_JOB_FEED_H
+#define VMT_SERVE_JOB_FEED_H
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+#include "workload/workload.h"
+
+namespace vmt {
+
+class Serializer;
+class Deserializer;
+
+namespace serve {
+
+/** One arrival produced by a feed. */
+struct FeedJob
+{
+    /** Arrival time (seconds since the start of the run). */
+    Seconds time = 0.0;
+    WorkloadType type = WorkloadType::WebSearch;
+    /** Run length in seconds. */
+    Seconds duration = 0.0;
+};
+
+/** Open-ended, time-ordered arrival stream. */
+class JobFeed
+{
+  public:
+    virtual ~JobFeed() = default;
+
+    /** Feed kind, echoed into snapshots so a resume under a different
+     *  feed is refused. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Append every arrival with time < end to @p out, in
+     * non-decreasing time order, and advance the cursor past them.
+     * Successive calls must use non-decreasing @p end; the stream a
+     * feed produces is independent of how calls segment it.
+     */
+    virtual void arrivalsUntil(Seconds end,
+                               std::vector<FeedJob> &out) = 0;
+
+    /** True when the feed can never produce another arrival (a
+     *  LineFeed at end of input; SyntheticFeed never ends). */
+    virtual bool exhausted() const = 0;
+
+    /** Checkpoint the feed cursor; loadState restores the exact
+     *  remaining stream. */
+    virtual void saveState(Serializer &out) const = 0;
+    virtual void loadState(Deserializer &in) = 0;
+};
+
+/** SyntheticFeed shape parameters. */
+struct SyntheticFeedParams
+{
+    /** Modelled user population. */
+    double users = 1e6;
+    /** Jobs per user per hour at the diurnal peak (before ramp and
+     *  burst scaling). The default targets roughly 70% occupancy on a
+     *  10k-server fleet with the Table-I duration mix. */
+    double requestsPerUserHour = 0.75;
+    /** Diurnal floor as a fraction of the peak rate (the trough-to-
+     *  peak swing of the paper's Fig. 5-style load curves). */
+    double diurnalTrough = 0.35;
+    /** Warm-up ramp: the rate scales linearly from 0 to its diurnal
+     *  value over this many hours (0 = no ramp). */
+    double rampHours = 0.0;
+    /** Burst cadence: every burstPeriodHours the rate multiplies by
+     *  burstFactor for burstMinutes (0 = no bursts). */
+    double burstPeriodHours = 0.0;
+    double burstFactor = 3.0;
+    double burstMinutes = 5.0;
+    /** Seed for the arrival/type/duration draws. */
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Deterministic non-homogeneous Poisson arrival generator.
+ *
+ * Candidate arrivals are drawn at the peak rate and thinned against
+ * the instantaneous rate lambda(t) = base * diurnal(t) * ramp(t) *
+ * burst(t), so segmentation of arrivalsUntil() calls never changes
+ * the stream. Each accepted arrival draws a workload type from the
+ * Table-I catalog shares and an exponential duration around the
+ * workload's mean, from the same seeded Rng.
+ */
+class SyntheticFeed : public JobFeed
+{
+  public:
+    /** @throws FatalError on non-positive rates or malformed shape
+     *  parameters. */
+    explicit SyntheticFeed(const SyntheticFeedParams &params);
+
+    std::string name() const override { return "synthetic"; }
+    void arrivalsUntil(Seconds end,
+                       std::vector<FeedJob> &out) override;
+    bool exhausted() const override { return false; }
+
+    /** Instantaneous arrival rate (jobs/second) at a time — exposed
+     *  for the rate-ramp tests. */
+    double ratePerSecond(Seconds t) const;
+
+    /** Peak arrival rate (jobs/second) used for thinning. */
+    double peakRatePerSecond() const { return maxRate_; }
+
+    /** Arrivals emitted so far. */
+    std::uint64_t emitted() const { return emitted_; }
+
+    void saveState(Serializer &out) const override;
+    void loadState(Deserializer &in) override;
+
+  private:
+    /** Draw candidates until one survives thinning; fills pending_. */
+    void generateNext();
+
+    SyntheticFeedParams params_;
+    /** Base rate in jobs/second (users * requestsPerUserHour / 3600). */
+    double baseRate_;
+    /** Thinning envelope: base * max burst factor. */
+    double maxRate_;
+    Rng rng_;
+    /** Last candidate arrival time handed to the thinning draw. */
+    Seconds candidateTime_ = 0.0;
+    /** Accepted arrival not yet released (beyond the last `end`). */
+    std::optional<FeedJob> pending_;
+    std::uint64_t emitted_ = 0;
+};
+
+/**
+ * Line-oriented feed: `arrive <t-seconds> <util> <duration-seconds>`.
+ *
+ * Each event expands into round(util * totalCores) one-core jobs
+ * arriving at time t with the given duration, split across the
+ * workload catalog by its load shares (largest-remainder rounding, no
+ * randomness). '#' starts a comment, blank lines are skipped, event
+ * times must be non-decreasing, and any malformed line is fatal with
+ * an `origin:line` message.
+ *
+ * Checkpointing stores the number of events consumed; a resumed feed
+ * re-reads its input from the start and skips that many events, so
+ * file-backed feeds (and replayed pipes) resume exactly.
+ */
+class LineFeed : public JobFeed
+{
+  public:
+    /** Read from an external stream (e.g. std::cin). @p origin names
+     *  the stream in parse errors. */
+    LineFeed(std::istream &in, std::string origin,
+             std::size_t total_cores);
+
+    /** Read from a file. @throws FatalError when it cannot be
+     *  opened. */
+    LineFeed(const std::string &path, std::size_t total_cores);
+
+    std::string name() const override { return "line"; }
+    void arrivalsUntil(Seconds end,
+                       std::vector<FeedJob> &out) override;
+    bool exhausted() const override;
+
+    /** Events fully consumed so far (the checkpoint cursor). */
+    std::uint64_t eventsConsumed() const { return eventsConsumed_; }
+
+    void saveState(Serializer &out) const override;
+    void loadState(Deserializer &in) override;
+
+  private:
+    struct Event
+    {
+        Seconds time = 0.0;
+        double util = 0.0;
+        Seconds duration = 0.0;
+    };
+
+    /** Parse the next event line, or nullopt at end of input.
+     *  @throws FatalError (origin:line) on malformed input. */
+    std::optional<Event> parseNext();
+
+    /** Expand an event into its per-workload job batch. */
+    void expand(const Event &event, std::vector<FeedJob> &out);
+
+    std::ifstream file_;
+    std::istream *in_;
+    std::string origin_;
+    std::size_t totalCores_;
+    std::size_t lineno_ = 0;
+    Seconds lastTime_ = 0.0;
+    bool eof_ = false;
+    /** Parsed event not yet due (time >= the last `end`). */
+    std::optional<Event> pendingEvent_;
+    std::uint64_t eventsConsumed_ = 0;
+    /** Events to silently skip after a loadState (replay cursor). */
+    std::uint64_t skipEvents_ = 0;
+};
+
+} // namespace serve
+} // namespace vmt
+
+#endif // VMT_SERVE_JOB_FEED_H

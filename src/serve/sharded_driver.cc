@@ -1,0 +1,825 @@
+#include "serve/sharded_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <queue>
+#include <utility>
+
+#include "core/policy_factory.h"
+#include "state/snapshot.h"
+#include "thermal/pcm.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace vmt::serve {
+
+namespace {
+
+/** Fatal with a consistent prefix for config/snapshot disagreements. */
+[[noreturn]] void
+mismatch(const std::string &what)
+{
+    fatal("serve snapshot does not match the configured run (" +
+          what + "); resume requires the exact configuration and "
+                 "feed that produced the checkpoint");
+}
+
+void
+checkU64(const char *what, std::uint64_t snap, std::uint64_t now)
+{
+    if (snap != now)
+        mismatch(std::string(what) + ": snapshot " +
+                 std::to_string(snap) + ", run " +
+                 std::to_string(now));
+}
+
+void
+checkDouble(const char *what, double snap, double now)
+{
+    // Exact comparison on purpose: bitwise-identical resume needs
+    // the exact same constants, not merely close ones.
+    if (!(snap == now))
+        mismatch(std::string(what) + ": snapshot " +
+                 std::to_string(snap) + ", run " +
+                 std::to_string(now));
+}
+
+/**
+ * The serving driver's metric/phase handles, resolved once per run.
+ * Everything under `serve.` is deterministic; the placement-latency
+ * histogram is wall-clock derived and therefore lives under
+ * `profile.` (exempt from the determinism contract).
+ */
+struct ServeObs
+{
+    obs::PhaseId phaseDepartures;
+    obs::PhaseId phasePlace;
+    obs::PhaseId phaseThermal;
+    obs::PhaseId phaseCheckpoint;
+    obs::CounterHandle intervals;
+    obs::CounterHandle arrivals;
+    obs::CounterHandle admitted;
+    obs::CounterHandle shed;
+    obs::CounterHandle requeued;
+    obs::CounterHandle placed;
+    obs::CounterHandle dropped;
+    obs::CounterHandle completed;
+    obs::GaugeHandle queueDepth;
+    obs::GaugeHandle inFlight;
+    obs::GaugeHandle coolingLoad;
+    obs::GaugeHandle totalPower;
+    obs::GaugeHandle meanAirTemp;
+    obs::GaugeHandle meltFraction;
+    obs::GaugeHandle peakCoolingLoad;
+    obs::GaugeHandle peakPower;
+    obs::GaugeHandle maxAirTemp;
+    obs::HistogramHandle placementSeconds;
+
+    void registerAll(obs::Observability &o)
+    {
+        obs::PhaseProfiler &prof = o.profiler();
+        phaseDepartures = prof.phase("serve.departures");
+        phasePlace = prof.phase("serve.place");
+        phaseThermal = prof.phase("serve.thermal");
+        phaseCheckpoint = prof.phase("serve.checkpoint");
+
+        obs::MetricsRegistry &m = o.metrics();
+        intervals = m.counter("serve.intervals_total",
+                              "Serving intervals completed");
+        arrivals = m.counter("serve.arrivals_total",
+                             "Jobs pulled from the feed");
+        admitted = m.counter("serve.admitted_total",
+                             "Jobs admitted and routed to a shard");
+        shed = m.counter("serve.shed_total",
+                         "Jobs shed by admission control");
+        requeued = m.counter(
+            "serve.requeued_total",
+            "Jobs bounced off a full fleet back into the ring");
+        placed = m.counter("serve.placed_total",
+                           "Jobs placed on a server");
+        dropped = m.counter("serve.dropped_total",
+                            "Admitted jobs no shard could place");
+        completed = m.counter("serve.completed_total",
+                              "Jobs that ran to completion");
+        queueDepth = m.gauge("serve.queue_depth",
+                             "Ingress ring depth after admission");
+        inFlight = m.gauge("serve.in_flight",
+                           "Jobs currently running fleet-wide");
+        coolingLoad =
+            m.gauge("serve.cooling_load_watts",
+                    "Fleet cooling load of the last interval (W)");
+        totalPower = m.gauge("serve.total_power_watts",
+                             "Fleet electrical power (W)");
+        meanAirTemp = m.gauge("serve.mean_air_temp_celsius",
+                              "Mean air-at-wax temperature (C)");
+        meltFraction = m.gauge("serve.melt_fraction",
+                               "Mean ground-truth melt fraction");
+        peakCoolingLoad =
+            m.gauge("serve.peak_cooling_load_watts",
+                    "Peak fleet cooling load, set at end of run");
+        peakPower = m.gauge("serve.peak_power_watts",
+                            "Peak fleet power, set at end of run");
+        maxAirTemp =
+            m.gauge("serve.max_air_temp_celsius",
+                    "Hottest air temperature seen across the run");
+        placementSeconds = m.histogram(
+            "profile.serve.placement_seconds",
+            {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0},
+            "Wall time of the per-interval placement fan-out (s)");
+    }
+};
+
+} // namespace
+
+AdmitPolicy
+admitPolicyFromString(const std::string &name)
+{
+    if (name == "queue")
+        return AdmitPolicy::Queue;
+    if (name == "shed")
+        return AdmitPolicy::Shed;
+    fatal("unknown admission policy '" + name + "' (queue|shed)");
+}
+
+const char *
+admitPolicyName(AdmitPolicy policy)
+{
+    return policy == AdmitPolicy::Queue ? "queue" : "shed";
+}
+
+ShardedDriver::Shard::Shard(std::size_t num_servers,
+                            const ServeConfig &config,
+                            const PowerModel &power)
+    : cluster(num_servers, config.spec, config.thermal, power),
+      scheduler(makeScheduler(config.policy, config.gv,
+                              config.waxThreshold)),
+      departures(config.interval), jobsAt(num_servers)
+{}
+
+ShardedDriver::ShardedDriver(const ServeConfig &config)
+    : config_(config), power_(config.spec, config.powerScale),
+      ingress_(config.queueCapacity)
+{
+    if (config.numServers == 0)
+        fatal("ServeConfig::numServers must be positive");
+    if (config.podSize == 0)
+        fatal("ServeConfig::podSize must be positive");
+    if (config.interval <= 0.0)
+        fatal("ServeConfig::interval must be positive");
+    const std::size_t count =
+        (config.numServers + config.podSize - 1) / config.podSize;
+    shards_.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        const std::size_t first = s * config.podSize;
+        const std::size_t size =
+            std::min(config.podSize, config.numServers - first);
+        shards_.emplace_back(size, config_, power_);
+    }
+}
+
+void
+ShardedDriver::drainDepartures(Shard &shard, Seconds now)
+{
+    while (shard.departures.hasEventDue(now)) {
+        const std::uint32_t slot = shard.departures.pop();
+        const SimActiveJob &job = shard.slots[slot];
+        shard.cluster.removeJob(job.serverId, job.type);
+        auto &ids =
+            shard.jobsAt[job.serverId][workloadIndex(job.type)];
+        const std::uint32_t pos = job.pos;
+        if (pos >= ids.size() || ids[pos] != slot)
+            panic("serve: job missing from server index");
+        const std::uint32_t moved = ids.back();
+        ids[pos] = moved;
+        shard.slots[moved].pos = pos;
+        ids.pop_back();
+        shard.freeSlots.push_back(slot);
+        ++shard.completedThisInterval;
+    }
+}
+
+void
+ShardedDriver::placeBatch(Shard &shard, Seconds now)
+{
+    shard.scheduler->beginInterval(shard.cluster, now);
+    if (shard.batch.empty())
+        return;
+    // One batch call decides (and applies) every placement — the
+    // PR-7 batched hot path; the slot/departure bookkeeping below is
+    // driver-local and cannot influence decisions.
+    shard.scheduler->placeJobs(shard.cluster, shard.batch,
+                               shard.placements);
+    for (std::size_t k = 0; k < shard.batch.size(); ++k) {
+        const Job &job = shard.batch[k];
+        const std::size_t id = shard.placements[k];
+        if (id == kNoServer) {
+            ++shard.unplacedThisInterval;
+            continue;
+        }
+        auto &ids = shard.jobsAt[id][workloadIndex(job.type)];
+        const auto pos = static_cast<std::uint32_t>(ids.size());
+        std::uint32_t slot;
+        if (!shard.freeSlots.empty()) {
+            slot = shard.freeSlots.back();
+            shard.freeSlots.pop_back();
+            shard.slots[slot] = SimActiveJob{id, job.type, pos};
+        } else {
+            slot = static_cast<std::uint32_t>(shard.slots.size());
+            shard.slots.push_back(SimActiveJob{id, job.type, pos});
+        }
+        ids.push_back(slot);
+        shard.departures.schedule(now + job.duration, slot);
+        ++shard.placedThisInterval;
+    }
+}
+
+std::size_t
+ShardedDriver::routeToShards(const std::vector<FeedJob> &admitted)
+{
+    // Each job goes to the shard with the most free cores at that
+    // moment (ties: lowest shard id) — a deterministic waterfill that
+    // keeps pods evenly loaded so no shard's scheduler sees an
+    // artificially full pod while another idles.
+    struct MoreFree
+    {
+        bool operator()(const std::pair<std::size_t, std::size_t> &a,
+                        const std::pair<std::size_t, std::size_t> &b)
+            const
+        {
+            if (a.first != b.first)
+                return a.first < b.first;
+            return a.second > b.second;
+        }
+    };
+    std::priority_queue<std::pair<std::size_t, std::size_t>,
+                        std::vector<
+                            std::pair<std::size_t, std::size_t>>,
+                        MoreFree>
+        heap;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const Cluster &cluster = shards_[s].cluster;
+        heap.push({cluster.totalCores() - cluster.busyCores(), s});
+    }
+    std::size_t routed = 0;
+    for (const FeedJob &job : admitted) {
+        const auto [free, s] = heap.top();
+        if (free == 0)
+            break; // Fleet is full; the rest re-queues or sheds.
+        heap.pop();
+        shards_[s].batch.push_back(
+            Job{nextJobId_++, job.type, job.duration});
+        heap.push({free - 1, s});
+        ++routed;
+    }
+    return routed;
+}
+
+ServeResult
+ShardedDriver::run(JobFeed &feed,
+                   const std::function<bool()> &shouldStop)
+{
+    if (ran_)
+        fatal("ShardedDriver::run may only be called once per "
+              "driver");
+    ran_ = true;
+
+    ServeResult result;
+    result.schedulerName = shards_.front().scheduler->name();
+    result.shards = shards_.size();
+
+    std::size_t completed = 0;
+    if (!config_.resumeFrom.empty())
+        completed = loadCheckpoint(feed, config_.resumeFrom);
+    result.resumedIntervals = completed;
+    if (config_.maxIntervals > 0 && completed > config_.maxIntervals)
+        fatal("serve snapshot has more completed intervals than the "
+              "configured run length");
+
+    obs::Observability *const o = config_.obs;
+    ServeObs sobs;
+    obs::PhaseProfiler *prof = nullptr;
+    if (o) {
+        sobs.registerAll(*o);
+        prof = &o->profiler();
+        o->beginRun(result.schedulerName, config_.numServers,
+                    config_.maxIntervals, config_.interval);
+        // Counters restart at zero in a fresh process; seed them with
+        // the snapshot's totals so scrapes continue monotonically.
+        if (completed > 0) {
+            obs::MetricsRegistry &m = o->metrics();
+            m.inc(sobs.intervals, completed);
+            m.inc(sobs.arrivals, arrivals_);
+            m.inc(sobs.admitted, admitted_);
+            m.inc(sobs.shed, shed_);
+            m.inc(sobs.requeued, requeued_);
+            m.inc(sobs.placed, placed_);
+            m.inc(sobs.dropped, dropped_);
+            m.inc(sobs.completed, completedJobs_);
+        }
+    }
+
+    std::ofstream telemetry_out;
+    if (!config_.telemetryOut.empty()) {
+        telemetry_out.open(config_.telemetryOut, std::ios::app);
+        if (!telemetry_out)
+            fatal("cannot open serve telemetry stream '" +
+                  config_.telemetryOut + "'");
+    }
+    const bool timing =
+        o != nullptr || config_.recordPlacementLatency;
+
+    ThreadPool &pool = globalPool();
+    const Seconds dt = config_.interval;
+    std::string line;
+
+    // Totals as of the last recorded interval, so the telemetry line
+    // carries per-interval deltas (restored totals on resume).
+    std::uint64_t prev_arrivals = arrivals_;
+    std::uint64_t prev_admitted = admitted_;
+    std::uint64_t prev_shed = shed_;
+    std::uint64_t prev_requeued = requeued_;
+    std::uint64_t prev_placed = placed_;
+    std::uint64_t prev_dropped = dropped_;
+    std::uint64_t prev_completed = completedJobs_;
+
+    for (std::size_t interval = completed;; ++interval) {
+        if (config_.maxIntervals > 0 &&
+            interval >= config_.maxIntervals)
+            break;
+        if (shouldStop && shouldStop()) {
+            result.stopped = true;
+            break;
+        }
+        const Seconds now = static_cast<double>(interval) * dt;
+
+        // 1. Complete departures due by now, one task per shard —
+        // shards share no mutable state, and the serial reductions
+        // below run in shard order, so results are bitwise identical
+        // at any thread count.
+        {
+            obs::ScopedPhase timer(prof, sobs.phaseDepartures);
+            parallelFor(pool, 0, shards_.size(), 1,
+                        [&](std::size_t begin, std::size_t end) {
+                            for (std::size_t s = begin; s < end; ++s) {
+                                Shard &shard = shards_[s];
+                                shard.completedThisInterval = 0;
+                                shard.placedThisInterval = 0;
+                                shard.unplacedThisInterval = 0;
+                                shard.batch.clear();
+                                drainDepartures(shard, now);
+                            }
+                        });
+        }
+
+        // 2. Ingest the feed's arrivals due before the next boundary
+        // into the bounded ring; overflow is shed, not queued.
+        feedBuf_.clear();
+        feed.arrivalsUntil(now + dt, feedBuf_);
+        for (const FeedJob &job : feedBuf_) {
+            ++arrivals_;
+            if (!ingress_.push(job))
+                ++shed_;
+        }
+        peakQueueDepth_ = std::max(peakQueueDepth_, ingress_.size());
+
+        // 3. Admission: pop at most the budget's worth of queued
+        // arrivals, route them over free cores; what the fleet cannot
+        // hold re-queues (queue policy) or sheds. Under the shed
+        // policy backlog never carries across intervals.
+        admitBuf_.clear();
+        const std::size_t budget =
+            config_.admissionBudget > 0
+                ? std::min(config_.admissionBudget, ingress_.size())
+                : ingress_.size();
+        for (std::size_t i = 0; i < budget; ++i) {
+            admitBuf_.push_back(ingress_.front());
+            ingress_.pop();
+        }
+        const std::size_t routed = routeToShards(admitBuf_);
+        admitted_ += routed;
+        for (std::size_t i = routed; i < admitBuf_.size(); ++i) {
+            if (config_.admit == AdmitPolicy::Queue &&
+                ingress_.push(admitBuf_[i]))
+                ++requeued_;
+            else
+                ++shed_;
+        }
+        if (config_.admit == AdmitPolicy::Shed)
+            shed_ += ingress_.clear();
+
+        // 4. Per-shard policy refresh + batched placement.
+        const auto place_start =
+            timing ? std::chrono::steady_clock::now()
+                   : std::chrono::steady_clock::time_point{};
+        {
+            obs::ScopedPhase timer(prof, sobs.phasePlace);
+            parallelFor(pool, 0, shards_.size(), 1,
+                        [&](std::size_t begin, std::size_t end) {
+                            for (std::size_t s = begin; s < end; ++s)
+                                placeBatch(shards_[s], now);
+                        });
+        }
+        if (timing) {
+            const double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - place_start)
+                    .count();
+            if (o)
+                o->metrics().observe(sobs.placementSeconds, seconds);
+            if (config_.recordPlacementLatency)
+                result.placementSeconds.push_back(seconds);
+        }
+
+        // 5. Per-shard thermal step, then the serial shard-order
+        // reduction.
+        {
+            obs::ScopedPhase timer(prof, sobs.phaseThermal);
+            parallelFor(pool, 0, shards_.size(), 1,
+                        [&](std::size_t begin, std::size_t end) {
+                            for (std::size_t s = begin; s < end; ++s)
+                                shards_[s].sample =
+                                    shards_[s].cluster.stepThermal(
+                                        dt, config_.overheatTemp);
+                        });
+        }
+
+        Watts cooling = 0.0;
+        Watts power = 0.0;
+        Celsius max_air = 0.0;
+        double mean_air_weighted = 0.0;
+        double melt_weighted = 0.0;
+        std::size_t in_flight = 0;
+        std::size_t hot_group = 0;
+        for (Shard &shard : shards_) {
+            const ClusterSample &sample = shard.sample;
+            const auto servers =
+                static_cast<double>(shard.cluster.numServers());
+            cooling += sample.coolingLoad;
+            power += sample.totalPower;
+            max_air = std::max(max_air, sample.maxAirTemp);
+            mean_air_weighted += sample.meanAirTemp * servers;
+            melt_weighted += sample.meanMeltFraction * servers;
+            overheated_ += sample.serversAboveThreshold;
+            in_flight += shard.cluster.busyCores();
+            placed_ += shard.placedThisInterval;
+            dropped_ += shard.unplacedThisInterval;
+            completedJobs_ += shard.completedThisInterval;
+            hot_group += shard.scheduler->hotGroupSize().value_or(0);
+        }
+        const auto total_servers =
+            static_cast<double>(config_.numServers);
+        const Celsius mean_air = mean_air_weighted / total_servers;
+        const double melt = melt_weighted / total_servers;
+        peakCoolingLoad_ = std::max(peakCoolingLoad_, cooling);
+        peakPower_ = std::max(peakPower_, power);
+        maxAirTemp_ = std::max(maxAirTemp_, max_air);
+        maxMeltFraction_ = std::max(maxMeltFraction_, melt);
+
+        // 6. Telemetry: one JSONL line per interval, a pure function
+        // of simulation state (no wall clock), so a resumed run
+        // reproduces the stream bitwise. Flushed per line: a killed
+        // process loses at most the line being written.
+        if (telemetry_out.is_open() || config_.keepTelemetry) {
+            line = "{\"type\":\"serve\",\"interval\":" +
+                   std::to_string(interval) +
+                   ",\"arrivals\":" +
+                   std::to_string(arrivals_ - prev_arrivals) +
+                   ",\"admitted\":" +
+                   std::to_string(admitted_ - prev_admitted) +
+                   ",\"shed\":" +
+                   std::to_string(shed_ - prev_shed) +
+                   ",\"requeued\":" +
+                   std::to_string(requeued_ - prev_requeued) +
+                   ",\"placed\":" +
+                   std::to_string(placed_ - prev_placed) +
+                   ",\"dropped\":" +
+                   std::to_string(dropped_ - prev_dropped) +
+                   ",\"completed\":" +
+                   std::to_string(completedJobs_ - prev_completed) +
+                   ",\"queue\":" + std::to_string(ingress_.size()) +
+                   ",\"inflight\":" + std::to_string(in_flight) +
+                   ",\"cooling_w\":" +
+                   obs::formatMetricNumber(cooling) +
+                   ",\"power_w\":" + obs::formatMetricNumber(power) +
+                   ",\"mean_air_c\":" +
+                   obs::formatMetricNumber(mean_air) +
+                   ",\"max_air_c\":" +
+                   obs::formatMetricNumber(max_air) +
+                   ",\"melt\":" + obs::formatMetricNumber(melt) +
+                   ",\"melt_by_shard\":[";
+            for (std::size_t s = 0; s < shards_.size(); ++s) {
+                if (s > 0)
+                    line += ',';
+                line += obs::formatMetricNumber(
+                    shards_[s].sample.meanMeltFraction);
+            }
+            line += "]}\n";
+            if (telemetry_out.is_open())
+                telemetry_out << line << std::flush;
+            if (config_.keepTelemetry)
+                result.telemetry += line;
+        }
+
+        if (o) {
+            obs::MetricsRegistry &m = o->metrics();
+            m.inc(sobs.intervals);
+            m.inc(sobs.arrivals, arrivals_ - prev_arrivals);
+            m.inc(sobs.admitted, admitted_ - prev_admitted);
+            m.inc(sobs.shed, shed_ - prev_shed);
+            m.inc(sobs.requeued, requeued_ - prev_requeued);
+            m.inc(sobs.placed, placed_ - prev_placed);
+            m.inc(sobs.dropped, dropped_ - prev_dropped);
+            m.inc(sobs.completed, completedJobs_ - prev_completed);
+            m.set(sobs.queueDepth,
+                  static_cast<double>(ingress_.size()));
+            m.set(sobs.inFlight, static_cast<double>(in_flight));
+            m.set(sobs.coolingLoad, cooling);
+            m.set(sobs.totalPower, power);
+            m.set(sobs.meanAirTemp, mean_air);
+            m.set(sobs.meltFraction, melt);
+
+            obs::IntervalSample telem;
+            telem.interval = interval;
+            telem.coolingLoad = cooling;
+            telem.maxAirTemp = max_air;
+            telem.meanAirTemp = mean_air;
+            telem.hotGroupSize = static_cast<double>(hot_group);
+            telem.meltFraction = melt;
+            telem.evacuatedJobs = 0;
+            telem.lostJobs = shed_ - prev_shed;
+            o->telemetry().record(telem);
+        }
+
+        prev_arrivals = arrivals_;
+        prev_admitted = admitted_;
+        prev_shed = shed_;
+        prev_requeued = requeued_;
+        prev_placed = placed_;
+        prev_dropped = dropped_;
+        prev_completed = completedJobs_;
+
+        completed = interval + 1;
+
+        // 7. Periodic checkpoint (the final one below covers the
+        // exit boundary).
+        if (config_.checkpointEvery > 0 &&
+            completed % config_.checkpointEvery == 0) {
+            obs::ScopedPhase timer(prof, sobs.phaseCheckpoint);
+            saveCheckpoint(feed, completed, config_.checkpointPath);
+        }
+
+        // 8. Natural end: a finished feed, an empty ring and nothing
+        // in flight — the serving loop has drained.
+        if (feed.exhausted() && ingress_.empty() && in_flight == 0) {
+            result.feedExhausted = true;
+            break;
+        }
+    }
+
+    // Drain to a final checkpoint: kill/restore (SIGINT, SIGTERM or
+    // an interval cap) resumes from this boundary bitwise.
+    if (config_.checkpointEvery > 0) {
+        obs::ScopedPhase timer(prof, sobs.phaseCheckpoint);
+        saveCheckpoint(feed, completed, config_.checkpointPath);
+        result.finalCheckpoint = config_.checkpointPath;
+    }
+
+    result.completedIntervals = completed;
+    result.arrivals = arrivals_;
+    result.admitted = admitted_;
+    result.shed = shed_;
+    result.requeued = requeued_;
+    result.placed = placed_;
+    result.droppedJobs = dropped_;
+    result.completedJobs = completedJobs_;
+    result.finalQueueDepth = ingress_.size();
+    result.peakQueueDepth = peakQueueDepth_;
+    std::size_t in_flight = 0;
+    for (const Shard &shard : shards_)
+        in_flight += shard.cluster.busyCores();
+    result.finalInFlight = in_flight;
+    result.peakCoolingLoad = peakCoolingLoad_;
+    result.peakPower = peakPower_;
+    result.maxAirTemp = maxAirTemp_;
+    result.maxMeltFraction = maxMeltFraction_;
+    result.overheatedServerIntervals = overheated_;
+
+    if (o) {
+        obs::MetricsRegistry &m = o->metrics();
+        m.set(sobs.peakCoolingLoad, peakCoolingLoad_);
+        m.set(sobs.peakPower, peakPower_);
+        m.set(sobs.maxAirTemp, maxAirTemp_);
+        o->endRun();
+    }
+    return result;
+}
+
+void
+ShardedDriver::saveCheckpoint(const JobFeed &feed,
+                              std::size_t completed,
+                              const std::string &path) const
+{
+    SnapshotWriter writer;
+
+    // SCON: reconstruction parameters, verified on load so a resume
+    // under a different configuration or feed is refused.
+    Serializer &conf = writer.section("SCON");
+    conf.putSize(completed);
+    conf.putSize(config_.numServers);
+    conf.putSize(config_.podSize);
+    conf.putDouble(config_.interval);
+    conf.putU64(config_.seed);
+    conf.putDouble(config_.powerScale);
+    conf.putDouble(config_.overheatTemp);
+    conf.putSize(config_.queueCapacity);
+    conf.putSize(config_.admissionBudget);
+    conf.putU8(static_cast<std::uint8_t>(config_.admit));
+    conf.putString(shards_.front().scheduler->name());
+    conf.putDouble(config_.gv);
+    conf.putDouble(config_.waxThreshold);
+    const Cluster &first = shards_.front().cluster;
+    conf.putU8(static_cast<std::uint8_t>(
+        first.server(0).thermal().pcm().integrator()));
+    conf.putString(feed.name());
+
+    feed.saveState(writer.section("FEED"));
+
+    // INGR: the ring contents plus the cumulative accounting, so
+    // totals (and the telemetry deltas derived from them) survive a
+    // resume.
+    Serializer &ingr = writer.section("INGR");
+    ingress_.saveState(ingr);
+    ingr.putU64(arrivals_);
+    ingr.putU64(admitted_);
+    ingr.putU64(shed_);
+    ingr.putU64(requeued_);
+    ingr.putU64(placed_);
+    ingr.putU64(dropped_);
+    ingr.putU64(completedJobs_);
+    ingr.putU64(nextJobId_);
+    ingr.putSize(peakQueueDepth_);
+    ingr.putDouble(peakCoolingLoad_);
+    ingr.putDouble(peakPower_);
+    ingr.putDouble(maxAirTemp_);
+    ingr.putDouble(maxMeltFraction_);
+    ingr.putU64(overheated_);
+
+    // SHRD: the full shard map — per shard, the cluster, the policy
+    // and the QUEU-style job bookkeeping (slot table verbatim,
+    // freelist, residency lists, departures in pop order).
+    Serializer &shrd = writer.section("SHRD");
+    shrd.putSize(shards_.size());
+    for (const Shard &shard : shards_) {
+        shard.cluster.saveState(shrd);
+        shard.scheduler->saveState(shrd);
+        shrd.putSize(shard.slots.size());
+        for (const SimActiveJob &job : shard.slots) {
+            shrd.putSize(job.serverId);
+            shrd.putU8(static_cast<std::uint8_t>(job.type));
+            shrd.putU32(job.pos);
+        }
+        shrd.putSize(shard.freeSlots.size());
+        for (std::uint32_t slot : shard.freeSlots)
+            shrd.putU32(slot);
+        for (const auto &per_server : shard.jobsAt) {
+            for (const auto &ids : per_server) {
+                shrd.putSize(ids.size());
+                for (std::uint32_t slot : ids)
+                    shrd.putU32(slot);
+            }
+        }
+        shrd.putSize(shard.departures.size());
+        shard.departures.visitPending(
+            [&shrd](Seconds time, std::uint32_t slot) {
+                shrd.putDouble(time);
+                shrd.putU32(slot);
+            });
+    }
+
+    writer.write(path);
+}
+
+std::size_t
+ShardedDriver::loadCheckpoint(JobFeed &feed, const std::string &path)
+{
+    const SnapshotReader reader(path);
+
+    Deserializer conf = reader.section("SCON");
+    const std::size_t completed = conf.getSize();
+    checkU64("server count", conf.getSize(), config_.numServers);
+    checkU64("pod size", conf.getSize(), config_.podSize);
+    checkDouble("interval", conf.getDouble(), config_.interval);
+    checkU64("seed", conf.getU64(), config_.seed);
+    checkDouble("power scale", conf.getDouble(), config_.powerScale);
+    checkDouble("overheat temp", conf.getDouble(),
+                config_.overheatTemp);
+    checkU64("queue capacity", conf.getSize(),
+             config_.queueCapacity);
+    checkU64("admission budget", conf.getSize(),
+             config_.admissionBudget);
+    const auto admit = static_cast<AdmitPolicy>(conf.getU8());
+    if (admit != config_.admit)
+        mismatch(std::string("admission policy: snapshot ") +
+                 admitPolicyName(admit) + ", run " +
+                 admitPolicyName(config_.admit));
+    const std::string scheduler_name = conf.getString();
+    if (scheduler_name != shards_.front().scheduler->name())
+        mismatch("scheduler: snapshot '" + scheduler_name +
+                 "', run '" + shards_.front().scheduler->name() +
+                 "'");
+    checkDouble("grouping value", conf.getDouble(), config_.gv);
+    checkDouble("wax threshold", conf.getDouble(),
+                config_.waxThreshold);
+    const auto integrator = static_cast<PcmIntegrator>(conf.getU8());
+    const Cluster &first = shards_.front().cluster;
+    const PcmIntegrator current =
+        first.server(0).thermal().pcm().integrator();
+    if (integrator != current)
+        mismatch(std::string("PCM integrator: snapshot ") +
+                 pcmIntegratorName(integrator) + ", run " +
+                 pcmIntegratorName(current));
+    const std::string feed_name = conf.getString();
+    if (feed_name != feed.name())
+        mismatch("feed: snapshot '" + feed_name + "', run '" +
+                 feed.name() + "'");
+    conf.expectEnd();
+
+    Deserializer feed_state = reader.section("FEED");
+    feed.loadState(feed_state);
+    feed_state.expectEnd();
+
+    Deserializer ingr = reader.section("INGR");
+    ingress_.loadState(ingr);
+    arrivals_ = ingr.getU64();
+    admitted_ = ingr.getU64();
+    shed_ = ingr.getU64();
+    requeued_ = ingr.getU64();
+    placed_ = ingr.getU64();
+    dropped_ = ingr.getU64();
+    completedJobs_ = ingr.getU64();
+    nextJobId_ = ingr.getU64();
+    peakQueueDepth_ = ingr.getSize();
+    peakCoolingLoad_ = ingr.getDouble();
+    peakPower_ = ingr.getDouble();
+    maxAirTemp_ = ingr.getDouble();
+    maxMeltFraction_ = ingr.getDouble();
+    overheated_ = ingr.getU64();
+    ingr.expectEnd();
+
+    Deserializer shrd = reader.section("SHRD");
+    checkU64("shard count", shrd.getSize(), shards_.size());
+    const Seconds resume_time =
+        static_cast<double>(completed) * config_.interval;
+    for (Shard &shard : shards_) {
+        shard.cluster.loadState(shrd);
+        shard.scheduler->loadState(shrd);
+        const std::size_t slot_count = shrd.getSize();
+        shard.slots.clear();
+        shard.slots.reserve(slot_count);
+        for (std::size_t i = 0; i < slot_count; ++i) {
+            SimActiveJob job;
+            job.serverId = shrd.getSize();
+            const std::uint8_t type = shrd.getU8();
+            if (type >= kNumWorkloads)
+                fatal("serve snapshot job slot has invalid workload "
+                      "type");
+            job.type = static_cast<WorkloadType>(type);
+            job.pos = shrd.getU32();
+            shard.slots.push_back(job);
+        }
+        const std::size_t free_count = shrd.getSize();
+        shard.freeSlots.clear();
+        shard.freeSlots.reserve(free_count);
+        for (std::size_t i = 0; i < free_count; ++i)
+            shard.freeSlots.push_back(shrd.getU32());
+        for (auto &per_server : shard.jobsAt) {
+            for (auto &ids : per_server) {
+                const std::size_t count = shrd.getSize();
+                ids.clear();
+                ids.reserve(count);
+                for (std::size_t i = 0; i < count; ++i)
+                    ids.push_back(shrd.getU32());
+            }
+        }
+        const std::size_t pending = shrd.getSize();
+        // Pin the rebuilt queue's drain front to the resume point,
+        // then re-schedule in saved pop order — (time, seq) sorting
+        // reproduces the original tie-breaks under fresh sequence
+        // numbers.
+        shard.departures.restoreFront(resume_time);
+        for (std::size_t i = 0; i < pending; ++i) {
+            const Seconds time = shrd.getDouble();
+            const std::uint32_t slot = shrd.getU32();
+            if (slot >= shard.slots.size())
+                fatal("serve snapshot departure references an "
+                      "invalid job slot");
+            shard.departures.schedule(time, slot);
+        }
+    }
+    shrd.expectEnd();
+
+    return completed;
+}
+
+} // namespace vmt::serve

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * The serving-mode driver (vmtserve): an open-ended interval loop
+ * over an N-server datacenter partitioned into per-pod simulation
+ * shards, fed by a streaming JobFeed through an admission-control
+ * layer.
+ *
+ * Per interval:
+ *
+ *  1. every shard drains its due departures (thread pool, one shard
+ *     per chunk — shards share no mutable state);
+ *  2. the feed's arrivals due before the next boundary enter the
+ *     bounded ingress ring (overflow is shed and accounted);
+ *  3. the admission budget's worth of queued arrivals is admitted and
+ *     routed to shards by a deterministic waterfill over free cores —
+ *     arrivals beyond the fleet's free capacity are re-queued (queue
+ *     policy) or shed (shed policy);
+ *  4. every shard refreshes its policy state and batch-places its
+ *     routed jobs through Scheduler::placeJobs (the PR-7 batched
+ *     placement hot path), again fanned out per shard;
+ *  5. every shard advances its thermal state; the per-shard samples
+ *     reduce serially in shard order.
+ *
+ * Everything the loop does is a pure function of (config, feed), so
+ * results — including the JSONL telemetry stream — are bitwise
+ * identical at any thread count and across checkpoint/resume. The
+ * periodic checkpoints (src/state/ snapshot container) carry the feed
+ * cursor, the ingress ring and the full shard map.
+ */
+
+#ifndef VMT_SERVE_SHARDED_DRIVER_H
+#define VMT_SERVE_SHARDED_DRIVER_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/observability.h"
+#include "sched/scheduler.h"
+#include "serve/ingress_queue.h"
+#include "serve/job_feed.h"
+#include "server/cluster.h"
+#include "server/server_spec.h"
+#include "sim/interval_queue.h"
+#include "sim/simulation.h"
+#include "thermal/thermal_params.h"
+#include "util/units.h"
+
+namespace vmt::serve {
+
+/** What to do with arrivals beyond the per-interval admission
+ *  budget or the fleet's free capacity. */
+enum class AdmitPolicy : std::uint8_t
+{
+    /** Keep them in the ingress ring for later intervals; shed only
+     *  when the ring itself overflows. */
+    Queue = 0,
+    /** Shed them immediately — the ring only buffers within an
+     *  interval, so backlog never carries over. */
+    Shed = 1,
+};
+
+/** Parse queue|shed. @throws FatalError on anything else. */
+AdmitPolicy admitPolicyFromString(const std::string &name);
+const char *admitPolicyName(AdmitPolicy policy);
+
+/** Everything needed to reproduce one serving run. */
+struct ServeConfig
+{
+    /** Fleet size (10k+ is the sharded mode's design point). */
+    std::size_t numServers = 1000;
+    /** Servers per simulation shard (the pod size); the last shard
+     *  takes the remainder. */
+    std::size_t podSize = 256;
+    ServerSpec spec{};
+    ServerThermalParams thermal{};
+    double powerScale = 1.77;
+    /** Scheduling / model-update interval. */
+    Seconds interval = kMinute;
+    std::uint64_t seed = 7;
+
+    /** Per-shard placement policy (core/policy_factory.h names). */
+    std::string policy = "wa";
+    double gv = 22.0;
+    double waxThreshold = 0.98;
+    Celsius overheatTemp = 45.0;
+
+    /** Ingress ring capacity (jobs); arrivals beyond it are shed. */
+    std::size_t queueCapacity = 65536;
+    /** Jobs admitted per interval; 0 = no budget (admit everything
+     *  queued). */
+    std::size_t admissionBudget = 0;
+    AdmitPolicy admit = AdmitPolicy::Queue;
+
+    /** Stop after this many completed intervals; 0 = run until the
+     *  feed is exhausted and drained (or a stop is requested). */
+    std::size_t maxIntervals = 0;
+
+    /** Snapshot every N completed intervals (0 = off); a final
+     *  snapshot is always written on exit while enabled. */
+    std::size_t checkpointEvery = 0;
+    std::string checkpointPath = "vmtserve.ckpt";
+    /** Resume from a snapshot written by an earlier run with the same
+     *  configuration and feed. */
+    std::string resumeFrom;
+
+    /** JSONL telemetry stream: one line per interval, appended and
+     *  flushed as produced (kill-safe). Empty = off. */
+    std::string telemetryOut;
+    /** Also retain the JSONL lines in ServeResult::telemetry
+     *  (bounded test runs only — this grows without limit). */
+    bool keepTelemetry = false;
+    /** Record per-interval placement-phase wall time into
+     *  ServeResult::placementSeconds (the perf_serve study). */
+    bool recordPlacementLatency = false;
+
+    /** Observability sink; null runs clock-free. `serve.*` metrics
+     *  are deterministic, `profile.serve.*` are wall-clock. */
+    obs::Observability *obs = nullptr;
+};
+
+/** Aggregates from one serving run. */
+struct ServeResult
+{
+    std::string schedulerName;
+    std::size_t shards = 0;
+    /** Total completed intervals, including a resumed prefix. */
+    std::size_t completedIntervals = 0;
+    /** Intervals restored from the resume snapshot (0 = fresh). */
+    std::size_t resumedIntervals = 0;
+
+    /** Arrivals pulled from the feed (incl. the resumed prefix). */
+    std::uint64_t arrivals = 0;
+    /** Jobs admitted and routed to a shard. */
+    std::uint64_t admitted = 0;
+    /** Jobs shed by admission control (ring overflow, shed policy,
+     *  or re-queue overflow). */
+    std::uint64_t shed = 0;
+    /** Jobs bounced off a full fleet back into the ring. */
+    std::uint64_t requeued = 0;
+    /** Jobs placed on a server. */
+    std::uint64_t placed = 0;
+    /** Admitted jobs a shard could not place (expected 0). */
+    std::uint64_t droppedJobs = 0;
+    /** Jobs that ran to completion. */
+    std::uint64_t completedJobs = 0;
+
+    std::size_t finalQueueDepth = 0;
+    std::size_t peakQueueDepth = 0;
+    /** Jobs still running at exit. */
+    std::size_t finalInFlight = 0;
+
+    Watts peakCoolingLoad = 0.0;
+    Watts peakPower = 0.0;
+    Celsius maxAirTemp = 0.0;
+    double maxMeltFraction = 0.0;
+    std::uint64_t overheatedServerIntervals = 0;
+
+    /** True when a shouldStop() request ended the run. */
+    bool stopped = false;
+    /** True when the run drained a finished feed. */
+    bool feedExhausted = false;
+    /** Final snapshot path (empty when checkpointing is off). */
+    std::string finalCheckpoint;
+
+    /** JSONL lines (ServeConfig::keepTelemetry). */
+    std::string telemetry;
+    /** Per-interval placement wall times
+     *  (ServeConfig::recordPlacementLatency). */
+    std::vector<double> placementSeconds;
+};
+
+/**
+ * The sharded serving driver. Construct once per run; run() drives
+ * the interval loop until the feed drains, the interval cap is hit,
+ * or shouldStop() returns true (the CLI's SIGINT/SIGTERM flag) — in
+ * every case draining to a final checkpoint when checkpointing is
+ * enabled.
+ */
+class ShardedDriver
+{
+  public:
+    /** @throws FatalError on a malformed configuration. */
+    explicit ShardedDriver(const ServeConfig &config);
+
+    /** Shards the fleet was partitioned into. */
+    std::size_t numShards() const { return shards_.size(); }
+
+    /**
+     * Serve the feed. @p shouldStop is polled once per interval; a
+     * true return ends the run after the current boundary's
+     * checkpoint. Call run() at most once per driver instance.
+     */
+    ServeResult run(JobFeed &feed,
+                    const std::function<bool()> &shouldStop = {});
+
+  private:
+    /** One pod's worth of servers with its own policy instance and
+     *  job bookkeeping — the unit of parallelism. */
+    struct Shard
+    {
+        Shard(std::size_t num_servers, const ServeConfig &config,
+              const PowerModel &power);
+
+        Cluster cluster;
+        std::unique_ptr<Scheduler> scheduler;
+        /** Pending departures, payload = slot index (shard-local). */
+        IntervalQueue<std::uint32_t> departures;
+        /** Slot table + freelist + per-(server, workload) residency,
+         *  exactly the batch driver's bookkeeping, per shard. */
+        std::vector<SimActiveJob> slots;
+        std::vector<std::uint32_t> freeSlots;
+        std::vector<std::array<std::vector<std::uint32_t>,
+                               kNumWorkloads>> jobsAt;
+        /** This interval's routed arrivals / placement results. */
+        std::vector<Job> batch;
+        std::vector<std::size_t> placements;
+        ClusterSample sample{};
+        std::uint64_t completedThisInterval = 0;
+        std::uint64_t placedThisInterval = 0;
+        std::uint64_t unplacedThisInterval = 0;
+    };
+
+    /** Complete a shard's jobs due at or before now. */
+    void drainDepartures(Shard &shard, Seconds now);
+    /** beginInterval + batch placement + slot bookkeeping. */
+    void placeBatch(Shard &shard, Seconds now);
+    /** Deterministic waterfill of @p admitted over shard free cores;
+     *  returns the number routed (prefix of @p admitted). */
+    std::size_t routeToShards(const std::vector<FeedJob> &admitted);
+
+    void saveCheckpoint(const JobFeed &feed, std::size_t completed,
+                        const std::string &path) const;
+    std::size_t loadCheckpoint(JobFeed &feed,
+                               const std::string &path);
+
+    ServeConfig config_;
+    PowerModel power_;
+    std::vector<Shard> shards_;
+    IngressQueue ingress_;
+
+    /** Cumulative accounting (serialized, so totals survive resume). */
+    std::uint64_t arrivals_ = 0;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t shed_ = 0;
+    std::uint64_t requeued_ = 0;
+    std::uint64_t placed_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t completedJobs_ = 0;
+    std::uint64_t nextJobId_ = 0;
+    std::size_t peakQueueDepth_ = 0;
+    Watts peakCoolingLoad_ = 0.0;
+    Watts peakPower_ = 0.0;
+    Celsius maxAirTemp_ = 0.0;
+    double maxMeltFraction_ = 0.0;
+    std::uint64_t overheated_ = 0;
+
+    /** Reused per-interval buffers. */
+    std::vector<FeedJob> feedBuf_;
+    std::vector<FeedJob> admitBuf_;
+    bool ran_ = false;
+};
+
+} // namespace vmt::serve
+
+#endif // VMT_SERVE_SHARDED_DRIVER_H

@@ -1,0 +1,134 @@
+#include "util/json_splice.h"
+
+#include <cstddef>
+
+namespace vmt {
+
+namespace {
+
+bool
+isJsonWs(char c)
+{
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/** Advance past the string whose opening quote is at @p i. Returns
+ *  one past the closing quote, or npos on an unterminated string. */
+std::size_t
+skipString(const std::string &doc, std::size_t i)
+{
+    for (++i; i < doc.size(); ++i) {
+        if (doc[i] == '\\') {
+            ++i; // The escaped character, whatever it is.
+            continue;
+        }
+        if (doc[i] == '"')
+            return i + 1;
+    }
+    return std::string::npos;
+}
+
+/** Advance past one complete JSON value starting at @p i (string,
+ *  balanced object/array, or a primitive running to the next
+ *  top-level ',' / '}'). Returns one past its end, npos on damage. */
+std::size_t
+skipValue(const std::string &doc, std::size_t i)
+{
+    if (i >= doc.size())
+        return std::string::npos;
+    if (doc[i] == '"')
+        return skipString(doc, i);
+    if (doc[i] == '{' || doc[i] == '[') {
+        int depth = 0;
+        for (; i < doc.size(); ++i) {
+            const char c = doc[i];
+            if (c == '"') {
+                i = skipString(doc, i);
+                if (i == std::string::npos)
+                    return std::string::npos;
+                --i; // The loop increment re-advances.
+            } else if (c == '{' || c == '[') {
+                ++depth;
+            } else if (c == '}' || c == ']') {
+                if (--depth == 0)
+                    return i + 1;
+            }
+        }
+        return std::string::npos;
+    }
+    // Primitive (number / true / false / null): up to the delimiter.
+    while (i < doc.size() && doc[i] != ',' && doc[i] != '}' &&
+           doc[i] != ']' && !isJsonWs(doc[i]))
+        ++i;
+    return i;
+}
+
+std::string
+freshObject(const std::string &key, const std::string &value_json)
+{
+    return "{\n  \"" + key + "\": " + value_json + "\n}\n";
+}
+
+} // namespace
+
+std::string
+spliceTopLevelJson(const std::string &doc, const std::string &key,
+                   const std::string &value_json)
+{
+    std::size_t i = 0;
+    while (i < doc.size() && isJsonWs(doc[i]))
+        ++i;
+    if (i >= doc.size() || doc[i] != '{')
+        return freshObject(key, value_json);
+
+    // Walk the top-level members, remembering where the last one ends
+    // (the insertion point) and whether our key already exists.
+    std::size_t last_value_end = std::string::npos;
+    ++i;
+    while (true) {
+        while (i < doc.size() && isJsonWs(doc[i]))
+            ++i;
+        if (i >= doc.size())
+            return freshObject(key, value_json);
+        if (doc[i] == '}')
+            break;
+        if (doc[i] == ',') {
+            ++i;
+            continue;
+        }
+        if (doc[i] != '"')
+            return freshObject(key, value_json);
+        const std::size_t key_start = i;
+        const std::size_t key_end = skipString(doc, i);
+        if (key_end == std::string::npos)
+            return freshObject(key, value_json);
+        const std::string this_key =
+            doc.substr(key_start + 1, key_end - key_start - 2);
+        i = key_end;
+        while (i < doc.size() && isJsonWs(doc[i]))
+            ++i;
+        if (i >= doc.size() || doc[i] != ':')
+            return freshObject(key, value_json);
+        ++i;
+        while (i < doc.size() && isJsonWs(doc[i]))
+            ++i;
+        const std::size_t value_start = i;
+        const std::size_t value_end = skipValue(doc, i);
+        if (value_end == std::string::npos)
+            return freshObject(key, value_json);
+        if (this_key == key)
+            return doc.substr(0, value_start) + value_json +
+                   doc.substr(value_end);
+        last_value_end = value_end;
+        i = value_end;
+    }
+
+    // Key absent: insert before the closing brace.
+    if (last_value_end == std::string::npos) // Empty object.
+        return doc.substr(0, i) + "\n  \"" + key +
+               "\": " + value_json + "\n" + doc.substr(i);
+    return doc.substr(0, last_value_end) + ",\n  \"" + key +
+           "\": " + value_json + doc.substr(last_value_end);
+}
+
+} // namespace vmt

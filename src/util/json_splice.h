@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Key-level splicing for the flat JSON result documents the perf
+ * tools share (BENCH_sim.json): several independent executables each
+ * own a few top-level keys of one file, and each must update *its*
+ * keys without clobbering — or duplicating — the others'. A real JSON
+ * library is out of scope; this is a string-aware top-level scanner,
+ * which is exactly enough for documents this code itself writes.
+ */
+
+#ifndef VMT_UTIL_JSON_SPLICE_H
+#define VMT_UTIL_JSON_SPLICE_H
+
+#include <string>
+
+namespace vmt {
+
+/**
+ * Return @p doc with the top-level object key @p key set to
+ * @p value_json (a complete JSON value, spliced in verbatim).
+ *
+ * An existing `"key": <value>` entry is replaced in place — never
+ * appended as a duplicate; a missing key is inserted before the
+ * closing brace. When @p doc has no parseable top-level object
+ * (empty, whitespace, or damaged), a fresh standalone object holding
+ * only @p key is returned.
+ */
+std::string spliceTopLevelJson(const std::string &doc,
+                               const std::string &key,
+                               const std::string &value_json);
+
+} // namespace vmt
+
+#endif // VMT_UTIL_JSON_SPLICE_H

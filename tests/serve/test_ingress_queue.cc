@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the bounded ingress ring between a JobFeed and the
+ * serving driver's admission step: FIFO order across wraparound,
+ * capacity-bounded rejection, the shed-policy clear(), and the
+ * snapshot round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "serve/ingress_queue.h"
+#include "state/serializer.h"
+#include "util/logging.h"
+
+namespace vmt::serve {
+namespace {
+
+FeedJob
+job(double time)
+{
+    return FeedJob{time, WorkloadType::WebSearch, 60.0};
+}
+
+TEST(IngressQueue, RejectsZeroCapacity)
+{
+    EXPECT_THROW(IngressQueue(0), FatalError);
+}
+
+TEST(IngressQueue, FifoAcrossWraparound)
+{
+    IngressQueue q(4);
+    // Fill, drain two, refill: the ring head wraps.
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(q.push(job(i)));
+    EXPECT_FALSE(q.push(job(99))); // Full: shed, not queued.
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_DOUBLE_EQ(q.front().time, 0.0);
+    q.pop();
+    q.pop();
+    ASSERT_TRUE(q.push(job(4)));
+    ASSERT_TRUE(q.push(job(5)));
+    EXPECT_FALSE(q.push(job(99)));
+    for (int expected = 2; expected <= 5; ++expected) {
+        ASSERT_FALSE(q.empty());
+        EXPECT_DOUBLE_EQ(q.front().time, expected);
+        q.pop();
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(IngressQueue, ClearReportsDropCount)
+{
+    IngressQueue q(8);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(q.push(job(i)));
+    EXPECT_EQ(q.clear(), 5u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.clear(), 0u);
+    // Reusable after a clear.
+    ASSERT_TRUE(q.push(job(7)));
+    EXPECT_DOUBLE_EQ(q.front().time, 7.0);
+}
+
+TEST(IngressQueue, SnapshotRoundTripsWrappedOrder)
+{
+    IngressQueue q(4);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(q.push(job(i)));
+    q.pop();
+    q.pop();
+    ASSERT_TRUE(q.push(job(4))); // Physically wrapped.
+
+    Serializer out;
+    q.saveState(out);
+    Deserializer in(out.bytes());
+    IngressQueue restored(4);
+    restored.loadState(in);
+    in.expectEnd();
+
+    ASSERT_EQ(restored.size(), q.size());
+    while (!q.empty()) {
+        EXPECT_DOUBLE_EQ(restored.front().time, q.front().time);
+        EXPECT_EQ(restored.front().type, q.front().type);
+        EXPECT_DOUBLE_EQ(restored.front().duration,
+                         q.front().duration);
+        restored.pop();
+        q.pop();
+    }
+    EXPECT_TRUE(restored.empty());
+}
+
+TEST(IngressQueue, LoadRejectsCapacityMismatch)
+{
+    IngressQueue q(4);
+    ASSERT_TRUE(q.push(job(0)));
+    Serializer out;
+    q.saveState(out);
+
+    IngressQueue other(8);
+    Deserializer in(out.bytes());
+    EXPECT_THROW(other.loadState(in), FatalError);
+}
+
+} // namespace
+} // namespace vmt::serve

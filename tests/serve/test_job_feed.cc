@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Tests for the serving mode's streaming job feeds: the synthetic
+ * Poisson/diurnal generator (seeded determinism, segmentation
+ * independence, rate-curve correctness, checkpoint/resume bitwise
+ * stream equality) and the line-oriented feed (grammar fatals,
+ * deterministic expansion, replay-cursor resume).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/job_feed.h"
+#include "state/serializer.h"
+#include "util/logging.h"
+#include "workload/job_generator.h"
+
+namespace vmt::serve {
+namespace {
+
+bool
+sameJob(const FeedJob &a, const FeedJob &b)
+{
+    return a.time == b.time && a.type == b.type &&
+           a.duration == b.duration;
+}
+
+SyntheticFeedParams
+flatParams()
+{
+    // trough = 1 flattens the diurnal curve: a homogeneous Poisson
+    // stream at exactly baseRate, the easiest to reason about.
+    SyntheticFeedParams params;
+    params.users = 3600.0;
+    params.requestsPerUserHour = 1.0; // base = 1 job/second.
+    params.diurnalTrough = 1.0;
+    params.seed = 11;
+    return params;
+}
+
+TEST(SyntheticFeed, StreamIsIndependentOfPullSegmentation)
+{
+    SyntheticFeed one_pull(flatParams());
+    SyntheticFeed minute_pulls(flatParams());
+
+    const Seconds horizon = 1800.0;
+    std::vector<FeedJob> bulk;
+    one_pull.arrivalsUntil(horizon, bulk);
+
+    std::vector<FeedJob> chunked;
+    for (Seconds end = 60.0; end <= horizon; end += 60.0)
+        minute_pulls.arrivalsUntil(end, chunked);
+
+    ASSERT_EQ(bulk.size(), chunked.size());
+    for (std::size_t i = 0; i < bulk.size(); ++i)
+        EXPECT_TRUE(sameJob(bulk[i], chunked[i])) << "arrival " << i;
+    EXPECT_EQ(one_pull.emitted(), minute_pulls.emitted());
+}
+
+TEST(SyntheticFeed, SameSeedSameStreamDifferentSeedDiffers)
+{
+    SyntheticFeed a(flatParams());
+    SyntheticFeed b(flatParams());
+    SyntheticFeedParams other = flatParams();
+    other.seed = 12;
+    SyntheticFeed c(other);
+
+    std::vector<FeedJob> ja, jb, jc;
+    a.arrivalsUntil(600.0, ja);
+    b.arrivalsUntil(600.0, jb);
+    c.arrivalsUntil(600.0, jc);
+
+    ASSERT_EQ(ja.size(), jb.size());
+    for (std::size_t i = 0; i < ja.size(); ++i)
+        EXPECT_TRUE(sameJob(ja[i], jb[i]));
+    bool identical = ja.size() == jc.size();
+    for (std::size_t i = 0; identical && i < ja.size(); ++i)
+        identical = sameJob(ja[i], jc[i]);
+    EXPECT_FALSE(identical);
+}
+
+TEST(SyntheticFeed, EmpiricalRateMatchesTheCurve)
+{
+    // Flat curve at 1 job/s: an hour should produce ~3600 arrivals
+    // (Poisson sd ~ 60, the 10% band is > 5 sigma).
+    SyntheticFeed feed(flatParams());
+    std::vector<FeedJob> jobs;
+    feed.arrivalsUntil(3600.0, jobs);
+    EXPECT_NEAR(static_cast<double>(jobs.size()), 3600.0, 360.0);
+    for (std::size_t i = 1; i < jobs.size(); ++i)
+        ASSERT_GE(jobs[i].time, jobs[i - 1].time);
+}
+
+TEST(SyntheticFeed, RampScalesTheFirstHours)
+{
+    SyntheticFeedParams params = flatParams();
+    params.rampHours = 1.0;
+    SyntheticFeed feed(params);
+
+    // The rate curve itself: linear in t during the ramp, flat after.
+    EXPECT_NEAR(feed.ratePerSecond(1800.0), 0.5, 1e-12);
+    EXPECT_NEAR(feed.ratePerSecond(3600.0), 1.0, 1e-12);
+    EXPECT_NEAR(feed.ratePerSecond(7200.0), 1.0, 1e-12);
+
+    // Empirically: the ramp hour integrates to half the full hour.
+    std::vector<FeedJob> ramp_hour, full_hour;
+    feed.arrivalsUntil(3600.0, ramp_hour);
+    feed.arrivalsUntil(7200.0, full_hour);
+    EXPECT_NEAR(static_cast<double>(ramp_hour.size()), 1800.0,
+                270.0);
+    EXPECT_NEAR(static_cast<double>(full_hour.size()), 3600.0,
+                360.0);
+}
+
+TEST(SyntheticFeed, DiurnalAndBurstShapeTheRate)
+{
+    SyntheticFeedParams params;
+    params.users = 3600.0;
+    params.requestsPerUserHour = 1.0;
+    params.diurnalTrough = 0.25;
+    params.burstPeriodHours = 1.0;
+    params.burstFactor = 3.0;
+    params.burstMinutes = 6.0;
+    SyntheticFeed feed(params);
+
+    // Hour 12 is the diurnal peak, hour 0 the trough; the first six
+    // minutes of every hour triple whatever the curve says.
+    const double at_peak = feed.ratePerSecond(12.0 * 3600.0 + 1800.0);
+    const double at_trough = feed.ratePerSecond(1800.0);
+    EXPECT_GT(at_peak, 3.5 * at_trough);
+    // Burst phase vs just after it, same hour: factor 3 (the diurnal
+    // curve is nearly flat at the peak).
+    const double burst = feed.ratePerSecond(12.0 * 3600.0 + 120.0);
+    const double calm = feed.ratePerSecond(12.0 * 3600.0 + 600.0);
+    EXPECT_NEAR(burst / calm, 3.0, 0.05);
+    // The envelope covers the burst peak.
+    EXPECT_GE(feed.peakRatePerSecond(), burst);
+}
+
+TEST(SyntheticFeed, CheckpointResumeContinuesBitwise)
+{
+    SyntheticFeedParams params = flatParams();
+    params.burstPeriodHours = 0.5;
+    params.burstFactor = 2.0;
+    params.burstMinutes = 3.0;
+
+    SyntheticFeed reference(params);
+    std::vector<FeedJob> all;
+    reference.arrivalsUntil(1200.0, all);
+    reference.arrivalsUntil(2400.0, all);
+
+    SyntheticFeed first(params);
+    std::vector<FeedJob> prefix;
+    first.arrivalsUntil(1200.0, prefix);
+    Serializer out;
+    first.saveState(out);
+
+    SyntheticFeed resumed(params);
+    Deserializer in(out.bytes());
+    resumed.loadState(in);
+    in.expectEnd();
+    std::vector<FeedJob> suffix;
+    resumed.arrivalsUntil(2400.0, suffix);
+
+    ASSERT_EQ(prefix.size() + suffix.size(), all.size());
+    for (std::size_t i = 0; i < suffix.size(); ++i)
+        EXPECT_TRUE(sameJob(suffix[i], all[prefix.size() + i]))
+            << "resumed arrival " << i;
+    EXPECT_EQ(resumed.emitted(), reference.emitted());
+}
+
+TEST(SyntheticFeed, LoadRejectsDifferentParams)
+{
+    SyntheticFeed saved(flatParams());
+    Serializer out;
+    saved.saveState(out);
+
+    SyntheticFeedParams other = flatParams();
+    other.diurnalTrough = 0.5;
+    SyntheticFeed target(other);
+    Deserializer in(out.bytes());
+    EXPECT_THROW(target.loadState(in), FatalError);
+}
+
+TEST(SyntheticFeed, RejectsMalformedParams)
+{
+    SyntheticFeedParams params = flatParams();
+    params.users = 0.0;
+    EXPECT_THROW(SyntheticFeed{params}, FatalError);
+    params = flatParams();
+    params.diurnalTrough = 1.5;
+    EXPECT_THROW(SyntheticFeed{params}, FatalError);
+    params = flatParams();
+    params.burstPeriodHours = 0.1;
+    params.burstMinutes = 30.0; // Longer than the period.
+    EXPECT_THROW(SyntheticFeed{params}, FatalError);
+}
+
+// --- LineFeed ---------------------------------------------------
+
+std::vector<FeedJob>
+parseAll(const std::string &text, std::size_t cores, Seconds end)
+{
+    std::istringstream in(text);
+    LineFeed feed(in, "<test>", cores);
+    std::vector<FeedJob> jobs;
+    feed.arrivalsUntil(end, jobs);
+    return jobs;
+}
+
+/** Expect a parse fatal whose message carries origin:line + needle. */
+void
+expectBadLine(const std::string &text, const std::string &needle,
+              const std::string &where)
+{
+    std::istringstream in(text);
+    LineFeed feed(in, "<test>", 64);
+    std::vector<FeedJob> jobs;
+    try {
+        feed.arrivalsUntil(1e9, jobs);
+        FAIL() << "expected FatalError for: " << text;
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find(needle),
+                  std::string::npos)
+            << err.what();
+        EXPECT_NE(std::string(err.what()).find(where),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(LineFeed, ExpandsUtilizationAcrossTheCatalog)
+{
+    // 0.5 of 64 cores = 32 one-core jobs, split by catalog shares
+    // with largest-remainder rounding; same time and duration on all.
+    const std::vector<FeedJob> jobs =
+        parseAll("arrive 120 0.5 1800\n", 64, 1e9);
+    ASSERT_EQ(jobs.size(), 32u);
+    std::array<std::size_t, kNumWorkloads> counts{};
+    for (const FeedJob &job : jobs) {
+        EXPECT_DOUBLE_EQ(job.time, 120.0);
+        EXPECT_DOUBLE_EQ(job.duration, 1800.0);
+        ++counts[workloadIndex(job.type)];
+    }
+    const WorkloadShares shares = catalogShares();
+    for (std::size_t w = 0; w < kNumWorkloads; ++w)
+        EXPECT_NEAR(static_cast<double>(counts[w]),
+                    shares[w] * 32.0, 1.0)
+            << "workload " << w;
+}
+
+TEST(LineFeed, SkipsCommentsAndBlankLines)
+{
+    const std::string text = "# header\n"
+                             "\n"
+                             "arrive 0 0.1 60  # trailing comment\n"
+                             "   \t\n"
+                             "arrive 60 0.1 60\n";
+    const std::vector<FeedJob> jobs = parseAll(text, 10, 1e9);
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_DOUBLE_EQ(jobs[0].time, 0.0);
+    EXPECT_DOUBLE_EQ(jobs[1].time, 60.0);
+}
+
+TEST(LineFeed, RespectsTheHorizonAndExhaustion)
+{
+    std::istringstream in("arrive 0 0.1 60\narrive 600 0.1 60\n");
+    LineFeed feed(in, "<test>", 10);
+    std::vector<FeedJob> jobs;
+    feed.arrivalsUntil(300.0, jobs);
+    EXPECT_EQ(jobs.size(), 1u);
+    EXPECT_FALSE(feed.exhausted()); // Second event still pending.
+    feed.arrivalsUntil(1200.0, jobs);
+    EXPECT_EQ(jobs.size(), 2u);
+    feed.arrivalsUntil(2400.0, jobs);
+    EXPECT_TRUE(feed.exhausted());
+}
+
+TEST(LineFeed, GrammarFatalsNameOriginAndLine)
+{
+    expectBadLine("arrive 0 0.1 60\ndepart 60 0.1 60\n",
+                  "unknown event", "<test>:2");
+    expectBadLine("arrive -1 0.1 60\n", "non-negative time",
+                  "<test>:1");
+    expectBadLine("arrive 0 1.5 60\n", "utilization fraction",
+                  "<test>:1");
+    expectBadLine("arrive 0 0 60\n", "utilization fraction",
+                  "<test>:1");
+    expectBadLine("arrive 0 0.1 nan\n", "duration", "<test>:1");
+    expectBadLine("arrive 0 0.1 60 extra\n", "trailing token",
+                  "<test>:1");
+    expectBadLine("arrive 120 0.1 60\narrive 60 0.1 60\n",
+                  "non-decreasing", "<test>:2");
+}
+
+TEST(LineFeed, CheckpointSkipReplayResumesExactly)
+{
+    const std::string text = "arrive 0 0.25 600\n"
+                             "arrive 60 0.5 600\n"
+                             "arrive 180 0.25 600\n"
+                             "arrive 300 0.125 600\n";
+
+    std::istringstream ref_in(text);
+    LineFeed reference(ref_in, "<test>", 16);
+    std::vector<FeedJob> all;
+    reference.arrivalsUntil(1e9, all);
+
+    std::istringstream first_in(text);
+    LineFeed first(first_in, "<test>", 16);
+    std::vector<FeedJob> prefix;
+    first.arrivalsUntil(120.0, prefix); // Consumes events 1 + 2.
+    Serializer out;
+    first.saveState(out);
+
+    // Resume re-reads the same text from the top and skips the two
+    // consumed events.
+    std::istringstream resume_in(text);
+    LineFeed resumed(resume_in, "<test>", 16);
+    Deserializer in(out.bytes());
+    resumed.loadState(in);
+    in.expectEnd();
+    std::vector<FeedJob> suffix;
+    resumed.arrivalsUntil(1e9, suffix);
+
+    ASSERT_EQ(prefix.size() + suffix.size(), all.size());
+    for (std::size_t i = 0; i < suffix.size(); ++i)
+        EXPECT_TRUE(sameJob(suffix[i], all[prefix.size() + i]))
+            << "resumed arrival " << i;
+    EXPECT_TRUE(resumed.exhausted());
+}
+
+TEST(LineFeed, LoadRejectsCoreCountMismatch)
+{
+    std::istringstream save_in("arrive 0 0.5 60\n");
+    LineFeed saved(save_in, "<test>", 16);
+    std::vector<FeedJob> jobs;
+    saved.arrivalsUntil(30.0, jobs);
+    Serializer out;
+    saved.saveState(out);
+
+    std::istringstream load_in("arrive 0 0.5 60\n");
+    LineFeed target(load_in, "<test>", 32);
+    Deserializer in(out.bytes());
+    EXPECT_THROW(target.loadState(in), FatalError);
+}
+
+} // namespace
+} // namespace vmt::serve

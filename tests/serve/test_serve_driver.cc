@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Integration tests for the sharded serving driver: job-count
+ * conservation through admission control, bitwise determinism across
+ * thread counts, checkpoint/resume equivalence of the telemetry
+ * stream, the queue-vs-shed admission policies, natural drain of a
+ * finite feed, and the cooperative stop hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/job_feed.h"
+#include "serve/sharded_driver.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace vmt::serve {
+namespace {
+
+/** Small fleet / short horizon so every test runs in well under a
+ *  second; heavy enough traffic that admission control engages. */
+ServeConfig
+smallConfig()
+{
+    ServeConfig config;
+    config.numServers = 24;
+    config.podSize = 7; // 3 full shards + a remainder shard of 3.
+    config.policy = "wa";
+    config.maxIntervals = 20;
+    config.keepTelemetry = true;
+    return config;
+}
+
+SyntheticFeedParams
+busyFeed()
+{
+    // ~4 jobs/second against a 24-server fleet: enough pressure that
+    // the ring, the waterfill and the requeue path all engage.
+    SyntheticFeedParams params;
+    params.users = 14400.0;
+    params.requestsPerUserHour = 1.0;
+    params.diurnalTrough = 1.0; // Flat — short runs see full load.
+    params.seed = 21;
+    return params;
+}
+
+ServeResult
+runSmall(const ServeConfig &config, const SyntheticFeedParams &params)
+{
+    SyntheticFeed feed(params);
+    ShardedDriver driver(config);
+    return driver.run(feed);
+}
+
+TEST(ServeDriver, ShardPartitionCoversTheFleet)
+{
+    ShardedDriver driver(smallConfig());
+    EXPECT_EQ(driver.numShards(), 4u);
+
+    ServeConfig exact = smallConfig();
+    exact.podSize = 8;
+    EXPECT_EQ(ShardedDriver(exact).numShards(), 3u);
+
+    ServeConfig one = smallConfig();
+    one.podSize = 64; // Pod larger than the fleet: one shard.
+    EXPECT_EQ(ShardedDriver(one).numShards(), 1u);
+}
+
+TEST(ServeDriver, RejectsMalformedConfig)
+{
+    ServeConfig config = smallConfig();
+    config.numServers = 0;
+    EXPECT_THROW(ShardedDriver{config}, FatalError);
+    config = smallConfig();
+    config.podSize = 0;
+    EXPECT_THROW(ShardedDriver{config}, FatalError);
+    config = smallConfig();
+    config.queueCapacity = 0;
+    EXPECT_THROW(ShardedDriver{config}, FatalError);
+    config = smallConfig();
+    config.policy = "definitely-not-a-policy";
+    EXPECT_THROW(ShardedDriver{config}, FatalError);
+}
+
+TEST(ServeDriver, AdmitPolicyNamesRoundTrip)
+{
+    EXPECT_EQ(admitPolicyFromString("queue"), AdmitPolicy::Queue);
+    EXPECT_EQ(admitPolicyFromString("shed"), AdmitPolicy::Shed);
+    EXPECT_STREQ(admitPolicyName(AdmitPolicy::Queue), "queue");
+    EXPECT_STREQ(admitPolicyName(AdmitPolicy::Shed), "shed");
+    EXPECT_THROW(admitPolicyFromString("drop"), FatalError);
+}
+
+TEST(ServeDriver, ConservesEveryJobThroughAdmission)
+{
+    const ServeResult result = runSmall(smallConfig(), busyFeed());
+
+    EXPECT_EQ(result.completedIntervals, 20u);
+    EXPECT_GT(result.arrivals, 0u);
+    // Every arrival is admitted, shed, or still queued...
+    EXPECT_EQ(result.arrivals,
+              result.admitted + result.shed + result.finalQueueDepth);
+    // ...every admitted job was placed or (never, in practice)
+    // dropped by its shard...
+    EXPECT_EQ(result.admitted, result.placed + result.droppedJobs);
+    EXPECT_EQ(result.droppedJobs, 0u);
+    // ...and every placed job has either finished or is in flight.
+    EXPECT_EQ(result.placed,
+              result.completedJobs + result.finalInFlight);
+    EXPECT_LE(result.finalQueueDepth, result.peakQueueDepth);
+    EXPECT_GT(result.peakPower, 0.0);
+    EXPECT_GT(result.peakCoolingLoad, 0.0);
+}
+
+TEST(ServeDriver, AdmissionBudgetCapsPlacementsPerInterval)
+{
+    ServeConfig config = smallConfig();
+    config.admissionBudget = 5;
+    const ServeResult result = runSmall(config, busyFeed());
+    // 20 intervals x budget 5: at most 100 admissions.
+    EXPECT_LE(result.admitted, 100u);
+    EXPECT_EQ(result.arrivals,
+              result.admitted + result.shed + result.finalQueueDepth);
+    // The busy feed outruns the budget, so the ring holds a backlog.
+    EXPECT_GT(result.finalQueueDepth, 0u);
+}
+
+TEST(ServeDriver, ShedPolicyNeverCarriesBacklog)
+{
+    ServeConfig config = smallConfig();
+    config.admit = AdmitPolicy::Shed;
+    config.admissionBudget = 5;
+    const ServeResult result = runSmall(config, busyFeed());
+    // The ring is emptied at every boundary: no final backlog, and
+    // the overflow shows up as shed jobs instead.
+    EXPECT_EQ(result.finalQueueDepth, 0u);
+    EXPECT_EQ(result.requeued, 0u);
+    EXPECT_GT(result.shed, 0u);
+    EXPECT_EQ(result.arrivals, result.admitted + result.shed);
+}
+
+TEST(ServeDriver, TinyRingShedsOverflowUnderQueuePolicy)
+{
+    ServeConfig config = smallConfig();
+    config.queueCapacity = 8;
+    const ServeResult result = runSmall(config, busyFeed());
+    EXPECT_GT(result.shed, 0u);
+    EXPECT_LE(result.finalQueueDepth, 8u);
+    EXPECT_LE(result.peakQueueDepth, 8u);
+    EXPECT_EQ(result.arrivals,
+              result.admitted + result.shed + result.finalQueueDepth);
+}
+
+TEST(ServeDriver, TelemetryIsBitwiseIdenticalAcrossThreadCounts)
+{
+    setGlobalThreadCount(1);
+    const ServeResult serial = runSmall(smallConfig(), busyFeed());
+    setGlobalThreadCount(4);
+    const ServeResult parallel = runSmall(smallConfig(), busyFeed());
+    setGlobalThreadCount(0);
+
+    ASSERT_FALSE(serial.telemetry.empty());
+    EXPECT_EQ(serial.telemetry, parallel.telemetry);
+    EXPECT_EQ(serial.arrivals, parallel.arrivals);
+    EXPECT_EQ(serial.admitted, parallel.admitted);
+    EXPECT_EQ(serial.completedJobs, parallel.completedJobs);
+    EXPECT_DOUBLE_EQ(serial.peakCoolingLoad, parallel.peakCoolingLoad);
+    EXPECT_DOUBLE_EQ(serial.maxAirTemp, parallel.maxAirTemp);
+}
+
+TEST(ServeDriver, ResumeProducesBitwiseIdenticalTelemetry)
+{
+    const std::string ckpt =
+        testing::TempDir() + "vmt_serve_resume.ckpt";
+
+    // Reference: 20 intervals straight through.
+    ServeConfig reference = smallConfig();
+    const ServeResult full = runSmall(reference, busyFeed());
+
+    // First leg: stop at 12 intervals, checkpointing.
+    ServeConfig first = smallConfig();
+    first.maxIntervals = 12;
+    first.checkpointEvery = 4;
+    first.checkpointPath = ckpt;
+    {
+        SyntheticFeed feed(busyFeed());
+        ShardedDriver driver(first);
+        const ServeResult leg = driver.run(feed);
+        EXPECT_EQ(leg.completedIntervals, 12u);
+        EXPECT_EQ(leg.finalCheckpoint, ckpt);
+    }
+
+    // Second leg: resume to 20.
+    ServeConfig second = smallConfig();
+    second.maxIntervals = 20;
+    second.checkpointEvery = 4;
+    second.checkpointPath = ckpt;
+    second.resumeFrom = ckpt;
+    SyntheticFeed feed(busyFeed());
+    ShardedDriver driver(second);
+    const ServeResult resumed = driver.run(feed);
+    std::remove(ckpt.c_str());
+
+    EXPECT_EQ(resumed.resumedIntervals, 12u);
+    EXPECT_EQ(resumed.completedIntervals, 20u);
+
+    // The resumed leg's telemetry must equal the reference tail.
+    const std::size_t tail_start = [&] {
+        std::size_t seen = 0, pos = 0;
+        while (seen < 12 && pos < full.telemetry.size()) {
+            pos = full.telemetry.find('\n', pos) + 1;
+            ++seen;
+        }
+        return pos;
+    }();
+    ASSERT_FALSE(resumed.telemetry.empty());
+    EXPECT_EQ(resumed.telemetry, full.telemetry.substr(tail_start));
+
+    // Cumulative totals match the straight-through run exactly.
+    EXPECT_EQ(resumed.arrivals, full.arrivals);
+    EXPECT_EQ(resumed.admitted, full.admitted);
+    EXPECT_EQ(resumed.shed, full.shed);
+    EXPECT_EQ(resumed.placed, full.placed);
+    EXPECT_EQ(resumed.completedJobs, full.completedJobs);
+    EXPECT_EQ(resumed.finalQueueDepth, full.finalQueueDepth);
+    EXPECT_EQ(resumed.finalInFlight, full.finalInFlight);
+    EXPECT_DOUBLE_EQ(resumed.peakCoolingLoad, full.peakCoolingLoad);
+    EXPECT_DOUBLE_EQ(resumed.maxMeltFraction, full.maxMeltFraction);
+}
+
+TEST(ServeDriver, ResumeRefusesAMismatchedConfig)
+{
+    const std::string ckpt =
+        testing::TempDir() + "vmt_serve_mismatch.ckpt";
+    ServeConfig first = smallConfig();
+    first.maxIntervals = 4;
+    first.checkpointEvery = 2;
+    first.checkpointPath = ckpt;
+    {
+        SyntheticFeed feed(busyFeed());
+        ShardedDriver driver(first);
+        driver.run(feed);
+    }
+
+    ServeConfig wrong = smallConfig();
+    wrong.podSize = 12; // Different shard map.
+    wrong.resumeFrom = ckpt;
+    SyntheticFeed feed(busyFeed());
+    ShardedDriver driver(wrong);
+    EXPECT_THROW(driver.run(feed), FatalError);
+    std::remove(ckpt.c_str());
+}
+
+TEST(ServeDriver, DrainsAFiniteLineFeedToCompletion)
+{
+    // 24 servers x spec cores; three bursts then silence. With no
+    // maxIntervals the run ends only when everything has departed.
+    ServeConfig config = smallConfig();
+    config.maxIntervals = 0;
+    const std::size_t cores =
+        config.numServers * config.spec.cores();
+    std::istringstream input("arrive 0 0.25 90\n"
+                             "arrive 60 0.5 120\n"
+                             "arrive 120 0.25 60\n");
+    LineFeed line(input, "<test>", cores);
+    ShardedDriver driver(config);
+    const ServeResult result = driver.run(line);
+
+    EXPECT_TRUE(result.feedExhausted);
+    EXPECT_FALSE(result.stopped);
+    EXPECT_EQ(result.finalInFlight, 0u);
+    EXPECT_EQ(result.finalQueueDepth, 0u);
+    EXPECT_EQ(result.arrivals, result.admitted + result.shed);
+    EXPECT_EQ(result.placed, result.completedJobs);
+    EXPECT_GT(result.completedJobs, 0u);
+    // The last departures land at t = 180s; the loop notices the
+    // drained fleet at that boundary and stops (4 intervals).
+    EXPECT_EQ(result.completedIntervals, 4u);
+}
+
+TEST(ServeDriver, StopRequestEndsTheRunEarly)
+{
+    ServeConfig config = smallConfig();
+    config.maxIntervals = 0; // Only the stop hook ends this run.
+    SyntheticFeed feed(busyFeed());
+    ShardedDriver driver(config);
+    std::size_t polls = 0;
+    const ServeResult result =
+        driver.run(feed, [&polls] { return ++polls >= 6; });
+    EXPECT_TRUE(result.stopped);
+    EXPECT_FALSE(result.feedExhausted);
+    EXPECT_LE(result.completedIntervals, 6u);
+}
+
+TEST(ServeDriver, RunIsSingleUse)
+{
+    ServeConfig config = smallConfig();
+    config.maxIntervals = 2;
+    SyntheticFeed feed(busyFeed());
+    ShardedDriver driver(config);
+    driver.run(feed);
+    EXPECT_THROW(driver.run(feed), FatalError);
+}
+
+TEST(ServeDriver, TelemetryLinesAreWellFormedAndMonotone)
+{
+    const ServeResult result = runSmall(smallConfig(), busyFeed());
+    std::istringstream lines(result.telemetry);
+    std::string line;
+    std::size_t count = 0;
+    long prev_interval = -1;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        const std::size_t key = line.find("\"interval\":");
+        ASSERT_NE(key, std::string::npos) << line;
+        const long interval =
+            std::stol(line.substr(key + 11));
+        EXPECT_EQ(interval, prev_interval + 1);
+        prev_interval = interval;
+        EXPECT_NE(line.find("\"cooling_w\":"), std::string::npos);
+        EXPECT_NE(line.find("\"melt_by_shard\":"),
+                  std::string::npos);
+        ++count;
+    }
+    EXPECT_EQ(count, result.completedIntervals);
+}
+
+} // namespace
+} // namespace vmt::serve

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the top-level JSON key splicer behind the shared
+ * BENCH_sim.json document. The contract: replacing a key never
+ * duplicates it, never touches any other key, and repeated splices
+ * are idempotent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json_splice.h"
+
+namespace vmt {
+namespace {
+
+TEST(JsonSplice, EmptyDocBecomesStandaloneObject)
+{
+    EXPECT_EQ(spliceTopLevelJson("", "rows", "[1, 2]"),
+              "{\n  \"rows\": [1, 2]\n}\n");
+    EXPECT_EQ(spliceTopLevelJson("  \n\t", "x", "1"),
+              "{\n  \"x\": 1\n}\n");
+}
+
+TEST(JsonSplice, DamagedDocIsRebuiltFresh)
+{
+    EXPECT_EQ(spliceTopLevelJson("not json at all", "x", "1"),
+              "{\n  \"x\": 1\n}\n");
+    EXPECT_EQ(spliceTopLevelJson("{\"unterminated\": \"stri", "x",
+                                 "1"),
+              "{\n  \"x\": 1\n}\n");
+}
+
+TEST(JsonSplice, InsertIntoEmptyObject)
+{
+    EXPECT_EQ(spliceTopLevelJson("{}", "x", "1"),
+              "{\n  \"x\": 1\n}");
+    EXPECT_EQ(spliceTopLevelJson("{\n}\n", "x", "1"),
+              "{\n\n  \"x\": 1\n}\n");
+}
+
+TEST(JsonSplice, AppendsMissingKeyAfterLastMember)
+{
+    const std::string doc = "{\n  \"a\": 1\n}\n";
+    EXPECT_EQ(spliceTopLevelJson(doc, "b", "2"),
+              "{\n  \"a\": 1,\n  \"b\": 2\n}\n");
+}
+
+TEST(JsonSplice, ReplacesExistingKeyInPlace)
+{
+    const std::string doc =
+        "{\n  \"a\": [1, 2],\n  \"b\": {\"x\": 3},\n  \"c\": 4\n}\n";
+    // Middle key, nested object value.
+    EXPECT_EQ(spliceTopLevelJson(doc, "b", "{\"y\": 9}"),
+              "{\n  \"a\": [1, 2],\n  \"b\": {\"y\": 9},\n  \"c\": "
+              "4\n}\n");
+    // First and last keys survive their neighbors' replacement.
+    EXPECT_EQ(spliceTopLevelJson(doc, "a", "[]"),
+              "{\n  \"a\": [],\n  \"b\": {\"x\": 3},\n  \"c\": 4\n}\n");
+    EXPECT_EQ(spliceTopLevelJson(doc, "c", "\"s\""),
+              "{\n  \"a\": [1, 2],\n  \"b\": {\"x\": 3},\n  \"c\": "
+              "\"s\"\n}\n");
+}
+
+TEST(JsonSplice, NeverDuplicatesAKey)
+{
+    // The BENCH_sim.json regression: repeated runs used to append a
+    // second copy of their rows instead of replacing the first.
+    std::string doc;
+    for (int run = 0; run < 3; ++run)
+        doc = spliceTopLevelJson(doc, "kernel_micro",
+                                 "[" + std::to_string(run) + "]");
+    EXPECT_EQ(doc, "{\n  \"kernel_micro\": [2]\n}\n");
+}
+
+TEST(JsonSplice, RepeatedSpliceIsIdempotent)
+{
+    std::string doc = "{\n  \"a\": 1\n}\n";
+    doc = spliceTopLevelJson(doc, "b", "[1, 2]");
+    const std::string once = doc;
+    doc = spliceTopLevelJson(doc, "b", "[1, 2]");
+    EXPECT_EQ(doc, once);
+}
+
+TEST(JsonSplice, IgnoresKeyLikeTextInsideStringsAndNesting)
+{
+    // "b" appears as a nested key and inside a string value; only the
+    // top-level "b" may be replaced.
+    const std::string doc =
+        "{\n  \"a\": {\"b\": 1},\n  \"s\": \"not a \\\"b\\\": "
+        "here\",\n  \"b\": 2\n}\n";
+    EXPECT_EQ(spliceTopLevelJson(doc, "b", "7"),
+              "{\n  \"a\": {\"b\": 1},\n  \"s\": \"not a \\\"b\\\": "
+              "here\",\n  \"b\": 7\n}\n");
+}
+
+TEST(JsonSplice, MultiToolCompositionPreservesEveryKey)
+{
+    // The real usage pattern: four tools each own keys of one file
+    // and run in arbitrary order, twice.
+    std::string doc;
+    doc = spliceTopLevelJson(doc, "runs", "[\"sim\"]");
+    doc = spliceTopLevelJson(doc, "kernel_micro", "[\"k1\"]");
+    doc = spliceTopLevelJson(doc, "placement_micro", "[\"p1\"]");
+    doc = spliceTopLevelJson(doc, "serve", "[\"s1\"]");
+    doc = spliceTopLevelJson(doc, "kernel_micro", "[\"k2\"]");
+    doc = spliceTopLevelJson(doc, "runs", "[\"sim2\"]");
+    EXPECT_NE(doc.find("\"runs\": [\"sim2\"]"), std::string::npos);
+    EXPECT_NE(doc.find("\"kernel_micro\": [\"k2\"]"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"placement_micro\": [\"p1\"]"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"serve\": [\"s1\"]"), std::string::npos);
+    EXPECT_EQ(doc.find("k1"), std::string::npos);
+    EXPECT_EQ(doc.find("\"sim\"]"), std::string::npos);
+}
+
+} // namespace
+} // namespace vmt

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * vmtserve — long-lived serving front-end to the sharded VMT driver.
+ *
+ * Runs an open-ended interval loop against a streaming job feed: a
+ * deterministic synthetic million-user Poisson/diurnal generator, or
+ * a line-oriented text feed (`arrive <t> <util> <duration>`) from a
+ * file or stdin. Arrivals pass through admission control (bounded
+ * ingress ring, optional per-interval budget, queue-or-shed policy)
+ * before a deterministic waterfill routes them to per-pod simulation
+ * shards placed via the batched scheduler hot path.
+ *
+ * Flags:
+ *   --servers N            fleet size                  (default 1000)
+ *   --pod-size N           servers per shard           (default 256)
+ *   --policy P             rr | cf | ta | wa | preserve | adaptive
+ *                          (default wa)
+ *   --gv G                 grouping value              (default 22)
+ *   --threshold T          wax threshold               (default 0.98)
+ *   --seed X               run seed                    (default 7)
+ *   --threads N            worker threads; 0 = auto    (default 0)
+ *   --pcm-integrator I     closed | substep (env VMT_PCM_INTEGRATOR)
+ *   --thermal-kernel K     soa | scalar (env VMT_THERMAL_KERNEL)
+ *   --thermal-parallel-threshold N
+ *                          stepThermal fan-out threshold
+ *   --placement-engine E   batched | scalar (env VMT_PLACEMENT_ENGINE)
+ *
+ *   --feed F               synthetic | - (stdin) | FILE (default
+ *                          synthetic)
+ *   --users N              synthetic: modelled users  (default 1e6)
+ *   --req-rate R           synthetic: requests per user-hour
+ *                          (default 0.75)
+ *   --diurnal-trough F     synthetic: trough fraction of peak
+ *                          (default 0.35)
+ *   --ramp-hours H         synthetic: warm-up ramp     (default 0)
+ *   --burst-period-hours H synthetic: burst spike period (0 = off)
+ *   --burst-factor F       synthetic: burst rate multiplier
+ *                          (default 3)
+ *   --burst-minutes M      synthetic: burst length     (default 5)
+ *
+ *   --minutes N            stop after N intervals; 0 = serve until
+ *                          the feed drains or a signal arrives
+ *                          (default 0)
+ *   --queue-capacity N     ingress ring capacity       (default 65536)
+ *   --admission-budget N   jobs admitted per interval; 0 = unlimited
+ *   --admit P              queue | shed                (default queue)
+ *   --overheat-temp C      overheat accounting threshold (default 45)
+ *
+ *   --checkpoint-every N   snapshot every N intervals (0 = off); a
+ *                          final snapshot is always written on exit
+ *                          while enabled
+ *   --checkpoint-path F    snapshot file (default vmtserve.ckpt)
+ *   --resume-from F        resume a killed run mid-stream (bitwise)
+ *   --telemetry-out F      per-interval JSONL stream, appended and
+ *                          flushed line by line
+ *   --metrics-out PATH     end-of-run metrics dump (Prometheus text +
+ *                          CSV; env VMT_METRICS_OUT)
+ *   --trace-events PATH    JSONL trace-event stream (env
+ *                          VMT_TRACE_EVENTS)
+ *
+ * SIGINT/SIGTERM request a drain: the loop finishes the current
+ * interval, writes a final checkpoint (when enabled) and exits 0, so
+ * `kill` + `--resume-from` continues the stream bitwise.
+ *
+ * Examples:
+ *   vmtserve --servers 10000 --minutes 120 --telemetry-out t.jsonl
+ *   vmtserve --feed plan.feed --checkpoint-every 30
+ *   printf 'arrive 0 0.4 1800\n' | vmtserve --feed - --minutes 60
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "obs/observability.h"
+#include "serve/job_feed.h"
+#include "serve/sharded_driver.h"
+#include "sched/placement_engine.h"
+#include "thermal/pcm.h"
+#include "thermal/thermal_kernel.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+using namespace vmt;
+using namespace vmt::serve;
+
+namespace {
+
+/** Set by the signal handler; polled once per interval. */
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void
+handleStopSignal(int)
+{
+    g_stop_requested = 1;
+}
+
+obs::ObsOptions
+obsOptionsFromFlags(const Flags &flags)
+{
+    obs::ObsOptions options = obs::obsOptionsFromEnv();
+    if (flags.has("metrics-out"))
+        options.metricsOut = flags.getString("metrics-out");
+    if (flags.has("trace-events"))
+        options.traceEvents = flags.getString("trace-events");
+    return options;
+}
+
+ServeConfig
+configFromFlags(const Flags &flags)
+{
+    ServeConfig config;
+    const long long servers = flags.getInt("servers", 1000);
+    if (servers <= 0)
+        fatal("vmtserve: --servers must be positive");
+    config.numServers = static_cast<std::size_t>(servers);
+    const long long pod = flags.getInt("pod-size", 256);
+    if (pod <= 0)
+        fatal("vmtserve: --pod-size must be positive");
+    config.podSize = static_cast<std::size_t>(pod);
+    config.seed =
+        static_cast<std::uint64_t>(flags.getInt("seed", 7));
+    config.policy = flags.getString("policy", "wa");
+    config.gv = flags.getDouble("gv", 22.0);
+    config.waxThreshold = flags.getDouble("threshold", 0.98);
+    config.overheatTemp = flags.getDouble("overheat-temp", 45.0);
+
+    const long long capacity = flags.getInt("queue-capacity", 65536);
+    if (capacity <= 0)
+        fatal("vmtserve: --queue-capacity must be positive");
+    config.queueCapacity = static_cast<std::size_t>(capacity);
+    const long long budget = flags.getInt("admission-budget", 0);
+    if (budget < 0)
+        fatal("vmtserve: --admission-budget must be >= 0 "
+              "(0 = unlimited)");
+    config.admissionBudget = static_cast<std::size_t>(budget);
+    config.admit =
+        admitPolicyFromString(flags.getString("admit", "queue"));
+
+    const long long minutes = flags.getInt("minutes", 0);
+    if (minutes < 0)
+        fatal("vmtserve: --minutes must be >= 0 (0 = open-ended)");
+    config.maxIntervals = static_cast<std::size_t>(minutes);
+
+    const long long every = flags.getInt("checkpoint-every", 0);
+    if (every < 0)
+        fatal("vmtserve: --checkpoint-every must be >= 0 (0 = off)");
+    config.checkpointEvery = static_cast<std::size_t>(every);
+    config.checkpointPath =
+        flags.getString("checkpoint-path", "vmtserve.ckpt");
+    config.resumeFrom = flags.getString("resume-from", "");
+    config.telemetryOut = flags.getString("telemetry-out", "");
+    if (obsOptionsFromFlags(flags).enabled())
+        config.obs = &obs::globalObservability();
+    return config;
+}
+
+std::unique_ptr<JobFeed>
+feedFromFlags(const Flags &flags, const ServeConfig &config)
+{
+    const std::string feed = flags.getString("feed", "synthetic");
+    if (feed == "synthetic") {
+        SyntheticFeedParams params;
+        params.users = flags.getDouble("users", 1e6);
+        params.requestsPerUserHour =
+            flags.getDouble("req-rate", 0.75);
+        params.diurnalTrough =
+            flags.getDouble("diurnal-trough", 0.35);
+        params.rampHours = flags.getDouble("ramp-hours", 0.0);
+        params.burstPeriodHours =
+            flags.getDouble("burst-period-hours", 0.0);
+        params.burstFactor = flags.getDouble("burst-factor", 3.0);
+        params.burstMinutes = flags.getDouble("burst-minutes", 5.0);
+        params.seed = config.seed;
+        return std::make_unique<SyntheticFeed>(params);
+    }
+    const std::size_t total_cores =
+        config.numServers * config.spec.cores();
+    if (feed == "-")
+        return std::make_unique<LineFeed>(std::cin, "<stdin>",
+                                          total_cores);
+    return std::make_unique<LineFeed>(feed, total_cores);
+}
+
+void
+printSummary(const ServeResult &r)
+{
+    std::printf("policy            %s\n", r.schedulerName.c_str());
+    std::printf("shards            %zu\n", r.shards);
+    std::printf("intervals         %zu (resumed from %zu)\n",
+                r.completedIntervals, r.resumedIntervals);
+    std::printf("arrivals          %llu\n",
+                static_cast<unsigned long long>(r.arrivals));
+    std::printf("admitted          %llu (shed %llu, requeued %llu)\n",
+                static_cast<unsigned long long>(r.admitted),
+                static_cast<unsigned long long>(r.shed),
+                static_cast<unsigned long long>(r.requeued));
+    std::printf("jobs placed       %llu (dropped %llu)\n",
+                static_cast<unsigned long long>(r.placed),
+                static_cast<unsigned long long>(r.droppedJobs));
+    std::printf("jobs completed    %llu\n",
+                static_cast<unsigned long long>(r.completedJobs));
+    std::printf("queue depth       %zu final, %zu peak\n",
+                r.finalQueueDepth, r.peakQueueDepth);
+    std::printf("in flight         %zu\n", r.finalInFlight);
+    std::printf("peak cooling load %.1f kW\n",
+                r.peakCoolingLoad / 1e3);
+    std::printf("peak power        %.1f kW\n", r.peakPower / 1e3);
+    std::printf("max air temp      %.1f C\n", r.maxAirTemp);
+    std::printf("max mean melt     %.1f %%\n",
+                r.maxMeltFraction * 100.0);
+    if (r.stopped)
+        std::printf("stopped by signal; state drained\n");
+    if (r.feedExhausted)
+        std::printf("feed exhausted and drained\n");
+    if (!r.finalCheckpoint.empty())
+        std::printf("checkpoint        %s\n",
+                    r.finalCheckpoint.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Flags flags(argc, argv);
+    try {
+        const long long threads = flags.getInt("threads", 0);
+        if (threads < 0)
+            fatal("vmtserve: --threads must be >= 0 (0 = auto)");
+        setGlobalThreadCount(static_cast<std::size_t>(threads));
+        if (flags.has("pcm-integrator"))
+            setGlobalPcmIntegrator(pcmIntegratorFromString(
+                flags.getString("pcm-integrator")));
+        if (flags.has("thermal-kernel"))
+            setGlobalThermalKernel(thermalKernelFromString(
+                flags.getString("thermal-kernel")));
+        if (flags.has("placement-engine"))
+            setGlobalPlacementEngine(placementEngineFromString(
+                flags.getString("placement-engine")));
+        if (flags.has("thermal-parallel-threshold")) {
+            const long long threshold =
+                flags.getInt("thermal-parallel-threshold", 0);
+            if (threshold < 0)
+                fatal("vmtserve: --thermal-parallel-threshold must "
+                      "be >= 0");
+            setThermalParallelThreshold(
+                static_cast<std::size_t>(threshold));
+        }
+
+        const ServeConfig config = configFromFlags(flags);
+        std::unique_ptr<JobFeed> feed = feedFromFlags(flags, config);
+
+        const auto unread = flags.unreadFlags();
+        if (!unread.empty()) {
+            std::fprintf(stderr, "vmtserve: unknown flag(s):");
+            for (const std::string &name : unread)
+                std::fprintf(stderr, " --%s", name.c_str());
+            std::fprintf(stderr, "\n");
+            return 2;
+        }
+
+        std::signal(SIGINT, handleStopSignal);
+        std::signal(SIGTERM, handleStopSignal);
+
+        ShardedDriver driver(config);
+        const ServeResult result = driver.run(
+            *feed, [] { return g_stop_requested != 0; });
+        printSummary(result);
+
+        const obs::ObsOptions obs_opts = obsOptionsFromFlags(flags);
+        if (!obs_opts.metricsOut.empty()) {
+            obs::globalObservability().writeMetrics(
+                obs_opts.metricsOut);
+            std::printf("metrics written   %s (+ .csv)\n",
+                        obs_opts.metricsOut.c_str());
+        }
+        if (!obs_opts.traceEvents.empty()) {
+            obs::globalObservability().writeTraceEvents(
+                obs_opts.traceEvents);
+            std::printf("events written    %s\n",
+                        obs_opts.traceEvents.c_str());
+        }
+        return 0;
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "vmtserve: %s\n", err.what());
+        return 1;
+    }
+}

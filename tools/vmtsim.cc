@@ -80,13 +80,9 @@
 #include <iostream>
 #include <memory>
 
-#include "core/adaptive_vmt.h"
+#include "core/policy_factory.h"
 #include "core/gv_tuner.h"
 #include "obs/observability.h"
-#include "core/vmt_preserve.h"
-#include "core/vmt_ta.h"
-#include "core/vmt_wa.h"
-#include "sched/coolest_first.h"
 #include "sched/placement_engine.h"
 #include "sched/round_robin.h"
 #include "sim/result_io.h"
@@ -160,32 +156,6 @@ configFromFlags(const Flags &flags)
     return config;
 }
 
-std::unique_ptr<Scheduler>
-makePolicy(const std::string &policy, double gv, double threshold)
-{
-    VmtConfig vmt;
-    vmt.groupingValue = gv;
-    vmt.waxThreshold = threshold;
-    if (policy == "rr")
-        return std::make_unique<RoundRobinScheduler>();
-    if (policy == "cf")
-        return std::make_unique<CoolestFirstScheduler>();
-    if (policy == "ta")
-        return std::make_unique<VmtTaScheduler>(vmt,
-                                                hotMaskFromPaper());
-    if (policy == "wa")
-        return std::make_unique<VmtWaScheduler>(vmt,
-                                                hotMaskFromPaper());
-    if (policy == "preserve")
-        return std::make_unique<VmtPreserveScheduler>(
-            vmt, hotMaskFromPaper());
-    if (policy == "adaptive")
-        return std::make_unique<AdaptiveVmtScheduler>(
-            vmt, hotMaskFromPaper());
-    fatal("vmtsim: unknown policy '" + policy +
-          "' (rr|cf|ta|wa|preserve|adaptive)");
-}
-
 void
 printSummary(const SimResult &r)
 {
@@ -239,7 +209,7 @@ cmdRun(const Flags &flags)
         ckpt.resumeFrom = flags.getString("resume-from");
     attachCheckpointing(config, ckpt);
 
-    auto sched = makePolicy(flags.getString("policy", "wa"),
+    auto sched = makeScheduler(flags.getString("policy", "wa"),
                             flags.getDouble("gv", 22.0),
                             flags.getDouble("threshold", 0.98));
     const SimResult result = runSimulation(config, *sched);
@@ -276,7 +246,7 @@ cmdCompare(const Flags &flags)
                   Table::cell(base.peakCoolingLoad / 1e3, 1), "0.0",
                   Table::cell(base.maxMeltFraction * 100.0, 1)});
     for (const char *policy : {"cf", "ta", "wa", "preserve"}) {
-        auto sched = makePolicy(policy, gv, threshold);
+        auto sched = makeScheduler(policy, gv, threshold);
         const SimResult r = runSimulation(config, *sched);
         table.addRow({r.schedulerName,
                       Table::cell(r.peakCoolingLoad / 1e3, 1),
@@ -305,7 +275,7 @@ cmdSweep(const Flags &flags)
     table.setHeader({"GV", "Peak (kW)", "Reduction (%)"});
     for (double gv = from; gv <= to + 1e-9; gv += step) {
         auto sched =
-            makePolicy(policy, gv, flags.getDouble("threshold", 0.98));
+            makeScheduler(policy, gv, flags.getDouble("threshold", 0.98));
         const SimResult r = runSimulation(config, *sched);
         table.addRow({Table::cell(gv, 2),
                       Table::cell(r.peakCoolingLoad / 1e3, 1),
