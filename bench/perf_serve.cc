@@ -7,9 +7,16 @@
  * per-interval placement latency. These are the `serve` rows in
  * BENCH_sim.json.
  *
+ * A second study prices the fault layer (the `serve_fault` rows):
+ * an enabled-but-empty fault plan against the clean baseline (the
+ * degraded-mode bookkeeping overhead, expected <= ~3%), and a
+ * half-fleet outage with scripted recovery (sustained arrivals/sec
+ * while the cross-shard evacuation and re-admission paths are hot).
+ *
  * Flags:  --quick   small fleets / short runs (CI smoke)
  * Environment: VMT_PERF_JSON  BENCH_sim.json path to splice the
- *              `serve` key into (default ./BENCH_sim.json).
+ *              `serve` and `serve_fault` keys into (default
+ *              ./BENCH_sim.json).
  */
 
 #include <algorithm>
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "common.h"
+#include "fault/fault_plan.h"
 #include "serve/job_feed.h"
 #include "serve/sharded_driver.h"
 #include "util/flags.h"
@@ -52,6 +60,57 @@ percentileUs(std::vector<double> sorted, double q)
     const auto rank = static_cast<std::size_t>(
         q * static_cast<double>(sorted.size() - 1) + 0.5);
     return 1e6 * sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/** One `serve_fault` study row. */
+struct FaultRow
+{
+    std::size_t servers;
+    std::string mode; // "empty_plan" | "half_fleet_outage"
+    double arrivalsPerSec;
+    /** Slowdown vs. the clean baseline of the same config (%). */
+    double overheadPct;
+    std::uint64_t evacuated;
+    std::uint64_t migrated;
+    std::uint64_t lost;
+};
+
+void
+spliceFaultJson(const std::string &path,
+                const std::vector<FaultRow> &rows)
+{
+    std::string doc;
+    {
+        std::ifstream in(path);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        doc = buffer.str();
+    }
+    std::ostringstream value;
+    value << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const FaultRow &r = rows[i];
+        value << "    {\"servers\": " << r.servers
+              << ", \"mode\": \"" << r.mode << "\""
+              << ", \"arrivals_per_sec\": " << r.arrivalsPerSec
+              << ", \"overhead_pct\": " << r.overheadPct
+              << ", \"evacuated\": " << r.evacuated
+              << ", \"migrated\": " << r.migrated
+              << ", \"lost\": " << r.lost << "}"
+              << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    value << "  ]";
+    doc = spliceTopLevelJson(doc, "serve_fault", value.str());
+
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "[serve_fault] cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    out << doc;
+    std::printf("[serve_fault] spliced %zu rows into %s\n",
+                rows.size(), path.c_str());
 }
 
 void
@@ -157,5 +216,119 @@ main(int argc, char **argv)
     }
 
     spliceJson(json_path, rows);
+
+    // ------------------------------------------------------------
+    // The fault-layer study: what does degraded mode cost when
+    // nothing fails, and what rate survives a half-fleet outage?
+    const std::size_t fault_servers = quick ? 500 : 10000;
+    const std::size_t fault_intervals = intervals;
+    ServeConfig fault_config;
+    fault_config.numServers = fault_servers;
+    fault_config.podSize = 256;
+    fault_config.maxIntervals = fault_intervals;
+    SyntheticFeedParams fault_params;
+    fault_params.users = static_cast<double>(fault_servers) * 400.0;
+    fault_params.requestsPerUserHour = 0.75;
+    fault_params.burstPeriodHours = 0.25;
+    fault_params.burstFactor = 3.0;
+    fault_params.burstMinutes = 3.0;
+    fault_params.seed = fault_config.seed;
+
+    auto timedRun = [&](const ServeConfig &config, double *wall) {
+        SyntheticFeed feed(fault_params);
+        ShardedDriver driver(config);
+        const auto start = std::chrono::steady_clock::now();
+        const ServeResult result = driver.run(feed);
+        *wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+        return result;
+    };
+
+    double clean_wall = 0.0;
+    const ServeResult clean = timedRun(fault_config, &clean_wall);
+    const double clean_rate =
+        static_cast<double>(clean.arrivals) / clean_wall;
+
+    std::vector<FaultRow> fault_rows;
+
+    // Empty plan: the full degraded interval path (fault engines,
+    // schedulable-free capacity scans, evacuation orchestration)
+    // with zero events — pure bookkeeping overhead.
+    {
+        ServeConfig config = fault_config;
+        config.faults.enable = true;
+        double wall = 0.0;
+        const ServeResult result = timedRun(config, &wall);
+        FaultRow row;
+        row.servers = fault_servers;
+        row.mode = "empty_plan";
+        row.arrivalsPerSec =
+            static_cast<double>(result.arrivals) / wall;
+        row.overheadPct =
+            100.0 * (1.0 - row.arrivalsPerSec / clean_rate);
+        row.evacuated = result.evacuatedJobs;
+        row.migrated = result.migratedJobs;
+        row.lost = result.lostJobs;
+        fault_rows.push_back(row);
+        std::printf("[serve_fault] servers=%-6zu empty_plan "
+                    "%10.0f arrivals/s  overhead %+5.1f%%%s\n",
+                    fault_servers, row.arrivalsPerSec,
+                    row.overheadPct,
+                    row.overheadPct > 3.0
+                        ? "  (above the 3%% budget)"
+                        : "");
+    }
+
+    // Half-fleet outage a third of the way in, scripted recovery at
+    // two thirds: the evacuation, waterfill re-routing and
+    // re-admission paths all run hot while the rate is measured.
+    {
+        ServeConfig config = fault_config;
+        const Seconds down_at = static_cast<double>(
+                                    fault_intervals / 3) *
+                                config.interval;
+        const Seconds up_at = static_cast<double>(
+                                  2 * fault_intervals / 3) *
+                              config.interval;
+        std::vector<FaultEvent> events;
+        for (std::size_t id = 0; id < fault_servers / 2; ++id) {
+            FaultEvent event;
+            event.time = down_at;
+            event.type = FaultEventType::ServerDown;
+            event.serverId = id;
+            events.push_back(event);
+        }
+        for (std::size_t id = 0; id < fault_servers / 2; ++id) {
+            FaultEvent event;
+            event.time = up_at;
+            event.type = FaultEventType::ServerUp;
+            event.serverId = id;
+            events.push_back(event);
+        }
+        config.faults.plan = FaultPlan(std::move(events));
+        double wall = 0.0;
+        const ServeResult result = timedRun(config, &wall);
+        FaultRow row;
+        row.servers = fault_servers;
+        row.mode = "half_fleet_outage";
+        row.arrivalsPerSec =
+            static_cast<double>(result.arrivals) / wall;
+        row.overheadPct =
+            100.0 * (1.0 - row.arrivalsPerSec / clean_rate);
+        row.evacuated = result.evacuatedJobs;
+        row.migrated = result.migratedJobs;
+        row.lost = result.lostJobs;
+        fault_rows.push_back(row);
+        std::printf("[serve_fault] servers=%-6zu half_fleet_outage "
+                    "%10.0f arrivals/s  evacuated %llu "
+                    "(migrated %llu, lost %llu)\n",
+                    fault_servers, row.arrivalsPerSec,
+                    static_cast<unsigned long long>(row.evacuated),
+                    static_cast<unsigned long long>(row.migrated),
+                    static_cast<unsigned long long>(row.lost));
+    }
+
+    spliceFaultJson(json_path, fault_rows);
     return 0;
 }

@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# Serving-mode soak smoke: drive vmtserve through 60 sim-minutes of
-# bursty synthetic traffic, SIGINT it mid-run, resume from the drained
-# checkpoint, and assert that the stitched telemetry stream is exactly
-# the stream an uninterrupted run produces — contiguous intervals,
-# no gaps, no duplicates, bitwise identical lines.
+# Serving-mode soak smoke, two phases:
+#
+#  1. clean soak — drive vmtserve through 60 sim-minutes of bursty
+#     synthetic traffic, SIGINT it mid-run, resume from the drained
+#     checkpoint, and assert that the stitched telemetry stream is
+#     exactly the stream an uninterrupted run produces — contiguous
+#     intervals, no gaps, no duplicates, bitwise identical lines;
+#
+#  2. chaos soak — same fleet under an active fault plan (a 40-server
+#     outage wave plus a cooling derate), SIGKILL the serving process
+#     mid-run (no drain, no final checkpoint), corrupt the newest
+#     retained snapshot, and restart: recovery must fall back to the
+#     .prev generation and the post-recovery stream must still stitch
+#     bitwise against an uninterrupted faulted reference.
 #
 # Usage: scripts/serve_soak.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -96,3 +105,145 @@ if ! cmp -s "$WORK/stitched.jsonl" "$WORK/reference.jsonl"; then
 fi
 
 echo "serve_soak: OK (60 intervals, kill/resume bitwise continuous)"
+
+# ----------------------------------------------------------------
+# Phase 2: chaos soak. An outage wave takes out 40 of the 100
+# servers at t=15min (their jobs evacuate cross-shard), a cooling
+# derate lands at t=20min, and repairs trickle back from t=35min.
+cat >"$WORK/chaos.plan" <<'PLAN'
+# hours  event          arg
+0.25     server-down    0
+0.25     server-down    1
+0.25     server-down    2
+0.25     server-down    3
+0.25     server-down    4
+0.25     server-down    5
+0.25     server-down    6
+0.25     server-down    7
+0.25     server-down    8
+0.25     server-down    9
+0.25     server-down    10
+0.25     server-down    11
+0.25     server-down    12
+0.25     server-down    13
+0.25     server-down    14
+0.25     server-down    15
+0.25     server-down    16
+0.25     server-down    17
+0.25     server-down    18
+0.25     server-down    19
+0.25     server-down    20
+0.25     server-down    21
+0.25     server-down    22
+0.25     server-down    23
+0.25     server-down    24
+0.25     server-down    25
+0.25     server-down    26
+0.25     server-down    27
+0.25     server-down    28
+0.25     server-down    29
+0.25     server-down    30
+0.25     server-down    31
+0.25     server-down    32
+0.25     server-down    33
+0.25     server-down    34
+0.25     server-down    35
+0.25     server-down    36
+0.25     server-down    37
+0.25     server-down    38
+0.25     server-down    39
+0.3333   cooling-derate 3
+0.5      cooling-restore
+0.5833   server-up      0
+0.5833   server-up      1
+0.5833   server-up      2
+0.5833   server-up      3
+PLAN
+CHAOS=("${COMMON[@]}" --fault-plan "$WORK/chaos.plan"
+       --critical-temp 60 --max-queue-age 600)
+
+echo "serve_soak: chaos reference run (60 faulted sim-minutes)"
+"$VMTSERVE" "${CHAOS[@]}" --minutes 60 \
+    --telemetry-out "$WORK/chaos_ref.jsonl" >"$WORK/chaos_ref.out"
+grep -q '"evacuated":[1-9]' "$WORK/chaos_ref.jsonl" || {
+    echo "serve_soak: chaos reference shows no evacuations — the" \
+        "plan never engaged" >&2
+    exit 1
+}
+
+echo "serve_soak: chaos leg 1 (SIGKILL mid-run, no drain)"
+"$VMTSERVE" "${CHAOS[@]}" --minutes 0 \
+    --checkpoint-every 5 --checkpoint-path "$WORK/chaos.ckpt" \
+    --telemetry-out "$WORK/chaos1.jsonl" >/dev/null &
+PID=$!
+# Let it get past the outage (interval 15) and at least two
+# checkpoint generations (so .prev exists), then hard-kill it.
+for _ in $(seq 1 300); do
+    [[ -f "$WORK/chaos.ckpt.prev" && -f "$WORK/chaos1.jsonl" ]] &&
+        (($(wc -l <"$WORK/chaos1.jsonl") >= 22)) && break
+    kill -0 "$PID" 2>/dev/null || {
+        echo "serve_soak: chaos leg 1 exited before the kill" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+kill -KILL "$PID"
+wait "$PID" 2>/dev/null && {
+    echo "serve_soak: chaos leg 1 survived SIGKILL?" >&2
+    exit 1
+}
+# The kill can land inside the save's rotation window, leaving only
+# the .prev generation — that is exactly the crash recovery must
+# absorb, so only the retained generation is required here.
+[[ -f "$WORK/chaos.ckpt.prev" ]] || {
+    echo "serve_soak: chaos leg 1 left no retained generation" >&2
+    exit 1
+}
+
+# Simulate the crash also eating the newest snapshot: recovery must
+# fall back to the .prev generation instead of dying.
+printf 'VMTSNAP\ntruncated' >"$WORK/chaos.ckpt"
+
+echo "serve_soak: chaos leg 2 (recovery restart to 60 sim-minutes)"
+"$VMTSERVE" "${CHAOS[@]}" --minutes 60 \
+    --checkpoint-every 5 --checkpoint-path "$WORK/chaos.ckpt" \
+    --resume-from "$WORK/chaos.ckpt" \
+    --telemetry-out "$WORK/chaos2.jsonl" >"$WORK/chaos2.out"
+
+# The resumed stream starts where the recovered snapshot left off;
+# everything leg 1 emitted after that snapshot is the replayed
+# suffix, so trim leg 1 at the resume point before stitching.
+RESUME=$(sed -n '1s/.*"interval":\([0-9]*\).*/\1/p' \
+    "$WORK/chaos2.jsonl")
+[[ -n "$RESUME" ]] || {
+    echo "serve_soak: chaos leg 2 produced no telemetry" >&2
+    exit 1
+}
+echo "serve_soak: recovered at interval $RESUME (from .prev)"
+head -n "$RESUME" "$WORK/chaos1.jsonl" >"$WORK/chaos_stitch.jsonl"
+cat "$WORK/chaos2.jsonl" >>"$WORK/chaos_stitch.jsonl"
+TOTAL=$(wc -l <"$WORK/chaos_stitch.jsonl")
+((TOTAL == 60)) || {
+    echo "serve_soak: chaos stitched stream has $TOTAL lines," \
+        "want 60" >&2
+    exit 1
+}
+if ! cmp -s "$WORK/chaos_stitch.jsonl" "$WORK/chaos_ref.jsonl"; then
+    echo "serve_soak: post-recovery telemetry differs from the" \
+        "uninterrupted faulted reference" >&2
+    diff "$WORK/chaos_ref.jsonl" "$WORK/chaos_stitch.jsonl" |
+        head >&2
+    exit 1
+fi
+
+# Zero accounting leaks end to end: the faulted run's summary must
+# balance its own books (the driver's conservation identities are
+# asserted in-process; here we just require the evacuation actually
+# moved jobs and the run finished all 60 intervals).
+grep -q 'evacuated' "$WORK/chaos2.out" || {
+    echo "serve_soak: chaos summary reports no evacuations" >&2
+    exit 1
+}
+
+echo "serve_soak: OK (chaos: SIGKILL + corrupt snapshot recovered," \
+    "stream bitwise continuous)"

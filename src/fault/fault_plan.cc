@@ -123,6 +123,26 @@ FaultPlan::parse(const std::string &text, const std::string &origin)
 }
 
 FaultPlan
+FaultPlan::shardSlice(std::size_t first, std::size_t count) const
+{
+    std::vector<FaultEvent> sliced;
+    for (const FaultEvent &event : events_) {
+        if (event.type == FaultEventType::ServerDown ||
+            event.type == FaultEventType::ServerUp) {
+            if (event.serverId < first ||
+                event.serverId >= first + count)
+                continue;
+            FaultEvent local = event;
+            local.serverId = event.serverId - first;
+            sliced.push_back(local);
+        } else {
+            sliced.push_back(event);
+        }
+    }
+    return FaultPlan(std::move(sliced));
+}
+
+FaultPlan
 FaultPlan::loadFile(const std::string &path)
 {
     std::ifstream in(path);

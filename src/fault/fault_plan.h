@@ -80,6 +80,18 @@ class FaultPlan
     /** Parse a plan file from disk (fatal when unreadable). */
     static FaultPlan loadFile(const std::string &path);
 
+    /**
+     * Project this plan onto one shard of a partitioned fleet:
+     * server events targeting global ids in [first, first + count)
+     * are kept with the id remapped to shard-local space, server
+     * events outside the range are dropped, and cooling events
+     * (plant-level, so they hit every shard) are kept verbatim.
+     * Event order — and therefore the sorted invariant — is
+     * preserved. Used by the serving driver to run one FaultEngine
+     * per pod against a fleet-global plan.
+     */
+    FaultPlan shardSlice(std::size_t first, std::size_t count) const;
+
     const std::vector<FaultEvent> &events() const { return events_; }
     std::size_t size() const { return events_.size(); }
     bool empty() const { return events_.empty(); }

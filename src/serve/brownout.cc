@@ -1,0 +1,119 @@
+#include "serve/brownout.h"
+
+#include <cmath>
+
+#include "state/serializer.h"
+#include "util/logging.h"
+
+namespace vmt::serve {
+
+BrownoutGovernor::BrownoutGovernor(const BrownoutParams &params)
+    : params_(params)
+{
+    if (!std::isfinite(params_.maxAirTemp) || params_.maxAirTemp < 0.0)
+        fatal("brownout: air-temperature watermark must be a finite "
+              "non-negative celsius value");
+    if (!std::isfinite(params_.release) || params_.release < 0.0)
+        fatal("brownout: temperature release band must be finite and "
+              "non-negative");
+    if (!std::isfinite(params_.maxMelt) || params_.maxMelt < 0.0 ||
+        params_.maxMelt > 1.0)
+        fatal("brownout: melt watermark must be in [0, 1]");
+    if (!std::isfinite(params_.meltRelease) ||
+        params_.meltRelease < 0.0)
+        fatal("brownout: melt release band must be finite and "
+              "non-negative");
+    if (!std::isfinite(params_.step) || params_.step <= 0.0 ||
+        params_.step > 1.0)
+        fatal("brownout: step must be in (0, 1]");
+    if (!std::isfinite(params_.floor) || params_.floor < 0.0 ||
+        params_.floor >= 1.0)
+        fatal("brownout: floor must be in [0, 1)");
+    if (params_.holdIntervals == 0)
+        fatal("brownout: hold must be at least one interval");
+
+    // The deepest useful level: one more step would push the budget
+    // fraction below the floor.
+    while ((ceilingLevel_ + 1) * params_.step <= 1.0 - params_.floor)
+        ++ceilingLevel_;
+}
+
+void
+BrownoutGovernor::observe(Celsius max_air, double max_shard_melt)
+{
+    if (!enabled())
+        return;
+    const bool hotAir =
+        params_.maxAirTemp > 0.0 && max_air >= params_.maxAirTemp;
+    const bool hotMelt =
+        params_.maxMelt > 0.0 && max_shard_melt >= params_.maxMelt;
+    if (hotAir || hotMelt) {
+        coolStreak_ = 0;
+        if (level_ < ceilingLevel_) {
+            ++level_;
+            if (level_ > maxLevelSeen_)
+                maxLevelSeen_ = level_;
+        }
+        return;
+    }
+    if (level_ == 0)
+        return;
+    const bool coolAir =
+        params_.maxAirTemp == 0.0 ||
+        max_air < params_.maxAirTemp - params_.release;
+    const bool coolMelt =
+        params_.maxMelt == 0.0 ||
+        max_shard_melt < params_.maxMelt - params_.meltRelease;
+    if (coolAir && coolMelt) {
+        if (++coolStreak_ >= params_.holdIntervals) {
+            --level_;
+            coolStreak_ = 0;
+        }
+    } else {
+        // Inside the hysteresis band: neither step up nor accumulate
+        // credit toward a step down.
+        coolStreak_ = 0;
+    }
+}
+
+std::size_t
+BrownoutGovernor::effectiveBudget(std::size_t base,
+                                  std::size_t fallback) const
+{
+    if (level_ == 0)
+        return base;
+    const std::size_t notional = base > 0 ? base : fallback;
+    const double frac = 1.0 - static_cast<double>(level_) * params_.step;
+    const double floorJobs =
+        static_cast<double>(notional) * params_.floor;
+    double budget = static_cast<double>(notional) * frac;
+    if (budget < floorJobs)
+        budget = floorJobs;
+    std::size_t result = static_cast<std::size_t>(budget);
+    // A browned-out budget of zero would be indistinguishable from
+    // "unlimited"; admit at least one job per interval instead.
+    return result > 0 ? result : 1;
+}
+
+void
+BrownoutGovernor::saveState(Serializer &out) const
+{
+    out.putSize(level_);
+    out.putSize(maxLevelSeen_);
+    out.putSize(coolStreak_);
+}
+
+void
+BrownoutGovernor::loadState(Deserializer &in)
+{
+    level_ = in.getSize();
+    maxLevelSeen_ = in.getSize();
+    coolStreak_ = in.getSize();
+    if (level_ > ceilingLevel_)
+        fatal("brownout: snapshot level " + std::to_string(level_) +
+              " exceeds the configured ceiling " +
+              std::to_string(ceilingLevel_) +
+              " (brownout parameters changed between runs?)");
+}
+
+} // namespace vmt::serve

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Thermal-brownout admission governor for the serving mode.
+ *
+ * The paper's VMT policies keep the fleet inside its thermal envelope
+ * by regrouping load; the serving-mode analogue when the envelope is
+ * about to be breached (a CRAC derate, a heat wave, melted-out wax)
+ * is to shed *new* load before the FaultEngine's thermal-emergency
+ * quarantine has to fire. BrownoutGovernor watches the fleet-wide
+ * peak air temperature and the hottest shard's mean melt fraction at
+ * the end of every interval and steps a brownout level up whenever
+ * either watermark is breached; each level cuts the effective
+ * admission budget by a configured step, down to a floor. Levels step
+ * back down only after the signals have stayed below the watermarks
+ * minus a hysteresis band for a configured hold streak, so the budget
+ * does not flap across the threshold.
+ *
+ * Everything is a pure function of the observed samples, so a
+ * governed run stays bitwise reproducible across thread counts and
+ * checkpoint/resume (level and streak ride in the snapshot DGRD
+ * section).
+ */
+
+#ifndef VMT_SERVE_BROWNOUT_H
+#define VMT_SERVE_BROWNOUT_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace vmt {
+
+class Serializer;
+class Deserializer;
+
+namespace serve {
+
+/** Brownout watermarks and step shape. */
+struct BrownoutParams
+{
+    /** Air-temperature watermark (C); 0 disables the temperature
+     *  trigger. Set it below FaultConfig::criticalTemp so shedding
+     *  engages before quarantine. */
+    Celsius maxAirTemp = 0.0;
+    /** Hysteresis band: a step back up needs the peak air to stay
+     *  below maxAirTemp - release. */
+    Kelvin release = 2.0;
+
+    /** Melt-fraction watermark on the hottest shard's mean melt; 0
+     *  disables the melt trigger (melt 1.0 = no thermal buffer
+     *  left). */
+    double maxMelt = 0.0;
+    /** Hysteresis band of the melt trigger. */
+    double meltRelease = 0.02;
+
+    /** Budget fraction removed per brownout level (0 < step <= 1). */
+    double step = 0.25;
+    /** Budget floor as a fraction of the base budget. */
+    double floor = 0.10;
+    /** Consecutive cool intervals required per step back up. */
+    std::size_t holdIntervals = 5;
+
+    /** True when any trigger is configured. */
+    bool enabled() const
+    {
+        return maxAirTemp > 0.0 || maxMelt > 0.0;
+    }
+};
+
+/** Steps the effective admission budget down (and back up) around
+ *  thermal watermarks. */
+class BrownoutGovernor
+{
+  public:
+    /** @throws FatalError on malformed parameters. */
+    explicit BrownoutGovernor(const BrownoutParams &params);
+
+    bool enabled() const { return params_.enabled(); }
+
+    /**
+     * Feed one interval's thermal outcome (called after the thermal
+     * step; the adjusted budget applies from the next interval's
+     * admission). @p max_air is the fleet-wide peak air temperature,
+     * @p max_shard_melt the hottest shard's mean melt fraction.
+     */
+    void observe(Celsius max_air, double max_shard_melt);
+
+    /** Current brownout level: 0 = full budget. */
+    std::size_t level() const { return level_; }
+
+    /** Deepest level the run has reached. */
+    std::size_t maxLevel() const { return maxLevelSeen_; }
+
+    /**
+     * The admission budget this interval should honour. @p base is
+     * the configured per-interval budget, with 0 meaning unlimited —
+     * in that case @p fallback (the serving driver passes the fleet's
+     * total cores) acts as the notional base the brownout cuts from.
+     * Returns 0 (unlimited) only at level 0 with an unlimited base.
+     */
+    std::size_t effectiveBudget(std::size_t base,
+                                std::size_t fallback) const;
+
+    void saveState(Serializer &out) const;
+    void loadState(Deserializer &in);
+
+  private:
+    BrownoutParams params_;
+    std::size_t level_ = 0;
+    std::size_t maxLevelSeen_ = 0;
+    /** Levels available before the floor binds. */
+    std::size_t ceilingLevel_ = 0;
+    /** Consecutive intervals below the release watermarks. */
+    std::size_t coolStreak_ = 0;
+};
+
+} // namespace serve
+} // namespace vmt
+
+#endif // VMT_SERVE_BROWNOUT_H

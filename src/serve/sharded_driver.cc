@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/policy_factory.h"
+#include "state/recovery.h"
 #include "state/snapshot.h"
 #include "thermal/pcm.h"
 #include "util/logging.h"
@@ -45,6 +46,26 @@ checkDouble(const char *what, double snap, double now)
                  std::to_string(now));
 }
 
+/** Deterministic waterfill order: most free cores first, ties to the
+ *  lowest shard id. */
+struct MoreFree
+{
+    bool operator()(const std::pair<std::size_t, std::size_t> &a,
+                    const std::pair<std::size_t, std::size_t> &b)
+        const
+    {
+        if (a.first != b.first)
+            return a.first < b.first;
+        return a.second > b.second;
+    }
+};
+
+using WaterfillHeap =
+    std::priority_queue<std::pair<std::size_t, std::size_t>,
+                        std::vector<
+                            std::pair<std::size_t, std::size_t>>,
+                        MoreFree>;
+
 /**
  * The serving driver's metric/phase handles, resolved once per run.
  * Everything under `serve.` is deterministic; the placement-latency
@@ -75,6 +96,19 @@ struct ServeObs
     obs::GaugeHandle peakPower;
     obs::GaugeHandle maxAirTemp;
     obs::HistogramHandle placementSeconds;
+
+    /** Degraded-mode handles; registered only when the fault /
+     *  brownout / deadline machinery is configured, so a clean run's
+     *  metric surface is unchanged. */
+    obs::CounterHandle evacuated;
+    obs::CounterHandle migrated;
+    obs::CounterHandle lost;
+    obs::CounterHandle expired;
+    obs::CounterHandle checkpointFailures;
+    obs::GaugeHandle failedServers;
+    obs::GaugeHandle quarantinedServers;
+    obs::GaugeHandle brownoutLevel;
+    obs::GaugeHandle supplyRise;
 
     void registerAll(obs::Observability &o)
     {
@@ -128,6 +162,35 @@ struct ServeObs
             {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0},
             "Wall time of the per-interval placement fan-out (s)");
     }
+
+    void registerDegraded(obs::Observability &o)
+    {
+        obs::MetricsRegistry &m = o.metrics();
+        evacuated =
+            m.counter("serve.evacuated_total",
+                      "Jobs drained off newly failed servers");
+        migrated = m.counter(
+            "serve.migrated_total",
+            "Evacuated jobs re-placed on a surviving server");
+        lost = m.counter("serve.lost_total",
+                         "Evacuated jobs shed after re-route "
+                         "retries");
+        expired = m.counter(
+            "serve.expired_total",
+            "Queued arrivals shed by the queue-age deadline");
+        checkpointFailures = m.counter(
+            "serve.checkpoint_failures_total",
+            "Checkpoint writes that failed (run continued)");
+        failedServers = m.gauge("serve.failed_servers",
+                                "Servers currently down");
+        quarantinedServers =
+            m.gauge("serve.quarantined_servers",
+                    "Servers in thermal-emergency quarantine");
+        brownoutLevel = m.gauge("serve.brownout_level",
+                                "Current brownout step level");
+        supplyRise = m.gauge("serve.supply_rise_kelvin",
+                             "Cooling-derate supply-air rise (K)");
+    }
 };
 
 } // namespace
@@ -159,7 +222,7 @@ ShardedDriver::Shard::Shard(std::size_t num_servers,
 
 ShardedDriver::ShardedDriver(const ServeConfig &config)
     : config_(config), power_(config.spec, config.powerScale),
-      ingress_(config.queueCapacity)
+      ingress_(config.queueCapacity), degraded_(config.degraded())
 {
     if (config.numServers == 0)
         fatal("ServeConfig::numServers must be positive");
@@ -167,6 +230,19 @@ ShardedDriver::ShardedDriver(const ServeConfig &config)
         fatal("ServeConfig::podSize must be positive");
     if (config.interval <= 0.0)
         fatal("ServeConfig::interval must be positive");
+    if (config.maxQueueAge < 0.0)
+        fatal("ServeConfig::maxQueueAge must be non-negative");
+    // Plan targets are fleet-global; validate here because the
+    // per-shard slices silently drop out-of-range ids.
+    for (const FaultEvent &event : config.faults.plan.events()) {
+        if ((event.type == FaultEventType::ServerDown ||
+             event.type == FaultEventType::ServerUp) &&
+            event.serverId >= config.numServers)
+            fatal("fault plan targets server " +
+                  std::to_string(event.serverId) +
+                  " but the serving fleet has " +
+                  std::to_string(config.numServers) + " servers");
+    }
     const std::size_t count =
         (config.numServers + config.podSize - 1) / config.podSize;
     shards_.reserve(count);
@@ -175,7 +251,23 @@ ShardedDriver::ShardedDriver(const ServeConfig &config)
         const std::size_t size =
             std::min(config.podSize, config.numServers - first);
         shards_.emplace_back(size, config_, power_);
+        totalCores_ += shards_.back().cluster.totalCores();
+        if (config_.faults.enabled()) {
+            // One engine per pod: the global plan sliced to the
+            // pod's id range, and a decorrelated Rng stream per
+            // shard (splitmix64 seed expansion makes seed + s
+            // streams independent) so stochastic draws stay
+            // identical regardless of the pod a server landed in
+            // being stepped before or after its neighbours.
+            FaultConfig local = config_.faults;
+            local.plan = config_.faults.plan.shardSlice(first, size);
+            local.seed = config_.faults.seed + s;
+            shards_.back().faults.emplace(local, size);
+        }
     }
+    if (config_.brownout.enabled())
+        brownout_.emplace(config_.brownout);
+    freeEst_.resize(shards_.size(), 0);
 }
 
 void
@@ -184,25 +276,228 @@ ShardedDriver::drainDepartures(Shard &shard, Seconds now)
     while (shard.departures.hasEventDue(now)) {
         const std::uint32_t slot = shard.departures.pop();
         const SimActiveJob &job = shard.slots[slot];
-        shard.cluster.removeJob(job.serverId, job.type);
-        auto &ids =
-            shard.jobsAt[job.serverId][workloadIndex(job.type)];
-        const std::uint32_t pos = job.pos;
-        if (pos >= ids.size() || ids[pos] != slot)
-            panic("serve: job missing from server index");
-        const std::uint32_t moved = ids.back();
-        ids[pos] = moved;
-        shard.slots[moved].pos = pos;
-        ids.pop_back();
+        // Tombstones (evacuated jobs whose slot waits for its
+        // original departure) free silently.
+        if (job.serverId != kNoServer) {
+            shard.cluster.removeJob(job.serverId, job.type);
+            auto &ids =
+                shard.jobsAt[job.serverId][workloadIndex(job.type)];
+            const std::uint32_t pos = job.pos;
+            if (pos >= ids.size() || ids[pos] != slot)
+                panic("serve: job missing from server index");
+            const std::uint32_t moved = ids.back();
+            ids[pos] = moved;
+            shard.slots[moved].pos = pos;
+            ids.pop_back();
+            ++shard.completedThisInterval;
+        }
         shard.freeSlots.push_back(slot);
-        ++shard.completedThisInterval;
     }
+}
+
+void
+ShardedDriver::faultPhase(Shard &shard, Seconds now)
+{
+    shard.evacBatch.clear();
+    shard.evacDue.clear();
+    shard.evacuatedThisInterval = 0;
+    shard.migratedThisInterval = 0;
+
+    std::vector<std::size_t> evacuating;
+    if (shard.faults) {
+        evacuating = shard.faults->beginInterval(shard.cluster, now,
+                                                 config_.interval);
+        // A cooling derate hits the whole plant; push the supply
+        // rise into this pod's inlets only when it changed (the
+        // CLUS snapshot section restores the applied value, so the
+        // latch survives resume).
+        const Kelvin rise = shard.faults->supplyRise();
+        if (rise != shard.appliedRise) {
+            shard.cluster.setBaseInlet(config_.thermal.inletTemp +
+                                       rise);
+            shard.appliedRise = rise;
+        }
+    }
+
+    // Refresh policy state before draining, mirroring the batch
+    // driver: a Failed server reports no capacity regardless of its
+    // residual bookkeeping, and placement reads only frozen heap
+    // keys, thermal state and live capacity.
+    shard.scheduler->beginInterval(shard.cluster, now);
+
+    // Drain every job resident on a newly failed server into the
+    // refugee list, tombstoning its slot (the departure queue has no
+    // removal; the slot frees when the original departure fires).
+    // The refugee keeps its absolute departure time, so a migrated
+    // job finishes exactly when it would have.
+    for (const std::size_t from : evacuating) {
+        for (const WorkloadType type : kAllWorkloads) {
+            auto &ids = shard.jobsAt[from][workloadIndex(type)];
+            while (!ids.empty()) {
+                const std::uint32_t slot = ids.back();
+                ids.pop_back();
+                shard.cluster.removeJob(from, type);
+                shard.slots[slot].serverId = kNoServer;
+                shard.evacBatch.push_back(Job{0, type, 0.0});
+                shard.evacDue.push_back(shard.slotDue[slot]);
+            }
+        }
+    }
+    shard.evacuatedThisInterval = shard.evacBatch.size();
+
+    // Routing capacity for refugees and admissions: free cores on Up
+    // servers only — totalCores - busyCores would credit dead and
+    // quarantined capacity and starve surviving pods.
+    const Cluster &cluster = shard.cluster;
+    std::size_t free = 0;
+    for (std::size_t id = 0; id < cluster.numServers(); ++id) {
+        const Server &srv = cluster.server(id);
+        if (srv.health() == ServerHealth::Up)
+            free += srv.freeCores();
+    }
+    shard.schedulableFree = free;
+}
+
+void
+ShardedDriver::bindJob(Shard &shard, std::size_t server,
+                       WorkloadType type, Seconds due)
+{
+    auto &ids = shard.jobsAt[server][workloadIndex(type)];
+    const auto pos = static_cast<std::uint32_t>(ids.size());
+    std::uint32_t slot;
+    if (!shard.freeSlots.empty()) {
+        slot = shard.freeSlots.back();
+        shard.freeSlots.pop_back();
+        shard.slots[slot] = SimActiveJob{server, type, pos};
+        shard.slotDue[slot] = due;
+    } else {
+        slot = static_cast<std::uint32_t>(shard.slots.size());
+        shard.slots.push_back(SimActiveJob{server, type, pos});
+        shard.slotDue.push_back(due);
+    }
+    ids.push_back(slot);
+    shard.departures.schedule(due, slot);
+}
+
+void
+ShardedDriver::placeEvac(Shard &shard)
+{
+    shard.evacFailTypes.clear();
+    shard.evacFailDue.clear();
+    if (shard.evacBatch.empty())
+        return;
+    shard.scheduler->placeJobs(shard.cluster, shard.evacBatch,
+                               shard.evacPlacements);
+    for (std::size_t k = 0; k < shard.evacBatch.size(); ++k) {
+        const std::size_t id = shard.evacPlacements[k];
+        const WorkloadType type = shard.evacBatch[k].type;
+        if (id == kNoServer) {
+            shard.evacFailTypes.push_back(type);
+            shard.evacFailDue.push_back(shard.evacDue[k]);
+            continue;
+        }
+        bindJob(shard, id, type, shard.evacDue[k]);
+        ++shard.migratedThisInterval;
+    }
+}
+
+void
+ShardedDriver::evacuateRefugees(Seconds now)
+{
+    // The post-evacuation capacity estimates double as the
+    // admission router's input, so they are (re)seeded every
+    // degraded interval even when nothing failed.
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        freeEst_[s] = shards_[s].schedulableFree;
+
+    // Gather this interval's refugees in shard order (determinism:
+    // the drain order inside each shard is fixed, and shard order
+    // fixes the cross-shard order).
+    std::vector<WorkloadType> types;
+    std::vector<Seconds> dues;
+    for (Shard &shard : shards_) {
+        for (std::size_t k = 0; k < shard.evacBatch.size(); ++k) {
+            types.push_back(shard.evacBatch[k].type);
+            dues.push_back(shard.evacDue[k]);
+        }
+        evacuated_ += shard.evacuatedThisInterval;
+    }
+    if (types.empty())
+        return;
+
+    ThreadPool &pool = globalPool();
+    std::vector<WorkloadType> nextTypes;
+    std::vector<Seconds> nextDues;
+    for (std::size_t round = 0;
+         round <= config_.evacRetries && !types.empty(); ++round) {
+        // Waterfill the refugees over the surviving capacity
+        // estimates. Estimates are never re-credited after a failed
+        // placement, so the retry loop cannot ping-pong a job
+        // between two shards that both refuse it.
+        for (Shard &shard : shards_) {
+            shard.evacBatch.clear();
+            shard.evacDue.clear();
+        }
+        WaterfillHeap heap;
+        for (std::size_t s = 0; s < shards_.size(); ++s)
+            heap.push({freeEst_[s], s});
+        nextTypes.clear();
+        nextDues.clear();
+        std::size_t assigned = 0;
+        for (std::size_t k = 0; k < types.size(); ++k) {
+            const auto [free, s] = heap.top();
+            if (free == 0) {
+                // Every shard is out of estimated capacity; the
+                // rest of this round's refugees have nowhere to go.
+                for (std::size_t j = k; j < types.size(); ++j) {
+                    nextTypes.push_back(types[j]);
+                    nextDues.push_back(dues[j]);
+                }
+                break;
+            }
+            heap.pop();
+            shards_[s].evacBatch.push_back(Job{0, types[k], 0.0});
+            shards_[s].evacDue.push_back(dues[k]);
+            freeEst_[s] = free - 1;
+            heap.push({free - 1, s});
+            ++assigned;
+        }
+        if (assigned == 0)
+            break;
+
+        parallelFor(pool, 0, shards_.size(), 1,
+                    [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t s = begin; s < end; ++s)
+                            placeEvac(shards_[s]);
+                    });
+
+        // Collect this round's placement failures (shard order) for
+        // the next round.
+        for (Shard &shard : shards_) {
+            for (std::size_t k = 0; k < shard.evacFailTypes.size();
+                 ++k) {
+                nextTypes.push_back(shard.evacFailTypes[k]);
+                nextDues.push_back(shard.evacFailDue[k]);
+            }
+        }
+        types.swap(nextTypes);
+        dues.swap(nextDues);
+    }
+
+    // Out of retries (or capacity): the stragglers are lost. Their
+    // origin slots are already tombstoned.
+    lost_ += types.size();
+    for (Shard &shard : shards_)
+        migrated_ += shard.migratedThisInterval;
 }
 
 void
 ShardedDriver::placeBatch(Shard &shard, Seconds now)
 {
-    shard.scheduler->beginInterval(shard.cluster, now);
+    // In degraded mode faultPhase already refreshed the policy state
+    // this boundary (it must run before the refugee drain).
+    if (!degraded_)
+        shard.scheduler->beginInterval(shard.cluster, now);
     if (shard.batch.empty())
         return;
     // One batch call decides (and applies) every placement — the
@@ -217,19 +512,7 @@ ShardedDriver::placeBatch(Shard &shard, Seconds now)
             ++shard.unplacedThisInterval;
             continue;
         }
-        auto &ids = shard.jobsAt[id][workloadIndex(job.type)];
-        const auto pos = static_cast<std::uint32_t>(ids.size());
-        std::uint32_t slot;
-        if (!shard.freeSlots.empty()) {
-            slot = shard.freeSlots.back();
-            shard.freeSlots.pop_back();
-            shard.slots[slot] = SimActiveJob{id, job.type, pos};
-        } else {
-            slot = static_cast<std::uint32_t>(shard.slots.size());
-            shard.slots.push_back(SimActiveJob{id, job.type, pos});
-        }
-        ids.push_back(slot);
-        shard.departures.schedule(now + job.duration, slot);
+        bindJob(shard, id, job.type, now + job.duration);
         ++shard.placedThisInterval;
     }
 }
@@ -240,24 +523,15 @@ ShardedDriver::routeToShards(const std::vector<FeedJob> &admitted)
     // Each job goes to the shard with the most free cores at that
     // moment (ties: lowest shard id) — a deterministic waterfill that
     // keeps pods evenly loaded so no shard's scheduler sees an
-    // artificially full pod while another idles.
-    struct MoreFree
-    {
-        bool operator()(const std::pair<std::size_t, std::size_t> &a,
-                        const std::pair<std::size_t, std::size_t> &b)
-            const
-        {
-            if (a.first != b.first)
-                return a.first < b.first;
-            return a.second > b.second;
-        }
-    };
-    std::priority_queue<std::pair<std::size_t, std::size_t>,
-                        std::vector<
-                            std::pair<std::size_t, std::size_t>>,
-                        MoreFree>
-        heap;
+    // artificially full pod while another idles. Degraded runs use
+    // the post-evacuation schedulable-free estimates instead of the
+    // raw core balance, which would count failed servers' cores.
+    WaterfillHeap heap;
     for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if (degraded_) {
+            heap.push({freeEst_[s], s});
+            continue;
+        }
         const Cluster &cluster = shards_[s].cluster;
         heap.push({cluster.totalCores() - cluster.busyCores(), s});
     }
@@ -287,6 +561,7 @@ ShardedDriver::run(JobFeed &feed,
     ServeResult result;
     result.schedulerName = shards_.front().scheduler->name();
     result.shards = shards_.size();
+    result.degraded = degraded_;
 
     std::size_t completed = 0;
     if (!config_.resumeFrom.empty())
@@ -301,6 +576,8 @@ ShardedDriver::run(JobFeed &feed,
     obs::PhaseProfiler *prof = nullptr;
     if (o) {
         sobs.registerAll(*o);
+        if (degraded_)
+            sobs.registerDegraded(*o);
         prof = &o->profiler();
         o->beginRun(result.schedulerName, config_.numServers,
                     config_.maxIntervals, config_.interval);
@@ -316,6 +593,12 @@ ShardedDriver::run(JobFeed &feed,
             m.inc(sobs.placed, placed_);
             m.inc(sobs.dropped, dropped_);
             m.inc(sobs.completed, completedJobs_);
+            if (degraded_) {
+                m.inc(sobs.evacuated, evacuated_);
+                m.inc(sobs.migrated, migrated_);
+                m.inc(sobs.lost, lost_);
+                m.inc(sobs.expired, expired_);
+            }
         }
     }
 
@@ -328,6 +611,27 @@ ShardedDriver::run(JobFeed &feed,
     }
     const bool timing =
         o != nullptr || config_.recordPlacementLatency;
+
+    // Serving-mode checkpoints go through the crash-recovery layer:
+    // rotation keeps the previous generation, and a failed write is
+    // counted and retried next period instead of killing the run.
+    std::optional<RecoveryManager> recovery;
+    if (config_.checkpointEvery > 0)
+        recovery.emplace(config_.checkpointPath);
+    const auto checkpoint = [&](std::size_t done) {
+        obs::ScopedPhase timer(prof, sobs.phaseCheckpoint);
+        SnapshotWriter writer;
+        buildCheckpoint(writer, feed, done);
+        if (recovery->save(writer))
+            return true;
+        warn("serve: checkpoint save failed (" +
+             recovery->lastError() +
+             "); keeping the last good snapshot and retrying next "
+             "period");
+        if (o && degraded_)
+            o->metrics().inc(sobs.checkpointFailures);
+        return false;
+    };
 
     ThreadPool &pool = globalPool();
     const Seconds dt = config_.interval;
@@ -342,6 +646,10 @@ ShardedDriver::run(JobFeed &feed,
     std::uint64_t prev_placed = placed_;
     std::uint64_t prev_dropped = dropped_;
     std::uint64_t prev_completed = completedJobs_;
+    std::uint64_t prev_evacuated = evacuated_;
+    std::uint64_t prev_migrated = migrated_;
+    std::uint64_t prev_lost = lost_;
+    std::uint64_t prev_expired = expired_;
 
     for (std::size_t interval = completed;; ++interval) {
         if (config_.maxIntervals > 0 &&
@@ -356,7 +664,9 @@ ShardedDriver::run(JobFeed &feed,
         // 1. Complete departures due by now, one task per shard —
         // shards share no mutable state, and the serial reductions
         // below run in shard order, so results are bitwise identical
-        // at any thread count.
+        // at any thread count. Degraded mode appends the per-shard
+        // fault boundary work (engine step, supply-rise push,
+        // refugee drain, capacity estimate) to the same fan-out.
         {
             obs::ScopedPhase timer(prof, sobs.phaseDepartures);
             parallelFor(pool, 0, shards_.size(), 1,
@@ -368,9 +678,18 @@ ShardedDriver::run(JobFeed &feed,
                                 shard.unplacedThisInterval = 0;
                                 shard.batch.clear();
                                 drainDepartures(shard, now);
+                                if (degraded_)
+                                    faultPhase(shard, now);
                             }
                         });
         }
+
+        // 1b. Cross-shard migration of evacuated jobs (degraded
+        // mode): waterfill refugees over surviving capacity, place
+        // in parallel batches, retry the failures a bounded number
+        // of rounds, shed the rest.
+        if (degraded_)
+            evacuateRefugees(now);
 
         // 2. Ingest the feed's arrivals due before the next boundary
         // into the bounded ring; overflow is shed, not queued.
@@ -388,13 +707,41 @@ ShardedDriver::run(JobFeed &feed,
         // hold re-queues (queue policy) or sheds. Under the shed
         // policy backlog never carries across intervals.
         admitBuf_.clear();
-        const std::size_t budget =
-            config_.admissionBudget > 0
-                ? std::min(config_.admissionBudget, ingress_.size())
-                : ingress_.size();
-        for (std::size_t i = 0; i < budget; ++i) {
-            admitBuf_.push_back(ingress_.front());
-            ingress_.pop();
+        if (!degraded_) {
+            const std::size_t budget =
+                config_.admissionBudget > 0
+                    ? std::min(config_.admissionBudget,
+                               ingress_.size())
+                    : ingress_.size();
+            for (std::size_t i = 0; i < budget; ++i) {
+                admitBuf_.push_back(ingress_.front());
+                ingress_.pop();
+            }
+        } else {
+            // Brownout steps the effective budget down before the
+            // pop; the queue-age deadline sheds stale arrivals at
+            // the pop (the ring is not time-sorted once re-queues
+            // happen, so only a per-pop check catches every stale
+            // entry) without charging them against the budget.
+            std::size_t budget = config_.admissionBudget;
+            if (brownout_) {
+                budget = brownout_->effectiveBudget(
+                    config_.admissionBudget, totalCores_);
+                if (brownout_->level() > 0)
+                    ++brownoutIntervals_;
+            }
+            const bool deadline = config_.maxQueueAge > 0.0;
+            const Seconds cutoff = now - config_.maxQueueAge;
+            while (!ingress_.empty() &&
+                   (budget == 0 || admitBuf_.size() < budget)) {
+                const FeedJob job = ingress_.front();
+                ingress_.pop();
+                if (deadline && job.time < cutoff) {
+                    ++expired_;
+                    continue;
+                }
+                admitBuf_.push_back(job);
+            }
         }
         const std::size_t routed = routeToShards(admitBuf_);
         admitted_ += routed;
@@ -449,8 +796,11 @@ ShardedDriver::run(JobFeed &feed,
         Celsius max_air = 0.0;
         double mean_air_weighted = 0.0;
         double melt_weighted = 0.0;
+        double max_shard_melt = 0.0;
         std::size_t in_flight = 0;
         std::size_t hot_group = 0;
+        std::size_t failed_servers = 0;
+        std::size_t quarantined_servers = 0;
         for (Shard &shard : shards_) {
             const ClusterSample &sample = shard.sample;
             const auto servers =
@@ -460,12 +810,21 @@ ShardedDriver::run(JobFeed &feed,
             max_air = std::max(max_air, sample.maxAirTemp);
             mean_air_weighted += sample.meanAirTemp * servers;
             melt_weighted += sample.meanMeltFraction * servers;
+            max_shard_melt =
+                std::max(max_shard_melt, sample.meanMeltFraction);
             overheated_ += sample.serversAboveThreshold;
             in_flight += shard.cluster.busyCores();
             placed_ += shard.placedThisInterval;
             dropped_ += shard.unplacedThisInterval;
             completedJobs_ += shard.completedThisInterval;
             hot_group += shard.scheduler->hotGroupSize().value_or(0);
+            if (degraded_) {
+                failed_servers += shard.cluster.numServers() -
+                                  shard.cluster.aliveServers();
+                if (shard.faults)
+                    quarantined_servers +=
+                        shard.faults->quarantinedServers();
+            }
         }
         const auto total_servers =
             static_cast<double>(config_.numServers);
@@ -476,10 +835,22 @@ ShardedDriver::run(JobFeed &feed,
         maxAirTemp_ = std::max(maxAirTemp_, max_air);
         maxMeltFraction_ = std::max(maxMeltFraction_, melt);
 
+        // 5b. The brownout governor sees this interval's thermal
+        // outcome; the adjusted budget binds from the next
+        // admission.
+        if (brownout_)
+            brownout_->observe(max_air, max_shard_melt);
+        const Kelvin supply_rise =
+            (degraded_ && shards_.front().faults)
+                ? shards_.front().faults->supplyRise()
+                : 0.0;
+
         // 6. Telemetry: one JSONL line per interval, a pure function
         // of simulation state (no wall clock), so a resumed run
         // reproduces the stream bitwise. Flushed per line: a killed
-        // process loses at most the line being written.
+        // process loses at most the line being written. Degraded
+        // runs append their extra fields; a clean run's line is
+        // byte-identical to the pre-fault driver's.
         if (telemetry_out.is_open() || config_.keepTelemetry) {
             line = "{\"type\":\"serve\",\"interval\":" +
                    std::to_string(interval) +
@@ -506,8 +877,27 @@ ShardedDriver::run(JobFeed &feed,
                    obs::formatMetricNumber(mean_air) +
                    ",\"max_air_c\":" +
                    obs::formatMetricNumber(max_air) +
-                   ",\"melt\":" + obs::formatMetricNumber(melt) +
-                   ",\"melt_by_shard\":[";
+                   ",\"melt\":" + obs::formatMetricNumber(melt);
+            if (degraded_) {
+                line +=
+                    ",\"failed\":" + std::to_string(failed_servers) +
+                    ",\"quarantined\":" +
+                    std::to_string(quarantined_servers) +
+                    ",\"evacuated\":" +
+                    std::to_string(evacuated_ - prev_evacuated) +
+                    ",\"migrated\":" +
+                    std::to_string(migrated_ - prev_migrated) +
+                    ",\"lost\":" +
+                    std::to_string(lost_ - prev_lost) +
+                    ",\"expired\":" +
+                    std::to_string(expired_ - prev_expired) +
+                    ",\"supply_rise_k\":" +
+                    obs::formatMetricNumber(supply_rise) +
+                    ",\"brownout\":" +
+                    std::to_string(brownout_ ? brownout_->level()
+                                             : 0);
+            }
+            line += ",\"melt_by_shard\":[";
             for (std::size_t s = 0; s < shards_.size(); ++s) {
                 if (s > 0)
                     line += ',';
@@ -538,6 +928,20 @@ ShardedDriver::run(JobFeed &feed,
             m.set(sobs.totalPower, power);
             m.set(sobs.meanAirTemp, mean_air);
             m.set(sobs.meltFraction, melt);
+            if (degraded_) {
+                m.inc(sobs.evacuated, evacuated_ - prev_evacuated);
+                m.inc(sobs.migrated, migrated_ - prev_migrated);
+                m.inc(sobs.lost, lost_ - prev_lost);
+                m.inc(sobs.expired, expired_ - prev_expired);
+                m.set(sobs.failedServers,
+                      static_cast<double>(failed_servers));
+                m.set(sobs.quarantinedServers,
+                      static_cast<double>(quarantined_servers));
+                m.set(sobs.brownoutLevel,
+                      static_cast<double>(
+                          brownout_ ? brownout_->level() : 0));
+                m.set(sobs.supplyRise, supply_rise);
+            }
 
             obs::IntervalSample telem;
             telem.interval = interval;
@@ -546,8 +950,12 @@ ShardedDriver::run(JobFeed &feed,
             telem.meanAirTemp = mean_air;
             telem.hotGroupSize = static_cast<double>(hot_group);
             telem.meltFraction = melt;
-            telem.evacuatedJobs = 0;
-            telem.lostJobs = shed_ - prev_shed;
+            // Mirrors the batch driver's naming: evacuatedJobs are
+            // the successfully re-placed refugees.
+            telem.evacuatedJobs = migrated_ - prev_migrated;
+            telem.lostJobs = (shed_ - prev_shed) +
+                             (lost_ - prev_lost) +
+                             (expired_ - prev_expired);
             o->telemetry().record(telem);
         }
 
@@ -558,16 +966,18 @@ ShardedDriver::run(JobFeed &feed,
         prev_placed = placed_;
         prev_dropped = dropped_;
         prev_completed = completedJobs_;
+        prev_evacuated = evacuated_;
+        prev_migrated = migrated_;
+        prev_lost = lost_;
+        prev_expired = expired_;
 
         completed = interval + 1;
 
         // 7. Periodic checkpoint (the final one below covers the
         // exit boundary).
         if (config_.checkpointEvery > 0 &&
-            completed % config_.checkpointEvery == 0) {
-            obs::ScopedPhase timer(prof, sobs.phaseCheckpoint);
-            saveCheckpoint(feed, completed, config_.checkpointPath);
-        }
+            completed % config_.checkpointEvery == 0)
+            checkpoint(completed);
 
         // 8. Natural end: a finished feed, an empty ring and nothing
         // in flight — the serving loop has drained.
@@ -580,9 +990,9 @@ ShardedDriver::run(JobFeed &feed,
     // Drain to a final checkpoint: kill/restore (SIGINT, SIGTERM or
     // an interval cap) resumes from this boundary bitwise.
     if (config_.checkpointEvery > 0) {
-        obs::ScopedPhase timer(prof, sobs.phaseCheckpoint);
-        saveCheckpoint(feed, completed, config_.checkpointPath);
-        result.finalCheckpoint = config_.checkpointPath;
+        if (checkpoint(completed))
+            result.finalCheckpoint = config_.checkpointPath;
+        result.checkpointFailures = recovery->failures();
     }
 
     result.completedIntervals = completed;
@@ -593,11 +1003,24 @@ ShardedDriver::run(JobFeed &feed,
     result.placed = placed_;
     result.droppedJobs = dropped_;
     result.completedJobs = completedJobs_;
+    result.evacuatedJobs = evacuated_;
+    result.migratedJobs = migrated_;
+    result.lostJobs = lost_;
+    result.expiredJobs = expired_;
+    result.brownoutIntervals = brownoutIntervals_;
+    if (brownout_)
+        result.maxBrownoutLevel = brownout_->maxLevel();
     result.finalQueueDepth = ingress_.size();
     result.peakQueueDepth = peakQueueDepth_;
     std::size_t in_flight = 0;
-    for (const Shard &shard : shards_)
+    for (const Shard &shard : shards_) {
         in_flight += shard.cluster.busyCores();
+        result.failedServers += shard.cluster.numServers() -
+                                shard.cluster.aliveServers();
+        if (shard.faults)
+            result.quarantinedServers +=
+                shard.faults->quarantinedServers();
+    }
     result.finalInFlight = in_flight;
     result.peakCoolingLoad = peakCoolingLoad_;
     result.peakPower = peakPower_;
@@ -616,12 +1039,10 @@ ShardedDriver::run(JobFeed &feed,
 }
 
 void
-ShardedDriver::saveCheckpoint(const JobFeed &feed,
-                              std::size_t completed,
-                              const std::string &path) const
+ShardedDriver::buildCheckpoint(SnapshotWriter &writer,
+                               const JobFeed &feed,
+                               std::size_t completed) const
 {
-    SnapshotWriter writer;
-
     // SCON: reconstruction parameters, verified on load so a resume
     // under a different configuration or feed is refused.
     Serializer &conf = writer.section("SCON");
@@ -667,7 +1088,10 @@ ShardedDriver::saveCheckpoint(const JobFeed &feed,
 
     // SHRD: the full shard map — per shard, the cluster, the policy
     // and the QUEU-style job bookkeeping (slot table verbatim,
-    // freelist, residency lists, departures in pop order).
+    // freelist, residency lists, departures in pop order). Per-slot
+    // departure times are NOT stored: loadCheckpoint rebuilds them
+    // from the departure entries, keeping this layout identical to
+    // the pre-fault driver's.
     Serializer &shrd = writer.section("SHRD");
     shrd.putSize(shards_.size());
     for (const Shard &shard : shards_) {
@@ -697,13 +1121,61 @@ ShardedDriver::saveCheckpoint(const JobFeed &feed,
             });
     }
 
-    writer.write(path);
+    // DGRD: degraded-mode configuration echo + dynamic state. Only
+    // written when the machinery is configured, so a clean run's
+    // snapshot stays byte-identical (and old clean checkpoints
+    // remain loadable).
+    if (degraded_) {
+        Serializer &dgrd = writer.section("DGRD");
+        dgrd.putBool(config_.faults.enable);
+        const FaultPlan &plan = config_.faults.plan;
+        dgrd.putSize(plan.size());
+        for (const FaultEvent &event : plan.events()) {
+            dgrd.putDouble(event.time);
+            dgrd.putU8(static_cast<std::uint8_t>(event.type));
+            dgrd.putSize(event.serverId);
+            dgrd.putDouble(event.supplyRise);
+        }
+        dgrd.putU64(config_.faults.seed);
+        dgrd.putDouble(config_.faults.mtbf);
+        dgrd.putDouble(config_.faults.mtbfRefTemp);
+        dgrd.putDouble(config_.faults.mtbfDoublingDelta);
+        dgrd.putDouble(config_.faults.repairTime);
+        dgrd.putDouble(config_.faults.criticalTemp);
+        dgrd.putDouble(config_.faults.criticalRelease);
+        dgrd.putDouble(config_.brownout.maxAirTemp);
+        dgrd.putDouble(config_.brownout.release);
+        dgrd.putDouble(config_.brownout.maxMelt);
+        dgrd.putDouble(config_.brownout.meltRelease);
+        dgrd.putDouble(config_.brownout.step);
+        dgrd.putDouble(config_.brownout.floor);
+        dgrd.putSize(config_.brownout.holdIntervals);
+        dgrd.putDouble(config_.maxQueueAge);
+        dgrd.putSize(config_.evacRetries);
+
+        dgrd.putU64(evacuated_);
+        dgrd.putU64(migrated_);
+        dgrd.putU64(lost_);
+        dgrd.putU64(expired_);
+        dgrd.putU64(brownoutIntervals_);
+        if (brownout_)
+            brownout_->saveState(dgrd);
+        for (const Shard &shard : shards_) {
+            dgrd.putDouble(shard.appliedRise);
+            if (shard.faults)
+                shard.faults->saveState(dgrd, shard.cluster);
+        }
+    }
 }
 
 std::size_t
 ShardedDriver::loadCheckpoint(JobFeed &feed, const std::string &path)
 {
-    const SnapshotReader reader(path);
+    // Startup recovery: scan the retained generations (path, then
+    // path.prev) and fall back past a corrupt or truncated newest
+    // file instead of dying on it.
+    RecoveredSnapshot recovered = recoverSnapshot(path);
+    const SnapshotReader &reader = recovered.reader;
 
     Deserializer conf = reader.section("SCON");
     const std::size_t completed = conf.getSize();
@@ -806,8 +1278,10 @@ ShardedDriver::loadCheckpoint(JobFeed &feed, const std::string &path)
         // Pin the rebuilt queue's drain front to the resume point,
         // then re-schedule in saved pop order — (time, seq) sorting
         // reproduces the original tie-breaks under fresh sequence
-        // numbers.
+        // numbers. The per-slot departure times rebuild from the
+        // same entries.
         shard.departures.restoreFront(resume_time);
+        shard.slotDue.assign(shard.slots.size(), 0.0);
         for (std::size_t i = 0; i < pending; ++i) {
             const Seconds time = shrd.getDouble();
             const std::uint32_t slot = shrd.getU32();
@@ -815,9 +1289,83 @@ ShardedDriver::loadCheckpoint(JobFeed &feed, const std::string &path)
                 fatal("serve snapshot departure references an "
                       "invalid job slot");
             shard.departures.schedule(time, slot);
+            shard.slotDue[slot] = time;
         }
     }
     shrd.expectEnd();
+
+    // DGRD must be present exactly when the run is degraded: a
+    // degraded run cannot resume a clean snapshot (the fault state
+    // is missing) and vice versa.
+    if (degraded_ != reader.has("DGRD")) {
+        if (degraded_)
+            mismatch("snapshot carries no degraded-mode state but "
+                     "the run configures faults/brownout/deadline");
+        mismatch("snapshot carries degraded-mode state but the run "
+                 "configures none");
+    }
+    if (degraded_) {
+        Deserializer dgrd = reader.section("DGRD");
+        if (dgrd.getBool() != config_.faults.enable)
+            mismatch("fault-engine enable flag");
+        const FaultPlan &plan = config_.faults.plan;
+        checkU64("fault plan size", dgrd.getSize(), plan.size());
+        for (const FaultEvent &event : plan.events()) {
+            checkDouble("fault event time", dgrd.getDouble(),
+                        event.time);
+            checkU64("fault event type", dgrd.getU8(),
+                     static_cast<std::uint8_t>(event.type));
+            checkU64("fault event server", dgrd.getSize(),
+                     event.serverId);
+            checkDouble("fault event supply rise", dgrd.getDouble(),
+                        event.supplyRise);
+        }
+        checkU64("fault seed", dgrd.getU64(), config_.faults.seed);
+        checkDouble("fault mtbf", dgrd.getDouble(),
+                    config_.faults.mtbf);
+        checkDouble("fault mtbf ref temp", dgrd.getDouble(),
+                    config_.faults.mtbfRefTemp);
+        checkDouble("fault mtbf doubling delta", dgrd.getDouble(),
+                    config_.faults.mtbfDoublingDelta);
+        checkDouble("fault repair time", dgrd.getDouble(),
+                    config_.faults.repairTime);
+        checkDouble("fault critical temp", dgrd.getDouble(),
+                    config_.faults.criticalTemp);
+        checkDouble("fault critical release", dgrd.getDouble(),
+                    config_.faults.criticalRelease);
+        checkDouble("brownout air watermark", dgrd.getDouble(),
+                    config_.brownout.maxAirTemp);
+        checkDouble("brownout release", dgrd.getDouble(),
+                    config_.brownout.release);
+        checkDouble("brownout melt watermark", dgrd.getDouble(),
+                    config_.brownout.maxMelt);
+        checkDouble("brownout melt release", dgrd.getDouble(),
+                    config_.brownout.meltRelease);
+        checkDouble("brownout step", dgrd.getDouble(),
+                    config_.brownout.step);
+        checkDouble("brownout floor", dgrd.getDouble(),
+                    config_.brownout.floor);
+        checkU64("brownout hold", dgrd.getSize(),
+                 config_.brownout.holdIntervals);
+        checkDouble("max queue age", dgrd.getDouble(),
+                    config_.maxQueueAge);
+        checkU64("evac retries", dgrd.getSize(),
+                 config_.evacRetries);
+
+        evacuated_ = dgrd.getU64();
+        migrated_ = dgrd.getU64();
+        lost_ = dgrd.getU64();
+        expired_ = dgrd.getU64();
+        brownoutIntervals_ = dgrd.getU64();
+        if (brownout_)
+            brownout_->loadState(dgrd);
+        for (Shard &shard : shards_) {
+            shard.appliedRise = dgrd.getDouble();
+            if (shard.faults)
+                shard.faults->loadState(dgrd, shard.cluster);
+        }
+        dgrd.expectEnd();
+    }
 
     return completed;
 }

@@ -8,24 +8,37 @@
  * Per interval:
  *
  *  1. every shard drains its due departures (thread pool, one shard
- *     per chunk — shards share no mutable state);
- *  2. the feed's arrivals due before the next boundary enter the
+ *     per chunk — shards share no mutable state); in degraded mode
+ *     the same fan-out runs each shard's FaultEngine and drains the
+ *     jobs resident on newly failed servers into a refugee list;
+ *  2. refugees are re-routed across shards through the waterfill
+ *     router and batch-placed into surviving pods, with bounded
+ *     retries before the remainder is shed (cross-shard migration);
+ *  3. the feed's arrivals due before the next boundary enter the
  *     bounded ingress ring (overflow is shed and accounted);
- *  3. the admission budget's worth of queued arrivals is admitted and
+ *  4. the admission budget's worth of queued arrivals is admitted and
  *     routed to shards by a deterministic waterfill over free cores —
  *     arrivals beyond the fleet's free capacity are re-queued (queue
- *     policy) or shed (shed policy);
- *  4. every shard refreshes its policy state and batch-places its
+ *     policy) or shed (shed policy). Under a thermal brownout the
+ *     effective budget steps down before the admission pop, and a
+ *     configured queue-age deadline sheds stale arrivals at the pop;
+ *  5. every shard refreshes its policy state and batch-places its
  *     routed jobs through Scheduler::placeJobs (the PR-7 batched
  *     placement hot path), again fanned out per shard;
- *  5. every shard advances its thermal state; the per-shard samples
- *     reduce serially in shard order.
+ *  6. every shard advances its thermal state; the per-shard samples
+ *     reduce serially in shard order and feed the brownout governor.
  *
  * Everything the loop does is a pure function of (config, feed), so
  * results — including the JSONL telemetry stream — are bitwise
  * identical at any thread count and across checkpoint/resume. The
  * periodic checkpoints (src/state/ snapshot container) carry the feed
- * cursor, the ingress ring and the full shard map.
+ * cursor, the ingress ring, the full shard map and — in degraded
+ * mode only — a DGRD section with the fault/brownout state, so a run
+ * without any degraded-mode configuration writes byte-identical
+ * snapshots to the pre-fault driver. Checkpoint writes go through
+ * the crash-recovery manager (state/recovery.h): failures are
+ * counted and retried instead of fatal, and resume scans the
+ * retained generations instead of dying on a corrupt newest file.
  */
 
 #ifndef VMT_SERVE_SHARDED_DRIVER_H
@@ -35,11 +48,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "fault/fault_engine.h"
+#include "fault/fault_plan.h"
 #include "obs/observability.h"
 #include "sched/scheduler.h"
+#include "serve/brownout.h"
 #include "serve/ingress_queue.h"
 #include "serve/job_feed.h"
 #include "server/cluster.h"
@@ -48,6 +65,10 @@
 #include "sim/simulation.h"
 #include "thermal/thermal_params.h"
 #include "util/units.h"
+
+namespace vmt {
+class SnapshotWriter;
+} // namespace vmt
 
 namespace vmt::serve {
 
@@ -95,12 +116,35 @@ struct ServeConfig
     std::size_t admissionBudget = 0;
     AdmitPolicy admit = AdmitPolicy::Queue;
 
+    /**
+     * Fault layer over the sharded fleet. Plan events target global
+     * server ids (0..numServers); the driver slices the plan per
+     * shard and runs one FaultEngine per pod with a decorrelated
+     * per-shard Rng stream (faults.seed + shard index), so a clean
+     * run stays bitwise unchanged. Default-constructed = off.
+     */
+    FaultConfig faults{};
+
+    /** Thermal-brownout admission governor; default = off. */
+    BrownoutParams brownout{};
+
+    /**
+     * Oldest a queued arrival may be when it reaches admission
+     * (seconds); older arrivals are shed at the pop and accounted as
+     * expired, separately from overflow sheds. 0 = no deadline.
+     */
+    Seconds maxQueueAge = 0.0;
+
+    /** Re-route rounds for evacuated jobs before the remainder is
+     *  shed as lost. */
+    std::size_t evacRetries = 3;
+
     /** Stop after this many completed intervals; 0 = run until the
      *  feed is exhausted and drained (or a stop is requested). */
     std::size_t maxIntervals = 0;
 
     /** Snapshot every N completed intervals (0 = off); a final
-     *  snapshot is always written on exit while enabled. */
+     *  snapshot is always attempted on exit while enabled. */
     std::size_t checkpointEvery = 0;
     std::string checkpointPath = "vmtserve.ckpt";
     /** Resume from a snapshot written by an earlier run with the same
@@ -120,6 +164,14 @@ struct ServeConfig
     /** Observability sink; null runs clock-free. `serve.*` metrics
      *  are deterministic, `profile.serve.*` are wall-clock. */
     obs::Observability *obs = nullptr;
+
+    /** True when any degraded-mode machinery is configured; the
+     *  driver's clean path is untouched while this is false. */
+    bool degraded() const
+    {
+        return faults.enabled() || brownout.enabled() ||
+               maxQueueAge > 0.0;
+    }
 };
 
 /** Aggregates from one serving run. */
@@ -148,6 +200,28 @@ struct ServeResult
     /** Jobs that ran to completion. */
     std::uint64_t completedJobs = 0;
 
+    /** True when any degraded-mode machinery was configured. */
+    bool degraded = false;
+    /** Jobs drained off newly failed servers. */
+    std::uint64_t evacuatedJobs = 0;
+    /** Evacuated jobs re-placed on a surviving server (possibly in
+     *  another shard — the cross-shard migration path). */
+    std::uint64_t migratedJobs = 0;
+    /** Evacuated jobs shed after the bounded re-route retries. */
+    std::uint64_t lostJobs = 0;
+    /** Queued arrivals shed by the queue-age deadline. */
+    std::uint64_t expiredJobs = 0;
+    /** Failed checkpoint writes (run continued on the last good). */
+    std::uint64_t checkpointFailures = 0;
+    /** Servers down at exit. */
+    std::size_t failedServers = 0;
+    /** Servers quarantined (thermal emergency) at exit. */
+    std::size_t quarantinedServers = 0;
+    /** Deepest brownout level the run reached. */
+    std::size_t maxBrownoutLevel = 0;
+    /** Intervals whose admission ran at a non-zero brownout level. */
+    std::uint64_t brownoutIntervals = 0;
+
     std::size_t finalQueueDepth = 0;
     std::size_t peakQueueDepth = 0;
     /** Jobs still running at exit. */
@@ -163,7 +237,8 @@ struct ServeResult
     bool stopped = false;
     /** True when the run drained a finished feed. */
     bool feedExhausted = false;
-    /** Final snapshot path (empty when checkpointing is off). */
+    /** Final snapshot path (empty when checkpointing is off or the
+     *  final write failed). */
     std::string finalCheckpoint;
 
     /** JSONL lines (ServeConfig::keepTelemetry). */
@@ -210,30 +285,82 @@ class ShardedDriver
         /** Pending departures, payload = slot index (shard-local). */
         IntervalQueue<std::uint32_t> departures;
         /** Slot table + freelist + per-(server, workload) residency,
-         *  exactly the batch driver's bookkeeping, per shard. */
+         *  exactly the batch driver's bookkeeping, per shard. Slots
+         *  whose serverId is kNoServer are evacuation tombstones:
+         *  the slot stays reserved until its scheduled departure
+         *  fires (the queue has no removal). */
         std::vector<SimActiveJob> slots;
+        /** Departure time per slot (parallel to `slots`); what a
+         *  refugee's remaining runtime migrates with. Rebuilt from
+         *  the departure queue on load, so the SHRD snapshot layout
+         *  is unchanged. */
+        std::vector<Seconds> slotDue;
         std::vector<std::uint32_t> freeSlots;
         std::vector<std::array<std::vector<std::uint32_t>,
                                kNumWorkloads>> jobsAt;
         /** This interval's routed arrivals / placement results. */
         std::vector<Job> batch;
         std::vector<std::size_t> placements;
+
+        /** Per-pod fault engine (degraded mode with faults only);
+         *  sees the global plan sliced to this pod and its own
+         *  decorrelated Rng stream. */
+        std::optional<FaultEngine> faults;
+        /** Supply-air rise currently pushed into this shard's
+         *  inlets (mirrors the batch driver's applied-rise latch). */
+        Kelvin appliedRise = 0.0;
+        /** Newly failed servers' drained jobs (this interval), and
+         *  later each retry round's refugees routed to this shard. */
+        std::vector<Job> evacBatch;
+        /** Preserved departure times parallel to evacBatch. */
+        std::vector<Seconds> evacDue;
+        std::vector<std::size_t> evacPlacements;
+        /** Refugees this shard's scheduler could not place in the
+         *  current round (re-routed next round). */
+        std::vector<WorkloadType> evacFailTypes;
+        std::vector<Seconds> evacFailDue;
+        /** Free cores on Up servers — the degraded-mode routing
+         *  capacity (totalCores - busyCores would count dead and
+         *  quarantined capacity). */
+        std::size_t schedulableFree = 0;
+
         ClusterSample sample{};
         std::uint64_t completedThisInterval = 0;
         std::uint64_t placedThisInterval = 0;
         std::uint64_t unplacedThisInterval = 0;
+        std::uint64_t evacuatedThisInterval = 0;
+        std::uint64_t migratedThisInterval = 0;
     };
 
-    /** Complete a shard's jobs due at or before now. */
+    /** Complete a shard's jobs due at or before now (tombstone slots
+     *  free silently). */
     void drainDepartures(Shard &shard, Seconds now);
-    /** beginInterval + batch placement + slot bookkeeping. */
+    /**
+     * Degraded-mode per-shard boundary work (runs inside the
+     * departure fan-out): fault-engine step, supply-rise push,
+     * scheduler beginInterval, refugee drain off newly failed
+     * servers, and the schedulable-free capacity estimate.
+     */
+    void faultPhase(Shard &shard, Seconds now);
+    /** Cross-shard refugee re-routing: waterfill over surviving
+     *  capacity, parallel batched placement, bounded retries, shed
+     *  on exhaustion. Serial orchestration (shard order). */
+    void evacuateRefugees(Seconds now);
+    /** Place one round's refugees routed to this shard, scheduling
+     *  each at its preserved departure time. */
+    void placeEvac(Shard &shard);
+    /** beginInterval (clean mode only — faultPhase already ran it in
+     *  degraded mode) + batch placement + slot bookkeeping. */
     void placeBatch(Shard &shard, Seconds now);
     /** Deterministic waterfill of @p admitted over shard free cores;
      *  returns the number routed (prefix of @p admitted). */
     std::size_t routeToShards(const std::vector<FeedJob> &admitted);
+    /** Allocate a slot for a placed job and schedule its departure. */
+    void bindJob(Shard &shard, std::size_t server, WorkloadType type,
+                 Seconds due);
 
-    void saveCheckpoint(const JobFeed &feed, std::size_t completed,
-                        const std::string &path) const;
+    void buildCheckpoint(SnapshotWriter &writer, const JobFeed &feed,
+                         std::size_t completed) const;
     std::size_t loadCheckpoint(JobFeed &feed,
                                const std::string &path);
 
@@ -241,6 +368,12 @@ class ShardedDriver
     PowerModel power_;
     std::vector<Shard> shards_;
     IngressQueue ingress_;
+    std::optional<BrownoutGovernor> brownout_;
+    /** Cached ServeConfig::degraded(). */
+    bool degraded_ = false;
+    /** Fleet-wide core count (the brownout's notional budget when
+     *  admission is unlimited). */
+    std::size_t totalCores_ = 0;
 
     /** Cumulative accounting (serialized, so totals survive resume). */
     std::uint64_t arrivals_ = 0;
@@ -250,6 +383,11 @@ class ShardedDriver
     std::uint64_t placed_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint64_t completedJobs_ = 0;
+    std::uint64_t evacuated_ = 0;
+    std::uint64_t migrated_ = 0;
+    std::uint64_t lost_ = 0;
+    std::uint64_t expired_ = 0;
+    std::uint64_t brownoutIntervals_ = 0;
     std::uint64_t nextJobId_ = 0;
     std::size_t peakQueueDepth_ = 0;
     Watts peakCoolingLoad_ = 0.0;
@@ -261,6 +399,9 @@ class ShardedDriver
     /** Reused per-interval buffers. */
     std::vector<FeedJob> feedBuf_;
     std::vector<FeedJob> admitBuf_;
+    /** Post-evacuation free-capacity estimates per shard, consumed
+     *  by the degraded-mode admission waterfill. */
+    std::vector<std::size_t> freeEst_;
     bool ran_ = false;
 };
 

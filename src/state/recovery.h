@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Crash-recovery layer over the snapshot container: retained-snapshot
+ * rotation on the write side and validated multi-candidate fallback
+ * on the read side.
+ *
+ * A long-lived service must survive both halves of checkpoint
+ * trouble:
+ *
+ *  - writes that fail (full disk, unwritable directory) must not kill
+ *    the run — RecoveryManager::save downgrades them to a counted,
+ *    logged failure and keeps the last good snapshot on disk, so the
+ *    next period simply retries;
+ *  - the newest snapshot on disk may be corrupt (a crash straddling
+ *    the rename, a bad sector) — recoverSnapshot scans the retained
+ *    candidates newest-first, CRC-validates each (SnapshotReader's
+ *    parse) and falls back instead of fataling on the first bad file.
+ *
+ * Rotation keeps exactly two generations: the last good snapshot at
+ * `path` and the one before it at `path.prev` (previousSnapshotPath).
+ * Batch tools that prefer to die loudly keep calling
+ * SnapshotWriter::write directly; nothing here changes their path.
+ */
+
+#ifndef VMT_STATE_RECOVERY_H
+#define VMT_STATE_RECOVERY_H
+
+#include <cstdint>
+#include <string>
+
+#include "state/snapshot.h"
+
+namespace vmt {
+
+/** Sibling path of the previous retained snapshot generation. */
+std::string previousSnapshotPath(const std::string &path);
+
+/**
+ * Rotating, non-fatal checkpoint writer for one snapshot path.
+ * save() is the serving-mode replacement for SnapshotWriter::write:
+ * it retains the previous generation and reports failures instead of
+ * throwing.
+ */
+class RecoveryManager
+{
+  public:
+    explicit RecoveryManager(std::string path);
+
+    /**
+     * Write @p writer's snapshot to the managed path: stage the new
+     * image into the sibling temp file first, then rotate the current
+     * last-good snapshot to `path.prev` and commit the staged image.
+     * A failure at any step leaves the previous on-disk state intact.
+     *
+     * @return True on success; false on failure, with the failure
+     *         counted (failures()) and its reason kept (lastError()).
+     *         Never throws for I/O errors.
+     */
+    bool save(const SnapshotWriter &writer);
+
+    const std::string &path() const { return path_; }
+
+    /** Cumulative failed save() calls (the serving driver mirrors
+     *  this into the `serve.checkpoint_failures_total` counter). */
+    std::uint64_t failures() const { return failures_; }
+
+    /** Reason of the most recent failed save (empty when the last
+     *  save succeeded). */
+    const std::string &lastError() const { return lastError_; }
+
+  private:
+    std::string path_;
+    std::uint64_t failures_ = 0;
+    std::string lastError_;
+};
+
+/** Outcome of a recoverSnapshot scan. */
+struct RecoveredSnapshot
+{
+    /** The validated snapshot (container-level CRC checks passed). */
+    SnapshotReader reader;
+    /** Candidate file the reader was loaded from. */
+    std::string path;
+    /** True when the newest candidate was rejected and an older
+     *  generation was used instead. */
+    bool fellBack = false;
+    /** Why the newest candidate was rejected (empty otherwise). */
+    std::string error;
+};
+
+/**
+ * Startup recovery: open the newest valid snapshot among the retained
+ * generations of @p path (`path`, then `path.prev`). Candidates that
+ * are missing, truncated or fail CRC validation are skipped with a
+ * warning instead of fataling.
+ *
+ * @throws FatalError only when no candidate validates — every
+ *         rejection reason is named in the message.
+ */
+RecoveredSnapshot recoverSnapshot(const std::string &path);
+
+} // namespace vmt
+
+#endif // VMT_STATE_RECOVERY_H

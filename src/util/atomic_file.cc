@@ -27,20 +27,41 @@ void
 atomicWriteFile(const std::string &path, const void *data,
                 std::size_t size)
 {
+    std::string error;
+    if (!tryAtomicWriteFile(path, data, size, &error))
+        fatal(error);
+}
+
+bool
+tryAtomicWriteFile(const std::string &path, const void *data,
+                   std::size_t size, std::string *error)
+{
     const std::string temp = atomicTempPath(path);
     {
         std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            fatal("atomicWriteFile: cannot open " + temp);
+        if (!out) {
+            if (error)
+                *error = "atomicWriteFile: cannot open " + temp;
+            return false;
+        }
         out.write(static_cast<const char *>(data),
                   static_cast<std::streamsize>(size));
         out.flush();
         if (!out) {
             std::remove(temp.c_str());
-            fatal("atomicWriteFile: write failed for " + temp);
+            if (error)
+                *error = "atomicWriteFile: write failed for " + temp;
+            return false;
         }
     }
-    atomicCommit(temp, path);
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        std::remove(temp.c_str());
+        if (error)
+            *error = "atomicCommit: cannot rename " + temp + " to " +
+                     path;
+        return false;
+    }
+    return true;
 }
 
 } // namespace vmt

@@ -34,6 +34,15 @@ void atomicCommit(const std::string &temp_path,
 void atomicWriteFile(const std::string &path, const void *data,
                      std::size_t size);
 
+/**
+ * Non-throwing atomicWriteFile for callers that degrade instead of
+ * dying (the serving-mode checkpoint path: a full disk must not kill
+ * the service). Returns false on failure with the reason in @p error
+ * (when non-null); `path` is left untouched on any error.
+ */
+bool tryAtomicWriteFile(const std::string &path, const void *data,
+                        std::size_t size, std::string *error);
+
 } // namespace vmt
 
 #endif // VMT_UTIL_ATOMIC_FILE_H

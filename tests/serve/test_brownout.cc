@@ -1,0 +1,250 @@
+/**
+ * @file
+ * BrownoutGovernor unit tests — parameter validation, step-up on
+ * watermark breach, hysteresis hold, the step-down cool streak,
+ * effective-budget math and state round-trip — plus integration of
+ * the governor with the sharded serving driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/job_feed.h"
+#include "serve/sharded_driver.h"
+#include "state/serializer.h"
+#include "util/logging.h"
+
+namespace vmt::serve {
+namespace {
+
+BrownoutParams
+tempParams()
+{
+    BrownoutParams params;
+    params.maxAirTemp = 40.0;
+    params.release = 2.0;
+    params.step = 0.25;
+    params.floor = 0.10;
+    params.holdIntervals = 3;
+    return params;
+}
+
+TEST(Brownout, CtorRejectsMalformedParams)
+{
+    auto reject = [](auto &&mutate) {
+        BrownoutParams params = tempParams();
+        mutate(params);
+        EXPECT_THROW(BrownoutGovernor{params}, FatalError);
+    };
+    reject([](BrownoutParams &p) { p.step = 0.0; });
+    reject([](BrownoutParams &p) { p.step = 1.5; });
+    reject([](BrownoutParams &p) { p.floor = 1.0; });
+    reject([](BrownoutParams &p) { p.floor = -0.1; });
+    reject([](BrownoutParams &p) { p.holdIntervals = 0; });
+    reject([](BrownoutParams &p) { p.maxMelt = 1.5; });
+    reject([](BrownoutParams &p) { p.release = -1.0; });
+    reject([](BrownoutParams &p) { p.maxAirTemp = -5.0; });
+}
+
+TEST(Brownout, DisabledGovernorNeverSteps)
+{
+    BrownoutGovernor governor{BrownoutParams{}};
+    EXPECT_FALSE(governor.enabled());
+    governor.observe(100.0, 1.0);
+    EXPECT_EQ(governor.level(), 0u);
+    EXPECT_EQ(governor.effectiveBudget(0, 500), 0u); // Unlimited.
+    EXPECT_EQ(governor.effectiveBudget(42, 500), 42u);
+}
+
+TEST(Brownout, StepsUpPerHotIntervalAndSaturatesAtCeiling)
+{
+    // step 0.25, floor 0.10: levels 1..3 keep the budget fraction at
+    // or above the floor (3 * 0.25 = 0.75 <= 0.90); level 4 would
+    // cross it, so 3 is the ceiling.
+    BrownoutGovernor governor{tempParams()};
+    for (std::size_t hot = 1; hot <= 5; ++hot) {
+        governor.observe(45.0, 0.0);
+        EXPECT_EQ(governor.level(), hot < 3 ? hot : 3u);
+    }
+    EXPECT_EQ(governor.maxLevel(), 3u);
+}
+
+TEST(Brownout, StepDownNeedsAFullCoolStreak)
+{
+    BrownoutGovernor governor{tempParams()};
+    governor.observe(45.0, 0.0);
+    ASSERT_EQ(governor.level(), 1u);
+
+    // Inside the hysteresis band (below 40 but not below 38): the
+    // level holds and no step-down credit accumulates.
+    governor.observe(39.0, 0.0);
+    governor.observe(39.0, 0.0);
+    EXPECT_EQ(governor.level(), 1u);
+
+    // Two cool intervals, then a band re-entry: the streak resets.
+    governor.observe(37.0, 0.0);
+    governor.observe(37.0, 0.0);
+    governor.observe(39.0, 0.0);
+    EXPECT_EQ(governor.level(), 1u);
+
+    // Only holdIntervals consecutive cool observations release.
+    governor.observe(37.0, 0.0);
+    governor.observe(37.0, 0.0);
+    EXPECT_EQ(governor.level(), 1u);
+    governor.observe(37.0, 0.0);
+    EXPECT_EQ(governor.level(), 0u);
+    // maxLevel records history, not the current level.
+    EXPECT_EQ(governor.maxLevel(), 1u);
+}
+
+TEST(Brownout, MeltWatermarkTriggersIndependently)
+{
+    BrownoutParams params;
+    params.maxMelt = 0.90;
+    params.meltRelease = 0.05;
+    params.holdIntervals = 1;
+    BrownoutGovernor governor{params};
+    governor.observe(99.0, 0.5); // Temp trigger off: air ignored.
+    EXPECT_EQ(governor.level(), 0u);
+    governor.observe(20.0, 0.95);
+    EXPECT_EQ(governor.level(), 1u);
+    governor.observe(20.0, 0.88); // In band (not below 0.85): hold.
+    EXPECT_EQ(governor.level(), 1u);
+    governor.observe(20.0, 0.80);
+    EXPECT_EQ(governor.level(), 0u);
+}
+
+TEST(Brownout, EffectiveBudgetCutsPerLevelAndNeverHitsZero)
+{
+    BrownoutGovernor governor{tempParams()};
+    governor.observe(45.0, 0.0); // Level 1.
+    EXPECT_EQ(governor.effectiveBudget(100, 384), 75u);
+    // An unlimited base browns out against the fallback notional.
+    EXPECT_EQ(governor.effectiveBudget(0, 384), 288u);
+    governor.observe(45.0, 0.0);
+    governor.observe(45.0, 0.0); // Level 3 (ceiling).
+    EXPECT_EQ(governor.effectiveBudget(100, 384), 25u);
+    // A tiny base never rounds down to 0 — that would read as
+    // "unlimited" and defeat the brownout entirely.
+    EXPECT_EQ(governor.effectiveBudget(1, 384), 1u);
+}
+
+TEST(Brownout, StateRoundTripsThroughTheSerializer)
+{
+    BrownoutGovernor governor{tempParams()};
+    governor.observe(45.0, 0.0);
+    governor.observe(45.0, 0.0);
+    governor.observe(37.0, 0.0); // One interval of cool streak.
+    Serializer out;
+    governor.saveState(out);
+
+    BrownoutGovernor restored{tempParams()};
+    Deserializer in(out.bytes());
+    restored.loadState(in);
+    in.expectEnd();
+    EXPECT_EQ(restored.level(), 2u);
+    EXPECT_EQ(restored.maxLevel(), 2u);
+    EXPECT_EQ(restored.effectiveBudget(100, 384),
+              governor.effectiveBudget(100, 384));
+}
+
+TEST(Brownout, LoadRejectsLevelAboveTheCeiling)
+{
+    // A snapshot written under looser parameters (deeper ceiling)
+    // must not smuggle an unreachable level into this run.
+    Serializer out;
+    out.putSize(7); // level
+    out.putSize(7); // maxLevelSeen
+    out.putSize(0); // coolStreak
+    BrownoutGovernor governor{tempParams()};
+    Deserializer in(out.bytes());
+    EXPECT_THROW(governor.loadState(in), FatalError);
+}
+
+// ---------------------------------------------------------------
+// Integration with the serving driver.
+
+ServeConfig
+smallConfig()
+{
+    ServeConfig config;
+    config.numServers = 24;
+    config.podSize = 7;
+    config.policy = "wa";
+    config.maxIntervals = 20;
+    config.keepTelemetry = true;
+    return config;
+}
+
+SyntheticFeedParams
+busyFeed()
+{
+    SyntheticFeedParams params;
+    params.users = 14400.0;
+    params.requestsPerUserHour = 1.0;
+    params.diurnalTrough = 1.0;
+    params.seed = 21;
+    return params;
+}
+
+ServeResult
+runSmall(const ServeConfig &config)
+{
+    SyntheticFeedParams params = busyFeed();
+    SyntheticFeed feed(params);
+    ShardedDriver driver(config);
+    return driver.run(feed);
+}
+
+TEST(BrownoutServe, GovernedRunShedsLoadButKeepsAccounting)
+{
+    ServeConfig governed = smallConfig();
+    governed.admissionBudget = 100;
+    // A watermark below ambient: every interval reads hot, so the
+    // run browns out to the ceiling and stays there.
+    governed.brownout.maxAirTemp = 10.0;
+    const ServeResult result = runSmall(governed);
+
+    EXPECT_TRUE(result.degraded);
+    EXPECT_EQ(result.maxBrownoutLevel, 3u);
+    EXPECT_GT(result.brownoutIntervals, 0u);
+    // The budget still admits something every governed interval.
+    EXPECT_GT(result.admitted, 0u);
+    EXPECT_EQ(result.arrivals, result.admitted + result.shed +
+                                   result.expiredJobs +
+                                   result.finalQueueDepth);
+    EXPECT_EQ(result.placed, result.completedJobs +
+                                 result.finalInFlight +
+                                 result.lostJobs);
+    // The brownout level rides in the telemetry stream.
+    EXPECT_NE(result.telemetry.find("\"brownout\":"),
+              std::string::npos);
+
+    ServeConfig clean = smallConfig();
+    clean.admissionBudget = 100;
+    const ServeResult base = runSmall(clean);
+    EXPECT_EQ(base.maxBrownoutLevel, 0u);
+    EXPECT_LT(result.admitted, base.admitted);
+}
+
+TEST(BrownoutServe, ColdWatermarkNeverEngages)
+{
+    // A watermark far above anything a 24-server fleet reaches: the
+    // governor is configured (degraded mode on) but never steps, and
+    // admission matches the ungoverned run.
+    ServeConfig governed = smallConfig();
+    governed.brownout.maxAirTemp = 500.0;
+    const ServeResult result = runSmall(governed);
+    EXPECT_TRUE(result.degraded);
+    EXPECT_EQ(result.maxBrownoutLevel, 0u);
+    EXPECT_EQ(result.brownoutIntervals, 0u);
+
+    const ServeResult base = runSmall(smallConfig());
+    EXPECT_EQ(result.admitted, base.admitted);
+    EXPECT_EQ(result.completedJobs, base.completedJobs);
+    EXPECT_DOUBLE_EQ(result.maxAirTemp, base.maxAirTemp);
+}
+
+} // namespace
+} // namespace vmt::serve

@@ -44,13 +44,49 @@
  *   --queue-capacity N     ingress ring capacity       (default 65536)
  *   --admission-budget N   jobs admitted per interval; 0 = unlimited
  *   --admit P              queue | shed                (default queue)
+ *   --max-queue-age S      shed queued arrivals older than S seconds
+ *                          at admission (0 = off, default)
  *   --overheat-temp C      overheat accounting threshold (default 45)
+ *
+ *   --fault-plan FILE      scripted fault events against global
+ *                          server ids ("<hours> server-down <id>" /
+ *                          "server-up <id>" / "cooling-derate <K>" /
+ *                          "cooling-restore"); jobs on failed servers
+ *                          are evacuated cross-shard
+ *   --fault-seed X         seed of the fault layer's private Rng;
+ *                          each shard draws from its own stream
+ *                          (default 1)
+ *   --fault-mtbf H         stochastic failures: MTBF in hours at the
+ *                          reference temperature (0 = off, default)
+ *   --fault-repair H       stochastic-failure repair time in hours
+ *                          (default 4)
+ *   --critical-temp C      thermal-emergency quarantine threshold in
+ *                          Celsius (0 = off, default)
+ *   --evac-retries N       cross-shard re-route rounds for evacuated
+ *                          jobs before shedding them (default 3)
+ *
+ *   --brownout-temp C      brownout watermark: step the admission
+ *                          budget down while the fleet's peak air is
+ *                          at or above C (0 = off, default)
+ *   --brownout-melt F      brownout watermark on the hottest shard's
+ *                          mean melt fraction (0 = off, default)
+ *   --brownout-step F      budget fraction removed per brownout level
+ *                          (default 0.25)
+ *   --brownout-floor F     budget floor as a fraction of the base
+ *                          (default 0.1)
+ *   --brownout-hold N      cool intervals required per step back up
+ *                          (default 5)
  *
  *   --checkpoint-every N   snapshot every N intervals (0 = off); a
  *                          final snapshot is always written on exit
- *                          while enabled
+ *                          while enabled. Writes rotate the previous
+ *                          generation to <path>.prev and survive
+ *                          write failures (counted + retried, not
+ *                          fatal)
  *   --checkpoint-path F    snapshot file (default vmtserve.ckpt)
- *   --resume-from F        resume a killed run mid-stream (bitwise)
+ *   --resume-from F        resume a killed run mid-stream (bitwise);
+ *                          a corrupt newest snapshot falls back to
+ *                          the retained <F>.prev generation
  *   --telemetry-out F      per-interval JSONL stream, appended and
  *                          flushed line by line
  *   --metrics-out PATH     end-of-run metrics dump (Prometheus text +
@@ -138,6 +174,37 @@ configFromFlags(const Flags &flags)
     config.admissionBudget = static_cast<std::size_t>(budget);
     config.admit =
         admitPolicyFromString(flags.getString("admit", "queue"));
+    config.maxQueueAge = flags.getDouble("max-queue-age", 0.0);
+    if (config.maxQueueAge < 0.0)
+        fatal("vmtserve: --max-queue-age must be >= 0 (0 = off)");
+
+    if (flags.has("fault-plan"))
+        config.faults.plan =
+            FaultPlan::loadFile(flags.getString("fault-plan"));
+    config.faults.seed = static_cast<std::uint64_t>(
+        flags.getInt("fault-seed", 1));
+    config.faults.mtbf = flags.getDouble("fault-mtbf", 0.0);
+    if (config.faults.mtbf < 0.0)
+        fatal("vmtserve: --fault-mtbf must be >= 0 (0 = off)");
+    config.faults.repairTime = flags.getDouble("fault-repair", 4.0);
+    config.faults.criticalTemp =
+        flags.getDouble("critical-temp", 0.0);
+    if (config.faults.criticalTemp < 0.0)
+        fatal("vmtserve: --critical-temp must be >= 0 (0 = off)");
+    const long long retries = flags.getInt("evac-retries", 3);
+    if (retries < 0)
+        fatal("vmtserve: --evac-retries must be >= 0");
+    config.evacRetries = static_cast<std::size_t>(retries);
+
+    config.brownout.maxAirTemp =
+        flags.getDouble("brownout-temp", 0.0);
+    config.brownout.maxMelt = flags.getDouble("brownout-melt", 0.0);
+    config.brownout.step = flags.getDouble("brownout-step", 0.25);
+    config.brownout.floor = flags.getDouble("brownout-floor", 0.1);
+    const long long hold = flags.getInt("brownout-hold", 5);
+    if (hold <= 0)
+        fatal("vmtserve: --brownout-hold must be positive");
+    config.brownout.holdIntervals = static_cast<std::size_t>(hold);
 
     const long long minutes = flags.getInt("minutes", 0);
     if (minutes < 0)
@@ -202,6 +269,26 @@ printSummary(const ServeResult &r)
                 static_cast<unsigned long long>(r.droppedJobs));
     std::printf("jobs completed    %llu\n",
                 static_cast<unsigned long long>(r.completedJobs));
+    if (r.degraded) {
+        std::printf("evacuated         %llu (migrated %llu, "
+                    "lost %llu)\n",
+                    static_cast<unsigned long long>(r.evacuatedJobs),
+                    static_cast<unsigned long long>(r.migratedJobs),
+                    static_cast<unsigned long long>(r.lostJobs));
+        std::printf("expired           %llu\n",
+                    static_cast<unsigned long long>(r.expiredJobs));
+        std::printf("servers down      %zu (quarantined %zu)\n",
+                    r.failedServers, r.quarantinedServers);
+        std::printf("brownout          level %zu max, %llu "
+                    "intervals\n",
+                    r.maxBrownoutLevel,
+                    static_cast<unsigned long long>(
+                        r.brownoutIntervals));
+    }
+    if (r.checkpointFailures > 0)
+        std::printf("checkpoint fails  %llu (kept last good)\n",
+                    static_cast<unsigned long long>(
+                        r.checkpointFailures));
     std::printf("queue depth       %zu final, %zu peak\n",
                 r.finalQueueDepth, r.peakQueueDepth);
     std::printf("in flight         %zu\n", r.finalInFlight);
